@@ -1,0 +1,41 @@
+//! Compilation-speed benchmarks — the framework's agility claim
+//! ("compilation times reduced to minutes"; the paper's Python stack
+//! needed 8.0 s for BN254N and 53.1 s for BLS24-509; this Rust pipeline
+//! is measured here), plus individual pass costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use finesse_compiler::{compile_pairing, optimize, pairing_hir, tower_shape, CompileOptions};
+use finesse_curves::Curve;
+use finesse_hw::HwModel;
+use finesse_ir::{lower, VariantConfig};
+
+fn bench_full_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile_pairing");
+    g.sample_size(10);
+    for name in ["BN254N", "BLS12-381"] {
+        let curve = Curve::by_name(name);
+        let shape = tower_shape(&curve);
+        let variants = VariantConfig::all_karatsuba(&shape);
+        let hw = HwModel::paper_default();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |bench, ()| {
+            bench.iter(|| compile_pairing(&curve, &variants, &hw, &CompileOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("passes");
+    g.sample_size(10);
+    let curve = Curve::by_name("BN254N");
+    let shape = tower_shape(&curve);
+    let hir = pairing_hir(&curve);
+    let variants = VariantConfig::all_karatsuba(&shape);
+    g.bench_function("lowering", |bench| bench.iter(|| lower(&hir, &shape, &variants).unwrap()));
+    let lowered = lower(&hir, &shape, &variants).unwrap();
+    g.bench_function("iropt", |bench| bench.iter(|| optimize(&lowered, curve.fp())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_compile, bench_passes);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the field-arithmetic substrate across the Table 2
+//! curves: F_p Montgomery multiplication, twist-field and F_p^k tower
+//! operations, and the pairing-critical cyclotomic squaring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use finesse_curves::Curve;
+
+fn bench_fp_mul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fp_mul");
+    for name in ["BN254N", "BLS12-381", "BLS12-638", "BLS24-509"] {
+        let curve = Curve::by_name(name);
+        let a = curve.fp().sample(1);
+        let b = curve.fp().sample(2);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(a, b), |bench, (a, b)| {
+            bench.iter(|| a * b)
+        });
+    }
+    g.finish();
+}
+
+fn bench_fq_mul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fq_mul");
+    for name in ["BN254N", "BLS24-509"] {
+        let curve = Curve::by_name(name);
+        let t = curve.tower().clone();
+        let a = t.fq_sample(1);
+        let b = t.fq_sample(2);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(a, b), |bench, (a, b)| {
+            bench.iter(|| t.fq_mul(a, b))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fpk_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fpk");
+    for name in ["BN254N", "BLS24-509"] {
+        let curve = Curve::by_name(name);
+        let t = curve.tower().clone();
+        let a = t.fpk_sample(1);
+        let b = t.fpk_sample(2);
+        g.bench_with_input(BenchmarkId::new("mul", name), &(), |bench, ()| {
+            bench.iter(|| t.fpk_mul(&a, &b))
+        });
+        // Cyclotomic squaring on a projected element.
+        let inv = t.fpk_inv(&a);
+        let e1 = t.fpk_mul(&t.fpk_conj(&a), &inv);
+        let j = if t.k() == 12 { 2 } else { 4 };
+        let cyc = t.fpk_mul(&t.fpk_frob(&e1, j), &e1);
+        g.bench_with_input(BenchmarkId::new("cyclo_sqr", name), &(), |bench, ()| {
+            bench.iter(|| t.fpk_cyclotomic_sqr(&cyc))
+        });
+        g.bench_with_input(BenchmarkId::new("plain_sqr", name), &(), |bench, ()| {
+            bench.iter(|| t.fpk_sqr(&cyc))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fp_mul, bench_fq_mul, bench_fpk_ops
+}
+criterion_main!(benches);

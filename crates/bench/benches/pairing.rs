@@ -1,0 +1,41 @@
+//! Reference-library pairing latency per curve (the software side of the
+//! paper's motivation: pairings cost ~ms on general-purpose hardware),
+//! split into Miller loop and final exponentiation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use finesse_curves::Curve;
+use finesse_ff::BigUint;
+use finesse_pairing::PairingEngine;
+
+fn bench_full_pairing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pairing");
+    g.sample_size(10);
+    for name in ["BN254N", "BLS12-381", "BLS24-509"] {
+        let curve = Curve::by_name(name);
+        let engine = PairingEngine::new(curve.clone());
+        let p = curve.g1_mul(curve.g1_generator(), &BigUint::from_u64(31337));
+        let q = curve.g2_mul(curve.g2_generator(), &BigUint::from_u64(2718));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |bench, ()| {
+            bench.iter(|| engine.pair(&p, &q))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pairing_phases(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pairing_phases");
+    g.sample_size(10);
+    let curve = Curve::by_name("BN254N");
+    let engine = PairingEngine::new(curve.clone());
+    let p = curve.g1_generator().clone();
+    let q = curve.g2_generator().clone();
+    g.bench_function("miller_loop", |bench| bench.iter(|| engine.miller_loop(&p, &q)));
+    let f = engine.miller_loop(&p, &q);
+    g.bench_function("final_exponentiation", |bench| {
+        bench.iter(|| engine.final_exponentiation(&f))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_pairing, bench_pairing_phases);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Simulator throughput: how fast the cycle-accurate and functional
+//! simulators chew through a full pairing program (the DSE loop's inner
+//! cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use finesse_compiler::{compile_pairing, tower_shape, CompileOptions};
+use finesse_curves::Curve;
+use finesse_ff::BigUint;
+use finesse_hw::HwModel;
+use finesse_ir::convert::fq_to_fps;
+use finesse_ir::VariantConfig;
+use finesse_sim::{run_image, simulate};
+
+fn bench_simulators(c: &mut Criterion) {
+    let curve = Curve::by_name("BN254N");
+    let shape = tower_shape(&curve);
+    let variants = VariantConfig::all_karatsuba(&shape);
+    let hw = HwModel::paper_default();
+    let compiled = compile_pairing(&curve, &variants, &hw, &CompileOptions::default()).unwrap();
+    let insts = compiled.image.spec.decode(&compiled.image.words).unwrap();
+
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("cycle_accurate_bn254n", |bench| {
+        bench.iter(|| simulate(&insts, &hw, None))
+    });
+
+    let p = curve.g1_generator().clone();
+    let q = curve.g2_generator().clone();
+    let mut inputs: Vec<BigUint> = vec![p.x.to_biguint(), p.y.to_biguint()];
+    inputs.extend(fq_to_fps(&q.x).iter().map(|f| f.to_biguint()));
+    inputs.extend(fq_to_fps(&q.y).iter().map(|f| f.to_biguint()));
+    g.bench_function("functional_bn254n", |bench| {
+        bench.iter(|| run_image(&compiled.image, curve.fp(), &inputs).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulators);
+criterion_main!(benches);

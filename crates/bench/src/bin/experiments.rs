@@ -1,0 +1,513 @@
+//! Regenerates every table and figure of the Finesse paper's evaluation.
+//!
+//! ```text
+//! experiments [table2|table3|table6|table7|fig2|fig6|fig8|fig9|fig10|fig11|fig12|all]
+//! ```
+//!
+//! Output goes to stdout and to `results/<name>.txt`. Expected shapes
+//! (who wins, by what factor) are described in EXPERIMENTS.md together
+//! with measured-vs-paper numbers.
+
+use finesse_bench::{f, kfmt, TextTable};
+use finesse_compiler::{compile_pairing, tower_shape, CompileOptions};
+use finesse_curves::Curve;
+use finesse_dse::{
+    best_point, codesign_alu_sweep, evaluate_point, explore, figure10_points,
+    variant_sweep_points, DesignPoint, Objective,
+};
+use finesse_hw::{
+    area_breakdown, fpga_utilization, scale, security_bits, AreaInputs, HwModel, NodeMetrics,
+    TechNode, FLEXIPAIR, IKEDA_ASSCC19,
+};
+use finesse_ir::{lower, FpProgram, HirOp, HirProgram, VariantConfig};
+use finesse_sim::simulate;
+use std::fs;
+use std::io::Write as _;
+use std::sync::Arc;
+
+const CURVES: [&str; 7] =
+    ["BN254N", "BN462", "BN638", "BLS12-381", "BLS12-446", "BLS12-638", "BLS24-509"];
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    fs::create_dir_all("results").expect("create results dir");
+    let experiments: Vec<(&str, fn() -> String)> = vec![
+        ("table2", table2 as fn() -> String),
+        ("table3", table3),
+        ("table6", table6),
+        ("table7", table7),
+        ("fig2", fig2),
+        ("fig6", fig6),
+        ("fig8", fig8),
+        ("fig9", fig9),
+        ("fig10", fig10),
+        ("fig11", fig11),
+        ("fig12", fig12),
+    ];
+    let selected: Vec<_> = if arg == "all" {
+        experiments
+    } else {
+        experiments.into_iter().filter(|(n, _)| *n == arg).collect()
+    };
+    if selected.is_empty() {
+        eprintln!("unknown experiment `{arg}`; use table2|table3|table6|table7|fig2|fig6|fig8|fig9|fig10|fig11|fig12|all");
+        std::process::exit(2);
+    }
+    for (name, run) in selected {
+        let started = std::time::Instant::now();
+        let body = run();
+        let text = format!("==== {name} ({:?}) ====\n{body}\n", started.elapsed());
+        print!("{text}");
+        let mut file = fs::File::create(format!("results/{name}.txt")).expect("write result");
+        file.write_all(text.as_bytes()).expect("write result");
+    }
+}
+
+fn default_variants(curve: &Arc<Curve>) -> VariantConfig {
+    VariantConfig::all_karatsuba(&tower_shape(curve))
+}
+
+/// Table 2: curve parameters and security levels.
+fn table2() -> String {
+    let mut t = TextTable::new(&[
+        "curve", "log|t|", "log p", "log r", "k", "k·log p", "sec (model)", "sec (paper)",
+    ]);
+    for name in CURVES {
+        let c = Curve::by_name(name);
+        let klogp = (c.k() * c.p().bits()) as f64;
+        let sec = security_bits(c.family(), klogp);
+        t.row(vec![
+            name.into(),
+            c.t().magnitude().bits().to_string(),
+            c.p().bits().to_string(),
+            c.r().bits().to_string(),
+            c.k().to_string(),
+            format!("{}", klogp as u64),
+            f(sec, 1),
+            c.table2_security().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Cost of one op at one level under one variant config, in F_p
+/// operations.
+fn op_cost(curve: &Arc<Curve>, level: u8, sqr: bool, cfg: &VariantConfig) -> (usize, usize) {
+    let shape = tower_shape(curve);
+    let mut hir = HirProgram::new();
+    let a = hir.declare_input("a", level);
+    let b = hir.declare_input("b", level);
+    let r = if sqr {
+        let s = hir.push(HirOp::Add(a, b), level); // consume both inputs
+        hir.push(HirOp::Sqr(s), level)
+    } else {
+        hir.push(HirOp::Mul(a, b), level)
+    };
+    hir.outputs.push(r);
+    let fp: FpProgram = lower(&hir, &shape, cfg).expect("lowering");
+    let st = fp.stats();
+    let extra_linear = if sqr { level as usize } else { 0 }; // the Add consumed
+    (st.mul + st.sqr, st.linear - extra_linear)
+}
+
+/// Table 3: operation decomposition costs per variant.
+fn table3() -> String {
+    let mut out = String::new();
+    for (name, levels) in [("BLS12-381", vec![2u8, 6, 12]), ("BLS24-509", vec![2, 4, 12, 24])] {
+        let curve = Curve::by_name(name);
+        let shape = tower_shape(&curve);
+        let mut t = TextTable::new(&["op", "variant", "F_p mul", "F_p linear"]);
+        for &d in &levels {
+            for (tag, cfg) in [
+                ("karatsuba", VariantConfig::all_karatsuba(&shape)),
+                ("schoolbook", VariantConfig::all_schoolbook(&shape)),
+            ] {
+                let (m, l) = op_cost(&curve, d, false, &cfg);
+                t.row(vec![format!("M{d}"), tag.into(), m.to_string(), l.to_string()]);
+            }
+            for (tag, cfg) in [
+                ("cheap-sqr", VariantConfig::all_karatsuba(&shape)),
+                ("schoolbook", VariantConfig::all_schoolbook(&shape)),
+            ] {
+                let (m, l) = op_cost(&curve, d, true, &cfg);
+                t.row(vec![format!("S{d}"), tag.into(), m.to_string(), l.to_string()]);
+            }
+        }
+        out.push_str(&format!("tower {name}:\n{}\n", t.render()));
+    }
+    out
+}
+
+/// Table 6: comparison against FlexiPair (FPGA) and Ikeda (ASIC).
+fn table6() -> String {
+    let curve = Curve::by_name("BN254N");
+    let variants = default_variants(&curve);
+    let hw = HwModel::paper_default();
+    let e1 = evaluate_point(
+        &curve,
+        &DesignPoint { label: "1-core".into(), variants: variants.clone(), hw: hw.clone() },
+        1,
+    )
+    .expect("evaluate");
+    let e8 = evaluate_point(
+        &curve,
+        &DesignPoint { label: "8-core".into(), variants, hw: hw.clone() },
+        8,
+    )
+    .expect("evaluate");
+
+    let compiled = compile_pairing(&curve, &default_variants(&curve), &hw, &CompileOptions::default()).unwrap();
+    let fpga = fpga_utilization(
+        &hw,
+        &AreaInputs {
+            field_bits: curve.p().bits() as u32,
+            imem_bytes: compiled.image.imem_bytes(),
+            live_registers: compiled.regs.peak_live as usize,
+            cores: 1,
+        },
+    );
+    let fpga_cycles = e1.cycles;
+    let fpga_latency_ms = fpga_cycles as f64 / fpga.frequency_mhz / 1000.0;
+    let fpga_tp = 1000.0 / fpga_latency_ms;
+
+    let ours65 = scale(
+        &NodeMetrics {
+            frequency_mhz: e8.frequency_mhz,
+            area_mm2: e8.area.total(),
+            latency_us: e8.latency_us,
+            throughput_ops: e8.throughput_ops,
+        },
+        TechNode::N40,
+        TechNode::N65,
+    );
+
+    let mut t = TextTable::new(&[
+        "work", "platform", "freq", "#cycle", "latency", "util/area", "throughput", "tp/area",
+    ]);
+    t.row(vec![
+        FLEXIPAIR.name.into(),
+        "FPGA Virtex-7".into(),
+        format!("{} MHz", FLEXIPAIR.frequency_mhz),
+        kfmt(FLEXIPAIR.cycles as usize),
+        format!("{:.2} ms", FLEXIPAIR.latency_ms),
+        format!("{} slices", FLEXIPAIR.slices),
+        format!("{:.1} ops", FLEXIPAIR.throughput_ops()),
+        format!("{:.3} ops/slice", FLEXIPAIR.ops_per_slice()),
+    ]);
+    t.row(vec![
+        "Ours (1-core)".into(),
+        "FPGA Virtex-7".into(),
+        format!("{:.1} MHz", fpga.frequency_mhz),
+        kfmt(fpga_cycles as usize),
+        format!("{:.3} ms", fpga_latency_ms),
+        format!("{} slices", fpga.slices),
+        format!("{:.0} ops", fpga_tp),
+        format!("{:.3} ops/slice", fpga_tp / fpga.slices as f64),
+    ]);
+    t.row(vec![
+        IKEDA_ASSCC19.name.into(),
+        IKEDA_ASSCC19.node.into(),
+        format!("{} MHz", IKEDA_ASSCC19.frequency_mhz),
+        kfmt(IKEDA_ASSCC19.cycles as usize),
+        format!("{:.1} us", IKEDA_ASSCC19.latency_us),
+        format!("{:.1} mm2", IKEDA_ASSCC19.area_mm2),
+        format!("{:.1} kops", IKEDA_ASSCC19.throughput_ops() / 1000.0),
+        format!("{:.2} kops/mm2", IKEDA_ASSCC19.kops_per_mm2()),
+    ]);
+    for (label, e, cores) in [("Ours (1-core)", &e1, 1u32), ("Ours (8-core)", &e8, 8)] {
+        let _ = cores;
+        t.row(vec![
+            label.into(),
+            "ASIC 40nm LP".into(),
+            format!("{:.0} MHz", e.frequency_mhz),
+            kfmt(e.cycles as usize),
+            format!("{:.1} us", e.latency_us),
+            format!("{:.2} mm2", e.area.total()),
+            format!("{:.1} kops", e.throughput_ops / 1000.0),
+            format!("{:.2} kops/mm2", e.throughput_ops / 1000.0 / e.area.total()),
+        ]);
+    }
+    t.row(vec![
+        "Ours (8-core, 65nm equiv.)".into(),
+        "ASIC 65nm".into(),
+        format!("{:.0} MHz", ours65.frequency_mhz),
+        kfmt(e8.cycles as usize),
+        format!("{:.1} us", ours65.latency_us),
+        format!("{:.2} mm2", ours65.area_mm2),
+        format!("{:.1} kops", ours65.throughput_ops / 1000.0),
+        format!("{:.2} kops/mm2", ours65.ops_per_mm2() / 1000.0),
+    ]);
+
+    let fpga_ratio_tp = fpga_tp / FLEXIPAIR.throughput_ops();
+    let fpga_ratio_eff = (fpga_tp / fpga.slices as f64) / FLEXIPAIR.ops_per_slice();
+    let asic_ratio_tp = ours65.throughput_ops / IKEDA_ASSCC19.throughput_ops();
+    let asic_ratio_eff = (ours65.ops_per_mm2() / 1000.0) / IKEDA_ASSCC19.kops_per_mm2();
+    format!(
+        "{}\nheadline ratios: FPGA throughput x{:.1} (paper 34x), slice efficiency x{:.1} (paper 6.2x)\n\
+         ASIC (65nm equiv.) throughput x{:.1} (paper 3x), area efficiency x{:.1} (paper 3.2x)\n",
+        t.render(),
+        fpga_ratio_tp,
+        fpga_ratio_eff,
+        asic_ratio_tp,
+        asic_ratio_eff
+    )
+}
+
+/// Table 7: compilation strategies — instruction reduction and IPC.
+fn table7() -> String {
+    let mut t = TextTable::new(&[
+        "curve", "instr init→opt", "reduction", "IPC init", "IPC opt HW1", "IPC opt HW2",
+        "compile",
+    ]);
+    for name in CURVES {
+        let curve = Curve::by_name(name);
+        let variants = default_variants(&curve);
+        let hw1 = HwModel::paper_default();
+        let hw2 = hw1.clone().with_fifo();
+
+        let opt = compile_pairing(&curve, &variants, &hw1, &CompileOptions::default()).unwrap();
+        let init = compile_pairing(&curve, &variants, &hw1, &CompileOptions::baseline()).unwrap();
+
+        let insts_opt = opt.image.spec.decode(&opt.image.words).unwrap();
+        let insts_init = init.image.spec.decode(&init.image.words).unwrap();
+        let r_init = simulate(&insts_init, &hw1, None);
+        let r_hw1 = simulate(&insts_opt, &hw1, None);
+        let r_hw2 = simulate(&insts_opt, &hw2, None);
+
+        let before = init.instruction_count();
+        let after = opt.instruction_count();
+        t.row(vec![
+            name.into(),
+            format!("{}→{}", kfmt(before), kfmt(after)),
+            format!("-{:.1}%", 100.0 * (before - after) as f64 / before as f64),
+            f(r_init.ipc(), 2),
+            f(r_hw1.ipc(), 2),
+            f(r_hw2.ipc(), 2),
+            format!("{:.1}s", opt.compile_time.as_secs_f64()),
+        ]);
+    }
+    format!("{}(paper: reductions -8.5%..-16.4%, IPC 0.19..0.22 → 0.87..0.97)\n", t.render())
+}
+
+/// Figure 2: Karatsuba on/off per level, BLS24-509 on single issue.
+fn fig2() -> String {
+    let curve = Curve::by_name("BLS24-509");
+    let shape = tower_shape(&curve);
+    let hw = HwModel::paper_default();
+    let mut configs: Vec<(String, VariantConfig)> =
+        vec![("all karatsuba".into(), VariantConfig::all_karatsuba(&shape))];
+    for d in shape.degrees() {
+        configs.push((
+            format!("karat. w/o p{d}"),
+            VariantConfig::all_karatsuba(&shape).with_mul(d, finesse_ir::MulVariant::Schoolbook),
+        ));
+    }
+    let points: Vec<DesignPoint> = configs
+        .iter()
+        .map(|(label, v)| DesignPoint { label: label.clone(), variants: v.clone(), hw: hw.clone() })
+        .collect();
+    let results = explore(&curve, points, 1);
+    let base = results[0].1.as_ref().unwrap().cycles as f64;
+
+    // "Optimal" from the exhaustive mul-variant sweep.
+    let sweep = explore(&curve, variant_sweep_points(&curve, &hw), 1);
+    let (bp, be) = best_point(&sweep, Objective::Cycles).expect("sweep nonempty");
+
+    let mut t = TextTable::new(&["combination", "cycles", "norm. vs all-karat"]);
+    for (p, r) in &results {
+        let e = r.as_ref().unwrap();
+        t.row(vec![p.label.clone(), e.cycles.to_string(), f(e.cycles as f64 / base, 3)]);
+    }
+    t.row(vec![format!("optimal ({})", bp.variants.tag()), be.cycles.to_string(), f(be.cycles as f64 / base, 3)]);
+    format!(
+        "{}(paper: disabling Karatsuba at p2/p4 reduces cycles on single-issue; optimal < all-karatsuba)\n",
+        t.render()
+    )
+}
+
+/// Figure 6: area breakdown, 1-core vs 8-core.
+fn fig6() -> String {
+    let curve = Curve::by_name("BN254N");
+    let hw = HwModel::paper_default();
+    let compiled =
+        compile_pairing(&curve, &default_variants(&curve), &hw, &CompileOptions::default()).unwrap();
+    let mut out = String::new();
+    for cores in [1u32, 8] {
+        let b = area_breakdown(
+            &hw,
+            &AreaInputs {
+                field_bits: curve.p().bits() as u32,
+                imem_bytes: compiled.image.imem_bytes(),
+                live_registers: compiled.regs.peak_live as usize,
+                cores,
+            },
+        );
+        out.push_str(&format!(
+            "{cores}-core: total {:.2} mm2 | imem {:.2} ({:.0}%) dmem {:.2} ({:.0}%) alu {:.2} ({:.0}%), mmul {:.0}% of alu\n",
+            b.total(),
+            b.imem,
+            100.0 * b.imem / b.total(),
+            b.dmem,
+            100.0 * b.dmem / b.total(),
+            b.alu,
+            100.0 * b.alu / b.total(),
+            100.0 * b.mmul_share_of_alu(),
+        ));
+    }
+    out.push_str("(paper: 1-core 1.77 mm2 with imem ~50%; 8-core 8.00 mm2 with imem ~11%, mmul 89% of ALU)\n");
+    out
+}
+
+/// Figure 8: scalability across the seven curves.
+fn fig8() -> String {
+    let mut t = TextTable::new(&[
+        "curve", "k·log p", "cycles", "delay us", "area mm2", "delay/sec", "area/klogp",
+        "area/k2log2p", "sec bits",
+    ]);
+    for name in CURVES {
+        let curve = Curve::by_name(name);
+        let e = evaluate_point(
+            &curve,
+            &DesignPoint {
+                label: name.into(),
+                variants: default_variants(&curve),
+                hw: HwModel::paper_default(),
+            },
+            1,
+        )
+        .unwrap();
+        let klogp = (curve.k() * curve.p().bits()) as f64;
+        let sec = security_bits(curve.family(), klogp);
+        t.row(vec![
+            name.into(),
+            format!("{}", klogp as u64),
+            e.cycles.to_string(),
+            f(e.latency_us, 1),
+            f(e.area.total(), 2),
+            f(e.latency_us / sec, 3),
+            f(e.area.total() * 1e6 / klogp, 0),
+            f(e.area.total() * 1e12 / (klogp * klogp) / 1e6, 4),
+            f(sec, 0),
+        ]);
+    }
+    format!(
+        "{}(paper: delay ~linear in k·log p; area slightly superlinear, far below quadratic; delay/security stable)\n",
+        t.render()
+    )
+}
+
+/// Figure 9: issue-queue occupancy before/after scheduling.
+fn fig9() -> String {
+    let mut out = String::new();
+    let window = (10_000u64, 10_080u64);
+    for name in CURVES {
+        let curve = Curve::by_name(name);
+        let variants = default_variants(&curve);
+        let hw = HwModel::paper_default();
+        let render = |opts: &CompileOptions, tag: &str, out: &mut String| {
+            let c = compile_pairing(&curve, &variants, &hw, opts).unwrap();
+            let insts = c.image.spec.decode(&c.image.words).unwrap();
+            let r = simulate(&insts, &hw, Some(window));
+            let tr = r.trace.unwrap();
+            let line: String = tr.slots.iter().map(|row| match row[0] {
+                finesse_sim::SlotKind::Long => 'M',
+                finesse_sim::SlotKind::Short => 'a',
+                finesse_sim::SlotKind::Inverse => 'I',
+                finesse_sim::SlotKind::Empty => '.',
+            }).collect();
+            out.push_str(&format!(
+                "{name:>10} {tag}: {line}  (bubbles {:.0}%)\n",
+                100.0 * tr.bubble_fraction()
+            ));
+        };
+        render(&CompileOptions::baseline(), "before", &mut out);
+        render(&CompileOptions::default(), "after ", &mut out);
+    }
+    out.push_str("(cycles 10000..10080; M = Long issue, a = Short issue, . = bubble — paper Fig. 9: bubbles vanish after scheduling)\n");
+    out
+}
+
+/// Figure 10: DSE over variant combinations × pipeline configurations
+/// (BLS24-509).
+fn fig10() -> String {
+    let curve = Curve::by_name("BLS24-509");
+    let results = explore(&curve, figure10_points(&curve), 1);
+    let mut t = TextTable::new(&["hw model", "variants", "cycles (x1e4)", "ipc"]);
+    for (p, r) in &results {
+        match r {
+            Ok(e) => {
+                t.row(vec![
+                    p.hw.name.clone(),
+                    p.label.split(" @ ").next().unwrap_or("?").into(),
+                    f(e.cycles as f64 / 1e4, 1),
+                    f(e.ipc, 2),
+                ]);
+            }
+            Err(e) => {
+                t.row(vec![p.hw.name.clone(), p.label.clone(), format!("failed: {e}"), "-".into()]);
+            }
+        }
+    }
+    // Exhaustive "Optimal" on two representative models.
+    let mut extra = String::new();
+    for hw in [HwModel::single_issue(38, 8), HwModel::vliw(6, 8, 2)] {
+        let sweep = explore(&curve, variant_sweep_points(&curve, &hw), 1);
+        if let Some((bp, be)) = best_point(&sweep, Objective::Cycles) {
+            extra.push_str(&format!(
+                "optimal on {}: {} with {} cycles\n",
+                hw.name,
+                bp.variants.tag(),
+                be.cycles
+            ));
+        }
+    }
+    format!(
+        "{}{extra}(paper: manual ≈ optimal on single-issue; all-Karatsuba viable with ≥4 linear units)\n",
+        t.render()
+    )
+}
+
+/// Figure 11: co-design over the mmul pipeline-depth family (BN254N).
+fn fig11() -> String {
+    let curve = Curve::by_name("BN254N");
+    let variants = default_variants(&curve);
+    let depths: Vec<u32> = (14..=41).step_by(3).collect();
+    let sweep = codesign_alu_sweep(&curve, &depths, &variants).unwrap();
+    let mut t = TextTable::new(&["long cycles", "crit path ns", "IPC", "throughput kops"]);
+    for p in &sweep {
+        t.row(vec![
+            p.depth.to_string(),
+            f(p.critical_path_ns, 2),
+            f(p.ipc, 3),
+            f(p.throughput_kops, 1),
+        ]);
+    }
+    let best = sweep.iter().max_by(|a, b| a.throughput_kops.total_cmp(&b.throughput_kops)).unwrap();
+    format!(
+        "{}optimal depth: {} (paper: 38)\n(paper: IPC drops with depth; critical path saturates; interior optimum)\n",
+        t.render(),
+        best.depth
+    )
+}
+
+/// Figure 12: quad-core chip summary.
+fn fig12() -> String {
+    let curve = Curve::by_name("BN254N");
+    let hw = HwModel::paper_default();
+    let e4 = evaluate_point(
+        &curve,
+        &DesignPoint { label: "4-core".into(), variants: default_variants(&curve), hw },
+        4,
+    )
+    .unwrap();
+    format!(
+        "quad-core {} summary:\n  technology    : 40nm LP @ 1.1V\n  area          : {:.3} mm2\n  gate count    : {:.1}k NAND2 equiv. (logic)\n  SRAM          : {:.0} KiB\n  frequency     : {:.0} MHz\n  pairing delay : {:.1} us\n  throughput    : {:.1} kops\n(paper: 7.992 mm2, 3558.9k gates, 272 KiB, 833 MHz, 76.3 us, 52.4 kops)\n",
+        curve.name(),
+        e4.area.total(),
+        e4.area.logic_gate_count() / 1000.0,
+        e4.area.sram_kib(),
+        e4.frequency_mhz,
+        e4.latency_us,
+        e4.throughput_ops / 1000.0,
+    )
+}

@@ -1,0 +1,25 @@
+//! # finesse-compiler
+//!
+//! The Finesse compilation pipeline (paper §3.5): CodeGen records the
+//! optimal-Ate algorithm as hierarchical IR by driving the shared pairing
+//! skeleton ([`irflow`]); [`finesse_ir::lower`] maps it to F_p code under
+//! an operator-variant selection; [`opt`] runs SSA data-flow optimisation
+//! (automatic dense×sparse recovery, GVN with field commutativity, DCE);
+//! [`schedule`] implements Algorithm 2's affinity-driven packing;
+//! [`regalloc`] and [`link`] produce the binary image.
+
+pub mod irflow;
+pub mod link;
+pub mod opt;
+pub mod pipeline;
+pub mod regalloc;
+pub mod schedule;
+
+pub use irflow::IrFlow;
+pub use link::{assemble, link};
+pub use opt::{optimize, OptStats};
+pub use pipeline::{
+    compile_pairing, pairing_hir, tower_shape, CompileError, CompileOptions, CompiledPairing,
+};
+pub use regalloc::{allocate, RegAllocation, RegPressureError};
+pub use schedule::{assign_banks, schedule, SchedStrategy, Schedule, ScheduleOptions};

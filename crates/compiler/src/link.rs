@@ -1,0 +1,141 @@
+//! ASM + Link: translate scheduled, register-allocated SSA into machine
+//! operations, append the I/O conversion epilogue, and emit the binary
+//! program image (paper §3.5's final two stages).
+//!
+//! The optimal-Ate program is a single fully-unrolled basic block, so
+//! linking reduces to concatenating the instruction stream, materialising
+//! the constant-table preload section, and recording the I/O register
+//! map.
+
+use crate::regalloc::RegAllocation;
+use crate::schedule::Schedule;
+use finesse_ir::{FpOp, FpProgram};
+use finesse_isa::{CodecError, EncodingSpec, MachineOp, Opcode, ProgramImage, Reg, WideInst};
+
+/// Translates one SSA op to a machine op under an allocation.
+fn to_machine(prog: &FpProgram, alloc: &RegAllocation, id: u32) -> MachineOp {
+    let i = id as usize;
+    let dst = alloc.reg_of[i];
+    let r = |v: u32| alloc.reg_of[v as usize];
+    match prog.insts[i] {
+        FpOp::Input(s) => MachineOp {
+            op: Opcode::Icv,
+            dst,
+            src1: Reg { bank: 0, index: s as u16 },
+            src2: Reg::default(),
+        },
+        FpOp::Const(_) => unreachable!("constants are preloaded, not emitted"),
+        FpOp::Add(a, b) => MachineOp { op: Opcode::Add, dst, src1: r(a), src2: r(b) },
+        FpOp::Sub(a, b) => MachineOp { op: Opcode::Sub, dst, src1: r(a), src2: r(b) },
+        FpOp::Neg(a) => MachineOp { op: Opcode::Neg, dst, src1: r(a), src2: Reg::default() },
+        FpOp::Dbl(a) => MachineOp { op: Opcode::Dbl, dst, src1: r(a), src2: Reg::default() },
+        FpOp::Tpl(a) => MachineOp { op: Opcode::Tpl, dst, src1: r(a), src2: Reg::default() },
+        FpOp::Mul(a, b) => MachineOp { op: Opcode::Mul, dst, src1: r(a), src2: r(b) },
+        FpOp::Sqr(a) => MachineOp { op: Opcode::Sqr, dst, src1: r(a), src2: Reg::default() },
+        FpOp::Inv(a) => MachineOp { op: Opcode::Inv, dst, src1: r(a), src2: Reg::default() },
+    }
+}
+
+/// Assembles the wide-instruction stream (without the CVT epilogue).
+pub fn assemble(prog: &FpProgram, sched: &Schedule, alloc: &RegAllocation) -> Vec<WideInst> {
+    sched
+        .groups
+        .iter()
+        .map(|g| WideInst { slots: g.iter().map(|&id| to_machine(prog, alloc, id)).collect() })
+        .collect()
+}
+
+/// Links the full image: instruction stream, CVT epilogue, constant
+/// preloads and the I/O register map.
+///
+/// # Errors
+///
+/// Propagates encoding failures (register pressure beyond even the wide
+/// format would surface here).
+pub fn link(
+    prog: &FpProgram,
+    sched: &Schedule,
+    alloc: &RegAllocation,
+    issue_width: u8,
+) -> Result<ProgramImage, CodecError> {
+    let mut insts = assemble(prog, sched, alloc);
+    // CVT epilogue: one conversion per output coordinate.
+    for (port, &o) in prog.outputs.iter().enumerate() {
+        insts.push(WideInst {
+            slots: vec![MachineOp {
+                op: Opcode::Cvt,
+                dst: Reg { bank: 0, index: port as u16 },
+                src1: alloc.reg_of[o as usize],
+                src2: Reg::default(),
+            }],
+        });
+    }
+
+    let n_banks = alloc.peak_per_bank.len().max(1) as u8;
+    let max_pressure = alloc.peak_per_bank.iter().copied().max().unwrap_or(0);
+    let spec = EncodingSpec::for_pressure(n_banks, issue_width, max_pressure);
+
+    let words = spec.encode(&insts)?;
+
+    let const_preload = prog
+        .insts
+        .iter()
+        .enumerate()
+        .filter_map(|(i, op)| match op {
+            FpOp::Const(c) => {
+                Some((alloc.reg_of[i], prog.constants[*c as usize].clone()))
+            }
+            _ => None,
+        })
+        .collect();
+
+    let input_regs = {
+        let mut regs = vec![Reg::default(); prog.inputs.len()];
+        for (i, op) in prog.insts.iter().enumerate() {
+            if let FpOp::Input(s) = op {
+                regs[*s as usize] = alloc.reg_of[i];
+            }
+        }
+        regs
+    };
+
+    let output_regs = prog.outputs.iter().map(|&o| alloc.reg_of[o as usize]).collect();
+
+    Ok(ProgramImage { spec, words, const_preload, input_regs, output_regs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regalloc::allocate;
+    use crate::schedule::{schedule, ScheduleOptions};
+    use finesse_hw::HwModel;
+
+    #[test]
+    fn image_roundtrips_through_decoder() {
+        let mut p = FpProgram::default();
+        p.inputs = vec!["a".into(), "b".into()];
+        let a = p.push(FpOp::Input(0));
+        let b = p.push(FpOp::Input(1));
+        p.constants.push(finesse_ff::BigUint::from_u64(7));
+        let c = p.push(FpOp::Const(0));
+        let m = p.push(FpOp::Mul(a, b));
+        let s = p.push(FpOp::Add(m, c));
+        p.outputs.push(s);
+
+        let hw = HwModel::paper_default();
+        let sch = schedule(&p, &hw, &ScheduleOptions::default());
+        let alloc = allocate(&p, &sch, hw.reg_quota).unwrap();
+        let image = link(&p, &sch, &alloc, hw.issue_width).unwrap();
+
+        assert_eq!(image.const_preload.len(), 1);
+        assert_eq!(image.input_regs.len(), 2);
+        assert_eq!(image.output_regs.len(), 1);
+        let decoded = image.spec.decode(&image.words).unwrap();
+        // 2 ICV + 1 MUL + 1 ADD + 1 CVT
+        assert_eq!(decoded.len(), 5);
+        assert_eq!(decoded.last().unwrap().slots[0].op, Opcode::Cvt);
+        let hex = image.hex_head(3);
+        assert_eq!(hex.lines().count(), 3);
+    }
+}

@@ -1,0 +1,429 @@
+//! IROpt: SSA data-flow optimisation on the lowered F_p program
+//! (paper §3.5).
+//!
+//! One forward rewriting pass combines:
+//!
+//! * **constant propagation** — full compile-time F_p arithmetic on
+//!   constant operands (this is what folds Frobenius constant tables and,
+//!   crucially, eliminates the zero limbs of dense-assembled Miller lines,
+//!   recovering dense×sparse multiplication automatically, §4.3);
+//! * **algebraic simplification / strength reduction** — `x+x → DBL`,
+//!   `DBL+x → TPL`, `x·1 → x`, `x·0 → 0`, `x−x → 0`, double negation;
+//! * **global value numbering** — with commutativity of `+`/`·` over
+//!   finite fields (operands sorted before hashing);
+//!
+//! followed by **dead-code elimination** back from the outputs. Inputs are
+//! kept live unconditionally (they are the ABI).
+
+use finesse_ff::{BigUint, Fp, FpCtx};
+use finesse_ir::{FpId, FpOp, FpProgram};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Optimisation statistics (for Table 7's instruction-reduction column).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Executable instructions before optimisation.
+    pub before: usize,
+    /// Executable instructions after optimisation.
+    pub after: usize,
+}
+
+impl OptStats {
+    /// Percentage reduction.
+    pub fn reduction_percent(&self) -> f64 {
+        if self.before == 0 {
+            0.0
+        } else {
+            100.0 * (self.before - self.after) as f64 / self.before as f64
+        }
+    }
+}
+
+/// GVN key: opcode tag plus normalised operands.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum GvnKey {
+    Add(FpId, FpId),
+    Sub(FpId, FpId),
+    Neg(FpId),
+    Dbl(FpId),
+    Tpl(FpId),
+    Mul(FpId, FpId),
+    Sqr(FpId),
+    Inv(FpId),
+}
+
+/// Runs the full IROpt pipeline, returning the optimised program and
+/// statistics.
+pub fn optimize(prog: &FpProgram, ctx: &Arc<FpCtx>) -> (FpProgram, OptStats) {
+    let before = prog.stats().executable();
+    let folded = fold_pass(prog, ctx);
+    let cleaned = dce(&folded);
+    let after = cleaned.stats().executable();
+    (cleaned, OptStats { before, after })
+}
+
+/// Forward pass: constant folding + simplification + GVN.
+fn fold_pass(prog: &FpProgram, ctx: &Arc<FpCtx>) -> FpProgram {
+    let mut out = FpProgram {
+        insts: Vec::with_capacity(prog.insts.len()),
+        inputs: prog.inputs.clone(),
+        constants: Vec::new(),
+        outputs: Vec::new(),
+    };
+    // Map old id → new id.
+    let mut remap: Vec<FpId> = Vec::with_capacity(prog.insts.len());
+    // Knowledge about new ids.
+    let mut consts: HashMap<FpId, BigUint> = HashMap::new();
+    let mut const_ids: HashMap<BigUint, FpId> = HashMap::new();
+    let mut gvn: HashMap<GvnKey, FpId> = HashMap::new();
+
+    let p = ctx.modulus().clone();
+    let norm = |v: &BigUint| -> BigUint { if v < &p { v.clone() } else { v.rem(&p) } };
+
+    let emit_const = |out: &mut FpProgram,
+                          consts: &mut HashMap<FpId, BigUint>,
+                          const_ids: &mut HashMap<BigUint, FpId>,
+                          v: BigUint|
+     -> FpId {
+        if let Some(&id) = const_ids.get(&v) {
+            return id;
+        }
+        let idx = out.constants.len() as u32;
+        out.constants.push(v.clone());
+        let id = out.push(FpOp::Const(idx));
+        const_ids.insert(v.clone(), id);
+        consts.insert(id, v);
+        id
+    };
+
+    // Field arithmetic on canonical constants.
+    let fp_of = |v: &BigUint| -> Fp { ctx.from_biguint(v) };
+
+    for op in &prog.insts {
+        let mapped = op.map_operands(|o| remap[o as usize]);
+        let new_id: FpId = match mapped {
+            FpOp::Input(s) => {
+                // Inputs are emitted once (lowering already caches them).
+                out.push(FpOp::Input(s))
+            }
+            FpOp::Const(c) => {
+                let v = norm(&prog.constants[c as usize]);
+                emit_const(&mut out, &mut consts, &mut const_ids, v)
+            }
+            FpOp::Add(a, b) => {
+                let (ca, cb) = (consts.get(&a).cloned(), consts.get(&b).cloned());
+                match (ca, cb) {
+                    (Some(x), Some(y)) => {
+                        let v = (&fp_of(&x) + &fp_of(&y)).to_biguint();
+                        emit_const(&mut out, &mut consts, &mut const_ids, v)
+                    }
+                    (Some(x), None) if x.is_zero() => b,
+                    (None, Some(y)) if y.is_zero() => a,
+                    _ => {
+                        // Strength reduction and commutative GVN.
+                        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                        let key = if a == b { GvnKey::Dbl(a) } else { GvnKey::Add(lo, hi) };
+                        if let Some(&id) = gvn.get(&key) {
+                            id
+                        } else {
+                            let id = if a == b {
+                                out.push(FpOp::Dbl(a))
+                            } else {
+                                out.push(FpOp::Add(a, b))
+                            };
+                            gvn.insert(key, id);
+                            id
+                        }
+                    }
+                }
+            }
+            FpOp::Sub(a, b) => {
+                let (ca, cb) = (consts.get(&a).cloned(), consts.get(&b).cloned());
+                if a == b {
+                    emit_const(&mut out, &mut consts, &mut const_ids, BigUint::zero())
+                } else {
+                    match (ca, cb) {
+                        (Some(x), Some(y)) => {
+                            let v = (&fp_of(&x) - &fp_of(&y)).to_biguint();
+                            emit_const(&mut out, &mut consts, &mut const_ids, v)
+                        }
+                        (None, Some(y)) if y.is_zero() => a,
+                        (Some(x), None) if x.is_zero() => {
+                            let key = GvnKey::Neg(b);
+                            *gvn.entry(key).or_insert_with(|| out.push(FpOp::Neg(b)))
+                        }
+                        _ => {
+                            let key = GvnKey::Sub(a, b);
+                            *gvn.entry(key).or_insert_with(|| out.push(FpOp::Sub(a, b)))
+                        }
+                    }
+                }
+            }
+            FpOp::Neg(a) => {
+                if let Some(x) = consts.get(&a).cloned() {
+                    let v = (-&fp_of(&x)).to_biguint();
+                    emit_const(&mut out, &mut consts, &mut const_ids, v)
+                } else {
+                    let key = GvnKey::Neg(a);
+                    *gvn.entry(key).or_insert_with(|| out.push(FpOp::Neg(a)))
+                }
+            }
+            FpOp::Dbl(a) => {
+                if let Some(x) = consts.get(&a).cloned() {
+                    let v = fp_of(&x).double().to_biguint();
+                    emit_const(&mut out, &mut consts, &mut const_ids, v)
+                } else {
+                    let key = GvnKey::Dbl(a);
+                    *gvn.entry(key).or_insert_with(|| out.push(FpOp::Dbl(a)))
+                }
+            }
+            FpOp::Tpl(a) => {
+                if let Some(x) = consts.get(&a).cloned() {
+                    let v = fp_of(&x).triple().to_biguint();
+                    emit_const(&mut out, &mut consts, &mut const_ids, v)
+                } else {
+                    let key = GvnKey::Tpl(a);
+                    *gvn.entry(key).or_insert_with(|| out.push(FpOp::Tpl(a)))
+                }
+            }
+            FpOp::Mul(a, b) => {
+                let (ca, cb) = (consts.get(&a).cloned(), consts.get(&b).cloned());
+                match (ca, cb) {
+                    (Some(x), Some(y)) => {
+                        let v = (&fp_of(&x) * &fp_of(&y)).to_biguint();
+                        emit_const(&mut out, &mut consts, &mut const_ids, v)
+                    }
+                    (Some(x), None) if x.is_zero() => {
+                        emit_const(&mut out, &mut consts, &mut const_ids, BigUint::zero())
+                    }
+                    (None, Some(y)) if y.is_zero() => {
+                        emit_const(&mut out, &mut consts, &mut const_ids, BigUint::zero())
+                    }
+                    (Some(x), None) if x.is_one() => b,
+                    (None, Some(y)) if y.is_one() => a,
+                    _ => {
+                        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                        let key = if a == b { GvnKey::Sqr(a) } else { GvnKey::Mul(lo, hi) };
+                        if let Some(&id) = gvn.get(&key) {
+                            id
+                        } else {
+                            let id = if a == b {
+                                out.push(FpOp::Sqr(a))
+                            } else {
+                                out.push(FpOp::Mul(a, b))
+                            };
+                            gvn.insert(key, id);
+                            id
+                        }
+                    }
+                }
+            }
+            FpOp::Sqr(a) => {
+                if let Some(x) = consts.get(&a).cloned() {
+                    let v = fp_of(&x).square().to_biguint();
+                    emit_const(&mut out, &mut consts, &mut const_ids, v)
+                } else {
+                    let key = GvnKey::Sqr(a);
+                    *gvn.entry(key).or_insert_with(|| out.push(FpOp::Sqr(a)))
+                }
+            }
+            FpOp::Inv(a) => {
+                if let Some(x) = consts.get(&a).cloned() {
+                    let v = fp_of(&x).invert().to_biguint();
+                    emit_const(&mut out, &mut consts, &mut const_ids, v)
+                } else {
+                    let key = GvnKey::Inv(a);
+                    *gvn.entry(key).or_insert_with(|| out.push(FpOp::Inv(a)))
+                }
+            }
+        };
+        remap.push(new_id);
+    }
+    out.outputs = prog.outputs.iter().map(|&o| remap[o as usize]).collect();
+    out
+}
+
+/// Dead-code elimination from outputs (inputs stay live: they are the
+/// accelerator's ABI).
+fn dce(prog: &FpProgram) -> FpProgram {
+    let n = prog.insts.len();
+    let mut live = vec![false; n];
+    let mut stack: Vec<FpId> = prog.outputs.clone();
+    for (i, op) in prog.insts.iter().enumerate() {
+        if matches!(op, FpOp::Input(_)) {
+            live[i] = true;
+        }
+    }
+    while let Some(id) = stack.pop() {
+        let i = id as usize;
+        if live[i] {
+            continue;
+        }
+        live[i] = true;
+        stack.extend(prog.insts[i].operands());
+    }
+
+    let mut out = FpProgram {
+        insts: Vec::new(),
+        inputs: prog.inputs.clone(),
+        constants: Vec::new(),
+        outputs: Vec::new(),
+    };
+    let mut remap: Vec<Option<FpId>> = vec![None; n];
+    let mut const_remap: HashMap<u32, u32> = HashMap::new();
+    for (i, op) in prog.insts.iter().enumerate() {
+        if !live[i] {
+            continue;
+        }
+        let op = match *op {
+            FpOp::Const(c) => {
+                let nc = *const_remap.entry(c).or_insert_with(|| {
+                    let idx = out.constants.len() as u32;
+                    out.constants.push(prog.constants[c as usize].clone());
+                    idx
+                });
+                FpOp::Const(nc)
+            }
+            other => other.map_operands(|o| remap[o as usize].expect("operand is live")),
+        };
+        remap[i] = Some(out.push(op));
+    }
+    out.outputs = prog
+        .outputs
+        .iter()
+        .map(|&o| remap[o as usize].expect("output is live"))
+        .collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Arc<FpCtx> {
+        FpCtx::new(BigUint::from_u64(1_000_000_007)).unwrap()
+    }
+
+    fn prog_with(ops: impl FnOnce(&mut FpProgram)) -> FpProgram {
+        let mut p = FpProgram::default();
+        ops(&mut p);
+        p
+    }
+
+    #[test]
+    fn folds_mul_by_zero_chain() {
+        // Dense × sparse recovery: a·0 + b·0 → 0, then x + 0 → x.
+        let c = ctx();
+        let p = prog_with(|p| {
+            p.inputs = vec!["a".into(), "b".into(), "x".into()];
+            let a = p.push(FpOp::Input(0));
+            let b = p.push(FpOp::Input(1));
+            let x = p.push(FpOp::Input(2));
+            p.constants.push(BigUint::zero());
+            let z = p.push(FpOp::Const(0));
+            let m1 = p.push(FpOp::Mul(a, z));
+            let m2 = p.push(FpOp::Mul(b, z));
+            let s = p.push(FpOp::Add(m1, m2));
+            let r = p.push(FpOp::Add(x, s));
+            p.outputs.push(r);
+        });
+        let (opt, stats) = optimize(&p, &c);
+        assert_eq!(opt.stats().executable(), 0, "everything folds to the input");
+        assert!(stats.after < stats.before);
+        // Semantics preserved.
+        let inputs = [c.from_u64(3), c.from_u64(4), c.from_u64(7)];
+        assert_eq!(opt.evaluate(&c, &inputs)[0], c.from_u64(7));
+    }
+
+    #[test]
+    fn gvn_merges_commutative_muls() {
+        let c = ctx();
+        let p = prog_with(|p| {
+            p.inputs = vec!["a".into(), "b".into()];
+            let a = p.push(FpOp::Input(0));
+            let b = p.push(FpOp::Input(1));
+            let m1 = p.push(FpOp::Mul(a, b));
+            let m2 = p.push(FpOp::Mul(b, a));
+            let s = p.push(FpOp::Add(m1, m2));
+            p.outputs.push(s);
+        });
+        let (opt, _) = optimize(&p, &c);
+        // a·b and b·a merge; their sum becomes a DBL.
+        let st = opt.stats();
+        assert_eq!(st.mul, 1);
+        assert_eq!(st.linear, 1);
+        let inputs = [c.from_u64(5), c.from_u64(11)];
+        assert_eq!(opt.evaluate(&c, &inputs)[0], c.from_u64(110));
+    }
+
+    #[test]
+    fn constant_arithmetic_folds_completely() {
+        let c = ctx();
+        let p = prog_with(|p| {
+            p.constants = vec![BigUint::from_u64(6), BigUint::from_u64(7)];
+            let x = p.push(FpOp::Const(0));
+            let y = p.push(FpOp::Const(1));
+            let m = p.push(FpOp::Mul(x, y));
+            let s = p.push(FpOp::Sqr(m));
+            p.outputs.push(s);
+        });
+        let (opt, _) = optimize(&p, &c);
+        assert_eq!(opt.stats().executable(), 0);
+        assert_eq!(opt.evaluate(&c, &[])[0], c.from_u64(42 * 42));
+    }
+
+    #[test]
+    fn x_plus_x_becomes_dbl_and_x_times_x_becomes_sqr() {
+        let c = ctx();
+        let p = prog_with(|p| {
+            p.inputs = vec!["a".into()];
+            let a = p.push(FpOp::Input(0));
+            let s = p.push(FpOp::Add(a, a));
+            let m = p.push(FpOp::Mul(a, a));
+            let r = p.push(FpOp::Add(s, m));
+            p.outputs.push(r);
+        });
+        let (opt, _) = optimize(&p, &c);
+        assert!(opt.insts.contains(&FpOp::Dbl(0)));
+        assert!(opt.insts.iter().any(|o| matches!(o, FpOp::Sqr(_))));
+        assert_eq!(opt.evaluate(&c, &[c.from_u64(3)])[0], c.from_u64(15));
+    }
+
+    #[test]
+    fn sub_self_is_zero_and_zero_minus_x_is_neg() {
+        let c = ctx();
+        let p = prog_with(|p| {
+            p.inputs = vec!["a".into(), "b".into()];
+            let a = p.push(FpOp::Input(0));
+            let b = p.push(FpOp::Input(1));
+            let z = p.push(FpOp::Sub(a, a));
+            let n = p.push(FpOp::Sub(z, b));
+            p.outputs.push(n);
+        });
+        let (opt, _) = optimize(&p, &c);
+        let st = opt.stats();
+        assert_eq!(st.linear, 1, "only the NEG remains");
+        assert_eq!(
+            opt.evaluate(&c, &[c.from_u64(9), c.from_u64(4)])[0],
+            -&c.from_u64(4)
+        );
+    }
+
+    #[test]
+    fn dce_drops_unreachable_work_but_keeps_inputs() {
+        let c = ctx();
+        let p = prog_with(|p| {
+            p.inputs = vec!["a".into(), "unused".into()];
+            let a = p.push(FpOp::Input(0));
+            let u = p.push(FpOp::Input(1));
+            let _dead = p.push(FpOp::Sqr(u));
+            let r = p.push(FpOp::Dbl(a));
+            p.outputs.push(r);
+        });
+        let (opt, _) = optimize(&p, &c);
+        assert_eq!(opt.stats().executable(), 1);
+        assert_eq!(opt.inputs.len(), 2, "ABI preserved");
+        assert_eq!(opt.stats().meta, 2, "both inputs kept");
+    }
+}

@@ -1,0 +1,25 @@
+//! # finesse-core
+//!
+//! The Finesse framework facade: the full agile design flow of the paper's
+//! Figure 3 behind one builder API.
+//!
+//! ```no_run
+//! use finesse_core::DesignFlow;
+//!
+//! let accelerator = DesignFlow::for_curve("BN254N").cores(8).build()?;
+//! assert!(accelerator.validate(3).all_passed());
+//! println!("{}", accelerator.report());
+//! # Ok::<(), finesse_compiler::CompileError>(())
+//! ```
+//!
+//! [`DesignFlow`] wires together CodeGen (`finesse-compiler`), lowering
+//! and variants (`finesse-ir`), scheduling, the simulators
+//! (`finesse-sim`), and the area/timing feedback (`finesse-hw`); the
+//! result is an [`Accelerator`] carrying the binary image, the evaluated
+//! metrics and a validation harness against the reference pairing.
+
+pub mod config;
+pub mod flow;
+
+pub use config::{FlowConfig, ParseConfigError};
+pub use flow::{Accelerator, DesignFlow, ValidationReport};

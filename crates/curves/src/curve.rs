@@ -1,0 +1,826 @@
+//! Fully-validated pairing curve contexts.
+//!
+//! [`Curve::from_spec`] turns a declarative [`CurveSpec`] into a working
+//! curve: it synthesises and primality-checks p and r, builds the field
+//! tower, *discovers* the correct curve coefficient and sextic twist
+//! (rather than trusting constants), derives generators with cofactor
+//! clearing, and calibrates the untwist–Frobenius endomorphism ψ against
+//! the defining identity `ψ(Q) = [p]Q` on the r-torsion. Every derived
+//! quantity is checked, so a typo in a literature constant fails loudly at
+//! construction instead of corrupting pairings downstream.
+
+use crate::point::{
+    affine_neg, is_identity, is_on_curve, jac_add, scalar_mul, to_affine, to_jacobian, Affine,
+    FpOps, FqOps,
+};
+use crate::spec::{CurveSpec, Family};
+use finesse_ff::{BigInt, BigUint, FieldCtxError, Fp, FpCtx, Fq, TowerCtx, TowerError};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Which sextic twist the curve uses (affects line-evaluation sparsity).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TwistKind {
+    /// Divisive twist: `E': y² = x³ + b/ξ`, untwist multiplies by w-powers.
+    D,
+    /// Multiplicative twist: `E': y² = x³ + b·ξ`.
+    M,
+}
+
+/// Error constructing a [`Curve`].
+#[derive(Debug)]
+pub enum CurveError {
+    /// p or r had the wrong bit length vs the spec.
+    BitLengthMismatch {
+        /// Which parameter mismatched ("p" or "r").
+        what: &'static str,
+        /// Expected bit count.
+        expected: usize,
+        /// Computed bit count.
+        got: usize,
+    },
+    /// p or r is composite.
+    NotPrime(&'static str),
+    /// The family polynomial gave a negative value.
+    NegativeParameter(&'static str),
+    /// r does not divide the curve order.
+    OrderNotDivisible,
+    /// Field context construction failed.
+    Field(FieldCtxError),
+    /// Tower construction failed.
+    Tower(TowerError),
+    /// No curve coefficient b with the right group order was found.
+    CurveCoefficientNotFound,
+    /// Neither twist candidate has order divisible by r.
+    TwistNotFound,
+    /// The ψ endomorphism constants failed the `ψ(Q) = [p]Q` identity.
+    EndomorphismMismatch,
+}
+
+impl fmt::Display for CurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveError::BitLengthMismatch { what, expected, got } => {
+                write!(f, "{what} has {got} bits, spec expects {expected}")
+            }
+            CurveError::NotPrime(what) => write!(f, "{what} is not prime"),
+            CurveError::NegativeParameter(what) => write!(f, "{what} evaluated negative"),
+            CurveError::OrderNotDivisible => f.write_str("r does not divide #E(Fp)"),
+            CurveError::Field(e) => write!(f, "field construction: {e}"),
+            CurveError::Tower(e) => write!(f, "tower construction: {e}"),
+            CurveError::CurveCoefficientNotFound => {
+                f.write_str("no curve coefficient b produced the expected group order")
+            }
+            CurveError::TwistNotFound => {
+                f.write_str("no sextic twist with order divisible by r was found")
+            }
+            CurveError::EndomorphismMismatch => {
+                f.write_str("untwist-Frobenius constants failed psi(Q) = [p]Q")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CurveError {}
+
+impl From<FieldCtxError> for CurveError {
+    fn from(e: FieldCtxError) -> Self {
+        CurveError::Field(e)
+    }
+}
+
+impl From<TowerError> for CurveError {
+    fn from(e: TowerError) -> Self {
+        CurveError::Tower(e)
+    }
+}
+
+/// A fully-initialised, self-validated pairing-friendly curve.
+pub struct Curve {
+    name: String,
+    family: Family,
+    t: BigInt,
+    p: BigUint,
+    r: BigUint,
+    trace: BigInt,
+    fp: Arc<FpCtx>,
+    tower: Arc<TowerCtx>,
+    b: Fp,
+    b_twist: Fq,
+    twist: TwistKind,
+    n1: BigUint,
+    g1_cofactor: BigUint,
+    g2_order: BigUint,
+    g2_cofactor: BigUint,
+    g1: Affine<Fp>,
+    g2: Affine<Fq>,
+    psi_x: Fq,
+    psi_y: Fq,
+    table2_security: u32,
+}
+
+impl fmt::Debug for Curve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Curve")
+            .field("name", &self.name)
+            .field("family", &self.family)
+            .field("p_bits", &self.p.bits())
+            .field("r_bits", &self.r.bits())
+            .field("twist", &self.twist)
+            .finish()
+    }
+}
+
+impl Curve {
+    /// Builds and validates a curve from a named spec.
+    ///
+    /// # Errors
+    ///
+    /// Any failed validation returns a descriptive [`CurveError`].
+    pub fn from_spec(spec: &CurveSpec) -> Result<Curve, CurveError> {
+        Self::new(
+            spec.name,
+            spec.family,
+            spec.t(),
+            spec.b_hint,
+            spec.beta,
+            spec.xi2,
+            spec.xi,
+            Some((spec.p_bits, spec.r_bits)),
+            spec.table2_security,
+        )
+    }
+
+    /// Builds a curve from explicit parameters (the "operator kit" entry
+    /// point used when porting a new curve, §4.5 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Any failed validation returns a descriptive [`CurveError`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        family: Family,
+        t: BigInt,
+        b_hint: Option<u64>,
+        beta: i64,
+        xi2: Option<(i64, i64)>,
+        xi: &[i64],
+        expected_bits: Option<(usize, usize)>,
+        table2_security: u32,
+    ) -> Result<Curve, CurveError> {
+        // --- parameters -------------------------------------------------
+        let p_int = family.prime(&t);
+        let r_int = family.order(&t);
+        let trace = family.trace(&t);
+        let p = p_int.to_biguint().ok_or(CurveError::NegativeParameter("p"))?;
+        let r = r_int.to_biguint().ok_or(CurveError::NegativeParameter("r"))?;
+        if let Some((pb, rb)) = expected_bits {
+            if p.bits() != pb {
+                return Err(CurveError::BitLengthMismatch { what: "p", expected: pb, got: p.bits() });
+            }
+            if r.bits() != rb {
+                return Err(CurveError::BitLengthMismatch { what: "r", expected: rb, got: r.bits() });
+            }
+        }
+        if !p.is_probable_prime(40) {
+            return Err(CurveError::NotPrime("p"));
+        }
+        if !r.is_probable_prime(40) {
+            return Err(CurveError::NotPrime("r"));
+        }
+        // #E(Fp) = p + 1 − tr
+        let n1 = (&(&p_int + &BigInt::one()) - &trace)
+            .to_biguint()
+            .ok_or(CurveError::NegativeParameter("#E"))?;
+        let (g1_cofactor, rem) = n1.divrem(&r);
+        if !rem.is_zero() {
+            return Err(CurveError::OrderNotDivisible);
+        }
+
+        // --- fields -----------------------------------------------------
+        let fp = FpCtx::new(p.clone())?;
+        let beta_fp = fp.from_i64(beta);
+        let tower = match family.embedding_degree() {
+            12 => {
+                assert_eq!(xi.len(), 2, "k=12 xi needs 2 coefficients");
+                // The spec's ξ is a hint; if it happens to be a 2nd/3rd
+                // power in F_p2 for this prime, scan small alternatives
+                // (any valid ξ yields an isomorphic tower).
+                let mut tower =
+                    TowerCtx::sextic_over_fp2(&fp, beta_fp.clone(), (fp.from_i64(xi[0]), fp.from_i64(xi[1])));
+                if matches!(tower, Err(TowerError::ReducibleSextic)) {
+                    'scan: for c1 in 1..4i64 {
+                        for c0 in 1..24i64 {
+                            let cand = TowerCtx::sextic_over_fp2(
+                                &fp,
+                                beta_fp.clone(),
+                                (fp.from_i64(c0), fp.from_i64(c1)),
+                            );
+                            if cand.is_ok() {
+                                tower = cand;
+                                break 'scan;
+                            }
+                        }
+                    }
+                }
+                tower?
+            }
+            24 => {
+                assert_eq!(xi.len(), 4, "k=24 xi needs 4 coefficients");
+                let (c0, c1) = xi2.expect("k=24 spec must provide xi2");
+                TowerCtx::sextic_over_fp4(
+                    &fp,
+                    beta_fp,
+                    (fp.from_i64(c0), fp.from_i64(c1)),
+                    [fp.from_i64(xi[0]), fp.from_i64(xi[1]), fp.from_i64(xi[2]), fp.from_i64(xi[3])],
+                )?
+            }
+            _ => unreachable!("families are k=12 or k=24"),
+        };
+
+        // --- curve coefficient and G1 ------------------------------------
+        let fp_ops = FpOps(Arc::clone(&fp));
+        let (b, g1) = Self::find_g1(&fp_ops, b_hint, &n1, &g1_cofactor, &r)
+            .ok_or(CurveError::CurveCoefficientNotFound)?;
+
+        // --- twist and G2 -------------------------------------------------
+        let (twist, b_twist, g2_order) = Self::find_twist_with_trace(&tower, &trace, &b, &r)?;
+        let (g2_cofactor, rem) = g2_order.divrem(&r);
+        debug_assert!(rem.is_zero());
+        let g2 = Self::find_g2(&tower, &b_twist, &g2_order, &g2_cofactor, &r)
+            .ok_or(CurveError::TwistNotFound)?;
+
+        // --- psi endomorphism --------------------------------------------
+        let (psi_x, psi_y) = Self::calibrate_psi(&tower, &b_twist, &g2, &p)?;
+
+        Ok(Curve {
+            name: name.to_owned(),
+            family,
+            t,
+            p,
+            r,
+            trace,
+            fp,
+            tower,
+            b,
+            b_twist,
+            twist,
+            n1,
+            g1_cofactor,
+            g2_order,
+            g2_cofactor,
+            g1,
+            g2,
+            psi_x,
+            psi_y,
+            table2_security,
+        })
+    }
+
+    /// Finds (b, generator): smallest b >= 1 whose curve has order n1, with
+    /// a canonical cofactor-cleared generator.
+    fn find_g1(
+        ops: &FpOps,
+        b_hint: Option<u64>,
+        n1: &BigUint,
+        cofactor: &BigUint,
+        r: &BigUint,
+    ) -> Option<(Fp, Affine<Fp>)> {
+        let candidates: Vec<u64> = b_hint.into_iter().chain(1..=40).collect();
+        'bloop: for bc in candidates {
+            let b = ops.0.from_u64(bc);
+            // Collect a couple of points and require [n1]P = O for each.
+            let mut points = Vec::new();
+            for x0 in 0..400u64 {
+                let x = ops.0.from_u64(x0);
+                let rhs = &(&x.square() * &x) + &b;
+                if let Some(y) = rhs.sqrt() {
+                    if y.is_zero() && rhs.is_zero() && bc == 0 {
+                        continue;
+                    }
+                    points.push(Affine::new(x, y));
+                    if points.len() == 3 {
+                        break;
+                    }
+                }
+            }
+            if points.len() < 3 {
+                continue;
+            }
+            for pt in &points {
+                if !is_identity(ops, &scalar_mul(ops, pt, n1)) {
+                    continue 'bloop;
+                }
+            }
+            // Cofactor-clear the first point that survives into a generator.
+            for pt in &points {
+                let g = to_affine(ops, &scalar_mul(ops, pt, cofactor));
+                if g.infinity {
+                    continue;
+                }
+                debug_assert!(is_identity(ops, &scalar_mul(ops, &g, r)));
+                // Canonicalise y to the lexicographically smaller root.
+                let y_neg = (-&g.y).to_biguint();
+                let g = if y_neg < g.y.to_biguint() {
+                    affine_neg(ops, &g)
+                } else {
+                    g
+                };
+                return Some((b, g));
+            }
+        }
+        None
+    }
+
+    /// Trace of Frobenius over F_p^m via the Lucas-style recurrence
+    /// `t_j = tr·t_{j−1} − p·t_{j−2}`.
+    fn trace_over_extension(trace: &BigInt, p: &BigUint, m: usize) -> BigInt {
+        let p_int = BigInt::from_biguint(p.clone());
+        let mut t_prev = BigInt::from_i64(2);
+        let mut t_cur = trace.clone();
+        for _ in 1..m {
+            let next = &(trace * &t_cur) - &(&p_int * &t_prev);
+            t_prev = t_cur;
+            t_cur = next;
+        }
+        t_cur
+    }
+
+    /// Determines the correct sextic twist: kind, coefficient, group order.
+    ///
+    /// Solves the CM equation `t_m² − 4q = −3f²` for the trace over F_q,
+    /// enumerates the candidate twist orders, keeps those divisible by r,
+    /// then identifies the real twist empirically by order-annihilation on
+    /// sampled points.
+    fn find_twist_with_trace(
+        tower: &Arc<TowerCtx>,
+        trace: &BigInt,
+        b: &Fp,
+        r: &BigUint,
+    ) -> Result<(TwistKind, Fq, BigUint), CurveError> {
+        let q = tower.q_order().clone();
+        let q_int = BigInt::from_biguint(q.clone());
+        let tm = Self::trace_over_extension(trace, tower.fp().modulus(), tower.qdeg());
+        // 4q − t_m² = 3 f²
+        let four_q = &BigInt::from_i64(4) * &q_int;
+        let disc = (&four_q - &(&tm * &tm)).to_biguint().ok_or(CurveError::TwistNotFound)?;
+        let f2 = disc.div_exact(&BigUint::from_u64(3));
+        let f = f2.isqrt();
+        if &f * &f != f2 {
+            return Err(CurveError::TwistNotFound);
+        }
+        let f_int = BigInt::from_biguint(f);
+        let three_f = &BigInt::from_i64(3) * &f_int;
+        let two = BigUint::from_u64(2);
+        // Candidate traces of the six twists.
+        let mut cands: Vec<BigInt> = vec![tm.clone(), tm.neg()];
+        for sign_t in [1i64, -1] {
+            for sign_f in [1i64, -1] {
+                let num = &(&BigInt::from_i64(sign_t) * &tm) + &(&BigInt::from_i64(sign_f) * &three_f);
+                if num.magnitude().is_even() {
+                    cands.push(BigInt::from_sign_magnitude(
+                        num.is_negative(),
+                        num.magnitude().divrem(&two).0,
+                    ));
+                }
+            }
+        }
+        let mut orders: Vec<BigUint> = Vec::new();
+        for c in cands {
+            if let Some(n) = (&(&q_int + &BigInt::one()) - &c).to_biguint() {
+                if n.rem(r).is_zero() && !orders.contains(&n) {
+                    orders.push(n);
+                }
+            }
+        }
+        if orders.is_empty() {
+            return Err(CurveError::TwistNotFound);
+        }
+        // Try each (kind, coefficient) and candidate order empirically.
+        let ops = FqOps(tower);
+        let b_fq = tower.fq_from_fp(b);
+        let xi = tower.xi().clone();
+        let attempts = [
+            (TwistKind::D, tower.fq_mul(&b_fq, &tower.fq_inv(&xi))),
+            (TwistKind::M, tower.fq_mul(&b_fq, &xi)),
+        ];
+        for (kind, bt) in attempts {
+            if let Some(pt) = Self::find_point_on_twist(tower, &bt, 0) {
+                for n in &orders {
+                    if is_identity(&ops, &scalar_mul(&ops, &pt, n)) {
+                        // confirm with a second point
+                        let pt2 = Self::find_point_on_twist(tower, &bt, 1000).ok_or(CurveError::TwistNotFound)?;
+                        if is_identity(&ops, &scalar_mul(&ops, &pt2, n)) {
+                            return Ok((kind, bt, n.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        Err(CurveError::TwistNotFound)
+    }
+
+    fn find_point_on_twist(tower: &TowerCtx, bt: &Fq, seed0: u64) -> Option<Affine<Fq>> {
+        for seed in seed0..seed0 + 512 {
+            let x = tower.fq_sample(seed.wrapping_mul(0x00C0_FFEE).wrapping_add(7));
+            let rhs = tower.fq_add(&tower.fq_mul(&tower.fq_sqr(&x), &x), bt);
+            if let Some(y) = tower.fq_sqrt(&rhs) {
+                return Some(Affine::new(x, y));
+            }
+        }
+        None
+    }
+
+    fn find_g2(
+        tower: &Arc<TowerCtx>,
+        bt: &Fq,
+        _order: &BigUint,
+        cofactor: &BigUint,
+        r: &BigUint,
+    ) -> Option<Affine<Fq>> {
+        let ops = FqOps(tower);
+        for attempt in 0..16u64 {
+            let pt = Self::find_point_on_twist(tower, bt, attempt * 7919)?;
+            let g = to_affine(&ops, &scalar_mul(&ops, &pt, cofactor));
+            if g.infinity {
+                continue;
+            }
+            if is_identity(&ops, &scalar_mul(&ops, &g, r)) {
+                return Some(g);
+            }
+        }
+        None
+    }
+
+    /// Determines the untwist–Frobenius constants empirically: tries the
+    /// (γx, γy) = (ξ^((p−1)/3), ξ^((p−1)/2)) pair and its inverse, accepting
+    /// whichever satisfies `ψ(G2) = [p]G2`.
+    fn calibrate_psi(
+        tower: &Arc<TowerCtx>,
+        bt: &Fq,
+        g2: &Affine<Fq>,
+        p: &BigUint,
+    ) -> Result<(Fq, Fq), CurveError> {
+        let ops = FqOps(tower);
+        let wf = tower.w_frob_const(1).clone();
+        let gx = tower.fq_sqr(&wf); // ξ^((p−1)/3)
+        let gy = tower.fq_mul(&gx, &wf); // ξ^((p−1)/2)
+        let p_g2 = to_affine(&ops, &scalar_mul(&ops, g2, p));
+        for (cx, cy) in [
+            (gx.clone(), gy.clone()),
+            (tower.fq_inv(&gx), tower.fq_inv(&gy)),
+        ] {
+            let px = tower.fq_mul(&tower.fq_frob(&g2.x, 1), &cx);
+            let py = tower.fq_mul(&tower.fq_frob(&g2.y, 1), &cy);
+            let cand = Affine::new(px, py);
+            if is_on_curve(&ops, &cand, bt) && cand == p_g2 {
+                return Ok((cx, cy));
+            }
+        }
+        Err(CurveError::EndomorphismMismatch)
+    }
+
+    // --- accessors -------------------------------------------------------
+
+    /// Curve name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Curve family.
+    pub fn family(&self) -> Family {
+        self.family
+    }
+
+    /// The family generator t.
+    pub fn t(&self) -> &BigInt {
+        &self.t
+    }
+
+    /// Base-field characteristic p.
+    pub fn p(&self) -> &BigUint {
+        &self.p
+    }
+
+    /// Pairing group order r.
+    pub fn r(&self) -> &BigUint {
+        &self.r
+    }
+
+    /// Frobenius trace.
+    pub fn trace(&self) -> &BigInt {
+        &self.trace
+    }
+
+    /// Base prime field context.
+    pub fn fp(&self) -> &Arc<FpCtx> {
+        &self.fp
+    }
+
+    /// Extension tower context.
+    pub fn tower(&self) -> &Arc<TowerCtx> {
+        &self.tower
+    }
+
+    /// G1 curve coefficient b.
+    pub fn b(&self) -> &Fp {
+        &self.b
+    }
+
+    /// Twist curve coefficient b'.
+    pub fn b_twist(&self) -> &Fq {
+        &self.b_twist
+    }
+
+    /// Twist kind (D or M).
+    pub fn twist(&self) -> TwistKind {
+        self.twist
+    }
+
+    /// #E(F_p).
+    pub fn g1_order(&self) -> &BigUint {
+        &self.n1
+    }
+
+    /// G1 cofactor #E(F_p)/r.
+    pub fn g1_cofactor(&self) -> &BigUint {
+        &self.g1_cofactor
+    }
+
+    /// #E'(F_q).
+    pub fn g2_order(&self) -> &BigUint {
+        &self.g2_order
+    }
+
+    /// G2 cofactor #E'(F_q)/r.
+    pub fn g2_cofactor(&self) -> &BigUint {
+        &self.g2_cofactor
+    }
+
+    /// Canonical G1 generator (r-torsion).
+    pub fn g1_generator(&self) -> &Affine<Fp> {
+        &self.g1
+    }
+
+    /// Canonical G2 generator on the twist (r-torsion).
+    pub fn g2_generator(&self) -> &Affine<Fq> {
+        &self.g2
+    }
+
+    /// Security level from Table 2 (reported, not derived).
+    pub fn table2_security(&self) -> u32 {
+        self.table2_security
+    }
+
+    /// Embedding degree k.
+    pub fn k(&self) -> usize {
+        self.family.embedding_degree()
+    }
+
+    /// The optimal-Ate Miller loop parameter (`6t+2` for BN, `t` for BLS).
+    pub fn miller_param(&self) -> BigInt {
+        self.family.miller_param(&self.t)
+    }
+
+    /// The untwist–Frobenius constants `(γx, γy)` with
+    /// `ψ(x, y) = (γx·φ(x), γy·φ(y))`.
+    pub fn psi_constants(&self) -> (&Fq, &Fq) {
+        (&self.psi_x, &self.psi_y)
+    }
+
+    /// ψ applied to a twist point: `(γx·φ(x), γy·φ(y))`.
+    pub fn psi(&self, q: &Affine<Fq>) -> Affine<Fq> {
+        if q.infinity {
+            return q.clone();
+        }
+        Affine::new(
+            self.tower.fq_mul(&self.tower.fq_frob(&q.x, 1), &self.psi_x),
+            self.tower.fq_mul(&self.tower.fq_frob(&q.y, 1), &self.psi_y),
+        )
+    }
+
+    /// G1 scalar multiplication, returning an affine point.
+    pub fn g1_mul(&self, p: &Affine<Fp>, k: &BigUint) -> Affine<Fp> {
+        let ops = FpOps(Arc::clone(&self.fp));
+        to_affine(&ops, &scalar_mul(&ops, p, k))
+    }
+
+    /// G1 point addition.
+    pub fn g1_add(&self, a: &Affine<Fp>, b: &Affine<Fp>) -> Affine<Fp> {
+        let ops = FpOps(Arc::clone(&self.fp));
+        to_affine(&ops, &jac_add(&ops, &to_jacobian(&ops, a), &to_jacobian(&ops, b)))
+    }
+
+    /// G2 scalar multiplication, returning an affine point.
+    pub fn g2_mul(&self, p: &Affine<Fq>, k: &BigUint) -> Affine<Fq> {
+        let ops = FqOps(&self.tower);
+        to_affine(&ops, &scalar_mul(&ops, p, k))
+    }
+
+    /// G2 point addition.
+    pub fn g2_add(&self, a: &Affine<Fq>, b: &Affine<Fq>) -> Affine<Fq> {
+        let ops = FqOps(&self.tower);
+        to_affine(&ops, &jac_add(&ops, &to_jacobian(&ops, a), &to_jacobian(&ops, b)))
+    }
+
+    /// True iff an affine point lies on E(F_p).
+    pub fn g1_on_curve(&self, p: &Affine<Fp>) -> bool {
+        let ops = FpOps(Arc::clone(&self.fp));
+        is_on_curve(&ops, p, &self.b)
+    }
+
+    /// True iff an affine point lies on the twist E'(F_q).
+    pub fn g2_on_curve(&self, p: &Affine<Fq>) -> bool {
+        let ops = FqOps(&self.tower);
+        is_on_curve(&ops, p, &self.b_twist)
+    }
+
+    /// Hashes arbitrary bytes to a G1 point (try-and-increment + cofactor
+    /// clearing) — enough for the BLS-signature example; not constant time.
+    pub fn hash_to_g1(&self, msg: &[u8]) -> Affine<Fp> {
+        // Simple deterministic digest: FNV-1a folded into field elements.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &byte in msg {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let ops = FpOps(Arc::clone(&self.fp));
+        for ctr in 0..10_000u64 {
+            let x = self.fp.sample(h.wrapping_add(ctr.wrapping_mul(0x9E37_79B9)));
+            let rhs = &(&x.square() * &x) + &self.b;
+            if let Some(y) = rhs.sqrt() {
+                let pt = Affine::new(x, y);
+                let g = to_affine(&ops, &scalar_mul(&ops, &pt, &self.g1_cofactor));
+                if !g.infinity {
+                    return g;
+                }
+            }
+        }
+        unreachable!("hash-to-curve failed after 10000 counters");
+    }
+
+    /// The full final-exponentiation exponent `(p^k − 1)/r` (oracle use).
+    pub fn final_exp_full(&self) -> BigUint {
+        let pk = self.p.pow(self.k() as u32);
+        pk.checked_sub(&BigUint::one()).unwrap().div_exact(&self.r)
+    }
+
+    /// The hard-part exponent `Φ_k(p)/r` where `Φ_12 = p⁴ − p² + 1`,
+    /// `Φ_24 = p⁸ − p⁴ + 1`.
+    pub fn hard_exponent(&self) -> BigUint {
+        let (a, b) = match self.k() {
+            12 => (4u32, 2u32),
+            24 => (8, 4),
+            _ => unreachable!(),
+        };
+        let phi = &(&self.p.pow(a) - &self.p.pow(b)) + &BigUint::one();
+        phi.div_exact(&self.r)
+    }
+}
+
+/// Global cache of constructed curves (construction costs tens of ms to
+/// seconds, and tests re-use them heavily).
+fn registry() -> &'static Mutex<HashMap<String, Arc<Curve>>> {
+    static REG: OnceLock<Mutex<HashMap<String, Arc<Curve>>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+impl Curve {
+    /// Returns the cached curve for a Table 2 name, constructing it on
+    /// first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown or construction fails — both indicate
+    /// corrupted built-in parameters, which is a build-breaking bug.
+    pub fn by_name(name: &str) -> Arc<Curve> {
+        let spec = crate::spec::spec_by_name(name)
+            .unwrap_or_else(|| panic!("unknown curve name: {name}"));
+        let mut reg = registry().lock().expect("curve registry poisoned");
+        if let Some(c) = reg.get(spec.name) {
+            return Arc::clone(c);
+        }
+        let curve = Arc::new(
+            Curve::from_spec(spec)
+                .unwrap_or_else(|e| panic!("built-in curve {} failed to construct: {e}", spec.name)),
+        );
+        reg.insert(spec.name.to_owned(), Arc::clone(&curve));
+        curve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+
+    #[test]
+    fn bn254n_constructs_and_matches_literature() {
+        let c = Curve::by_name("BN254N");
+        assert_eq!(c.p().bits(), 254);
+        assert_eq!(c.r().bits(), 254);
+        // Beuchat et al. BN254 prime.
+        assert_eq!(
+            c.p().to_hex(),
+            "2523648240000001ba344d80000000086121000000000013a700000000000013"
+        );
+        assert_eq!(
+            c.r().to_hex(),
+            "2523648240000001ba344d8000000007ff9f800000000010a10000000000000d"
+        );
+        // BN cofactor is 1: G1 order = r.
+        assert!(c.g1_cofactor().is_one());
+        assert!(c.g1_on_curve(c.g1_generator()));
+        assert!(c.g2_on_curve(c.g2_generator()));
+    }
+
+    #[test]
+    fn bls12_381_constructs_and_matches_literature() {
+        let c = Curve::by_name("BLS12-381");
+        assert_eq!(
+            c.p().to_hex(),
+            "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab"
+        );
+        assert_eq!(
+            c.r().to_hex(),
+            "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001"
+        );
+        assert_eq!(c.b().to_biguint(), BigUint::from_u64(4));
+        assert!(c.g1_on_curve(c.g1_generator()));
+        assert!(c.g2_on_curve(c.g2_generator()));
+    }
+
+    #[test]
+    fn generators_have_order_r() {
+        for name in ["BN254N", "BLS12-381"] {
+            let c = Curve::by_name(name);
+            let g1r = c.g1_mul(c.g1_generator(), c.r());
+            assert!(g1r.infinity, "{name}: [r]G1 = O");
+            let g2r = c.g2_mul(c.g2_generator(), c.r());
+            assert!(g2r.infinity, "{name}: [r]G2 = O");
+            // and not killed by smaller factors: [r-1]G != O
+            let rm1 = c.r().checked_sub(&BigUint::one()).unwrap();
+            assert!(!c.g1_mul(c.g1_generator(), &rm1).infinity);
+        }
+    }
+
+    #[test]
+    fn psi_is_p_power_endomorphism() {
+        for name in ["BN254N", "BLS12-381"] {
+            let c = Curve::by_name(name);
+            let q = c.g2_generator();
+            let psi_q = c.psi(q);
+            assert!(c.g2_on_curve(&psi_q));
+            assert_eq!(psi_q, c.g2_mul(q, c.p()), "{name}");
+            // psi² (Q) = [p²] Q
+            let psi2 = c.psi(&psi_q);
+            let p2 = c.p().pow(2).rem(c.r());
+            assert_eq!(psi2, c.g2_mul(q, &p2), "{name} psi^2");
+        }
+    }
+
+    #[test]
+    fn group_laws_on_generators() {
+        let c = Curve::by_name("BLS12-381");
+        let g = c.g1_generator();
+        let two_g = c.g1_add(g, g);
+        assert_eq!(two_g, c.g1_mul(g, &BigUint::from_u64(2)));
+        let q = c.g2_generator();
+        let three_q = c.g2_add(&c.g2_add(q, q), q);
+        assert_eq!(three_q, c.g2_mul(q, &BigUint::from_u64(3)));
+    }
+
+    #[test]
+    fn hash_to_g1_lands_in_subgroup() {
+        let c = Curve::by_name("BN254N");
+        let h1 = c.hash_to_g1(b"finesse");
+        let h2 = c.hash_to_g1(b"finesse");
+        let h3 = c.hash_to_g1(b"different message");
+        assert_eq!(h1, h2, "deterministic");
+        assert!(h1 != h3, "message-dependent");
+        assert!(c.g1_on_curve(&h1));
+        assert!(c.g1_mul(&h1, c.r()).infinity);
+    }
+
+    #[test]
+    fn hard_exponent_divides_cleanly() {
+        let c = Curve::by_name("BN254N");
+        // (p^k − 1)/r = (p^6−1)(p^2+1) · hard, sanity: both computable.
+        let full = c.final_exp_full();
+        let hard = c.hard_exponent();
+        assert!(full.bits() > hard.bits());
+    }
+
+    #[test]
+    fn spec_validation_catches_wrong_bits() {
+        // Perturb BLS12-381's expected p bits.
+        let mut s = spec::BLS12_381.clone();
+        s.p_bits = 380;
+        match Curve::from_spec(&s) {
+            Err(CurveError::BitLengthMismatch { what: "p", .. }) => {}
+            other => panic!("expected bit mismatch, got {other:?}"),
+        }
+    }
+}

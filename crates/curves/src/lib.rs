@@ -1,0 +1,26 @@
+//! # finesse-curves
+//!
+//! Pairing-friendly curve substrate for the Finesse framework: BN/BLS
+//! family parameter synthesis, generic short-Weierstrass point arithmetic,
+//! sextic-twist discovery, generator derivation, and the untwist–Frobenius
+//! endomorphism — everything the pairing engine and the compiler's code
+//! generator need to know about a curve.
+//!
+//! The seven curves of the paper's Table 2 are built in (see [`spec`]);
+//! custom curves enter through [`Curve::new`].
+//!
+//! ```no_run
+//! use finesse_curves::Curve;
+//!
+//! let curve = Curve::by_name("BN254N");
+//! assert_eq!(curve.p().bits(), 254);
+//! assert!(curve.g1_on_curve(curve.g1_generator()));
+//! ```
+
+pub mod curve;
+pub mod point;
+pub mod spec;
+
+pub use curve::{Curve, CurveError, TwistKind};
+pub use point::{Affine, FieldOps, FpOps, FqOps, Jacobian};
+pub use spec::{all_specs, spec_by_name, CurveSpec, Family};

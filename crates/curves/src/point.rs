@@ -1,0 +1,363 @@
+//! Generic short-Weierstrass point arithmetic (`y² = x³ + b`, `a = 0`).
+//!
+//! One Jacobian-coordinate implementation serves both G1 (coordinates in
+//! F_p) and G2 (coordinates in the twist field F_q) through the small
+//! [`FieldOps`] abstraction, so the group law exists exactly once in the
+//! codebase. The pairing crate layers its own fused line/point formulas on
+//! top of the same trait.
+
+use finesse_ff::{BigUint, Fp, FpCtx, Fq, TowerCtx};
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// Minimal field interface needed by the group law.
+pub trait FieldOps {
+    /// The element type.
+    type El: Clone + PartialEq + Debug;
+
+    /// Addition.
+    fn add(&self, a: &Self::El, b: &Self::El) -> Self::El;
+    /// Subtraction.
+    fn sub(&self, a: &Self::El, b: &Self::El) -> Self::El;
+    /// Negation.
+    fn neg(&self, a: &Self::El) -> Self::El;
+    /// Multiplication.
+    fn mul(&self, a: &Self::El, b: &Self::El) -> Self::El;
+    /// Squaring.
+    fn sqr(&self, a: &Self::El) -> Self::El;
+    /// Inversion (panics on zero, as in the underlying fields).
+    fn inv(&self, a: &Self::El) -> Self::El;
+    /// The additive identity.
+    fn zero(&self) -> Self::El;
+    /// The multiplicative identity.
+    fn one(&self) -> Self::El;
+    /// Zero test.
+    fn is_zero(&self, a: &Self::El) -> bool;
+
+    /// Doubling (`2a`); default via addition.
+    fn dbl(&self, a: &Self::El) -> Self::El {
+        self.add(a, a)
+    }
+
+    /// Small-scalar multiple via an addition chain.
+    fn mul_small(&self, a: &Self::El, k: u64) -> Self::El {
+        let mut acc = self.zero();
+        let mut base = a.clone();
+        let mut k = k;
+        while k > 0 {
+            if k & 1 == 1 {
+                acc = self.add(&acc, &base);
+            }
+            base = self.dbl(&base);
+            k >>= 1;
+        }
+        acc
+    }
+}
+
+/// [`FieldOps`] over the base prime field (G1 coordinates).
+#[derive(Clone)]
+pub struct FpOps(pub Arc<FpCtx>);
+
+impl FieldOps for FpOps {
+    type El = Fp;
+    fn add(&self, a: &Fp, b: &Fp) -> Fp {
+        a + b
+    }
+    fn sub(&self, a: &Fp, b: &Fp) -> Fp {
+        a - b
+    }
+    fn neg(&self, a: &Fp) -> Fp {
+        -a
+    }
+    fn mul(&self, a: &Fp, b: &Fp) -> Fp {
+        a * b
+    }
+    fn sqr(&self, a: &Fp) -> Fp {
+        a.square()
+    }
+    fn inv(&self, a: &Fp) -> Fp {
+        a.invert()
+    }
+    fn zero(&self) -> Fp {
+        self.0.zero()
+    }
+    fn one(&self) -> Fp {
+        self.0.one()
+    }
+    fn is_zero(&self, a: &Fp) -> bool {
+        a.is_zero()
+    }
+}
+
+/// [`FieldOps`] over the twist field F_q (G2 coordinates).
+#[derive(Clone)]
+pub struct FqOps<'a>(pub &'a TowerCtx);
+
+impl FieldOps for FqOps<'_> {
+    type El = Fq;
+    fn add(&self, a: &Fq, b: &Fq) -> Fq {
+        self.0.fq_add(a, b)
+    }
+    fn sub(&self, a: &Fq, b: &Fq) -> Fq {
+        self.0.fq_sub(a, b)
+    }
+    fn neg(&self, a: &Fq) -> Fq {
+        self.0.fq_neg(a)
+    }
+    fn mul(&self, a: &Fq, b: &Fq) -> Fq {
+        self.0.fq_mul(a, b)
+    }
+    fn sqr(&self, a: &Fq) -> Fq {
+        self.0.fq_sqr(a)
+    }
+    fn inv(&self, a: &Fq) -> Fq {
+        self.0.fq_inv(a)
+    }
+    fn zero(&self) -> Fq {
+        self.0.fq_zero()
+    }
+    fn one(&self) -> Fq {
+        self.0.fq_one()
+    }
+    fn is_zero(&self, a: &Fq) -> bool {
+        self.0.fq_is_zero(a)
+    }
+}
+
+/// An affine point, with an explicit point at infinity.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Affine<E> {
+    /// x coordinate (meaningless at infinity).
+    pub x: E,
+    /// y coordinate (meaningless at infinity).
+    pub y: E,
+    /// Point-at-infinity flag.
+    pub infinity: bool,
+}
+
+impl<E: Clone> Affine<E> {
+    /// A finite point.
+    pub fn new(x: E, y: E) -> Self {
+        Affine { x, y, infinity: false }
+    }
+
+    /// The point at infinity (coordinates are placeholders).
+    pub fn infinity(placeholder: E) -> Self {
+        Affine { x: placeholder.clone(), y: placeholder, infinity: true }
+    }
+}
+
+/// A Jacobian point `(X : Y : Z)` representing `(X/Z², Y/Z³)`; `Z = 0` is
+/// the point at infinity.
+#[derive(Clone, Debug)]
+pub struct Jacobian<E> {
+    /// X coordinate.
+    pub x: E,
+    /// Y coordinate.
+    pub y: E,
+    /// Z coordinate.
+    pub z: E,
+}
+
+/// Checks the curve equation `y² = x³ + b` for an affine point.
+pub fn is_on_curve<O: FieldOps>(ops: &O, pt: &Affine<O::El>, b: &O::El) -> bool {
+    if pt.infinity {
+        return true;
+    }
+    let lhs = ops.sqr(&pt.y);
+    let rhs = ops.add(&ops.mul(&ops.sqr(&pt.x), &pt.x), b);
+    lhs == rhs
+}
+
+/// Lifts an affine point to Jacobian coordinates.
+pub fn to_jacobian<O: FieldOps>(ops: &O, pt: &Affine<O::El>) -> Jacobian<O::El> {
+    if pt.infinity {
+        Jacobian { x: ops.one(), y: ops.one(), z: ops.zero() }
+    } else {
+        Jacobian { x: pt.x.clone(), y: pt.y.clone(), z: ops.one() }
+    }
+}
+
+/// Normalises a Jacobian point to affine coordinates (one inversion).
+pub fn to_affine<O: FieldOps>(ops: &O, pt: &Jacobian<O::El>) -> Affine<O::El> {
+    if ops.is_zero(&pt.z) {
+        return Affine::infinity(ops.zero());
+    }
+    let zinv = ops.inv(&pt.z);
+    let zinv2 = ops.sqr(&zinv);
+    let zinv3 = ops.mul(&zinv2, &zinv);
+    Affine::new(ops.mul(&pt.x, &zinv2), ops.mul(&pt.y, &zinv3))
+}
+
+/// Jacobian doubling (`a = 0` curve).
+pub fn jac_double<O: FieldOps>(ops: &O, p: &Jacobian<O::El>) -> Jacobian<O::El> {
+    if ops.is_zero(&p.z) || ops.is_zero(&p.y) {
+        return Jacobian { x: ops.one(), y: ops.one(), z: ops.zero() };
+    }
+    let a = ops.sqr(&p.x);
+    let b = ops.sqr(&p.y);
+    let c = ops.sqr(&b);
+    // D = 2((X+B)² − A − C)
+    let t = ops.sqr(&ops.add(&p.x, &b));
+    let d = ops.dbl(&ops.sub(&ops.sub(&t, &a), &c));
+    let e = ops.add(&ops.dbl(&a), &a); // 3A
+    let f = ops.sqr(&e);
+    let x3 = ops.sub(&f, &ops.dbl(&d));
+    let c8 = ops.mul_small(&c, 8);
+    let y3 = ops.sub(&ops.mul(&e, &ops.sub(&d, &x3)), &c8);
+    let z3 = ops.dbl(&ops.mul(&p.y, &p.z));
+    Jacobian { x: x3, y: y3, z: z3 }
+}
+
+/// General Jacobian addition (`a = 0` curve), handling doubling and
+/// identity cases.
+pub fn jac_add<O: FieldOps>(ops: &O, p: &Jacobian<O::El>, q: &Jacobian<O::El>) -> Jacobian<O::El> {
+    if ops.is_zero(&p.z) {
+        return q.clone();
+    }
+    if ops.is_zero(&q.z) {
+        return p.clone();
+    }
+    let z1z1 = ops.sqr(&p.z);
+    let z2z2 = ops.sqr(&q.z);
+    let u1 = ops.mul(&p.x, &z2z2);
+    let u2 = ops.mul(&q.x, &z1z1);
+    let s1 = ops.mul(&ops.mul(&p.y, &q.z), &z2z2);
+    let s2 = ops.mul(&ops.mul(&q.y, &p.z), &z1z1);
+    if u1 == u2 {
+        if s1 == s2 {
+            return jac_double(ops, p);
+        }
+        // P + (−P) = O
+        return Jacobian { x: ops.one(), y: ops.one(), z: ops.zero() };
+    }
+    let h = ops.sub(&u2, &u1);
+    let i = ops.sqr(&ops.dbl(&h));
+    let j = ops.mul(&h, &i);
+    let r = ops.dbl(&ops.sub(&s2, &s1));
+    let v = ops.mul(&u1, &i);
+    let x3 = ops.sub(&ops.sub(&ops.sqr(&r), &j), &ops.dbl(&v));
+    let y3 = ops.sub(
+        &ops.mul(&r, &ops.sub(&v, &x3)),
+        &ops.dbl(&ops.mul(&s1, &j)),
+    );
+    let z3 = ops.mul(&ops.sub(&ops.sqr(&ops.add(&p.z, &q.z)), &ops.add(&z1z1, &z2z2)), &h);
+    Jacobian { x: x3, y: y3, z: z3 }
+}
+
+/// Scalar multiplication by a non-negative big integer (double-and-add).
+pub fn scalar_mul<O: FieldOps>(ops: &O, p: &Affine<O::El>, k: &BigUint) -> Jacobian<O::El> {
+    let mut acc = Jacobian { x: ops.one(), y: ops.one(), z: ops.zero() };
+    if p.infinity || k.is_zero() {
+        return acc;
+    }
+    let base = to_jacobian(ops, p);
+    for i in (0..k.bits()).rev() {
+        acc = jac_double(ops, &acc);
+        if k.bit(i) {
+            acc = jac_add(ops, &acc, &base);
+        }
+    }
+    acc
+}
+
+/// Affine negation.
+pub fn affine_neg<O: FieldOps>(ops: &O, p: &Affine<O::El>) -> Affine<O::El> {
+    if p.infinity {
+        p.clone()
+    } else {
+        Affine::new(p.x.clone(), ops.neg(&p.y))
+    }
+}
+
+/// True iff the Jacobian point is the identity.
+pub fn is_identity<O: FieldOps>(ops: &O, p: &Jacobian<O::El>) -> bool {
+    ops.is_zero(&p.z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use finesse_ff::FpCtx;
+
+    /// Tiny curve for exhaustive checking: y² = x³ + 7 over F_61
+    /// (#E = 61 + 1 − (−1)... determined empirically below).
+    fn tiny() -> (FpOps, Fp) {
+        let ctx = FpCtx::new(BigUint::from_u64(61)).unwrap();
+        let b = ctx.from_u64(7);
+        (FpOps(ctx), b)
+    }
+
+    fn points_on_tiny(ops: &FpOps, b: &Fp) -> Vec<Affine<Fp>> {
+        let mut pts = Vec::new();
+        for x in 0..61u64 {
+            for y in 0..61u64 {
+                let p = Affine::new(ops.0.from_u64(x), ops.0.from_u64(y));
+                if is_on_curve(ops, &p, b) {
+                    pts.push(p);
+                }
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn group_closure_and_identity() {
+        let (ops, b) = tiny();
+        let pts = points_on_tiny(&ops, &b);
+        assert!(!pts.is_empty());
+        let order = pts.len() as u64 + 1; // plus infinity
+        for p in pts.iter().take(8) {
+            // [order]P = O for all points (Lagrange).
+            let r = scalar_mul(&ops, p, &BigUint::from_u64(order));
+            assert!(is_identity(&ops, &r), "order {order} should annihilate");
+            // P + (−P) = O
+            let s = jac_add(&ops, &to_jacobian(&ops, p), &to_jacobian(&ops, &affine_neg(&ops, p)));
+            assert!(is_identity(&ops, &s));
+            // on-curve stays on-curve through doubling
+            let d = to_affine(&ops, &jac_double(&ops, &to_jacobian(&ops, p)));
+            assert!(is_on_curve(&ops, &d, &b));
+        }
+    }
+
+    #[test]
+    fn add_commutes_and_associates() {
+        let (ops, b) = tiny();
+        let pts = points_on_tiny(&ops, &b);
+        let (p, q, r) = (&pts[0], &pts[3], &pts[5]);
+        let pj = to_jacobian(&ops, p);
+        let qj = to_jacobian(&ops, q);
+        let rj = to_jacobian(&ops, r);
+        let pq = to_affine(&ops, &jac_add(&ops, &pj, &qj));
+        let qp = to_affine(&ops, &jac_add(&ops, &qj, &pj));
+        assert_eq!(pq, qp);
+        assert!(is_on_curve(&ops, &pq, &b));
+        let left = to_affine(&ops, &jac_add(&ops, &jac_add(&ops, &pj, &qj), &rj));
+        let right = to_affine(&ops, &jac_add(&ops, &pj, &jac_add(&ops, &qj, &rj)));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn scalar_mul_matches_repeated_add() {
+        let (ops, b) = tiny();
+        let pts = points_on_tiny(&ops, &b);
+        let p = &pts[1];
+        let mut acc = Jacobian { x: ops.one(), y: ops.one(), z: ops.zero() };
+        let pj = to_jacobian(&ops, p);
+        for k in 0..10u64 {
+            let via_mul = to_affine(&ops, &scalar_mul(&ops, p, &BigUint::from_u64(k)));
+            let via_add = to_affine(&ops, &acc);
+            assert_eq!(via_mul, via_add, "k = {k}");
+            acc = jac_add(&ops, &acc, &pj);
+        }
+    }
+
+    #[test]
+    fn doubling_identity_edge_cases() {
+        let (ops, _) = tiny();
+        let inf: Jacobian<Fp> = Jacobian { x: ops.one(), y: ops.one(), z: ops.zero() };
+        assert!(is_identity(&ops, &jac_double(&ops, &inf)));
+        assert!(is_identity(&ops, &jac_add(&ops, &inf, &inf)));
+    }
+}

@@ -1,0 +1,297 @@
+//! Curve family polynomials and the named parameter sets of Table 2.
+//!
+//! A [`CurveSpec`] is the *declarative* description of a pairing-friendly
+//! curve — family plus the sparse generator `t` plus tower non-residue
+//! hints. Everything else (p, r, trace, cofactors, twist type, generators)
+//! is *derived and validated* by [`crate::Curve::from_spec`], so a wrong
+//! constant can never silently produce a broken curve.
+
+use finesse_ff::{BigInt, BigUint};
+
+/// Pairing-friendly curve family (determines the parameter polynomials and
+/// the optimal-Ate loop structure).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Family {
+    /// Barreto–Naehrig: k = 12, p and r quartic in t, loop on `|6t+2|`.
+    Bn,
+    /// Barreto–Lynn–Scott with k = 12, loop on `|t|`.
+    Bls12,
+    /// Barreto–Lynn–Scott with k = 24, loop on `|t|`.
+    Bls24,
+}
+
+impl Family {
+    /// Embedding degree k.
+    pub fn embedding_degree(self) -> usize {
+        match self {
+            Family::Bn | Family::Bls12 => 12,
+            Family::Bls24 => 24,
+        }
+    }
+
+    /// The base-field characteristic p(t).
+    pub fn prime(self, t: &BigInt) -> BigInt {
+        match self {
+            Family::Bn => t.eval_poly(&[1, 6, 24, 36, 36]),
+            Family::Bls12 => {
+                // p = (t − 1)² (t⁴ − t² + 1)/3 + t
+                let tm1 = t - &BigInt::one();
+                let r = self.order(t);
+                let num = &(&tm1 * &tm1) * &r;
+                let third = BigInt::from_biguint(
+                    num.to_biguint().expect("positive").div_exact(&BigUint::from_u64(3)),
+                );
+                &third + t
+            }
+            Family::Bls24 => {
+                let tm1 = t - &BigInt::one();
+                let r = self.order(t);
+                let num = &(&tm1 * &tm1) * &r;
+                let third = BigInt::from_biguint(
+                    num.to_biguint().expect("positive").div_exact(&BigUint::from_u64(3)),
+                );
+                &third + t
+            }
+        }
+    }
+
+    /// The pairing group order r(t).
+    pub fn order(self, t: &BigInt) -> BigInt {
+        match self {
+            Family::Bn => t.eval_poly(&[1, 6, 18, 36, 36]),
+            Family::Bls12 => t.eval_poly(&[1, 0, -1, 0, 1]),
+            Family::Bls24 => t.eval_poly(&[1, 0, 0, 0, -1, 0, 0, 0, 1]),
+        }
+    }
+
+    /// The Frobenius trace tr(t) (so #E(F_p) = p + 1 − tr).
+    pub fn trace(self, t: &BigInt) -> BigInt {
+        match self {
+            Family::Bn => t.eval_poly(&[1, 0, 6]),
+            Family::Bls12 | Family::Bls24 => t + &BigInt::one(),
+        }
+    }
+
+    /// The optimal-Ate Miller loop parameter: `6t + 2` for BN, `t` for BLS.
+    pub fn miller_param(self, t: &BigInt) -> BigInt {
+        match self {
+            Family::Bn => &(t * &BigInt::from_i64(6)) + &BigInt::from_i64(2),
+            Family::Bls12 | Family::Bls24 => t.clone(),
+        }
+    }
+
+    /// Human-readable family name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Bn => "BN",
+            Family::Bls12 => "BLS12",
+            Family::Bls24 => "BLS24",
+        }
+    }
+}
+
+/// Declarative parameters for a named curve.
+#[derive(Clone, Debug)]
+pub struct CurveSpec {
+    /// Curve name as used in the paper (e.g. `"BN254N"`).
+    pub name: &'static str,
+    /// Curve family.
+    pub family: Family,
+    /// Sparse representation of t: each `(sign, e)` contributes `sign·2^e`.
+    pub t_terms: &'static [(i8, u32)],
+    /// Known G1 curve coefficient b (verified, not trusted); `None` scans.
+    pub b_hint: Option<u64>,
+    /// Quadratic non-residue β for F_p2 = F_p[u]/(u² − β).
+    pub beta: i64,
+    /// ξ₂ = c0 + c1·u for F_p4 (k = 24 towers only).
+    pub xi2: Option<(i64, i64)>,
+    /// Sextic non-residue ξ as coefficients over F_p in tower order
+    /// (2 entries for k = 12, 4 for k = 24).
+    pub xi: &'static [i64],
+    /// Expected bit length of p (Table 2, validated at construction).
+    pub p_bits: usize,
+    /// Expected bit length of r (Table 2, validated at construction).
+    pub r_bits: usize,
+    /// Security level reported in Table 2 (bits), for reporting only.
+    pub table2_security: u32,
+}
+
+/// BN254N (Nogami): `t = −(2^62 + 2^55 + 1)`, the curve of the paper's
+/// headline evaluation (Table 6, Figures 6, 11, 12).
+pub const BN254N: CurveSpec = CurveSpec {
+    name: "BN254N",
+    family: Family::Bn,
+    t_terms: &[(-1, 62), (-1, 55), (-1, 0)],
+    b_hint: Some(2),
+    beta: -1,
+    xi2: None,
+    xi: &[1, 1],
+    p_bits: 254,
+    r_bits: 254,
+    table2_security: 100,
+};
+
+/// BN462: `t = 2^114 + 2^101 − 2^14 − 1` (Barbulescu–Duquesne).
+pub const BN462: CurveSpec = CurveSpec {
+    name: "BN462",
+    family: Family::Bn,
+    t_terms: &[(1, 114), (1, 101), (-1, 14), (-1, 0)],
+    b_hint: None,
+    beta: -1,
+    xi2: None,
+    xi: &[1, 1],
+    p_bits: 462,
+    r_bits: 462,
+    table2_security: 130,
+};
+
+/// BN638: `t = 2^158 − 2^128 − 2^68 + 1` (Aranha et al.).
+pub const BN638: CurveSpec = CurveSpec {
+    name: "BN638",
+    family: Family::Bn,
+    t_terms: &[(1, 158), (-1, 128), (-1, 68), (1, 0)],
+    b_hint: None,
+    beta: -1,
+    xi2: None,
+    xi: &[1, 1],
+    p_bits: 638,
+    r_bits: 638,
+    table2_security: 153,
+};
+
+/// BLS12-381 (zkcrypto): `t = −(2^63 + 2^62 + 2^60 + 2^57 + 2^48 + 2^16)`.
+pub const BLS12_381: CurveSpec = CurveSpec {
+    name: "BLS12-381",
+    family: Family::Bls12,
+    t_terms: &[(-1, 63), (-1, 62), (-1, 60), (-1, 57), (-1, 48), (-1, 16)],
+    b_hint: Some(4),
+    beta: -1,
+    xi2: None,
+    xi: &[1, 1],
+    p_bits: 381,
+    r_bits: 255,
+    table2_security: 123,
+};
+
+/// BLS12-446: `t = −(2^74 + 2^73 + 2^63 + 2^57 + 2^50 + 2^17 + 1)`
+/// (Barbulescu–Duquesne).
+pub const BLS12_446: CurveSpec = CurveSpec {
+    name: "BLS12-446",
+    family: Family::Bls12,
+    t_terms: &[(-1, 74), (-1, 73), (-1, 63), (-1, 57), (-1, 50), (-1, 17), (-1, 0)],
+    b_hint: None,
+    beta: -1,
+    xi2: None,
+    xi: &[1, 1],
+    p_bits: 446,
+    r_bits: 299,
+    table2_security: 130,
+};
+
+/// BLS12-638: `t = −2^107 + 2^105 + 2^93 + 2^5` (Aranha et al.,
+/// "Implementing pairings at the 192-bit security level").
+pub const BLS12_638: CurveSpec = CurveSpec {
+    name: "BLS12-638",
+    family: Family::Bls12,
+    t_terms: &[(-1, 107), (1, 105), (1, 93), (1, 5)],
+    b_hint: None,
+    beta: -1,
+    xi2: None,
+    xi: &[1, 1],
+    p_bits: 638,
+    r_bits: 427,
+    table2_security: 148,
+};
+
+/// BLS24-509: `t = −2^51 − 2^28 + 2^11 − 1` (Barbulescu–Duquesne).
+pub const BLS24_509: CurveSpec = CurveSpec {
+    name: "BLS24-509",
+    family: Family::Bls24,
+    t_terms: &[(-1, 51), (-1, 28), (1, 11), (-1, 0)],
+    b_hint: None,
+    beta: -1,
+    xi2: Some((1, 1)),
+    // ξ = v, i.e. coefficients (1, u, v, uv) = [0, 0, 1, 0].
+    xi: &[0, 0, 1, 0],
+    p_bits: 509,
+    r_bits: 409,
+    table2_security: 192,
+};
+
+/// All seven curves of Table 2, in the paper's order.
+pub fn all_specs() -> [&'static CurveSpec; 7] {
+    [&BN254N, &BN462, &BN638, &BLS12_381, &BLS12_446, &BLS12_638, &BLS24_509]
+}
+
+/// Looks up a spec by (case-insensitive) name.
+pub fn spec_by_name(name: &str) -> Option<&'static CurveSpec> {
+    all_specs()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+impl CurveSpec {
+    /// The curve generator t as a signed integer.
+    pub fn t(&self) -> BigInt {
+        BigInt::from_power_terms(self.t_terms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_polynomials_at_minus_one() {
+        let t = BigInt::from_i64(-1);
+        assert_eq!(Family::Bn.prime(&t), BigInt::from_i64(19));
+        assert_eq!(Family::Bn.order(&t), BigInt::from_i64(13));
+        assert_eq!(Family::Bn.trace(&t), BigInt::from_i64(7));
+        // p + 1 − tr = r for BN
+        assert_eq!(
+            &(&Family::Bn.prime(&t) + &BigInt::one()) - &Family::Bn.trace(&t),
+            Family::Bn.order(&t)
+        );
+    }
+
+    #[test]
+    fn bls12_polynomial_identities() {
+        // r = t⁴ − t² + 1, and r | p + 1 − tr must hold for all t = 1 mod 3.
+        let t = BigInt::from_i64(4); // 4 = 1 mod 3
+        let p = Family::Bls12.prime(&t);
+        let r = Family::Bls12.order(&t);
+        let tr = Family::Bls12.trace(&t);
+        let n = &(&p + &BigInt::one()) - &tr;
+        let rr = n.to_biguint().unwrap().divrem(&r.to_biguint().unwrap()).1;
+        assert!(rr.is_zero(), "r divides the curve order");
+    }
+
+    #[test]
+    fn miller_params() {
+        let t = BigInt::from_i64(5);
+        assert_eq!(Family::Bn.miller_param(&t), BigInt::from_i64(32));
+        assert_eq!(Family::Bls12.miller_param(&t), BigInt::from_i64(5));
+    }
+
+    #[test]
+    fn table2_bit_lengths_of_t() {
+        // log |t| column of Table 2 (±1 from the paper's rounding).
+        let expect = [(BN254N, 63usize), (BN462, 115), (BN638, 158), (BLS12_381, 64), (BLS12_446, 75), (BLS12_638, 108), (BLS24_509, 52)];
+        for (spec, bits) in expect {
+            let observed = spec.t().magnitude().bits();
+            assert!(
+                (observed as i64 - bits as i64).abs() <= 1,
+                "{}: |t| has {} bits, expected about {}",
+                spec.name,
+                observed,
+                bits
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(spec_by_name("bls12-381").unwrap().name, "BLS12-381");
+        assert!(spec_by_name("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,237 @@
+//! Signed arbitrary-precision integers.
+//!
+//! [`BigInt`] exists for curve-family parameters: the BN/BLS generator `t`
+//! is frequently negative, and family polynomials such as
+//! `p(t) = 36t^4 + 36t^3 + 24t^2 + 6t + 1` must be evaluated with correct
+//! signs before the (positive) results flow into [`crate::BigUint`]-based
+//! field setup.
+
+use crate::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision signed integer (sign + magnitude).
+///
+/// Zero is always stored with a positive sign.
+///
+/// # Examples
+///
+/// ```
+/// use finesse_ff::BigInt;
+///
+/// let t = BigInt::from_i64(-5);
+/// let sq = &t * &t;
+/// assert_eq!(sq, BigInt::from_i64(25));
+/// assert!(t.is_negative());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    negative: bool,
+    magnitude: BigUint,
+}
+
+impl BigInt {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigInt { negative: false, magnitude: BigUint::zero() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigInt { negative: false, magnitude: BigUint::one() }
+    }
+
+    /// Constructs from an `i64`.
+    pub fn from_i64(v: i64) -> Self {
+        BigInt {
+            negative: v < 0,
+            magnitude: BigUint::from_u64(v.unsigned_abs()),
+        }
+    }
+
+    /// Constructs a non-negative value from a [`BigUint`].
+    pub fn from_biguint(v: BigUint) -> Self {
+        BigInt { negative: false, magnitude: v }
+    }
+
+    /// Constructs from sign and magnitude (zero normalises to positive).
+    pub fn from_sign_magnitude(negative: bool, magnitude: BigUint) -> Self {
+        BigInt { negative: negative && !magnitude.is_zero(), magnitude }
+    }
+
+    /// Evaluates a `2^a ± 2^b ± ...` style expression: each `(sign, power)`
+    /// term contributes `sign * 2^power`.
+    ///
+    /// This is how sparse curve generators from the literature are written,
+    /// e.g. BLS12-381's `t = -(2^63 + 2^62 + 2^60 + 2^57 + 2^48 + 2^16)`.
+    pub fn from_power_terms(terms: &[(i8, u32)]) -> Self {
+        let mut acc = BigInt::zero();
+        for &(sign, power) in terms {
+            let term = BigInt::from_sign_magnitude(sign < 0, BigUint::one().shl(power as usize));
+            acc = &acc + &term;
+        }
+        acc
+    }
+
+    /// True iff the value is negative (zero is not negative).
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.magnitude.is_zero()
+    }
+
+    /// The absolute value as a [`BigUint`].
+    pub fn magnitude(&self) -> &BigUint {
+        &self.magnitude
+    }
+
+    /// Converts to [`BigUint`] if non-negative.
+    pub fn to_biguint(&self) -> Option<BigUint> {
+        if self.negative {
+            None
+        } else {
+            Some(self.magnitude.clone())
+        }
+    }
+
+    /// `self mod m` reduced into `[0, m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem_euclid(&self, m: &BigUint) -> BigUint {
+        let r = self.magnitude.rem(m);
+        if self.negative && !r.is_zero() {
+            m.checked_sub(&r).expect("r < m")
+        } else {
+            r
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> BigInt {
+        BigInt::from_sign_magnitude(!self.negative, self.magnitude.clone())
+    }
+
+    /// Exponentiation by a small exponent.
+    pub fn pow(&self, e: u32) -> BigInt {
+        BigInt::from_sign_magnitude(self.negative && e % 2 == 1, self.magnitude.pow(e))
+    }
+
+    /// Evaluates the polynomial `Σ coeffs[i] * self^i` (little-endian
+    /// coefficients), e.g. the BN prime polynomial.
+    pub fn eval_poly(&self, coeffs: &[i64]) -> BigInt {
+        let mut acc = BigInt::zero();
+        for &c in coeffs.iter().rev() {
+            acc = &(&acc * self) + &BigInt::from_i64(c);
+        }
+        acc
+    }
+}
+
+impl std::ops::Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        if self.negative == rhs.negative {
+            return BigInt::from_sign_magnitude(self.negative, &self.magnitude + &rhs.magnitude);
+        }
+        match self.magnitude.cmp(&rhs.magnitude) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_sign_magnitude(
+                self.negative,
+                &self.magnitude - &rhs.magnitude,
+            ),
+            Ordering::Less => BigInt::from_sign_magnitude(
+                rhs.negative,
+                &rhs.magnitude - &self.magnitude,
+            ),
+        }
+    }
+}
+
+impl std::ops::Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &rhs.neg()
+    }
+}
+
+impl std::ops::Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        BigInt::from_sign_magnitude(self.negative != rhs.negative, &self.magnitude * &rhs.magnitude)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negative {
+            write!(f, "-{}", self.magnitude)
+        } else {
+            write!(f, "{}", self.magnitude)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> BigInt {
+        BigInt::from_i64(v)
+    }
+
+    #[test]
+    fn signed_arithmetic_matches_i64() {
+        let cases = [(-7i64, 3i64), (7, -3), (-7, -3), (7, 3), (0, -5), (-5, 5)];
+        for (a, b) in cases {
+            assert_eq!(&i(a) + &i(b), i(a + b), "{a}+{b}");
+            assert_eq!(&i(a) - &i(b), i(a - b), "{a}-{b}");
+            assert_eq!(&i(a) * &i(b), i(a * b), "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn zero_is_positive() {
+        assert!(!(&i(5) + &i(-5)).is_negative());
+        assert!(!BigInt::from_sign_magnitude(true, BigUint::zero()).is_negative());
+    }
+
+    #[test]
+    fn power_terms() {
+        // -(2^63 + 2^62 + 2^60 + 2^57 + 2^48 + 2^16) = BLS12-381 t
+        let t = BigInt::from_power_terms(&[(-1, 63), (-1, 62), (-1, 60), (-1, 57), (-1, 48), (-1, 16)]);
+        assert!(t.is_negative());
+        assert_eq!(t.magnitude().to_hex(), "d201000000010000");
+    }
+
+    #[test]
+    fn rem_euclid_negative() {
+        let m = BigUint::from_u64(7);
+        assert_eq!(i(-1).rem_euclid(&m), BigUint::from_u64(6));
+        assert_eq!(i(-14).rem_euclid(&m), BigUint::zero());
+        assert_eq!(i(15).rem_euclid(&m), BigUint::from_u64(1));
+    }
+
+    #[test]
+    fn poly_eval_bn_prime() {
+        // p(t) = 36t^4+36t^3+24t^2+6t+1 at t = -1 gives 19
+        let p = i(-1).eval_poly(&[1, 6, 24, 36, 36]);
+        assert_eq!(p, i(19));
+    }
+
+    #[test]
+    fn pow_signs() {
+        assert_eq!(i(-2).pow(3), i(-8));
+        assert_eq!(i(-2).pow(4), i(16));
+    }
+}

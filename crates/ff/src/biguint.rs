@@ -1,0 +1,810 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! [`BigUint`] is the workhorse for curve-parameter synthesis (evaluating the
+//! BN/BLS family polynomials), exponent bookkeeping in the pairing final
+//! exponentiation, primality checking, and non-adjacent-form recoding. Hot
+//! field arithmetic does not go through this type — it uses the fixed-width
+//! Montgomery representation in [`crate::fp`].
+//!
+//! The representation is a little-endian `Vec<u64>` with no trailing zero
+//! limbs; zero is the empty vector.
+
+use crate::limbs::{adc, cmp_slices, mac, sbb};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Threshold (in limbs) above which multiplication switches to Karatsuba.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// # Examples
+///
+/// ```
+/// use finesse_ff::BigUint;
+///
+/// let a = BigUint::from_u64(36);
+/// let t = BigUint::from_hex("4000000000000000").unwrap(); // 2^62
+/// let p = &a * &t; // 36 * 2^62
+/// assert_eq!(p.bits(), 68);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Constructs from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Constructs from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let mut out = BigUint {
+            limbs: vec![v as u64, (v >> 64) as u64],
+        };
+        out.normalize();
+        out
+    }
+
+    /// Constructs from little-endian limbs (trailing zeros allowed).
+    pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix required, case
+    /// insensitive, underscores ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBigUintError`] if the string contains a non-hex digit
+    /// or is empty after filtering.
+    pub fn from_hex(s: &str) -> Result<Self, ParseBigUintError> {
+        let s = s.trim().trim_start_matches("0x");
+        let digits: Vec<u32> = s
+            .chars()
+            .filter(|&c| c != '_')
+            .map(|c| c.to_digit(16).ok_or(ParseBigUintError))
+            .collect::<Result<_, _>>()?;
+        if digits.is_empty() {
+            return Err(ParseBigUintError);
+        }
+        let mut limbs = vec![0u64; digits.len().div_ceil(16)];
+        for (i, &d) in digits.iter().rev().enumerate() {
+            limbs[i / 16] |= (d as u64) << (4 * (i % 16));
+        }
+        Ok(Self::from_limbs(limbs))
+    }
+
+    /// Parses a decimal string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBigUintError`] on any non-digit character or an empty
+    /// string.
+    pub fn from_decimal(s: &str) -> Result<Self, ParseBigUintError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(ParseBigUintError);
+        }
+        let mut acc = BigUint::zero();
+        for c in s.chars() {
+            let d = c.to_digit(10).ok_or(ParseBigUintError)? as u64;
+            acc = acc.mul_u64(10);
+            acc = &acc + &BigUint::from_u64(d);
+        }
+        Ok(acc)
+    }
+
+    /// Returns the little-endian limbs (no trailing zeros).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Copies the value into a fixed-width little-endian limb buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `width` limbs.
+    pub fn to_fixed_limbs(&self, width: usize) -> Vec<u64> {
+        assert!(self.limbs.len() <= width, "value does not fit in {width} limbs");
+        let mut out = vec![0u64; width];
+        out[..self.limbs.len()].copy_from_slice(&self.limbs);
+        out
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// True iff the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (little-endian position), `false` beyond the top.
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+    }
+
+    /// The low 64 bits (zero for zero).
+    pub fn low_u64(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Checked subtraction; `None` if `other > self`.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut out = self.limbs.clone();
+        let mut borrow = 0u64;
+        for i in 0..out.len() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (d, b) = sbb(out[i], rhs, borrow);
+            out[i] = d;
+            borrow = b;
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(Self::from_limbs(out))
+    }
+
+    /// Multiplies by a single limb.
+    pub fn mul_u64(&self, m: u64) -> BigUint {
+        if m == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + 1];
+        let mut carry = 0u64;
+        for (i, &l) in self.limbs.iter().enumerate() {
+            let (lo, hi) = mac(0, l, m, carry);
+            out[i] = lo;
+            carry = hi;
+        }
+        out[self.limbs.len()] = carry;
+        Self::from_limbs(out)
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let (limb_shift, bit_shift) = (n / 64, n % 64);
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            out[i + limb_shift] |= l << bit_shift;
+            if bit_shift != 0 {
+                out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+            }
+        }
+        Self::from_limbs(out)
+    }
+
+    /// Right shift by `n` bits.
+    pub fn shr(&self, n: usize) -> BigUint {
+        let (limb_shift, bit_shift) = (n / 64, n % 64);
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() - limb_shift];
+        for i in 0..out.len() {
+            let lo = self.limbs[i + limb_shift] >> bit_shift;
+            let hi = if bit_shift != 0 {
+                self.limbs
+                    .get(i + limb_shift + 1)
+                    .map_or(0, |l| l << (64 - bit_shift))
+            } else {
+                0
+            };
+            out[i] = lo | hi;
+        }
+        Self::from_limbs(out)
+    }
+
+    /// Schoolbook multiplication for short operands.
+    fn mul_schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &bj) in b.iter().enumerate() {
+                let (lo, hi) = mac(out[i + j], ai, bj, carry);
+                out[i + j] = lo;
+                carry = hi;
+            }
+            out[i + b.len()] = carry;
+        }
+        out
+    }
+
+    fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+            return Self::mul_schoolbook(a, b);
+        }
+        // Karatsuba: split at half of the longer operand.
+        let half = a.len().max(b.len()) / 2;
+        let (a0, a1) = a.split_at(a.len().min(half));
+        let (b0, b1) = b.split_at(b.len().min(half));
+        let a0 = BigUint::from_limbs(a0.to_vec());
+        let a1 = BigUint::from_limbs(a1.to_vec());
+        let b0 = BigUint::from_limbs(b0.to_vec());
+        let b1 = BigUint::from_limbs(b1.to_vec());
+        let z0 = &a0 * &b0;
+        let z2 = &a1 * &b1;
+        let z1 = &(&(&a0 + &a1) * &(&b0 + &b1)) - &(&z0 + &z2);
+        let mut acc = z0;
+        acc = &acc + &z1.shl(64 * half);
+        acc = &acc + &z2.shl(128 * half);
+        acc.limbs
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)`.
+    ///
+    /// Uses a limb-wise fast path for single-limb divisors and bitwise long
+    /// division otherwise; all callers are setup-time (parameter synthesis,
+    /// cofactor and exponent computation), not hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn divrem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match self.cmp(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.divrem_u64(divisor.limbs[0]);
+            return (q, BigUint::from_u64(r));
+        }
+        let bits = self.bits();
+        let mut quotient = vec![0u64; self.limbs.len()];
+        // Remainder kept at divisor width + 1 for cheap compare/subtract.
+        let width = divisor.limbs.len() + 1;
+        let dv = divisor.to_fixed_limbs(width);
+        let mut rem = vec![0u64; width];
+        for i in (0..bits).rev() {
+            // rem = rem << 1 | bit(i)
+            let mut carry = if self.bit(i) { 1u64 } else { 0 };
+            for limb in rem.iter_mut() {
+                let new_carry = *limb >> 63;
+                *limb = (*limb << 1) | carry;
+                carry = new_carry;
+            }
+            debug_assert_eq!(carry, 0);
+            if cmp_slices(&rem, &dv) != Ordering::Less {
+                crate::limbs::sub_assign_slices(&mut rem, &dv);
+                quotient[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        (Self::from_limbs(quotient), Self::from_limbs(rem))
+    }
+
+    /// Division by a single limb: returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn divrem_u64(&self, d: u64) -> (BigUint, u64) {
+        assert!(d != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            out[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (Self::from_limbs(out), rem as u64)
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        self.divrem(m).1
+    }
+
+    /// Exact division: divides and asserts the remainder is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the division is not exact.
+    pub fn div_exact(&self, divisor: &BigUint) -> BigUint {
+        let (q, r) = self.divrem(divisor);
+        assert!(r.is_zero(), "division was not exact");
+        q
+    }
+
+    /// Exponentiation by a small exponent.
+    pub fn pow(&self, mut e: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = &acc * &base;
+            }
+            base = &base * &base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Modular exponentiation `self^exp mod modulus`.
+    ///
+    /// Uses Montgomery multiplication when the modulus is odd, falling back
+    /// to divide-and-reduce square-and-multiply for even moduli.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero or one.
+    pub fn modpow(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero() && !modulus.is_one(), "modulus must be >= 2");
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        if modulus.is_even() {
+            let mut acc = BigUint::one();
+            let base = self.rem(modulus);
+            for i in (0..exp.bits()).rev() {
+                acc = (&acc * &acc).rem(modulus);
+                if exp.bit(i) {
+                    acc = (&acc * &base).rem(modulus);
+                }
+            }
+            return acc;
+        }
+        let ctx = crate::fp::FpCtx::new_unchecked(modulus.clone());
+        let base = ctx.to_mont(&self.rem(modulus));
+        let mut acc = ctx.mont_one();
+        for i in (0..exp.bits()).rev() {
+            acc = ctx.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = ctx.mont_mul(&acc, &base);
+            }
+        }
+        ctx.from_mont(&acc)
+    }
+
+    /// Miller–Rabin probabilistic primality test with `rounds` random bases
+    /// (deterministic xorshift stream, so results are reproducible).
+    ///
+    /// With 40 rounds the error probability is below 2^-80 for adversarial
+    /// inputs and far below that for the structured primes used here.
+    pub fn is_probable_prime(&self, rounds: u32) -> bool {
+        if self.limbs.len() == 1 {
+            let n = self.limbs[0];
+            if n < 2 {
+                return false;
+            }
+            for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+                if n == p {
+                    return true;
+                }
+                if n % p == 0 {
+                    return false;
+                }
+            }
+        }
+        if self.is_even() {
+            return false;
+        }
+        for p in [3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] {
+            if self.divrem_u64(p).1 == 0 {
+                return self.to_u64() == Some(p);
+            }
+        }
+        let one = BigUint::one();
+        let n_minus_1 = self.checked_sub(&one).expect("n >= 2");
+        let s = n_minus_1.trailing_zeros();
+        let d = n_minus_1.shr(s);
+        let mut rng_state = 0x9E37_79B9_7F4A_7C15u64 ^ self.low_u64();
+        'witness: for _ in 0..rounds {
+            // xorshift64* stream
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            let a = BigUint::from_u64(2 + rng_state % 0xFFFF_FFFF);
+            let mut x = a.modpow(&d, self);
+            if x.is_one() || x == n_minus_1 {
+                continue;
+            }
+            for _ in 0..s.saturating_sub(1) {
+                x = x.modpow(&BigUint::from_u64(2), self);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Number of trailing zero bits (0 for zero).
+    pub fn trailing_zeros(&self) -> usize {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return 64 * i + l.trailing_zeros() as usize;
+            }
+        }
+        0
+    }
+
+    /// Integer square root: the largest `x` with `x² <= self`.
+    ///
+    /// Newton iteration on the limb representation; used by the curve
+    /// substrate to solve the CM equation `t² − 4q = −3f²` when deriving
+    /// sextic-twist group orders.
+    pub fn isqrt(&self) -> BigUint {
+        if self.is_zero() || self.is_one() {
+            return self.clone();
+        }
+        // Initial guess: 2^(ceil(bits/2)) >= sqrt(self).
+        let mut x = BigUint::one().shl(self.bits().div_ceil(2));
+        loop {
+            let y = (&x + &self.divrem(&x).0).shr(1);
+            if y >= x {
+                debug_assert!(&x * &x <= *self);
+                return x;
+            }
+            x = y;
+        }
+    }
+
+    /// Non-adjacent form, least-significant digit first, digits in
+    /// `{-1, 0, 1}`.
+    ///
+    /// The NAF of `n` reconstructs `n = Σ digit_i · 2^i` and has minimal
+    /// Hamming weight among signed-binary representations, which drives the
+    /// Miller-loop and exponentiation unrolling in the compiler.
+    pub fn naf(&self) -> Vec<i8> {
+        let mut n = self.clone();
+        let mut digits = Vec::with_capacity(self.bits() + 1);
+        while !n.is_zero() {
+            if n.is_even() {
+                digits.push(0i8);
+            } else {
+                let mod4 = n.low_u64() & 3;
+                if mod4 == 1 {
+                    digits.push(1);
+                    n = n.checked_sub(&BigUint::one()).expect("odd n >= 1");
+                } else {
+                    digits.push(-1);
+                    n = &n + &BigUint::one();
+                }
+            }
+            n = n.shr(1);
+        }
+        digits
+    }
+
+    /// Lowercase hexadecimal string (no prefix), `"0"` for zero.
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_owned();
+        }
+        let mut s = format!("{:x}", self.limbs.last().unwrap());
+        for l in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{l:016x}"));
+        }
+        s
+    }
+
+    /// Decimal string.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_owned();
+        }
+        let mut digits = Vec::new();
+        let mut n = self.clone();
+        while !n.is_zero() {
+            let (q, r) = n.divrem_u64(10_000_000_000_000_000_000);
+            if q.is_zero() {
+                digits.push(format!("{r}"));
+            } else {
+                digits.push(format!("{r:019}"));
+            }
+            n = q;
+        }
+        digits.reverse();
+        digits.concat()
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => cmp_slices(&self.limbs, &other.limbs),
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::ops::Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let n = self.limbs.len().max(rhs.limbs.len());
+        let mut out = vec![0u64; n + 1];
+        let mut carry = 0u64;
+        for (i, limb) in out.iter_mut().enumerate().take(n) {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (s, c) = adc(a, b, carry);
+            *limb = s;
+            carry = c;
+        }
+        out[n] = carry;
+        BigUint::from_limbs(out)
+    }
+}
+
+impl std::ops::Sub for &BigUint {
+    type Output = BigUint;
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`BigUint::checked_sub`] when the ordering
+    /// is not statically known.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+    }
+}
+
+impl std::ops::Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        BigUint::from_limbs(BigUint::mul_limbs(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_decimal())
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+/// Error parsing a [`BigUint`] from text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseBigUintError;
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid big-integer literal")
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn parse_and_format_roundtrip() {
+        let cases = ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"];
+        for c in cases {
+            let v = BigUint::from_hex(c).unwrap();
+            assert_eq!(v.to_hex(), c.trim_start_matches('0').to_lowercase().to_string().pipe_nonempty(c));
+        }
+        assert!(BigUint::from_hex("xyz").is_err());
+        assert!(BigUint::from_hex("").is_err());
+    }
+
+    trait PipeNonEmpty {
+        fn pipe_nonempty(self, orig: &str) -> String;
+    }
+    impl PipeNonEmpty for String {
+        fn pipe_nonempty(self, orig: &str) -> String {
+            if self.is_empty() && !orig.is_empty() {
+                "0".into()
+            } else {
+                self
+            }
+        }
+    }
+
+    #[test]
+    fn decimal_roundtrip() {
+        let v = BigUint::from_decimal("123456789012345678901234567890123456789").unwrap();
+        assert_eq!(v.to_decimal(), "123456789012345678901234567890123456789");
+        assert_eq!(BigUint::zero().to_decimal(), "0");
+    }
+
+    #[test]
+    fn add_sub_small() {
+        let x = b(u128::MAX);
+        let y = b(1);
+        let s = &x + &y;
+        assert_eq!(s.bits(), 129);
+        assert_eq!(&s - &y, x);
+        assert!(y.checked_sub(&x).is_none());
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        for (a, bb) in [(0u128, 5u128), (17, 23), (u64::MAX as u128, u64::MAX as u128)] {
+            assert_eq!(&b(a) * &b(bb), b(a * bb));
+        }
+    }
+
+    #[test]
+    fn karatsuba_consistency() {
+        // A deterministic pseudo-random large operand pair exercises the
+        // Karatsuba path against schoolbook.
+        let mut state = 1u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        let a = BigUint::from_limbs((0..80).map(|_| next()).collect());
+        let c = BigUint::from_limbs((0..80).map(|_| next()).collect());
+        let kara = &a * &c;
+        let school = BigUint::from_limbs(BigUint::mul_schoolbook(a.limbs(), c.limbs()));
+        assert_eq!(kara, school);
+    }
+
+    #[test]
+    fn shifts() {
+        let v = b(0b1011);
+        assert_eq!(v.shl(3), b(0b1011000));
+        assert_eq!(v.shl(64).shr(64), v);
+        assert_eq!(v.shr(2), b(0b10));
+        assert_eq!(v.shr(100), BigUint::zero());
+    }
+
+    #[test]
+    fn divrem_small_and_large() {
+        let (q, r) = b(1000).divrem(&b(7));
+        assert_eq!((q, r), (b(142), b(6)));
+        let n = BigUint::from_hex("ffffffffffffffffffffffffffffffffffffffff").unwrap();
+        let d = BigUint::from_hex("fedcba9876543210f").unwrap();
+        let (q, r) = n.divrem(&d);
+        assert!(r < d);
+        assert_eq!(&(&q * &d) + &r, n);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn divrem_zero_divisor_panics() {
+        let _ = b(5).divrem(&BigUint::zero());
+    }
+
+    #[test]
+    fn div_exact_checks() {
+        assert_eq!(b(36).div_exact(&b(12)), b(3));
+    }
+
+    #[test]
+    fn modpow_fermat() {
+        // 2^(p-1) = 1 mod p for prime p (both odd and even-modulus paths).
+        let p = b(1_000_000_007);
+        let e = b(1_000_000_006);
+        assert_eq!(b(2).modpow(&e, &p), b(1));
+        // even modulus path
+        assert_eq!(b(7).modpow(&b(5), &b(48)), b(7u128.pow(5) % 48));
+    }
+
+    #[test]
+    fn primality_known_values() {
+        assert!(b(2).is_probable_prime(10));
+        assert!(b(1_000_000_007).is_probable_prime(20));
+        assert!(!b(1_000_000_008).is_probable_prime(20));
+        assert!(!b(561).is_probable_prime(20)); // Carmichael
+        // BLS12-381 prime
+        let p = BigUint::from_hex(
+            "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab",
+        )
+        .unwrap();
+        assert!(p.is_probable_prime(20));
+    }
+
+    #[test]
+    fn isqrt_exact_and_floor() {
+        for v in [0u128, 1, 2, 3, 4, 15, 16, 17, 1 << 80, (1 << 80) + 123] {
+            let n = b(v);
+            let r = n.isqrt();
+            assert!(&r * &r <= n);
+            let r1 = &r + &BigUint::one();
+            assert!(&r1 * &r1 > n);
+        }
+    }
+
+    #[test]
+    fn naf_reconstructs() {
+        for v in [0u128, 1, 2, 3, 7, 0xdeadbeef, u64::MAX as u128] {
+            let naf = b(v).naf();
+            let mut acc: i128 = 0;
+            for (i, &d) in naf.iter().enumerate() {
+                acc += (d as i128) << i;
+            }
+            assert_eq!(acc, v as i128);
+            // non-adjacency
+            for w in naf.windows(2) {
+                assert!(w[0] == 0 || w[1] == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn bits_and_bit_access() {
+        let v = b(0b101);
+        assert_eq!(v.bits(), 3);
+        assert!(v.bit(0) && !v.bit(1) && v.bit(2) && !v.bit(63));
+        assert_eq!(BigUint::zero().bits(), 0);
+    }
+}

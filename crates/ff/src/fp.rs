@@ -1,0 +1,618 @@
+//! Prime-field arithmetic in Montgomery form.
+//!
+//! [`FpCtx`] owns everything derived from the modulus (limb width, `n0'`,
+//! `R^2 mod p`); [`Fp`] is a fixed-width element bound to its context via
+//! `Arc`, so elements of different fields can never be mixed silently —
+//! mixing panics in debug and release alike.
+//!
+//! The multiplication is CIOS (coarsely integrated operand scanning)
+//! Montgomery multiplication, the standard software algorithm matching the
+//! word-serial structure of the paper's `mmul` hardware unit.
+
+use crate::limbs::{adc, cmp_slices, mac, mont_neg_inv, sub_assign_slices};
+use crate::BigUint;
+use std::fmt;
+use std::sync::Arc;
+
+/// Context for a prime field F_p: the modulus and Montgomery constants.
+///
+/// # Examples
+///
+/// ```
+/// use finesse_ff::{BigUint, FpCtx};
+///
+/// let p = BigUint::from_u64(1_000_000_007);
+/// let ctx = FpCtx::new(p).unwrap();
+/// let a = ctx.from_u64(3);
+/// let b = ctx.from_u64(5);
+/// assert_eq!((&a * &b).to_biguint(), BigUint::from_u64(15));
+/// ```
+pub struct FpCtx {
+    p: BigUint,
+    p_limbs: Vec<u64>,
+    width: usize,
+    n0: u64,
+    r2: Vec<u64>,
+    one_mont: Vec<u64>,
+    p_minus_2: BigUint,
+    modulus_bits: usize,
+}
+
+/// Error constructing an [`FpCtx`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldCtxError {
+    /// The modulus was zero, one, or even (Montgomery form needs odd `p >= 3`).
+    InvalidModulus,
+    /// The modulus failed the primality test.
+    NotPrime,
+}
+
+impl fmt::Display for FieldCtxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldCtxError::InvalidModulus => f.write_str("modulus must be an odd integer >= 3"),
+            FieldCtxError::NotPrime => f.write_str("modulus is not prime"),
+        }
+    }
+}
+
+impl std::error::Error for FieldCtxError {}
+
+impl FpCtx {
+    /// Creates a field context, verifying the modulus is an odd probable
+    /// prime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldCtxError::InvalidModulus`] for even/small moduli and
+    /// [`FieldCtxError::NotPrime`] for composite ones.
+    pub fn new(p: BigUint) -> Result<Arc<Self>, FieldCtxError> {
+        if p.is_even() || p.is_one() || p.is_zero() {
+            return Err(FieldCtxError::InvalidModulus);
+        }
+        if !p.is_probable_prime(40) {
+            return Err(FieldCtxError::NotPrime);
+        }
+        Ok(Arc::new(Self::new_unchecked(p)))
+    }
+
+    /// Creates a context without the primality check (used internally by
+    /// `BigUint::modpow`, where the modulus need only be odd).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is even or `< 3`.
+    pub fn new_unchecked(p: BigUint) -> Self {
+        assert!(!p.is_even() && !p.is_one() && !p.is_zero(), "modulus must be odd and >= 3");
+        let width = p.limbs().len();
+        let p_limbs = p.to_fixed_limbs(width);
+        let n0 = mont_neg_inv(p_limbs[0]);
+        // R = 2^(64*width); compute R^2 mod p and R mod p by division.
+        let r2 = BigUint::one().shl(128 * width).rem(&p).to_fixed_limbs(width);
+        let one_mont = BigUint::one().shl(64 * width).rem(&p).to_fixed_limbs(width);
+        let p_minus_2 = p.checked_sub(&BigUint::from_u64(2)).expect("p >= 3");
+        let modulus_bits = p.bits();
+        FpCtx { p, p_limbs, width, n0, r2, one_mont, p_minus_2, modulus_bits }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &BigUint {
+        &self.p
+    }
+
+    /// Bit length of the modulus (`log p` in the paper's notation).
+    pub fn modulus_bits(&self) -> usize {
+        self.modulus_bits
+    }
+
+    /// Number of 64-bit limbs per element.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// CIOS Montgomery multiplication over raw limb vectors.
+    pub(crate) fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let n = self.width;
+        debug_assert_eq!(a.len(), n);
+        debug_assert_eq!(b.len(), n);
+        let mut t = vec![0u64; n + 2];
+        for &ai in a.iter().take(n) {
+            let mut carry = 0u64;
+            for j in 0..n {
+                let (lo, hi) = mac(t[j], ai, b[j], carry);
+                t[j] = lo;
+                carry = hi;
+            }
+            let (lo, hi) = adc(t[n], carry, 0);
+            t[n] = lo;
+            t[n + 1] = hi;
+            let m = t[0].wrapping_mul(self.n0);
+            let (_, mut carry2) = mac(t[0], m, self.p_limbs[0], 0);
+            for j in 1..n {
+                let (lo, hi) = mac(t[j], m, self.p_limbs[j], carry2);
+                t[j - 1] = lo;
+                carry2 = hi;
+            }
+            let (lo, hi) = adc(t[n], carry2, 0);
+            t[n - 1] = lo;
+            t[n] = t[n + 1] + hi;
+            t[n + 1] = 0;
+        }
+        let overflow = t[n] != 0;
+        t.truncate(n);
+        if overflow || cmp_slices(&t, &self.p_limbs) != std::cmp::Ordering::Less {
+            sub_assign_slices(&mut t, &self.p_limbs);
+        }
+        t
+    }
+
+    /// Converts a canonical residue (`< p`) into Montgomery form.
+    pub(crate) fn to_mont(&self, v: &BigUint) -> Vec<u64> {
+        debug_assert!(v < &self.p);
+        self.mont_mul(&v.to_fixed_limbs(self.width), &self.r2)
+    }
+
+    /// Converts Montgomery-form limbs back to a canonical [`BigUint`].
+    pub(crate) fn from_mont(&self, v: &[u64]) -> BigUint {
+        let mut one = vec![0u64; self.width];
+        one[0] = 1;
+        BigUint::from_limbs(self.mont_mul(v, &one))
+    }
+
+    /// Montgomery representation of one.
+    pub(crate) fn mont_one(&self) -> Vec<u64> {
+        self.one_mont.clone()
+    }
+}
+
+impl fmt::Debug for FpCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FpCtx")
+            .field("bits", &self.modulus_bits)
+            .field("p", &format_args!("0x{}", self.p.to_hex()))
+            .finish()
+    }
+}
+
+/// Context-bound constructors returning [`Fp`] elements.
+impl FpCtx {
+    /// The additive identity of this field.
+    pub fn zero(self: &Arc<Self>) -> Fp {
+        Fp { ctx: Arc::clone(self), v: vec![0u64; self.width] }
+    }
+
+    /// The multiplicative identity of this field.
+    pub fn one(self: &Arc<Self>) -> Fp {
+        Fp { ctx: Arc::clone(self), v: self.one_mont.clone() }
+    }
+
+    /// Embeds a `u64`.
+    pub fn from_u64(self: &Arc<Self>, v: u64) -> Fp {
+        self.from_biguint(&BigUint::from_u64(v))
+    }
+
+    /// Embeds an arbitrary integer, reducing mod `p`.
+    pub fn from_biguint(self: &Arc<Self>, v: &BigUint) -> Fp {
+        let reduced = if v < &self.p { v.clone() } else { v.rem(&self.p) };
+        Fp { ctx: Arc::clone(self), v: self.to_mont(&reduced) }
+    }
+
+    /// Embeds a signed integer, reducing into `[0, p)`.
+    pub fn from_i64(self: &Arc<Self>, v: i64) -> Fp {
+        let f = self.from_u64(v.unsigned_abs());
+        if v < 0 {
+            -&f
+        } else {
+            f
+        }
+    }
+
+    /// Deterministically derives a field element from a seed (xorshift
+    /// stream reduced mod p) — used for reproducible test vectors.
+    pub fn sample(self: &Arc<Self>, seed: u64) -> Fp {
+        let mut state = seed ^ 0xA076_1D64_78BD_642F;
+        let mut limbs = Vec::with_capacity(self.width + 1);
+        for _ in 0..=self.width {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            limbs.push(state);
+        }
+        self.from_biguint(&BigUint::from_limbs(limbs))
+    }
+}
+
+/// A prime-field element in Montgomery form, bound to its [`FpCtx`].
+#[derive(Clone)]
+pub struct Fp {
+    ctx: Arc<FpCtx>,
+    v: Vec<u64>,
+}
+
+impl Fp {
+    /// The owning field context.
+    pub fn ctx(&self) -> &Arc<FpCtx> {
+        &self.ctx
+    }
+
+    fn check_ctx(&self, other: &Fp) {
+        assert!(
+            Arc::ptr_eq(&self.ctx, &other.ctx),
+            "mixed elements from different field contexts"
+        );
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.v.iter().all(|&l| l == 0)
+    }
+
+    /// True iff one.
+    pub fn is_one(&self) -> bool {
+        self.v == self.ctx.one_mont
+    }
+
+    /// Canonical (non-Montgomery) value in `[0, p)`.
+    pub fn to_biguint(&self) -> BigUint {
+        self.ctx.from_mont(&self.v)
+    }
+
+    /// Addition modulo p.
+    pub fn add(&self, other: &Fp) -> Fp {
+        self.check_ctx(other);
+        let mut out = self.v.clone();
+        let carry = crate::limbs::add_assign_slices(&mut out, &other.v);
+        if carry != 0 || cmp_slices(&out, &self.ctx.p_limbs) != std::cmp::Ordering::Less {
+            sub_assign_slices(&mut out, &self.ctx.p_limbs);
+        }
+        Fp { ctx: Arc::clone(&self.ctx), v: out }
+    }
+
+    /// Subtraction modulo p.
+    pub fn sub(&self, other: &Fp) -> Fp {
+        self.check_ctx(other);
+        let mut out = self.v.clone();
+        let borrow = sub_assign_slices(&mut out, &other.v);
+        if borrow != 0 {
+            crate::limbs::add_assign_slices(&mut out, &self.ctx.p_limbs);
+        }
+        Fp { ctx: Arc::clone(&self.ctx), v: out }
+    }
+
+    /// Negation modulo p.
+    pub fn neg(&self) -> Fp {
+        if self.is_zero() {
+            return self.clone();
+        }
+        let mut out = self.ctx.p_limbs.clone();
+        sub_assign_slices(&mut out, &self.v);
+        Fp { ctx: Arc::clone(&self.ctx), v: out }
+    }
+
+    /// Multiplication modulo p.
+    pub fn mul(&self, other: &Fp) -> Fp {
+        self.check_ctx(other);
+        Fp { ctx: Arc::clone(&self.ctx), v: self.ctx.mont_mul(&self.v, &other.v) }
+    }
+
+    /// Squaring modulo p.
+    pub fn square(&self) -> Fp {
+        Fp { ctx: Arc::clone(&self.ctx), v: self.ctx.mont_mul(&self.v, &self.v) }
+    }
+
+    /// Doubling (`2x`), the hardware `DBL` operation.
+    pub fn double(&self) -> Fp {
+        self.add(self)
+    }
+
+    /// Tripling (`3x`), the hardware `TPL` operation.
+    pub fn triple(&self) -> Fp {
+        self.double().add(self)
+    }
+
+    /// Multiplication by a small non-negative integer via an addition chain.
+    pub fn mul_small(&self, k: u64) -> Fp {
+        let mut acc = self.ctx.zero();
+        let mut base = self.clone();
+        let mut k = k;
+        while k > 0 {
+            if k & 1 == 1 {
+                acc = acc.add(&base);
+            }
+            base = base.double();
+            k >>= 1;
+        }
+        acc
+    }
+
+    /// Halving: multiplies by the inverse of 2 (exact since p is odd).
+    pub fn halve(&self) -> Fp {
+        let n = self.to_biguint();
+        let half = if n.is_even() {
+            n.shr(1)
+        } else {
+            (&n + self.ctx.modulus()).shr(1)
+        };
+        self.ctx.from_biguint(&half)
+    }
+
+    /// Exponentiation by an arbitrary [`BigUint`] exponent.
+    pub fn pow(&self, e: &BigUint) -> Fp {
+        let mut acc = self.ctx.one();
+        for i in (0..e.bits()).rev() {
+            acc = acc.square();
+            if e.bit(i) {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`x^(p-2)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero — inversion of zero is a programming error in every
+    /// pairing code path (the single `INV` in the final exponentiation is of
+    /// a provably non-zero Miller value).
+    pub fn invert(&self) -> Fp {
+        assert!(!self.is_zero(), "inversion of zero");
+        let e = self.ctx.p_minus_2.clone();
+        self.pow(&e)
+    }
+
+    /// Square root via Tonelli–Shanks, `None` for quadratic non-residues.
+    ///
+    /// Uses the `a^((p+1)/4)` fast path when `p ≡ 3 (mod 4)`.
+    pub fn sqrt(&self) -> Option<Fp> {
+        if self.is_zero() {
+            return Some(self.clone());
+        }
+        if self.legendre() != 1 {
+            return None;
+        }
+        let p = self.ctx.modulus();
+        if p.low_u64() & 3 == 3 {
+            let e = (p + &BigUint::one()).shr(2);
+            let r = self.pow(&e);
+            debug_assert_eq!(r.square(), *self);
+            return Some(r);
+        }
+        // General Tonelli–Shanks.
+        let p_minus_1 = p.checked_sub(&BigUint::one()).expect("p >= 3");
+        let s = p_minus_1.trailing_zeros();
+        let q = p_minus_1.shr(s);
+        // Deterministic non-residue search.
+        let mut z = self.ctx.from_u64(2);
+        let mut k = 2u64;
+        while z.legendre() != -1 {
+            k += 1;
+            z = self.ctx.from_u64(k);
+        }
+        let mut m = s;
+        let mut c = z.pow(&q);
+        let mut t = self.pow(&q);
+        let mut r = self.pow(&(&q + &BigUint::one()).shr(1));
+        while !t.is_one() {
+            let mut i = 0usize;
+            let mut t2 = t.clone();
+            while !t2.is_one() {
+                t2 = t2.square();
+                i += 1;
+            }
+            let mut b = c;
+            for _ in 0..m - i - 1 {
+                b = b.square();
+            }
+            m = i;
+            c = b.square();
+            t = &t * &c;
+            r = &r * &b;
+        }
+        debug_assert_eq!(r.square(), *self);
+        Some(r)
+    }
+
+    /// Legendre symbol: `1` for quadratic residue, `-1` for non-residue,
+    /// `0` for zero.
+    pub fn legendre(&self) -> i8 {
+        if self.is_zero() {
+            return 0;
+        }
+        let exp = self
+            .ctx
+            .modulus()
+            .checked_sub(&BigUint::one())
+            .expect("p >= 3")
+            .shr(1);
+        let r = self.pow(&exp);
+        if r.is_one() {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+impl PartialEq for Fp {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.ctx, &other.ctx) && self.v == other.v
+    }
+}
+
+impl Eq for Fp {}
+
+impl fmt::Debug for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp(0x{})", self.to_biguint().to_hex())
+    }
+}
+
+impl fmt::Display for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_biguint().to_hex())
+    }
+}
+
+impl std::ops::Add for &Fp {
+    type Output = Fp;
+    fn add(self, rhs: &Fp) -> Fp {
+        Fp::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for &Fp {
+    type Output = Fp;
+    fn sub(self, rhs: &Fp) -> Fp {
+        Fp::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul for &Fp {
+    type Output = Fp;
+    fn mul(self, rhs: &Fp) -> Fp {
+        Fp::mul(self, rhs)
+    }
+}
+
+impl std::ops::Neg for &Fp {
+    type Output = Fp;
+    fn neg(self) -> Fp {
+        Fp::neg(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Arc<FpCtx> {
+        // BLS12-381 prime: a realistic 381-bit modulus.
+        let p = BigUint::from_hex(
+            "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab",
+        )
+        .unwrap();
+        FpCtx::new(p).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(FpCtx::new(BigUint::from_u64(8)).unwrap_err(), FieldCtxError::InvalidModulus);
+        assert_eq!(FpCtx::new(BigUint::from_u64(9)).unwrap_err(), FieldCtxError::NotPrime);
+        assert!(FpCtx::new(BigUint::from_u64(1_000_000_007)).is_ok());
+    }
+
+    #[test]
+    fn mont_roundtrip() {
+        let c = ctx();
+        for seed in 0..20u64 {
+            let x = c.sample(seed);
+            let back = c.from_biguint(&x.to_biguint());
+            assert_eq!(x, back);
+        }
+    }
+
+    #[test]
+    fn field_axioms_sampled() {
+        let c = ctx();
+        for seed in 0..10u64 {
+            let a = c.sample(seed);
+            let b = c.sample(seed + 100);
+            let d = c.sample(seed + 200);
+            assert_eq!(&a + &b, &b + &a);
+            assert_eq!(&a * &b, &b * &a);
+            assert_eq!(&(&a + &b) + &d, &a + &(&b + &d));
+            assert_eq!(&(&a * &b) * &d, &a * &(&b * &d));
+            assert_eq!(&a * &(&b + &d), &(&a * &b) + &(&a * &d));
+            assert_eq!(&a - &a, c.zero());
+            assert_eq!(&a + &-&a, c.zero());
+            assert_eq!(&a * &c.one(), a);
+        }
+    }
+
+    #[test]
+    fn inversion_and_fermat() {
+        let c = ctx();
+        for seed in 1..8u64 {
+            let a = c.sample(seed);
+            assert_eq!(&a * &a.invert(), c.one());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inversion of zero")]
+    fn invert_zero_panics() {
+        let c = ctx();
+        let _ = c.zero().invert();
+    }
+
+    #[test]
+    fn small_ops() {
+        let c = ctx();
+        let a = c.sample(7);
+        assert_eq!(a.double(), &a + &a);
+        assert_eq!(a.triple(), &(&a + &a) + &a);
+        assert_eq!(a.mul_small(5), &a.double().double() + &a);
+        assert_eq!(a.halve().double(), a);
+        assert_eq!(c.from_i64(-1), -&c.one());
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let c = ctx();
+        let a = c.sample(3);
+        let mut expect = c.one();
+        for _ in 0..13 {
+            expect = &expect * &a;
+        }
+        assert_eq!(a.pow(&BigUint::from_u64(13)), expect);
+    }
+
+    #[test]
+    fn sqrt_roundtrip_both_paths() {
+        // p = 3 mod 4 path
+        let c = ctx();
+        for seed in 1..6u64 {
+            let a = c.sample(seed);
+            let sq = a.square();
+            let r = sq.sqrt().expect("square has root");
+            assert!(r == a || r == -&a);
+        }
+        // p = 1 mod 4 path (Tonelli–Shanks): 1000000007 ≡ 3 mod 4,
+        // use 998244353 = 119 * 2^23 + 1 ≡ 1 mod 4.
+        let c = FpCtx::new(BigUint::from_u64(998_244_353)).unwrap();
+        for seed in 1..6u64 {
+            let a = c.sample(seed);
+            let sq = a.square();
+            let r = sq.sqrt().expect("square has root");
+            assert!(r == a || r == -&a);
+        }
+        // Non-residue returns None: find one by scanning.
+        let mut found = false;
+        for k in 2..50 {
+            let x = c.from_u64(k);
+            if x.legendre() == -1 {
+                assert!(x.sqrt().is_none());
+                found = true;
+                break;
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn legendre_of_square_is_one() {
+        let c = ctx();
+        let a = c.sample(11);
+        assert_eq!(a.square().legendre(), 1);
+        assert_eq!(c.zero().legendre(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different field contexts")]
+    fn mixing_contexts_panics() {
+        let c1 = FpCtx::new(BigUint::from_u64(1_000_000_007)).unwrap();
+        let c2 = FpCtx::new(BigUint::from_u64(998_244_353)).unwrap();
+        let _ = &c1.one() + &c2.one();
+    }
+}

@@ -1,0 +1,34 @@
+//! # finesse-ff
+//!
+//! Finite-field arithmetic substrate for the Finesse pairing framework:
+//!
+//! - [`BigUint`] / [`BigInt`] — arbitrary-precision integers for parameter
+//!   synthesis, exponent computation, and primality testing;
+//! - [`FpCtx`] / [`Fp`] — prime fields in Montgomery (CIOS) form;
+//! - [`tower`] — the extension-field towers F_p → F_p^2 → F_p^(k/6) →
+//!   F_p^k used by optimal Ate pairings, including Frobenius maps,
+//!   cyclotomic squaring and generic Tonelli–Shanks square roots.
+//!
+//! Everything is built from scratch (no external bignum), dynamically sized
+//! so a single code path serves every curve from BN254 to BLS24-509.
+//!
+//! ```
+//! use finesse_ff::{BigUint, FpCtx};
+//!
+//! let p = BigUint::from_u64(1_000_000_007);
+//! let f = FpCtx::new(p)?;
+//! let x = f.from_u64(2);
+//! assert_eq!(x.pow(&BigUint::from_u64(10)).to_biguint(), BigUint::from_u64(1024));
+//! # Ok::<(), finesse_ff::FieldCtxError>(())
+//! ```
+
+pub mod bigint;
+pub mod biguint;
+pub mod fp;
+pub mod limbs;
+pub mod tower;
+
+pub use bigint::BigInt;
+pub use biguint::{BigUint, ParseBigUintError};
+pub use fp::{FieldCtxError, Fp, FpCtx};
+pub use tower::{Fpk, Fq, TowerCtx, TowerError};

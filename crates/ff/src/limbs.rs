@@ -1,0 +1,143 @@
+//! Low-level 64-bit limb primitives shared by [`crate::BigUint`] and the
+//! Montgomery arithmetic in [`crate::fp`].
+//!
+//! All helpers are branch-free single-limb steps; multi-limb loops live with
+//! their callers so each algorithm stays readable in one place.
+
+/// Add with carry: computes `a + b + carry`, returning `(sum, carry_out)`.
+///
+/// `carry_out` is always `0` or `1`.
+#[inline(always)]
+pub fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = (a as u128) + (b as u128) + (carry as u128);
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Subtract with borrow: computes `a - b - borrow`, returning
+/// `(difference, borrow_out)` where `borrow_out` is `0` or `1`.
+#[inline(always)]
+pub fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let t = (a as u128).wrapping_sub(b as u128).wrapping_sub(borrow as u128);
+    (t as u64, (t >> 127) as u64)
+}
+
+/// Multiply-accumulate: computes `acc + b * c + carry`, returning
+/// `(low, high)` of the 128-bit result.
+#[inline(always)]
+pub fn mac(acc: u64, b: u64, c: u64, carry: u64) -> (u64, u64) {
+    let t = (acc as u128) + (b as u128) * (c as u128) + (carry as u128);
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Compares two equal-length limb slices (little-endian).
+#[inline]
+pub fn cmp_slices(a: &[u64], b: &[u64]) -> core::cmp::Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            core::cmp::Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    core::cmp::Ordering::Equal
+}
+
+/// In-place addition of equal-length slices: `a += b`, returns final carry.
+#[inline]
+pub fn add_assign_slices(a: &mut [u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut carry = 0;
+    for i in 0..a.len() {
+        let (s, c) = adc(a[i], b[i], carry);
+        a[i] = s;
+        carry = c;
+    }
+    carry
+}
+
+/// In-place subtraction of equal-length slices: `a -= b`, returns final
+/// borrow (`1` when `b > a`).
+#[inline]
+pub fn sub_assign_slices(a: &mut [u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut borrow = 0;
+    for i in 0..a.len() {
+        let (d, bw) = sbb(a[i], b[i], borrow);
+        a[i] = d;
+        borrow = bw;
+    }
+    borrow
+}
+
+/// Computes `-m^{-1} mod 2^64` for odd `m` (the Montgomery `n0'` constant)
+/// by Newton–Hensel iteration.
+///
+/// # Panics
+///
+/// Panics if `m` is even (no inverse exists modulo a power of two).
+#[inline]
+pub fn mont_neg_inv(m: u64) -> u64 {
+    assert!(m & 1 == 1, "montgomery modulus must be odd");
+    // Newton iteration doubles the number of correct low bits each step:
+    // five steps starting from 3 correct bits covers 64 bits.
+    let mut inv = m; // correct to 3 bits for odd m
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(m.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(m.wrapping_mul(inv), 1);
+    inv.wrapping_neg()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_carries() {
+        assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+        assert_eq!(adc(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+        assert_eq!(adc(1, 2, 0), (3, 0));
+    }
+
+    #[test]
+    fn sbb_borrows() {
+        assert_eq!(sbb(0, 1, 0), (u64::MAX, 1));
+        assert_eq!(sbb(5, 3, 1), (1, 0));
+        assert_eq!(sbb(0, 0, 1), (u64::MAX, 1));
+    }
+
+    #[test]
+    fn mac_full_width() {
+        // acc + b*c + carry with maximal operands never overflows 128 bits.
+        let (lo, hi) = mac(u64::MAX, u64::MAX, u64::MAX, u64::MAX);
+        let expect = (u64::MAX as u128) + (u64::MAX as u128) * (u64::MAX as u128) + (u64::MAX as u128);
+        assert_eq!(lo, expect as u64);
+        assert_eq!(hi, (expect >> 64) as u64);
+    }
+
+    #[test]
+    fn neg_inv_small_odds() {
+        for m in [1u64, 3, 5, 7, 0xFFFF_FFFF_FFFF_FFFF, 0x1234_5678_9ABC_DEF1] {
+            let ninv = mont_neg_inv(m);
+            assert_eq!(m.wrapping_mul(ninv), 1u64.wrapping_neg());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn neg_inv_rejects_even() {
+        mont_neg_inv(2);
+    }
+
+    #[test]
+    fn slice_add_sub_roundtrip() {
+        let mut a = [u64::MAX, 0, 7];
+        let b = [1, 2, 3];
+        let carry = add_assign_slices(&mut a, &b);
+        assert_eq!(carry, 0);
+        assert_eq!(a, [0, 3, 10]);
+        let borrow = sub_assign_slices(&mut a, &b);
+        assert_eq!(borrow, 0);
+        assert_eq!(a, [u64::MAX, 0, 7]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Analytical ASIC area model, calibrated to the paper's 40nm LP silicon
+//! (Figure 6 breakdown, Table 6 totals, Figure 12 floorplan summary).
+//!
+//! This is the substitution for commercial EDA synthesis (see DESIGN.md):
+//! the co-design loop only consumes scalar area feedback, so a calibrated
+//! analytical model exercises the same code path. Structure:
+//!
+//! * `mmul` — hierarchical Karatsuba–Wallace multiplier (Figure 5(c)):
+//!   `3^L` base W×W multipliers (vs `4^L` naive), compressor trees, and
+//!   pipeline registers proportional to depth × width; doubled for the
+//!   Montgomery reduction half.
+//! * memories — composed small SRAM macros (Figure 5(b)); the data memory
+//!   pays a multi-port (2R1W, three-stage pipelined) density penalty over
+//!   the single-port instruction memory.
+//! * linear units and the iterative `minv` — width-proportional adders.
+//!
+//! Calibration anchors (BN254N, Long = 38, ~55k-instruction image,
+//! ~420 live registers): per-core ALU 0.62 mm² (89% `mmul`), DMem
+//! 0.27 mm², shared IMem 0.885 mm² → 1-core 1.77 mm², 8-core 8.00 mm².
+
+use crate::model::HwModel;
+
+/// Base multiplier width W in bits (DSP/multiplier-IP granularity).
+pub const BASE_MULT_WIDTH: u32 = 16;
+
+/// Single-port SRAM density, mm² per KiB @ 40nm LP (calibrated).
+const IMEM_MM2_PER_KIB: f64 = 0.0040;
+
+/// Multi-ported (2R1W, pipelined) register-bank density, mm² per KiB
+/// (≈ 5.3× single port — the classic multiport penalty).
+const DMEM_MM2_PER_KIB: f64 = 0.0213;
+
+/// Area of one W×W base multiplier *including its share of the Wallace
+/// compressor tree*, mm² (calibrated).
+const BASE_MULT_MM2: f64 = 0.0194;
+
+/// Pipeline-register area per (stage × bit), mm².
+const PIPE_REG_MM2_PER_STAGE_BIT: f64 = 1.19e-5;
+
+/// Linear (Short) unit area per bit, mm².
+const LINEAR_MM2_PER_BIT: f64 = 6.0e-5;
+
+/// Iterative inversion unit area per bit, mm².
+const MINV_MM2_PER_BIT: f64 = 9.0e-5;
+
+/// NAND2-equivalent gate density per mm² @ 40nm LP (for the Figure 12
+/// gate-count line).
+const GATES_PER_MM2: f64 = 650_000.0;
+
+/// Inputs the area model needs from a compiled design point.
+#[derive(Clone, Copy, Debug)]
+pub struct AreaInputs {
+    /// Base-field width in bits (log p).
+    pub field_bits: u32,
+    /// Instruction-memory image size in bytes.
+    pub imem_bytes: usize,
+    /// Peak live registers (per core, all banks).
+    pub live_registers: usize,
+    /// Number of parallel cores sharing the instruction memory.
+    pub cores: u32,
+}
+
+/// Per-component area breakdown in mm² (the paper's Figure 6).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaBreakdown {
+    /// Shared instruction memory.
+    pub imem: f64,
+    /// Per-core data memory (register banks), total across cores.
+    pub dmem: f64,
+    /// Per-core ALU total across cores.
+    pub alu: f64,
+    /// Of which the modular multiplier (subset of `alu`).
+    pub mmul: f64,
+}
+
+impl AreaBreakdown {
+    /// Total die area.
+    pub fn total(&self) -> f64 {
+        self.imem + self.dmem + self.alu
+    }
+
+    /// `mmul` share of the ALU (≈ 0.89 in Figure 6).
+    pub fn mmul_share_of_alu(&self) -> f64 {
+        self.mmul / self.alu
+    }
+
+    /// NAND2-equivalent gate count of the logic (ALU) portion.
+    pub fn logic_gate_count(&self) -> f64 {
+        self.alu * GATES_PER_MM2
+    }
+
+    /// Total SRAM capacity in KiB implied by the memory areas.
+    pub fn sram_kib(&self) -> f64 {
+        self.imem / IMEM_MM2_PER_KIB + self.dmem / DMEM_MM2_PER_KIB
+    }
+}
+
+/// Number of Karatsuba recursion levels to cover `bits` with W-wide bases
+/// (Figure 5(c): the structure spans `[2W·2^n, 5W·2^n]`).
+pub fn karatsuba_levels(bits: u32) -> u32 {
+    let mut span_hi = 5 * BASE_MULT_WIDTH;
+    let mut n = 0;
+    while bits > span_hi {
+        span_hi *= 2;
+        n += 1;
+    }
+    n
+}
+
+/// Area of the hierarchical Montgomery multiplier in mm².
+///
+/// `karatsuba = false` models the naive `4^L` partial-product array (the
+/// ~40% area saving claim of §3.3 is checked in tests).
+pub fn mmul_area(field_bits: u32, pipeline_depth: u32, karatsuba: bool) -> f64 {
+    let levels = karatsuba_levels(field_bits);
+    let units: f64 = if karatsuba { 3f64.powi(levels as i32) } else { 4f64.powi(levels as i32) };
+    // ×2: multiply + Montgomery reduction halves share the structure.
+    let mult_array = 2.0 * units * BASE_MULT_MM2;
+    // Wallace compressors + pipeline registers: grow with depth and width.
+    let pipeline = PIPE_REG_MM2_PER_STAGE_BIT * pipeline_depth as f64 * (2 * field_bits) as f64;
+    mult_array + pipeline
+}
+
+/// Full-chip area breakdown for a design point.
+pub fn area_breakdown(model: &HwModel, inputs: &AreaInputs) -> AreaBreakdown {
+    let bits = inputs.field_bits;
+    let imem_kib = inputs.imem_bytes as f64 / 1024.0;
+    let imem = imem_kib * IMEM_MM2_PER_KIB;
+
+    let dmem_bits = inputs.live_registers as f64 * bits as f64;
+    let dmem_kib = dmem_bits / 8.0 / 1024.0;
+    let dmem_core = dmem_kib * DMEM_MM2_PER_KIB;
+
+    let mmul = mmul_area(bits, model.long_lat, true);
+    let linear = model.n_linear_units as f64 * LINEAR_MM2_PER_BIT * bits as f64;
+    let minv = MINV_MM2_PER_BIT * bits as f64;
+    let alu_core = mmul + linear + minv;
+
+    let n = inputs.cores as f64;
+    AreaBreakdown { imem, dmem: dmem_core * n, alu: alu_core * n, mmul: mmul * n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bn254_inputs(cores: u32) -> AreaInputs {
+        // Paper-scale BN254N design point: ~55.3k single-issue
+        // instructions (221 KiB image), ~420 live registers.
+        AreaInputs { field_bits: 254, imem_bytes: 55_300 * 4, live_registers: 420, cores }
+    }
+
+    #[test]
+    fn calibration_matches_figure6_single_core() {
+        let m = HwModel::paper_default();
+        let b = area_breakdown(&m, &bn254_inputs(1));
+        assert!((b.total() - 1.77).abs() < 0.12, "1-core total {:.3} vs 1.77 mm²", b.total());
+        assert!((b.imem - 0.885).abs() < 0.06, "imem {:.3} vs 0.885", b.imem);
+        assert!((b.alu - 0.62).abs() < 0.07, "alu {:.3} vs 0.62", b.alu);
+        assert!((b.dmem - 0.27).abs() < 0.05, "dmem {:.3} vs 0.27", b.dmem);
+        assert!(b.mmul_share_of_alu() > 0.80, "mmul dominates the ALU");
+    }
+
+    #[test]
+    fn calibration_matches_figure6_eight_core() {
+        let m = HwModel::paper_default();
+        let b = area_breakdown(&m, &bn254_inputs(8));
+        assert!((b.total() - 8.00).abs() < 0.6, "8-core total {:.3} vs 8.00 mm²", b.total());
+        // IMem share drops from ~50% to ~11%.
+        let share1 = {
+            let b1 = area_breakdown(&m, &bn254_inputs(1));
+            b1.imem / b1.total()
+        };
+        let share8 = b.imem / b.total();
+        assert!(share1 > 0.45 && share1 < 0.55, "1-core imem share {share1:.2}");
+        assert!(share8 < 0.15, "8-core imem share {share8:.2}");
+    }
+
+    #[test]
+    fn karatsuba_saves_about_forty_percent() {
+        // §3.3: W=16, n=3 → ≈40% reduction vs naive multiplication.
+        let k = mmul_area(254, 38, true);
+        let n = mmul_area(254, 38, false);
+        let saving = 1.0 - (k / n);
+        assert!(saving > 0.25 && saving < 0.55, "saving {saving:.2}");
+    }
+
+    #[test]
+    fn area_grows_superlinearly_but_subquadratically() {
+        // Figure 8(a): area/(k log p) grows mildly; far below quadratic.
+        let m = HwModel::paper_default();
+        let small = area_breakdown(&m, &AreaInputs { field_bits: 254, imem_bytes: 220_000, live_registers: 420, cores: 1 });
+        let big = area_breakdown(&m, &AreaInputs { field_bits: 638, imem_bytes: 560_000, live_registers: 420, cores: 1 });
+        let ratio = big.total() / small.total();
+        let bits_ratio = 638.0 / 254.0;
+        assert!(ratio > bits_ratio * 0.9, "at least ~linear (got {ratio:.2})");
+        assert!(ratio < bits_ratio * bits_ratio * 0.7, "well below quadratic");
+    }
+
+    #[test]
+    fn levels_cover_table2_widths() {
+        assert_eq!(karatsuba_levels(254), 2); // 5W·2² = 320 ≥ 254
+        assert_eq!(karatsuba_levels(509), 3);
+        assert_eq!(karatsuba_levels(638), 3);
+    }
+}

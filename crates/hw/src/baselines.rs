@@ -1,0 +1,100 @@
+//! Published operating points of the prior-work baselines compared in
+//! Table 6 — FlexiPair (Bag et al., IEEE TC 2022) and the Ikeda et al.
+//! optimal-Ate ASIC engine (A-SSCC 2019) — together with the derived
+//! throughput/efficiency metrics used for the headline ratios (34× / 6.2×
+//! on FPGA, 3× / 3.2× on ASIC).
+//!
+//! These are *reported* numbers, not re-implementations: the paper also
+//! compares against the published operating points.
+
+/// FlexiPair on Virtex-7, BN256 (equivalent security to BN254).
+#[derive(Clone, Copy, Debug)]
+pub struct FpgaBaseline {
+    /// Design name.
+    pub name: &'static str,
+    /// Clock frequency, MHz.
+    pub frequency_mhz: f64,
+    /// Cycles per pairing.
+    pub cycles: u64,
+    /// Latency per pairing, ms.
+    pub latency_ms: f64,
+    /// Occupied slices.
+    pub slices: u32,
+}
+
+impl FpgaBaseline {
+    /// Pairings per second.
+    pub fn throughput_ops(&self) -> f64 {
+        1000.0 / self.latency_ms
+    }
+
+    /// Pairings per second per slice.
+    pub fn ops_per_slice(&self) -> f64 {
+        self.throughput_ops() / self.slices as f64
+    }
+}
+
+/// The FlexiPair operating point of Table 6.
+pub const FLEXIPAIR: FpgaBaseline = FpgaBaseline {
+    name: "FlexiPair (TC'22)",
+    frequency_mhz: 188.5,
+    cycles: 2_552_000,
+    latency_ms: 14.14,
+    slices: 2_506,
+};
+
+/// An ASIC baseline operating point.
+#[derive(Clone, Copy, Debug)]
+pub struct AsicBaseline {
+    /// Design name.
+    pub name: &'static str,
+    /// Technology node description.
+    pub node: &'static str,
+    /// Clock frequency, MHz.
+    pub frequency_mhz: f64,
+    /// Cycles per pairing.
+    pub cycles: u64,
+    /// Latency per pairing at 1.1 V, µs.
+    pub latency_us: f64,
+    /// Die area, mm².
+    pub area_mm2: f64,
+}
+
+impl AsicBaseline {
+    /// Pairings per second.
+    pub fn throughput_ops(&self) -> f64 {
+        1.0e6 / self.latency_us
+    }
+
+    /// Pairings per second per mm², in kops/mm².
+    pub fn kops_per_mm2(&self) -> f64 {
+        self.throughput_ops() / 1000.0 / self.area_mm2
+    }
+}
+
+/// The Ikeda et al. 65nm FDSOI engine of Table 6.
+pub const IKEDA_ASSCC19: AsicBaseline = AsicBaseline {
+    name: "Ikeda et al. (A-SSCC'19)",
+    node: "65nm FDSOI",
+    frequency_mhz: 250.0,
+    cycles: 8_487,
+    latency_us: 56.2,
+    area_mm2: 12.8,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flexipair_published_metrics() {
+        assert!((FLEXIPAIR.throughput_ops() - 70.7).abs() < 0.3);
+        assert!((FLEXIPAIR.ops_per_slice() - 0.028).abs() < 0.001);
+    }
+
+    #[test]
+    fn ikeda_published_metrics() {
+        assert!((IKEDA_ASSCC19.throughput_ops() / 1000.0 - 17.8).abs() < 0.1);
+        assert!((IKEDA_ASSCC19.kops_per_mm2() - 1.39).abs() < 0.01);
+    }
+}

@@ -1,0 +1,125 @@
+//! FPGA resource/timing model for the Xilinx Virtex-7 target (the Vivado
+//! substitution; see DESIGN.md).
+//!
+//! Slice counts decompose into the same structural pieces as the ASIC
+//! model — DSP-backed `mmul` with slice-based compressors and pipeline
+//! registers, LUT-based linear units, distributed/block-RAM register
+//! banks — with constants calibrated to the paper's Table 6 row
+//! (BN254N single core: 13 928 slices at 153.8 MHz; device capacity
+//! 108 300 slices, 3 600 DSPs, 1 470 BRAMs).
+
+use crate::area::{karatsuba_levels, AreaInputs};
+use crate::model::HwModel;
+
+/// Virtex-7 device capacity (paper §4, hardware validation setup).
+#[derive(Clone, Copy, Debug)]
+pub struct FpgaDevice {
+    /// Total slices.
+    pub slices: u32,
+    /// DSP blocks.
+    pub dsps: u32,
+    /// Block RAMs.
+    pub brams: u32,
+}
+
+/// The evaluation board's Virtex-7 part.
+pub const VIRTEX7: FpgaDevice = FpgaDevice { slices: 108_300, dsps: 3_600, brams: 1_470 };
+
+/// Estimated FPGA utilisation for a design point.
+#[derive(Clone, Copy, Debug)]
+pub struct FpgaUtilization {
+    /// Occupied slices.
+    pub slices: u32,
+    /// DSP blocks used by the `mmul`.
+    pub dsps: u32,
+    /// Block RAMs for instruction + data memory.
+    pub brams: u32,
+    /// Achievable frequency in MHz.
+    pub frequency_mhz: f64,
+}
+
+/// Slices per pipeline-stage-bit of the `mmul` datapath (calibrated).
+const SLICES_PER_STAGE_BIT: f64 = 0.55;
+
+/// Slices per bit of a linear unit.
+const SLICES_PER_LINEAR_BIT: f64 = 2.1;
+
+/// Slices per bit of the iterative inversion unit.
+const SLICES_PER_MINV_BIT: f64 = 3.0;
+
+/// Control/interface overhead slices.
+const OVERHEAD_SLICES: f64 = 900.0;
+
+/// FPGA cycle time floor (ns) — roughly 5× the 40nm ASIC floor.
+const FPGA_T_FLOOR_NS: f64 = 6.5;
+
+/// Estimates utilisation and frequency on the Virtex-7 target.
+pub fn fpga_utilization(model: &HwModel, inputs: &AreaInputs) -> FpgaUtilization {
+    let bits = inputs.field_bits;
+    // Each base multiplier maps to a DSP48 (16-bit granularity), with the
+    // Karatsuba structure duplicated for the Montgomery reduction half.
+    let levels = karatsuba_levels(bits);
+    let dsps = 2 * 3u32.pow(levels) * 4; // 4 DSP48s per 32×32-class unit
+    // Slices: pipeline registers/compressors + linear units + minv.
+    let mmul = SLICES_PER_STAGE_BIT * model.long_lat as f64 * (2 * bits) as f64;
+    let linear = model.n_linear_units as f64 * SLICES_PER_LINEAR_BIT * bits as f64;
+    let minv = SLICES_PER_MINV_BIT * bits as f64;
+    // Register banks in distributed RAM cost slices too.
+    let regs = inputs.live_registers as f64 * bits as f64 / 64.0 * 0.38;
+    let slices = (mmul + linear + minv + regs + OVERHEAD_SLICES) * inputs.cores as f64;
+    // IMem in BRAM (36 Kib each), DMem partly in BRAM.
+    let imem_brams = (inputs.imem_bytes as f64 * 8.0 / 36_864.0).ceil();
+    let dmem_brams =
+        (inputs.live_registers as f64 * bits as f64 / 36_864.0).ceil() * inputs.cores as f64;
+    let freq = 1000.0
+        / (FPGA_T_FLOOR_NS
+            .max(5.0 * crate::timing::critical_path_ns(model.long_lat, bits)));
+    FpgaUtilization {
+        slices: slices as u32,
+        dsps,
+        brams: (imem_brams + dmem_brams) as u32,
+        frequency_mhz: freq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bn254_point() -> (HwModel, AreaInputs) {
+        (
+            HwModel::paper_default(),
+            AreaInputs { field_bits: 254, imem_bytes: 55_300 * 4, live_registers: 420, cores: 1 },
+        )
+    }
+
+    #[test]
+    fn calibration_matches_table6_fpga_row() {
+        let (m, inputs) = bn254_point();
+        let u = fpga_utilization(&m, &inputs);
+        assert!(
+            (u.slices as f64 - 13_928.0).abs() < 1_200.0,
+            "slices {} vs 13928",
+            u.slices
+        );
+        assert!((u.frequency_mhz - 153.8).abs() < 8.0, "freq {:.1}", u.frequency_mhz);
+    }
+
+    #[test]
+    fn fits_on_the_device() {
+        let (m, inputs) = bn254_point();
+        let u = fpga_utilization(&m, &inputs);
+        assert!(u.slices < VIRTEX7.slices);
+        assert!(u.dsps < VIRTEX7.dsps);
+        assert!(u.brams < VIRTEX7.brams);
+    }
+
+    #[test]
+    fn wider_fields_use_more_resources() {
+        let m = HwModel::paper_default();
+        let small = fpga_utilization(&m, &AreaInputs { field_bits: 254, imem_bytes: 220_000, live_registers: 420, cores: 1 });
+        let big = fpga_utilization(&m, &AreaInputs { field_bits: 638, imem_bytes: 560_000, live_registers: 420, cores: 1 });
+        assert!(big.slices > small.slices);
+        assert!(big.dsps > small.dsps);
+    }
+}

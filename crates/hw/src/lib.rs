@@ -1,0 +1,30 @@
+//! # finesse-hw
+//!
+//! Hardware models for the Finesse co-design loop:
+//!
+//! - [`model`] — the parameterized pipeline model consumed by the
+//!   compiler's scheduler and the cycle-accurate simulator;
+//! - [`area`] / [`timing`] — calibrated 40nm-LP analytical ASIC models
+//!   (the EDA-feedback substitution, see DESIGN.md);
+//! - [`fpga`] — the Virtex-7 resource/frequency model;
+//! - [`scaling`] — Stillmaker–Baas-style technology-node normalisation;
+//! - [`security`] — (Sex)TNFS security estimation fitted to
+//!   Barbulescu–Duquesne;
+//! - [`baselines`] — published FlexiPair and Ikeda et al. operating
+//!   points for Table 6.
+
+pub mod area;
+pub mod baselines;
+pub mod fpga;
+pub mod model;
+pub mod scaling;
+pub mod security;
+pub mod timing;
+
+pub use area::{area_breakdown, mmul_area, AreaBreakdown, AreaInputs};
+pub use baselines::{AsicBaseline, FpgaBaseline, FLEXIPAIR, IKEDA_ASSCC19};
+pub use fpga::{fpga_utilization, FpgaDevice, FpgaUtilization, VIRTEX7};
+pub use model::{HwModel, HwModelError};
+pub use scaling::{scale, NodeMetrics, TechNode};
+pub use security::security_bits;
+pub use timing::{critical_path_ns, frequency_mhz, latency_us, throughput_ops};

@@ -1,0 +1,248 @@
+//! The parameterized hardware pipeline model (paper §3.2–3.3).
+//!
+//! A [`HwModel`] captures everything the compiler's scheduler and the
+//! cycle-accurate simulator need to know about a core: unit latencies
+//! (Long `mmul`, Short linear units, the iterative `minv`), issue shape
+//! (single-issue or VLIW), register-bank structure and port limits, and
+//! whether write-back ring buffers absorb port conflicts (the HW1/HW2
+//! distinction of Table 7).
+
+use std::fmt;
+
+/// Hardware pipeline parameters for one processing core.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HwModel {
+    /// Descriptive name (shown in experiment tables).
+    pub name: String,
+    /// `mmul` pipeline depth = Long instruction latency in cycles.
+    pub long_lat: u32,
+    /// Linear-unit latency = Short instruction latency in cycles.
+    pub short_lat: u32,
+    /// Iterative `minv` latency in cycles (defaults to `2·log p + 32`).
+    pub inv_lat: u32,
+    /// Operations per wide instruction (1 = single issue).
+    pub issue_width: u8,
+    /// Number of Short (linear) units.
+    pub n_linear_units: u8,
+    /// Number of `mmul` units (architectural constraint: exactly 1).
+    pub n_mul_units: u8,
+    /// Number of register banks.
+    pub n_banks: u8,
+    /// Read ports per bank per cycle.
+    pub reads_per_bank: u8,
+    /// Write ports per bank per cycle.
+    pub writes_per_bank: u8,
+    /// Write-back ring buffer present (absorbs write-port conflicts).
+    pub wb_fifo: bool,
+    /// Register quota per bank.
+    pub reg_quota: u16,
+}
+
+/// Error from [`HwModel::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HwModelError {
+    /// The paper's architecture allows at most one `mmul` per core.
+    TooManyMulUnits,
+    /// VLIW machines need at least as many banks as the issue width.
+    TooFewBanks,
+    /// Banks must offer at least 2 reads + 1 write per cycle.
+    TooFewPorts,
+    /// VLIW (width ≥ 2) requires the write-back ring buffer.
+    MissingFifo,
+    /// Latencies must be non-zero and Long ≥ Short.
+    BadLatencies,
+}
+
+impl fmt::Display for HwModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HwModelError::TooManyMulUnits => "at most 1 mmul unit per core",
+            HwModelError::TooFewBanks => "need at least as many register banks as issue width",
+            HwModelError::TooFewPorts => "banks must provide >= 2 reads and >= 1 write per cycle",
+            HwModelError::MissingFifo => "VLIW configurations require write-back ring buffers",
+            HwModelError::BadLatencies => "latencies must satisfy Long >= Short >= 1",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for HwModelError {}
+
+impl HwModel {
+    /// The paper's default evaluation model: Long = 38, Short = 8,
+    /// single issue, one bank with 2R1W, no FIFO (HW1).
+    pub fn paper_default() -> Self {
+        HwModel {
+            name: "L38/S8 single-issue".into(),
+            long_lat: 38,
+            short_lat: 8,
+            inv_lat: 560,
+            issue_width: 1,
+            n_linear_units: 1,
+            n_mul_units: 1,
+            n_banks: 1,
+            reads_per_bank: 2,
+            writes_per_bank: 1,
+            wb_fifo: false,
+            reg_quota: 2048,
+        }
+    }
+
+    /// Single-issue model with explicit Long/Short latencies.
+    pub fn single_issue(long_lat: u32, short_lat: u32) -> Self {
+        HwModel {
+            name: format!("L{long_lat}/S{short_lat} single-issue"),
+            long_lat,
+            short_lat,
+            ..Self::paper_default()
+        }
+    }
+
+    /// VLIW model: one `mmul` slot plus `n_linear` linear slots, one bank
+    /// per slot, write-back ring buffers enabled (the paper's §3.2
+    /// architectural constraint for width ≥ 2).
+    pub fn vliw(n_linear: u8, long_lat: u32, short_lat: u32) -> Self {
+        let width = n_linear + 1;
+        HwModel {
+            name: format!("L{long_lat}/S{short_lat} VLIW x{n_linear}lin"),
+            long_lat,
+            short_lat,
+            issue_width: width,
+            n_linear_units: n_linear,
+            n_banks: width,
+            wb_fifo: true,
+            reg_quota: 1024,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Returns a copy with the write-back FIFO enabled (HW2 of Table 7).
+    pub fn with_fifo(mut self) -> Self {
+        self.wb_fifo = true;
+        self.name = format!("{} +fifo", self.name);
+        self
+    }
+
+    /// Returns a copy with a different `mmul` pipeline depth (the ALU
+    /// family axis of Figure 11).
+    pub fn with_long_latency(mut self, long_lat: u32) -> Self {
+        self.long_lat = long_lat;
+        self.name = format!("L{long_lat}/S{} {}", self.short_lat, if self.issue_width == 1 { "single-issue" } else { "VLIW" });
+        self
+    }
+
+    /// Sets the iterative inversion latency from the field bit width.
+    pub fn with_inv_latency_for_bits(mut self, bits: usize) -> Self {
+        self.inv_lat = 2 * bits as u32 + 32;
+        self
+    }
+
+    /// Checks the architectural constraints asserted by the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`HwModelError`].
+    pub fn validate(&self) -> Result<(), HwModelError> {
+        if self.n_mul_units != 1 {
+            return Err(HwModelError::TooManyMulUnits);
+        }
+        if self.n_banks < self.issue_width {
+            return Err(HwModelError::TooFewBanks);
+        }
+        if self.reads_per_bank < 2 || self.writes_per_bank < 1 {
+            return Err(HwModelError::TooFewPorts);
+        }
+        if self.issue_width >= 2 && !self.wb_fifo {
+            return Err(HwModelError::MissingFifo);
+        }
+        if self.short_lat == 0 || self.long_lat < self.short_lat {
+            return Err(HwModelError::BadLatencies);
+        }
+        Ok(())
+    }
+
+    /// Latency of an instruction class in cycles.
+    pub fn latency_of(&self, op: finesse_isa::Opcode) -> u32 {
+        use finesse_isa::Opcode;
+        match op {
+            Opcode::Mul | Opcode::Sqr => self.long_lat,
+            Opcode::Inv => self.inv_lat,
+            Opcode::Nop => 1,
+            Opcode::Cvt | Opcode::Icv => self.long_lat, // Montgomery conversions run on mmul
+            _ => self.short_lat,
+        }
+    }
+
+    /// The issue-slot affinity threshold (§3.5): the fraction of slots in
+    /// each `(Long − Short)`-cycle window given Long affinity.
+    pub fn affinity_period(&self) -> u32 {
+        (self.long_lat - self.short_lat).max(1)
+    }
+}
+
+impl fmt::Display for HwModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (L={}, S={}, width={}, banks={}, {}R{}W{})",
+            self.name,
+            self.long_lat,
+            self.short_lat,
+            self.issue_width,
+            self.n_banks,
+            self.reads_per_bank,
+            self.writes_per_bank,
+            if self.wb_fifo { ", fifo" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use finesse_isa::Opcode;
+
+    #[test]
+    fn paper_default_is_valid() {
+        let m = HwModel::paper_default();
+        assert!(m.validate().is_ok());
+        assert_eq!(m.latency_of(Opcode::Mul), 38);
+        assert_eq!(m.latency_of(Opcode::Add), 8);
+        assert_eq!(m.affinity_period(), 30);
+    }
+
+    #[test]
+    fn vliw_presets_are_valid() {
+        for n in [2u8, 4, 6] {
+            let m = HwModel::vliw(n, 8, 2);
+            assert!(m.validate().is_ok(), "{m}");
+            assert_eq!(m.issue_width, n + 1);
+            assert!(m.wb_fifo);
+        }
+    }
+
+    #[test]
+    fn constraints_are_enforced() {
+        let mut m = HwModel::paper_default();
+        m.n_mul_units = 2;
+        assert_eq!(m.validate(), Err(HwModelError::TooManyMulUnits));
+
+        let mut m = HwModel::vliw(2, 8, 2);
+        m.wb_fifo = false;
+        assert_eq!(m.validate(), Err(HwModelError::MissingFifo));
+
+        let mut m = HwModel::paper_default();
+        m.n_banks = 0;
+        assert_eq!(m.validate(), Err(HwModelError::TooFewBanks));
+
+        let mut m = HwModel::paper_default();
+        m.long_lat = 4;
+        assert_eq!(m.validate(), Err(HwModelError::BadLatencies));
+    }
+
+    #[test]
+    fn inv_latency_tracks_bits() {
+        let m = HwModel::paper_default().with_inv_latency_for_bits(254);
+        assert_eq!(m.inv_lat, 540);
+    }
+}

@@ -1,0 +1,138 @@
+//! Technology-node scaling in the style of Stillmaker & Baas
+//! ("Scaling equations for the accurate prediction of CMOS device
+//! performance from 180 nm to 7 nm", Integration 2017) — the paper's
+//! reference [30] for normalising its 40nm results to competitors' nodes.
+//!
+//! Factors are expressed relative to the 40nm LP anchor and calibrated so
+//! the paper's own Table 6 conversion reproduces exactly: 40nm → 65nm
+//! multiplies delay by 1.82 (769 → 423 MHz) and area by 1.50
+//! (8.00 → 12.0 mm²). Other nodes follow the published survey's shape.
+
+use std::fmt;
+
+/// A CMOS technology node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum TechNode {
+    /// 130 nm.
+    N130,
+    /// 90 nm.
+    N90,
+    /// 65 nm (the Ikeda et al. baseline node).
+    N65,
+    /// 40 nm LP (the paper's implementation node).
+    N40,
+    /// 28 nm.
+    N28,
+    /// 16 nm.
+    N16,
+    /// 7 nm.
+    N7,
+}
+
+impl TechNode {
+    /// (delay, area) factors relative to 40nm LP.
+    fn factors(self) -> (f64, f64) {
+        match self {
+            TechNode::N130 => (3.9, 6.2),
+            TechNode::N90 => (2.6, 3.4),
+            TechNode::N65 => (1.82, 1.50),
+            TechNode::N40 => (1.0, 1.0),
+            TechNode::N28 => (0.71, 0.55),
+            TechNode::N16 => (0.45, 0.25),
+            TechNode::N7 => (0.27, 0.08),
+        }
+    }
+
+    /// Nominal feature size in nm.
+    pub fn nanometers(self) -> u32 {
+        match self {
+            TechNode::N130 => 130,
+            TechNode::N90 => 90,
+            TechNode::N65 => 65,
+            TechNode::N40 => 40,
+            TechNode::N28 => 28,
+            TechNode::N16 => 16,
+            TechNode::N7 => 7,
+        }
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.nanometers())
+    }
+}
+
+/// Performance/area metrics of a design at some node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeMetrics {
+    /// Clock frequency in MHz.
+    pub frequency_mhz: f64,
+    /// Die area in mm².
+    pub area_mm2: f64,
+    /// Latency of one operation in µs.
+    pub latency_us: f64,
+    /// Throughput in operations/second.
+    pub throughput_ops: f64,
+}
+
+impl NodeMetrics {
+    /// Throughput per area, ops/s/mm².
+    pub fn ops_per_mm2(&self) -> f64 {
+        self.throughput_ops / self.area_mm2
+    }
+}
+
+/// Rescales metrics from one node to another (the Table 6 "equiv." row).
+pub fn scale(m: &NodeMetrics, from: TechNode, to: TechNode) -> NodeMetrics {
+    let (df, af) = from.factors();
+    let (dt, at) = to.factors();
+    let delay_ratio = dt / df;
+    let area_ratio = at / af;
+    NodeMetrics {
+        frequency_mhz: m.frequency_mhz / delay_ratio,
+        area_mm2: m.area_mm2 * area_ratio,
+        latency_us: m.latency_us * delay_ratio,
+        throughput_ops: m.throughput_ops / delay_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_forty_to_sixtyfive() {
+        // Ours (8-core): 769 MHz / 8.00 mm² / 82.7 µs / 96.7 kops at 40nm
+        // → 423 MHz / 12.0 mm² / 150.2 µs / 53.3 kops at 65nm-equivalent.
+        let m = NodeMetrics {
+            frequency_mhz: 769.0,
+            area_mm2: 8.00,
+            latency_us: 82.7,
+            throughput_ops: 96_700.0,
+        };
+        let s = scale(&m, TechNode::N40, TechNode::N65);
+        assert!((s.frequency_mhz - 423.0).abs() < 5.0, "freq {:.0}", s.frequency_mhz);
+        assert!((s.area_mm2 - 12.0).abs() < 0.1, "area {:.2}", s.area_mm2);
+        assert!((s.latency_us - 150.2).abs() < 1.5, "lat {:.1}", s.latency_us);
+        assert!((s.throughput_ops - 53_300.0).abs() < 800.0, "tp {:.0}", s.throughput_ops);
+        // Area efficiency lands at the published 4.44 kops/mm².
+        assert!((s.ops_per_mm2() / 1000.0 - 4.44).abs() < 0.1);
+    }
+
+    #[test]
+    fn scaling_roundtrips() {
+        let m = NodeMetrics { frequency_mhz: 500.0, area_mm2: 3.0, latency_us: 10.0, throughput_ops: 1e5 };
+        let back = scale(&scale(&m, TechNode::N40, TechNode::N7), TechNode::N7, TechNode::N40);
+        assert!((back.frequency_mhz - m.frequency_mhz).abs() < 1e-9);
+        assert!((back.area_mm2 - m.area_mm2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newer_nodes_are_smaller_and_faster() {
+        let m = NodeMetrics { frequency_mhz: 500.0, area_mm2: 3.0, latency_us: 10.0, throughput_ops: 1e5 };
+        let s = scale(&m, TechNode::N40, TechNode::N16);
+        assert!(s.frequency_mhz > m.frequency_mhz);
+        assert!(s.area_mm2 < m.area_mm2);
+    }
+}

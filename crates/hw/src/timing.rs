@@ -1,0 +1,100 @@
+//! Analytical ASIC timing model (the EDA-feedback substitution for the
+//! co-design loop of Figure 11).
+//!
+//! The `mmul` critical path shortens as the pipeline deepens, but
+//! saturates: wire delay, clock overhead and the indivisible compressor
+//! stage put a floor under the cycle time at the target node. The model is
+//!
+//! ```text
+//! t_cycle(L) = max(t_floor, K(bits) / (L − L0))
+//! ```
+//!
+//! with `K` growing logarithmically in the operand width (deeper
+//! compressor trees) — calibrated so the paper's BN254N design meets
+//! 769 MHz at depth 38 (Table 6) and ~270 MHz at depth 14 (Figure 11's
+//! left edge), and saturates beyond depth ≈ 38 ("critical paths cease to
+//! decrease"), which creates the interior optimum the co-design loop
+//! finds.
+
+/// Cycle-time floor at 40nm LP in nanoseconds (register + clocking
+/// overhead).
+const T_FLOOR_NS: f64 = 1.3;
+
+/// Pipeline stages consumed by non-divisible logic.
+const L0: f64 = 2.0;
+
+/// Total combinational depth constant for 254-bit operands, ns.
+const K_254_NS: f64 = 44.4;
+
+/// Critical-path delay in ns for an `mmul` of the given pipeline depth
+/// and operand width at 40nm LP.
+pub fn critical_path_ns(pipeline_depth: u32, field_bits: u32) -> f64 {
+    let k = K_254_NS * ((field_bits as f64).ln() / 254f64.ln());
+    let depth = (pipeline_depth as f64 - L0).max(1.0);
+    (k / depth).max(T_FLOOR_NS)
+}
+
+/// Achievable clock frequency in MHz.
+pub fn frequency_mhz(pipeline_depth: u32, field_bits: u32) -> f64 {
+    1000.0 / critical_path_ns(pipeline_depth, field_bits)
+}
+
+/// Latency of one pairing in microseconds given a cycle count.
+pub fn latency_us(cycles: u64, pipeline_depth: u32, field_bits: u32) -> f64 {
+    cycles as f64 * critical_path_ns(pipeline_depth, field_bits) / 1000.0
+}
+
+/// Throughput in operations/second for `cores` parallel cores.
+pub fn throughput_ops(cycles: u64, pipeline_depth: u32, field_bits: u32, cores: u32) -> f64 {
+    cores as f64 * frequency_mhz(pipeline_depth, field_bits) * 1.0e6 / cycles as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_38_reaches_769_mhz() {
+        let f = frequency_mhz(38, 254);
+        assert!((f - 769.0).abs() < 25.0, "got {f:.0} MHz");
+    }
+
+    #[test]
+    fn shallow_pipelines_are_slow() {
+        let f = frequency_mhz(14, 254);
+        assert!((260.0..330.0).contains(&f), "got {f:.0} MHz");
+    }
+
+    #[test]
+    fn critical_path_saturates() {
+        // Beyond the floor, extra stages stop helping (Figure 11).
+        let c38 = critical_path_ns(38, 254);
+        let c41 = critical_path_ns(41, 254);
+        let c60 = critical_path_ns(60, 254);
+        assert_eq!(c38, c41);
+        assert_eq!(c41, c60);
+        assert_eq!(c38, T_FLOOR_NS);
+        // And is strictly decreasing before the floor.
+        assert!(critical_path_ns(14, 254) > critical_path_ns(20, 254));
+        assert!(critical_path_ns(20, 254) > critical_path_ns(26, 254));
+    }
+
+    #[test]
+    fn wider_fields_are_slower_but_mildly() {
+        let narrow = critical_path_ns(20, 254);
+        let wide = critical_path_ns(20, 638);
+        assert!(wide > narrow);
+        assert!(wide / narrow < 1.35, "log-like growth, got {}", wide / narrow);
+    }
+
+    #[test]
+    fn table6_operating_point() {
+        // 63.6k cycles at depth 38 → ≈82.7 µs and ≈12.1 kops (Table 6).
+        let lat = latency_us(63_607, 38, 254);
+        assert!((lat - 82.7).abs() < 3.0, "latency {lat:.1} µs");
+        let tp = throughput_ops(63_607, 38, 254, 1);
+        assert!((tp - 12_100.0).abs() < 500.0, "throughput {tp:.0} ops");
+        let tp8 = throughput_ops(63_607, 38, 254, 8);
+        assert!((tp8 - 96_700.0).abs() < 4_000.0, "8-core throughput {tp8:.0}");
+    }
+}

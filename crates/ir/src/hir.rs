@@ -1,0 +1,333 @@
+//! The hierarchical SSA intermediate representation (paper §3.2, Table 4).
+//!
+//! Values are typed by their *level* — the extension degree over F_p
+//! (1 = `fp`, d = `fpd`). Operations mirror Table 4 (`add`, `sub`, `muli`,
+//! `mul`, `sqr`, `adj`, `conj`, `frob`) plus the additions needed by a
+//! complete optimal-Ate program: `inv` (the hardware's `minv` unit),
+//! `cyclo_sqr` (the cyclotomic-subfield squaring the paper's final
+//! exponentiation relies on) and the structural, zero-cost `pack` that
+//! assembles a level-k value from its `w`-power coefficients (how sparse
+//! Miller lines enter the dense IR before constant-zero propagation
+//! recovers their sparsity, §4.3).
+//!
+//! Programs are straight-line single-basic-block SSA: the optimal-Ate
+//! algorithm has fixed loop bounds for a given curve, so CodeGen fully
+//! unrolls (paper §3.5).
+
+use finesse_ff::BigUint;
+use std::fmt;
+
+/// SSA value identifier: the index of its defining instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+impl fmt::Debug for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// A high-level IR operation (Table 4 plus the documented extensions).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HirOp {
+    /// External input (ICV-converted at the ISA boundary).
+    Input {
+        /// Index into [`HirProgram::inputs`].
+        slot: u32,
+    },
+    /// Constant-table reference.
+    Const {
+        /// Index into [`HirProgram::constants`].
+        idx: u32,
+    },
+    /// Structural assembly of a level-`k` value from `k/6` level-`q`
+    /// coefficients in `w`-power order. Zero-cost (resolved at lowering).
+    Pack {
+        /// The six coefficient values.
+        parts: Vec<ValueId>,
+    },
+    /// Field addition.
+    Add(ValueId, ValueId),
+    /// Field subtraction.
+    Sub(ValueId, ValueId),
+    /// Field negation.
+    Neg(ValueId),
+    /// Scalar multiplication by a small non-negative integer (`muli`).
+    MulI(ValueId, u64),
+    /// Field multiplication. Operand levels may differ as long as one
+    /// divides the other (Table 4's divisibility rule); the result level
+    /// is the larger one.
+    Mul(ValueId, ValueId),
+    /// Field squaring.
+    Sqr(ValueId),
+    /// Cyclotomic squaring (top level only, cyclotomic-subgroup values).
+    CycloSqr(ValueId),
+    /// Multiplication by the adjoined element of this value's level.
+    Adj(ValueId),
+    /// Conjugation with respect to this (even-arity) level's adjunction.
+    Conj(ValueId),
+    /// Frobenius endomorphism `x ↦ x^(p^j)`.
+    Frob(ValueId, u8),
+    /// Field inversion.
+    Inv(ValueId),
+}
+
+impl HirOp {
+    /// Operand values read by this op.
+    pub fn operands(&self) -> Vec<ValueId> {
+        match self {
+            HirOp::Input { .. } | HirOp::Const { .. } => Vec::new(),
+            HirOp::Pack { parts } => parts.clone(),
+            HirOp::Add(a, b) | HirOp::Sub(a, b) | HirOp::Mul(a, b) => vec![*a, *b],
+            HirOp::Neg(a)
+            | HirOp::MulI(a, _)
+            | HirOp::Sqr(a)
+            | HirOp::CycloSqr(a)
+            | HirOp::Adj(a)
+            | HirOp::Conj(a)
+            | HirOp::Frob(a, _)
+            | HirOp::Inv(a) => vec![*a],
+        }
+    }
+}
+
+/// An instruction: an op plus the extension level of its result.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HirInst {
+    /// The operation.
+    pub op: HirOp,
+    /// Extension degree of the result over F_p (1, 2, 4, 12 or 24).
+    pub level: u8,
+}
+
+/// A declared external input.
+#[derive(Clone, Debug)]
+pub struct HirInput {
+    /// Human-readable name (`"P.x"`, `"Q.y"`, ...).
+    pub name: String,
+    /// Extension level.
+    pub level: u8,
+}
+
+/// A constant: canonical (non-Montgomery) base-field coefficients in tower
+/// order, `level` entries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HirConst {
+    /// Debug label (`"b_twist"`, `"frob_c"`, ...).
+    pub label: String,
+    /// Extension level.
+    pub level: u8,
+    /// Canonical coefficients, length = level.
+    pub coeffs: Vec<BigUint>,
+}
+
+/// A straight-line SSA program over algebraic values.
+#[derive(Clone, Debug, Default)]
+pub struct HirProgram {
+    /// Instructions; `ValueId(i)` is defined by `insts[i]`.
+    pub insts: Vec<HirInst>,
+    /// Declared inputs (referenced by `Input { slot }`).
+    pub inputs: Vec<HirInput>,
+    /// Constant table.
+    pub constants: Vec<HirConst>,
+    /// Program outputs.
+    pub outputs: Vec<ValueId>,
+}
+
+/// Error from [`HirProgram::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HirError {
+    /// An operand references a not-yet-defined value (violates SSA order).
+    UseBeforeDef {
+        /// The offending instruction index.
+        at: u32,
+    },
+    /// Operand levels violate the divisibility rule.
+    LevelMismatch {
+        /// The offending instruction index.
+        at: u32,
+    },
+    /// An `Input`/`Const` slot index is out of range.
+    BadSlot {
+        /// The offending instruction index.
+        at: u32,
+    },
+}
+
+impl fmt::Display for HirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HirError::UseBeforeDef { at } => write!(f, "instruction {at} uses an undefined value"),
+            HirError::LevelMismatch { at } => write!(f, "instruction {at} violates level divisibility"),
+            HirError::BadSlot { at } => write!(f, "instruction {at} references a bad input/const slot"),
+        }
+    }
+}
+
+impl std::error::Error for HirError {}
+
+impl HirProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an instruction, returning its SSA value.
+    pub fn push(&mut self, op: HirOp, level: u8) -> ValueId {
+        let id = ValueId(self.insts.len() as u32);
+        self.insts.push(HirInst { op, level });
+        id
+    }
+
+    /// Declares an input of the given level.
+    pub fn declare_input(&mut self, name: &str, level: u8) -> ValueId {
+        let slot = self.inputs.len() as u32;
+        self.inputs.push(HirInput { name: name.to_owned(), level });
+        self.push(HirOp::Input { slot }, level)
+    }
+
+    /// Adds (or reuses) a constant and returns its value.
+    pub fn add_constant(&mut self, label: &str, level: u8, coeffs: Vec<BigUint>) -> ValueId {
+        // Dedup by (level, coeffs) — constant tables stay small (paper
+        // §3.2, "constants fit in a small table").
+        if let Some((idx, _)) = self
+            .constants
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.level == level && c.coeffs == coeffs)
+        {
+            return self.push(HirOp::Const { idx: idx as u32 }, level);
+        }
+        let idx = self.constants.len() as u32;
+        self.constants.push(HirConst { label: label.to_owned(), level, coeffs });
+        self.push(HirOp::Const { idx }, level)
+    }
+
+    /// The level of a value.
+    pub fn level_of(&self, v: ValueId) -> u8 {
+        self.insts[v.0 as usize].level
+    }
+
+    /// Counts instructions per level (reporting/diagnostics).
+    pub fn count_by_level(&self) -> std::collections::BTreeMap<u8, usize> {
+        let mut map = std::collections::BTreeMap::new();
+        for inst in &self.insts {
+            *map.entry(inst.level).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Validates SSA ordering, level rules and slot references.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`HirError`] encountered in program order.
+    pub fn validate(&self) -> Result<(), HirError> {
+        for (i, inst) in self.insts.iter().enumerate() {
+            let at = i as u32;
+            for op in inst.op.operands() {
+                if op.0 >= at {
+                    return Err(HirError::UseBeforeDef { at });
+                }
+            }
+            match &inst.op {
+                HirOp::Input { slot } => {
+                    if *slot as usize >= self.inputs.len() {
+                        return Err(HirError::BadSlot { at });
+                    }
+                }
+                HirOp::Const { idx } => {
+                    if *idx as usize >= self.constants.len() {
+                        return Err(HirError::BadSlot { at });
+                    }
+                }
+                HirOp::Add(a, b) | HirOp::Sub(a, b) => {
+                    if self.level_of(*a) != inst.level || self.level_of(*b) != inst.level {
+                        return Err(HirError::LevelMismatch { at });
+                    }
+                }
+                HirOp::Mul(a, b) => {
+                    let (la, lb) = (self.level_of(*a), self.level_of(*b));
+                    let (hi, lo) = if la >= lb { (la, lb) } else { (lb, la) };
+                    if hi != inst.level || hi % lo != 0 {
+                        return Err(HirError::LevelMismatch { at });
+                    }
+                }
+                HirOp::Pack { parts } => {
+                    if parts.len() != 6 {
+                        return Err(HirError::LevelMismatch { at });
+                    }
+                    for p in parts {
+                        if self.level_of(*p) != inst.level / 6 {
+                            return Err(HirError::LevelMismatch { at });
+                        }
+                    }
+                }
+                HirOp::Neg(a)
+                | HirOp::MulI(a, _)
+                | HirOp::Sqr(a)
+                | HirOp::CycloSqr(a)
+                | HirOp::Adj(a)
+                | HirOp::Conj(a)
+                | HirOp::Frob(a, _)
+                | HirOp::Inv(a) => {
+                    if self.level_of(*a) != inst.level {
+                        return Err(HirError::LevelMismatch { at });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_validate_small_program() {
+        let mut p = HirProgram::new();
+        let a = p.declare_input("a", 2);
+        let b = p.declare_input("b", 2);
+        let s = p.push(HirOp::Add(a, b), 2);
+        let m = p.push(HirOp::Mul(s, s), 2);
+        p.outputs.push(m);
+        assert!(p.validate().is_ok());
+        assert_eq!(p.count_by_level()[&2], 4);
+    }
+
+    #[test]
+    fn validate_rejects_level_mismatch() {
+        let mut p = HirProgram::new();
+        let a = p.declare_input("a", 2);
+        let b = p.declare_input("b", 4);
+        p.push(HirOp::Add(a, b), 2);
+        assert!(matches!(p.validate(), Err(HirError::LevelMismatch { .. })));
+    }
+
+    #[test]
+    fn mixed_level_mul_obeys_divisibility() {
+        let mut p = HirProgram::new();
+        let a = p.declare_input("a", 4);
+        let s = p.declare_input("s", 1);
+        p.push(HirOp::Mul(a, s), 4);
+        assert!(p.validate().is_ok());
+        // 4 × 3 is not allowed
+        let mut q = HirProgram::new();
+        let a = q.declare_input("a", 4);
+        let b = q.declare_input("b", 3);
+        q.push(HirOp::Mul(a, b), 4);
+        assert!(matches!(q.validate(), Err(HirError::LevelMismatch { .. })));
+    }
+
+    #[test]
+    fn constants_are_deduplicated() {
+        let mut p = HirProgram::new();
+        let one = vec![BigUint::one(), BigUint::zero()];
+        let c1 = p.add_constant("one", 2, one.clone());
+        let c2 = p.add_constant("one_again", 2, one);
+        assert_eq!(p.constants.len(), 1);
+        assert!(c1 != c2, "distinct SSA values referencing one table slot");
+    }
+}

@@ -1,0 +1,682 @@
+//! Variant-driven lowering: hierarchical IR → F_p-level SSA.
+//!
+//! This is the `map_lowering` of the paper's Figure 4, implemented as a
+//! recursive expander over the tower lattice. Every op at level d expands
+//! into ops at the parent level according to the selected
+//! [`VariantConfig`] (Karatsuba vs schoolbook multiplication, complex vs
+//! Chung–Hasan squarings, Granger–Scott vs plain cyclotomic squaring),
+//! bottoming out at F_p instructions that map 1:1 onto the ISA.
+//!
+//! Multiplications by non-residues strength-reduce according to their
+//! [`NonresForm`] (e.g. ξ = 1 + u costs one add and one sub), Frobenius
+//! maps lower to conjugations and small constant tables, and the
+//! structural `pack` op disappears entirely — the "zero-cost abstraction"
+//! property of §3.2.
+
+use crate::fpir::{FpId, FpOp, FpProgram};
+use crate::hir::{HirOp, HirProgram};
+use crate::shape::{LevelDesc, NonresForm, TowerShape, MAX_FROB};
+use crate::variants::{CycloVariant, MulVariant, SqrVariant, VariantConfig};
+use finesse_ff::BigUint;
+use std::collections::HashMap;
+
+/// Lowers a hierarchical program to F_p-level SSA under a variant
+/// selection.
+///
+/// # Errors
+///
+/// Returns a message if the input program is malformed or uses an op at a
+/// level where it is undefined (e.g. `conj` on a cubic-arity level).
+pub fn lower(
+    hir: &HirProgram,
+    shape: &TowerShape,
+    cfg: &VariantConfig,
+) -> Result<FpProgram, String> {
+    hir.validate().map_err(|e| e.to_string())?;
+    let mut ex = Expander {
+        shape,
+        cfg,
+        prog: FpProgram::default(),
+        const_cache: HashMap::new(),
+        input_cache: HashMap::new(),
+    };
+
+    // Flatten declared inputs into per-coordinate slots.
+    let mut flat_slot = Vec::new();
+    for input in &hir.inputs {
+        let start = ex.prog.inputs.len() as u32;
+        if input.level == 1 {
+            ex.prog.inputs.push(input.name.clone());
+        } else {
+            for i in 0..input.level {
+                ex.prog.inputs.push(format!("{}[{}]", input.name, i));
+            }
+        }
+        flat_slot.push((start, input.level as u32));
+    }
+
+    let mut map: Vec<Vec<FpId>> = Vec::with_capacity(hir.insts.len());
+    for inst in &hir.insts {
+        let d = inst.level;
+        let val = match &inst.op {
+            HirOp::Input { slot } => {
+                let (start, len) = flat_slot[*slot as usize];
+                (start..start + len).map(|s| ex.input(s)).collect()
+            }
+            HirOp::Const { idx } => {
+                let c = &hir.constants[*idx as usize];
+                c.coeffs.iter().map(|v| ex.konst(v)).collect()
+            }
+            HirOp::Pack { parts } => {
+                // w-power order → internal (even ‖ odd) order.
+                let p: Vec<&Vec<FpId>> = parts.iter().map(|v| &map[v.0 as usize]).collect();
+                let mut out = Vec::with_capacity(d as usize);
+                for m in [0usize, 2, 4, 1, 3, 5] {
+                    out.extend_from_slice(p[m]);
+                }
+                out
+            }
+            HirOp::Add(a, b) => ex.add(&map[a.0 as usize].clone(), &map[b.0 as usize].clone()),
+            HirOp::Sub(a, b) => ex.sub(&map[a.0 as usize].clone(), &map[b.0 as usize].clone()),
+            HirOp::Neg(a) => ex.neg(&map[a.0 as usize].clone()),
+            HirOp::MulI(a, k) => ex.muli(&map[a.0 as usize].clone(), *k),
+            HirOp::Mul(a, b) => {
+                let av = map[a.0 as usize].clone();
+                let bv = map[b.0 as usize].clone();
+                if av.len() == bv.len() {
+                    ex.mul(d, &av, &bv)
+                } else {
+                    let (big, small) = if av.len() > bv.len() { (av, bv) } else { (bv, av) };
+                    if small.len() != 1 {
+                        return Err(format!(
+                            "mixed-level mul only supports an F_p scalar (got {} × {})",
+                            big.len(),
+                            small.len()
+                        ));
+                    }
+                    big.iter().map(|&x| ex.emit(FpOp::Mul(x, small[0]))).collect()
+                }
+            }
+            HirOp::Sqr(a) => ex.sqr(d, &map[a.0 as usize].clone()),
+            HirOp::CycloSqr(a) => ex.cyclo_sqr(d, &map[a.0 as usize].clone())?,
+            HirOp::Adj(a) => ex.adj(d, &map[a.0 as usize].clone()),
+            HirOp::Conj(a) => ex.conj(d, &map[a.0 as usize].clone())?,
+            HirOp::Frob(a, j) => {
+                if *j as usize > MAX_FROB {
+                    return Err(format!("frobenius power {j} exceeds constant tables"));
+                }
+                ex.frob(d, &map[a.0 as usize].clone(), *j as usize)
+            }
+            HirOp::Inv(a) => ex.inv(d, &map[a.0 as usize].clone()),
+        };
+        debug_assert_eq!(val.len(), d as usize, "lowered width matches level");
+        map.push(val);
+    }
+
+    for out in &hir.outputs {
+        let flat = &map[out.0 as usize];
+        ex.prog.outputs.extend_from_slice(flat);
+    }
+    debug_assert!(ex.prog.validate().is_ok());
+    Ok(ex.prog)
+}
+
+struct Expander<'a> {
+    shape: &'a TowerShape,
+    cfg: &'a VariantConfig,
+    prog: FpProgram,
+    const_cache: HashMap<BigUint, FpId>,
+    input_cache: HashMap<u32, FpId>,
+}
+
+impl Expander<'_> {
+    fn emit(&mut self, op: FpOp) -> FpId {
+        self.prog.push(op)
+    }
+
+    fn input(&mut self, slot: u32) -> FpId {
+        if let Some(&id) = self.input_cache.get(&slot) {
+            return id;
+        }
+        let id = self.emit(FpOp::Input(slot));
+        self.input_cache.insert(slot, id);
+        id
+    }
+
+    fn konst(&mut self, v: &BigUint) -> FpId {
+        if let Some(&id) = self.const_cache.get(v) {
+            return id;
+        }
+        let idx = self.prog.constants.len() as u32;
+        self.prog.constants.push(v.clone());
+        let id = self.emit(FpOp::Const(idx));
+        self.const_cache.insert(v.clone(), id);
+        id
+    }
+
+    fn zero(&mut self) -> FpId {
+        self.konst(&BigUint::zero())
+    }
+
+    // -- componentwise linear helpers -----------------------------------
+
+    fn add(&mut self, a: &[FpId], b: &[FpId]) -> Vec<FpId> {
+        a.iter().zip(b).map(|(&x, &y)| self.emit(FpOp::Add(x, y))).collect()
+    }
+
+    fn sub(&mut self, a: &[FpId], b: &[FpId]) -> Vec<FpId> {
+        a.iter().zip(b).map(|(&x, &y)| self.emit(FpOp::Sub(x, y))).collect()
+    }
+
+    fn neg(&mut self, a: &[FpId]) -> Vec<FpId> {
+        a.iter().map(|&x| self.emit(FpOp::Neg(x))).collect()
+    }
+
+    fn muli_fp(&mut self, a: FpId, k: u64) -> FpId {
+        match k {
+            0 => self.zero(),
+            1 => a,
+            2 => self.emit(FpOp::Dbl(a)),
+            3 => self.emit(FpOp::Tpl(a)),
+            _ => {
+                if k % 2 == 0 {
+                    let h = self.muli_fp(a, k / 2);
+                    self.emit(FpOp::Dbl(h))
+                } else if k % 3 == 0 {
+                    let t = self.muli_fp(a, k / 3);
+                    self.emit(FpOp::Tpl(t))
+                } else {
+                    let m = self.muli_fp(a, k - 1);
+                    self.emit(FpOp::Add(m, a))
+                }
+            }
+        }
+    }
+
+    fn muli(&mut self, a: &[FpId], k: u64) -> Vec<FpId> {
+        a.iter().map(|&x| self.muli_fp(x, k)).collect()
+    }
+
+    fn muli_signed(&mut self, a: &[FpId], c: i64) -> Vec<FpId> {
+        let m = self.muli(a, c.unsigned_abs());
+        if c < 0 {
+            self.neg(&m)
+        } else {
+            m
+        }
+    }
+
+    // -- non-residue multiplication (the `B`/adjunction cost) ------------
+
+    /// Multiplies a parent-level value by `level`'s non-residue.
+    fn mul_nonres(&mut self, level: &LevelDesc, x: &[FpId]) -> Vec<FpId> {
+        debug_assert_eq!(x.len(), level.parent as usize);
+        match &level.nonres {
+            NonresForm::SmallFp(c) => {
+                if *c == -1 {
+                    self.neg(x)
+                } else {
+                    self.muli_signed(x, *c)
+                }
+            }
+            NonresForm::SimpleQuad { c0, c1 } => {
+                // Parent is a quadratic level with generator u:
+                // (x0 + x1·u)(c0 + c1·u) = (c0·x0 + c1·β·x1) + (c1·x0 + c0·x1)·u
+                let lp = self.shape.level(level.parent);
+                debug_assert_eq!(lp.arity, 2);
+                let gp = lp.parent as usize;
+                let (x0, x1) = x.split_at(gp);
+                let (x0, x1) = (x0.to_vec(), x1.to_vec());
+                let bx1 = self.mul_nonres(lp, &x1);
+                let t0 = self.muli_signed(&x0, *c0);
+                let t1 = self.muli_signed(&bx1, *c1);
+                let r0 = self.add(&t0, &t1);
+                let t2 = self.muli_signed(&x0, *c1);
+                let t3 = self.muli_signed(&x1, *c0);
+                let r1 = self.add(&t2, &t3);
+                [r0, r1].concat()
+            }
+            NonresForm::ParentGenerator => {
+                // Multiply by the parent's adjoined generator = parent adj.
+                self.adj(level.parent, x)
+            }
+            NonresForm::Generic(coeffs) => {
+                let c: Vec<FpId> = coeffs.iter().map(|v| self.konst(v)).collect();
+                self.mul(level.parent, x, &c)
+            }
+        }
+    }
+
+    /// Multiplies a level-d value by its own adjoined generator.
+    fn adj(&mut self, d: u8, a: &[FpId]) -> Vec<FpId> {
+        if d == 1 {
+            // F_p has no adjunction; treated as identity (defensive).
+            return a.to_vec();
+        }
+        let ld = self.shape.level(d);
+        let dp = ld.parent as usize;
+        match ld.arity {
+            2 => {
+                let (a0, a1) = a.split_at(dp);
+                let (a0, a1) = (a0.to_vec(), a1.to_vec());
+                let r0 = self.mul_nonres(ld, &a1);
+                [r0, a0].concat()
+            }
+            3 => {
+                let (a0, rest) = a.split_at(dp);
+                let (a1, a2) = rest.split_at(dp);
+                let (a0, a1, a2) = (a0.to_vec(), a1.to_vec(), a2.to_vec());
+                let r0 = self.mul_nonres(ld, &a2);
+                [r0, a0, a1].concat()
+            }
+            _ => unreachable!("arity is 2 or 3"),
+        }
+    }
+
+    // -- multiplication ---------------------------------------------------
+
+    fn mul(&mut self, d: u8, a: &[FpId], b: &[FpId]) -> Vec<FpId> {
+        if d == 1 {
+            return vec![self.emit(FpOp::Mul(a[0], b[0]))];
+        }
+        let ld = self.shape.level(d).clone();
+        let dp = ld.parent;
+        match ld.arity {
+            2 => {
+                let (a0, a1) = split2(a);
+                let (b0, b1) = split2(b);
+                match self.cfg.mul_at(d) {
+                    MulVariant::Karatsuba => {
+                        let v0 = self.mul(dp, &a0, &b0);
+                        let v1 = self.mul(dp, &a1, &b1);
+                        let sa = self.add(&a0, &a1);
+                        let sb = self.add(&b0, &b1);
+                        let m = self.mul(dp, &sa, &sb);
+                        let t = self.sub(&m, &v0);
+                        let cross = self.sub(&t, &v1);
+                        let nr = self.mul_nonres(&ld, &v1);
+                        let c0 = self.add(&v0, &nr);
+                        [c0, cross].concat()
+                    }
+                    MulVariant::Schoolbook => {
+                        let v0 = self.mul(dp, &a0, &b0);
+                        let v1 = self.mul(dp, &a1, &b1);
+                        let nr = self.mul_nonres(&ld, &v1);
+                        let c0 = self.add(&v0, &nr);
+                        let m01 = self.mul(dp, &a0, &b1);
+                        let m10 = self.mul(dp, &a1, &b0);
+                        let c1 = self.add(&m01, &m10);
+                        [c0, c1].concat()
+                    }
+                }
+            }
+            3 => {
+                let (a0, a1, a2) = split3(a);
+                let (b0, b1, b2) = split3(b);
+                match self.cfg.mul_at(d) {
+                    MulVariant::Karatsuba => {
+                        let v0 = self.mul(dp, &a0, &b0);
+                        let v1 = self.mul(dp, &a1, &b1);
+                        let v2 = self.mul(dp, &a2, &b2);
+                        let t01 = {
+                            let sa = self.add(&a0, &a1);
+                            let sb = self.add(&b0, &b1);
+                            let m = self.mul(dp, &sa, &sb);
+                            let s = self.add(&v0, &v1);
+                            self.sub(&m, &s)
+                        };
+                        let t02 = {
+                            let sa = self.add(&a0, &a2);
+                            let sb = self.add(&b0, &b2);
+                            let m = self.mul(dp, &sa, &sb);
+                            let s = self.add(&v0, &v2);
+                            self.sub(&m, &s)
+                        };
+                        let t12 = {
+                            let sa = self.add(&a1, &a2);
+                            let sb = self.add(&b1, &b2);
+                            let m = self.mul(dp, &sa, &sb);
+                            let s = self.add(&v1, &v2);
+                            self.sub(&m, &s)
+                        };
+                        let n12 = self.mul_nonres(&ld, &t12);
+                        let c0 = self.add(&v0, &n12);
+                        let nv2 = self.mul_nonres(&ld, &v2);
+                        let c1 = self.add(&t01, &nv2);
+                        let c2 = self.add(&t02, &v1);
+                        [c0, c1, c2].concat()
+                    }
+                    MulVariant::Schoolbook => {
+                        let m00 = self.mul(dp, &a0, &b0);
+                        let m01 = self.mul(dp, &a0, &b1);
+                        let m02 = self.mul(dp, &a0, &b2);
+                        let m10 = self.mul(dp, &a1, &b0);
+                        let m11 = self.mul(dp, &a1, &b1);
+                        let m12 = self.mul(dp, &a1, &b2);
+                        let m20 = self.mul(dp, &a2, &b0);
+                        let m21 = self.mul(dp, &a2, &b1);
+                        let m22 = self.mul(dp, &a2, &b2);
+                        let s12 = self.add(&m12, &m21);
+                        let n12 = self.mul_nonres(&ld, &s12);
+                        let c0 = self.add(&m00, &n12);
+                        let n22 = self.mul_nonres(&ld, &m22);
+                        let s01 = self.add(&m01, &m10);
+                        let c1 = self.add(&s01, &n22);
+                        let s02 = self.add(&m02, &m20);
+                        let c2 = self.add(&s02, &m11);
+                        [c0, c1, c2].concat()
+                    }
+                }
+            }
+            _ => unreachable!("arity is 2 or 3"),
+        }
+    }
+
+    // -- squaring ----------------------------------------------------------
+
+    fn sqr(&mut self, d: u8, a: &[FpId]) -> Vec<FpId> {
+        if d == 1 {
+            return vec![self.emit(FpOp::Sqr(a[0]))];
+        }
+        let ld = self.shape.level(d).clone();
+        let dp = ld.parent;
+        let variant = self.cfg.sqr_at(d);
+        if variant == SqrVariant::ViaMul {
+            return self.mul(d, a, a);
+        }
+        match ld.arity {
+            2 => {
+                let (a0, a1) = split2(a);
+                match variant {
+                    SqrVariant::Complex => {
+                        // (a0+a1u)² = (a0+a1)(a0+βa1) − v − βv + 2v·u,
+                        // v = a0·a1.
+                        let v = self.mul(dp, &a0, &a1);
+                        let s1 = self.add(&a0, &a1);
+                        let nb = self.mul_nonres(&ld, &a1);
+                        let s2 = self.add(&a0, &nb);
+                        let t = self.mul(dp, &s1, &s2);
+                        let nv = self.mul_nonres(&ld, &v);
+                        let u = self.sub(&t, &v);
+                        let c0 = self.sub(&u, &nv);
+                        let c1 = self.muli(&v, 2);
+                        [c0, c1].concat()
+                    }
+                    _ => {
+                        // Schoolbook: a0² + β·a1² ; 2·a0·a1.
+                        let s0 = self.sqr(dp, &a0);
+                        let s1 = self.sqr(dp, &a1);
+                        let nb = self.mul_nonres(&ld, &s1);
+                        let c0 = self.add(&s0, &nb);
+                        let m = self.mul(dp, &a0, &a1);
+                        let c1 = self.muli(&m, 2);
+                        [c0, c1].concat()
+                    }
+                }
+            }
+            3 => {
+                let (a0, a1, a2) = split3(a);
+                match variant {
+                    SqrVariant::ChSqr3 => {
+                        // 3S + 2M (Chung–Hasan SQR3).
+                        let s0 = self.sqr(dp, &a0);
+                        let m01 = self.mul(dp, &a0, &a1);
+                        let s1 = self.muli(&m01, 2);
+                        let t = {
+                            let u = self.sub(&a0, &a1);
+                            self.add(&u, &a2)
+                        };
+                        let s2 = self.sqr(dp, &t);
+                        let m12 = self.mul(dp, &a1, &a2);
+                        let s3 = self.muli(&m12, 2);
+                        let s4 = self.sqr(dp, &a2);
+                        // c2 = s1 + s3 + s2 − s0 − s4
+                        let t1 = self.add(&s1, &s3);
+                        let t2 = self.add(&t1, &s2);
+                        let t3 = self.sub(&t2, &s0);
+                        let c2 = self.sub(&t3, &s4);
+                        let n3 = self.mul_nonres(&ld, &s3);
+                        let c0 = self.add(&s0, &n3);
+                        let n4 = self.mul_nonres(&ld, &s4);
+                        let c1 = self.add(&s1, &n4);
+                        [c0, c1, c2].concat()
+                    }
+                    SqrVariant::ChSqr2 => {
+                        // Symmetric 6-squaring form (Chung–Hasan SQR2
+                        // family): pairwise sums squared.
+                        let v0 = self.sqr(dp, &a0);
+                        let v1 = self.sqr(dp, &a1);
+                        let v2 = self.sqr(dp, &a2);
+                        let t01 = {
+                            let s = self.add(&a0, &a1);
+                            let sq = self.sqr(dp, &s);
+                            let u = self.add(&v0, &v1);
+                            self.sub(&sq, &u)
+                        };
+                        let t02 = {
+                            let s = self.add(&a0, &a2);
+                            let sq = self.sqr(dp, &s);
+                            let u = self.add(&v0, &v2);
+                            self.sub(&sq, &u)
+                        };
+                        let t12 = {
+                            let s = self.add(&a1, &a2);
+                            let sq = self.sqr(dp, &s);
+                            let u = self.add(&v1, &v2);
+                            self.sub(&sq, &u)
+                        };
+                        let n12 = self.mul_nonres(&ld, &t12);
+                        let c0 = self.add(&v0, &n12);
+                        let nv2 = self.mul_nonres(&ld, &v2);
+                        let c1 = self.add(&t01, &nv2);
+                        let c2 = self.add(&t02, &v1);
+                        [c0, c1, c2].concat()
+                    }
+                    _ => {
+                        // Schoolbook: 3S + 3M.
+                        let s0 = self.sqr(dp, &a0);
+                        let s1 = self.sqr(dp, &a1);
+                        let s2 = self.sqr(dp, &a2);
+                        let m12 = self.mul(dp, &a1, &a2);
+                        let d12 = self.muli(&m12, 2);
+                        let n12 = self.mul_nonres(&ld, &d12);
+                        let c0 = self.add(&s0, &n12);
+                        let m01 = self.mul(dp, &a0, &a1);
+                        let d01 = self.muli(&m01, 2);
+                        let n22 = self.mul_nonres(&ld, &s2);
+                        let c1 = self.add(&d01, &n22);
+                        let m02 = self.mul(dp, &a0, &a2);
+                        let d02 = self.muli(&m02, 2);
+                        let c2 = self.add(&s1, &d02);
+                        [c0, c1, c2].concat()
+                    }
+                }
+            }
+            _ => unreachable!("arity is 2 or 3"),
+        }
+    }
+
+    // -- conjugation / frobenius / inversion -------------------------------
+
+    fn conj(&mut self, d: u8, a: &[FpId]) -> Result<Vec<FpId>, String> {
+        if d == 1 {
+            return Ok(a.to_vec());
+        }
+        let ld = self.shape.level(d);
+        if ld.arity != 2 {
+            return Err("conj is defined only at quadratic-arity levels".into());
+        }
+        let dp = ld.parent as usize;
+        let (a0, a1) = a.split_at(dp);
+        let a1 = a1.to_vec();
+        let n = self.neg(&a1);
+        Ok([a0.to_vec(), n].concat())
+    }
+
+    fn frob(&mut self, d: u8, a: &[FpId], j: usize) -> Vec<FpId> {
+        if d == 1 || j == 0 {
+            return a.to_vec();
+        }
+        let ld = self.shape.level(d).clone();
+        let dp = ld.parent;
+        match ld.arity {
+            2 => {
+                let (a0, a1) = split2(a);
+                let r0 = self.frob(dp, &a0, j);
+                let f1 = self.frob(dp, &a1, j);
+                let c: Vec<FpId> = ld.frob[j].clone().iter().map(|v| self.konst(v)).collect();
+                let r1 = self.mul(dp, &f1, &c);
+                [r0, r1].concat()
+            }
+            3 => {
+                let (a0, a1, a2) = split3(a);
+                let r0 = self.frob(dp, &a0, j);
+                let f1 = self.frob(dp, &a1, j);
+                let c1: Vec<FpId> = ld.frob[j].clone().iter().map(|v| self.konst(v)).collect();
+                let r1 = self.mul(dp, &f1, &c1);
+                let f2 = self.frob(dp, &a2, j);
+                let c2: Vec<FpId> = ld.frob_sq[j].clone().iter().map(|v| self.konst(v)).collect();
+                let r2 = self.mul(dp, &f2, &c2);
+                [r0, r1, r2].concat()
+            }
+            _ => unreachable!("arity is 2 or 3"),
+        }
+    }
+
+    fn inv(&mut self, d: u8, a: &[FpId]) -> Vec<FpId> {
+        if d == 1 {
+            return vec![self.emit(FpOp::Inv(a[0]))];
+        }
+        let ld = self.shape.level(d).clone();
+        let dp = ld.parent;
+        match ld.arity {
+            2 => {
+                let (a0, a1) = split2(a);
+                let s0 = self.sqr(dp, &a0);
+                let s1 = self.sqr(dp, &a1);
+                let ns1 = self.mul_nonres(&ld, &s1);
+                let norm = self.sub(&s0, &ns1);
+                let i = self.inv(dp, &norm);
+                let r0 = self.mul(dp, &a0, &i);
+                let m1 = self.mul(dp, &a1, &i);
+                let r1 = self.neg(&m1);
+                [r0, r1].concat()
+            }
+            3 => {
+                let (a0, a1, a2) = split3(a);
+                // Adjugate inversion.
+                let m12 = self.mul(dp, &a1, &a2);
+                let nm12 = self.mul_nonres(&ld, &m12);
+                let s0 = self.sqr(dp, &a0);
+                let c0 = self.sub(&s0, &nm12);
+                let s2 = self.sqr(dp, &a2);
+                let ns2 = self.mul_nonres(&ld, &s2);
+                let m01 = self.mul(dp, &a0, &a1);
+                let c1 = self.sub(&ns2, &m01);
+                let s1 = self.sqr(dp, &a1);
+                let m02 = self.mul(dp, &a0, &a2);
+                let c2 = self.sub(&s1, &m02);
+                let t0 = self.mul(dp, &a0, &c0);
+                let t1 = self.mul(dp, &a2, &c1);
+                let t2 = self.mul(dp, &a1, &c2);
+                let t12 = self.add(&t1, &t2);
+                let nt = self.mul_nonres(&ld, &t12);
+                let norm = self.add(&t0, &nt);
+                let i = self.inv(dp, &norm);
+                let r0 = self.mul(dp, &c0, &i);
+                let r1 = self.mul(dp, &c1, &i);
+                let r2 = self.mul(dp, &c2, &i);
+                [r0, r1, r2].concat()
+            }
+            _ => unreachable!("arity is 2 or 3"),
+        }
+    }
+
+    // -- cyclotomic squaring -----------------------------------------------
+
+    fn cyclo_sqr(&mut self, d: u8, a: &[FpId]) -> Result<Vec<FpId>, String> {
+        if d != self.shape.k {
+            return Err("cyclo_sqr is defined at the top level only".into());
+        }
+        if self.cfg.cyclo == CycloVariant::PlainSqr {
+            return Ok(self.sqr(d, a));
+        }
+        let qd = self.shape.k / 6;
+        let qw = qd as usize;
+        // Internal order: [E0, E1, E2, O0, O1, O2], each of width k/6.
+        let chunk = |i: usize| a[i * qw..(i + 1) * qw].to_vec();
+        let e0 = chunk(0);
+        let e1 = chunk(1);
+        let e2 = chunk(2);
+        let o0 = chunk(3);
+        let o1 = chunk(4);
+        let o2 = chunk(5);
+        // w-power pairs: (w0,w3)=(E0,O1), (w1,w4)=(O0,E2), (w2,w5)=(E1,O2).
+        let cubic = self
+            .shape
+            .levels
+            .iter()
+            .find(|l| l.arity == 3)
+            .expect("towers have one cubic level")
+            .clone();
+
+        let (t00, t01) = self.fq4_sq(qd, &cubic, &e0, &o1);
+        let (t10, t11) = self.fq4_sq(qd, &cubic, &o0, &e2);
+        let (t20, t21) = self.fq4_sq(qd, &cubic, &e1, &o2);
+
+        let c_w0 = self.three_minus_two(&t00, &e0);
+        let c_w3 = self.three_plus_two(&t01, &o1);
+        let c_w2 = self.three_minus_two(&t10, &e1);
+        let c_w5 = self.three_plus_two(&t11, &o2);
+        let xi_t21 = self.mul_nonres(&cubic, &t21);
+        let c_w1 = self.three_plus_two(&xi_t21, &o0);
+        let c_w4 = self.three_minus_two(&t20, &e2);
+
+        Ok([c_w0, c_w2, c_w4, c_w1, c_w3, c_w5].concat())
+    }
+
+    /// `(a² + ξ·b², (a+b)² − a² − b²)` at level q.
+    fn fq4_sq(
+        &mut self,
+        q: u8,
+        cubic: &LevelDesc,
+        a: &[FpId],
+        b: &[FpId],
+    ) -> (Vec<FpId>, Vec<FpId>) {
+        let sa = self.sqr(q, a);
+        let sb = self.sqr(q, b);
+        let nsb = self.mul_nonres(cubic, &sb);
+        let t0 = self.add(&sa, &nsb);
+        let s = self.add(a, b);
+        let ss = self.sqr(q, &s);
+        let sum = self.add(&sa, &sb);
+        let t1 = self.sub(&ss, &sum);
+        (t0, t1)
+    }
+
+    fn three_minus_two(&mut self, t: &[FpId], z: &[FpId]) -> Vec<FpId> {
+        let t3 = self.muli(t, 3);
+        let z2 = self.muli(z, 2);
+        self.sub(&t3, &z2)
+    }
+
+    fn three_plus_two(&mut self, t: &[FpId], z: &[FpId]) -> Vec<FpId> {
+        let t3 = self.muli(t, 3);
+        let z2 = self.muli(z, 2);
+        self.add(&t3, &z2)
+    }
+}
+
+fn split2(a: &[FpId]) -> (Vec<FpId>, Vec<FpId>) {
+    let half = a.len() / 2;
+    (a[..half].to_vec(), a[half..].to_vec())
+}
+
+fn split3(a: &[FpId]) -> (Vec<FpId>, Vec<FpId>, Vec<FpId>) {
+    let third = a.len() / 3;
+    (
+        a[..third].to_vec(),
+        a[third..2 * third].to_vec(),
+        a[2 * third..].to_vec(),
+    )
+}

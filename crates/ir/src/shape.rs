@@ -1,0 +1,316 @@
+//! Tower shape descriptors: the extension lattice the lowering recursion
+//! walks, with per-level non-residues and Frobenius constant tables.
+//!
+//! The paper's lowering (Figure 4) maps an op at level d to ops at the
+//! next level down the division lattice of k:
+//!
+//! * k = 12: `fp12 → fp6 → fp2 → fp` (quadratic / cubic / quadratic),
+//! * k = 24: `fp24 → fp12 → fp4 → fp2 → fp` (quad / cubic / quad / quad).
+//!
+//! Each level records its non-residue in a *strength-reducible* form when
+//! possible (small integers, `c0 + c1·u`, or "the parent's adjoined
+//! generator"), so multiplications by non-residues lower to linear
+//! operations instead of full multiplications — the `adj`/`B` costs of the
+//! paper's Table 3.
+
+use finesse_curves::Curve;
+use finesse_ff::{BigUint, Fp};
+
+/// Maximum Frobenius power with precomputed lowering constants.
+pub const MAX_FROB: usize = 6;
+
+/// How a level's non-residue multiplies into parent-level values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NonresForm {
+    /// The parent is F_p and the non-residue is the small integer `c`
+    /// (e.g. β = −1): multiplication is a negation / small chain.
+    SmallFp(i64),
+    /// The parent is a quadratic level with generator `u`, and the
+    /// non-residue is `c0 + c1·u` with small coefficients (e.g. 1 + u).
+    SimpleQuad {
+        /// Constant coefficient.
+        c0: i64,
+        /// Generator coefficient.
+        c1: i64,
+    },
+    /// The non-residue is exactly the parent level's adjoined generator
+    /// (e.g. `w² = s`, `s³ = v`): multiplication is the parent's `adj`.
+    ParentGenerator,
+    /// Arbitrary parent-level constant (canonical flat coefficients).
+    Generic(Vec<BigUint>),
+}
+
+/// One level of the tower.
+#[derive(Clone, Debug)]
+pub struct LevelDesc {
+    /// Total extension degree over F_p.
+    pub degree: u8,
+    /// Extension arity over the parent (2 or 3).
+    pub arity: u8,
+    /// Parent degree (1 for the first level).
+    pub parent: u8,
+    /// The non-residue adjoined at this level.
+    pub nonres: NonresForm,
+    /// `g^(p^j − 1)` for this level's generator g, j = 0..=[`MAX_FROB`],
+    /// as canonical parent-level flat coefficients.
+    pub frob: Vec<Vec<BigUint>>,
+    /// The square of [`LevelDesc::frob`] entries (needed by cubic-level
+    /// Frobenius: the s² coefficient picks up `C²`).
+    pub frob_sq: Vec<Vec<BigUint>>,
+}
+
+/// The full lattice for a curve's embedding degree.
+#[derive(Clone, Debug)]
+pub struct TowerShape {
+    /// Embedding degree k.
+    pub k: u8,
+    /// Levels in ascending degree order.
+    pub levels: Vec<LevelDesc>,
+}
+
+/// Interprets an F_p element as a small signed integer when possible.
+fn fp_as_small(v: &Fp) -> Option<i64> {
+    let n = v.to_biguint();
+    if let Some(u) = n.to_u64() {
+        if u <= 32 {
+            return Some(u as i64);
+        }
+    }
+    let p = v.ctx().modulus();
+    if let Some(u) = p.checked_sub(&n).and_then(|d| d.to_u64()) {
+        if u <= 32 && u > 0 {
+            return Some(-(u as i64));
+        }
+    }
+    None
+}
+
+impl TowerShape {
+    /// Derives the shape (levels, non-residue forms, Frobenius constants)
+    /// from a constructed curve.
+    pub fn for_curve(curve: &Curve) -> TowerShape {
+        let tower = curve.tower();
+        let fpc = curve.fp();
+        let flat =
+            |xs: &[Fp]| -> Vec<BigUint> { xs.iter().map(Fp::to_biguint).collect() };
+        let pair_flat = |x: &(Fp, Fp)| vec![x.0.to_biguint(), x.1.to_biguint()];
+
+        // Level 2: u² = β.
+        let beta = tower.beta();
+        let l2_nonres = match fp_as_small(beta) {
+            Some(c) => NonresForm::SmallFp(c),
+            None => NonresForm::Generic(vec![beta.to_biguint()]),
+        };
+        let mut l2_frob = Vec::new();
+        for j in 0..=MAX_FROB {
+            l2_frob.push(vec![tower.u_frob_const(j).to_biguint()]);
+        }
+        let l2_frob_sq = l2_frob
+            .iter()
+            .map(|c| {
+                let x = fpc.from_biguint(&c[0]);
+                vec![x.square().to_biguint()]
+            })
+            .collect();
+        let l2 = LevelDesc {
+            degree: 2,
+            arity: 2,
+            parent: 1,
+            nonres: l2_nonres,
+            frob: l2_frob,
+            frob_sq: l2_frob_sq,
+        };
+
+        // Helper: classify an Fp2 constant (c0, c1).
+        let quad_form = |c: &(Fp, Fp)| -> NonresForm {
+            match (fp_as_small(&c.0), fp_as_small(&c.1)) {
+                (Some(c0), Some(c1)) => NonresForm::SimpleQuad { c0, c1 },
+                _ => NonresForm::Generic(pair_flat(c)),
+            }
+        };
+
+        let mut levels = vec![l2];
+
+        if tower.k() == 12 {
+            // Level 6: s³ = ξ ∈ F_p2.
+            let xi = tower.xi();
+            let xic = (xi.coeffs()[0].clone(), xi.coeffs()[1].clone());
+            let mut frob = Vec::new();
+            let mut frob_sq = Vec::new();
+            for j in 0..=MAX_FROB {
+                let wj = tower.w_frob_const(j);
+                let c = tower.fq_sqr(wj); // ξ^((p^j−1)/3)
+                frob.push(flat(c.coeffs()));
+                frob_sq.push(flat(tower.fq_sqr(&c).coeffs()));
+            }
+            levels.push(LevelDesc {
+                degree: 6,
+                arity: 3,
+                parent: 2,
+                nonres: quad_form(&xic),
+                frob,
+                frob_sq,
+            });
+            // Level 12: w² = s.
+            let mut frob = Vec::new();
+            let mut frob_sq = Vec::new();
+            for j in 0..=MAX_FROB {
+                let wj = tower.w_frob_const(j); // ξ^((p^j−1)/6) ∈ F_p2 ⊂ F_p6
+                let mut f = flat(wj.coeffs());
+                f.resize(6, BigUint::zero());
+                frob.push(f);
+                let sq = tower.fq_sqr(wj);
+                let mut f2 = flat(sq.coeffs());
+                f2.resize(6, BigUint::zero());
+                frob_sq.push(f2);
+            }
+            levels.push(LevelDesc {
+                degree: 12,
+                arity: 2,
+                parent: 6,
+                nonres: NonresForm::ParentGenerator,
+                frob,
+                frob_sq,
+            });
+        } else {
+            // k = 24.
+            // Level 4: v² = ξ₂ ∈ F_p2.
+            let xi2 = tower.xi2().expect("k=24 towers have xi2").clone();
+            let mut frob = Vec::new();
+            let mut frob_sq = Vec::new();
+            for j in 0..=MAX_FROB {
+                let vj = tower.v_frob_const(j);
+                frob.push(pair_flat(vj));
+                frob_sq.push(pair_flat(&tower.fp2_pair_sqr(vj)));
+            }
+            levels.push(LevelDesc {
+                degree: 4,
+                arity: 2,
+                parent: 2,
+                nonres: quad_form(&xi2),
+                frob,
+                frob_sq,
+            });
+            // Level 12 (cubic): s³ = ξ ∈ F_p4.
+            let xi = tower.xi();
+            let xi_is_v = {
+                let c = xi.coeffs();
+                c[0].is_zero() && c[1].is_zero() && c[2].is_one() && c[3].is_zero()
+            };
+            let nonres = if xi_is_v {
+                NonresForm::ParentGenerator
+            } else {
+                NonresForm::Generic(flat(xi.coeffs()))
+            };
+            let mut frob = Vec::new();
+            let mut frob_sq = Vec::new();
+            for j in 0..=MAX_FROB {
+                let wj = tower.w_frob_const(j);
+                let c = tower.fq_sqr(wj);
+                frob.push(flat(c.coeffs()));
+                frob_sq.push(flat(tower.fq_sqr(&c).coeffs()));
+            }
+            levels.push(LevelDesc {
+                degree: 12,
+                arity: 3,
+                parent: 4,
+                nonres,
+                frob,
+                frob_sq,
+            });
+            // Level 24: w² = s.
+            let mut frob = Vec::new();
+            let mut frob_sq = Vec::new();
+            for j in 0..=MAX_FROB {
+                let wj = tower.w_frob_const(j);
+                let mut f = flat(wj.coeffs());
+                f.resize(12, BigUint::zero());
+                frob.push(f);
+                let sq = tower.fq_sqr(wj);
+                let mut f2 = flat(sq.coeffs());
+                f2.resize(12, BigUint::zero());
+                frob_sq.push(f2);
+            }
+            levels.push(LevelDesc {
+                degree: 24,
+                arity: 2,
+                parent: 12,
+                nonres: NonresForm::ParentGenerator,
+                frob,
+                frob_sq,
+            });
+        }
+
+        TowerShape { k: tower.k() as u8, levels }
+    }
+
+    /// The level descriptor for a given degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics for degrees not in this tower's lattice.
+    pub fn level(&self, degree: u8) -> &LevelDesc {
+        self.levels
+            .iter()
+            .find(|l| l.degree == degree)
+            .unwrap_or_else(|| panic!("degree {degree} not in tower lattice"))
+    }
+
+    /// All degrees in the lattice (ascending, excluding 1).
+    pub fn degrees(&self) -> Vec<u8> {
+        self.levels.iter().map(|l| l.degree).collect()
+    }
+
+    /// The twist-field degree k/6.
+    pub fn qdeg(&self) -> u8 {
+        self.k / 6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use finesse_curves::Curve;
+
+    #[test]
+    fn bls12_shape_lattice() {
+        let c = Curve::by_name("BLS12-381");
+        let s = TowerShape::for_curve(&c);
+        assert_eq!(s.k, 12);
+        assert_eq!(s.degrees(), vec![2, 6, 12]);
+        assert_eq!(s.level(6).arity, 3);
+        assert_eq!(s.level(12).nonres, NonresForm::ParentGenerator);
+        // β = −1 for BLS12-381.
+        assert_eq!(s.level(2).nonres, NonresForm::SmallFp(-1));
+        // ξ = 1 + u.
+        assert_eq!(s.level(6).nonres, NonresForm::SimpleQuad { c0: 1, c1: 1 });
+    }
+
+    #[test]
+    fn bls24_shape_lattice() {
+        let c = Curve::by_name("BLS24-509");
+        let s = TowerShape::for_curve(&c);
+        assert_eq!(s.degrees(), vec![2, 4, 12, 24]);
+        assert_eq!(s.level(12).arity, 3);
+        assert_eq!(s.level(12).nonres, NonresForm::ParentGenerator);
+        assert_eq!(s.level(4).nonres, NonresForm::SimpleQuad { c0: 1, c1: 1 });
+    }
+
+    #[test]
+    fn frob_tables_have_full_range() {
+        let c = Curve::by_name("BN254N");
+        let s = TowerShape::for_curve(&c);
+        for l in &s.levels {
+            assert_eq!(l.frob.len(), MAX_FROB + 1);
+            assert_eq!(l.frob_sq.len(), MAX_FROB + 1);
+            for f in &l.frob {
+                assert_eq!(f.len(), l.parent as usize);
+            }
+        }
+        // j = 0 constants are all 1 (identity Frobenius).
+        for l in &s.levels {
+            assert!(l.frob[0][0].is_one());
+            assert!(l.frob[0][1..].iter().all(|c| c.is_zero()));
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! # finesse-isa
+//!
+//! The RISC-flavoured F_p-level instruction set with VLIW extension
+//! (paper §3.2): linear operations (`NEG DBL TPL ADD SUB`), multiplicative
+//! operations (`SQR MUL`), the iterative inverse (`INV`), and the
+//! miscellaneous `NOP`/`CVT`/`ICV` (post/pre I/O Montgomery-format
+//! conversions). All operands are registers in on-chip register banks;
+//! wide instructions pack one operation per issue slot.
+//!
+//! Instructions encode to 32 bits — `[op:5 | dst:9 | src1:9 | src2:9]` —
+//! with each register field split into bank and index bits according to
+//! the hardware's bank count ([`EncodingSpec`]), mirroring the hex program
+//! images of the paper's Figure 3.
+
+use std::fmt;
+
+/// Machine opcode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// No operation (VLIW slot padding).
+    Nop = 0,
+    /// `dst = src1 + src2`.
+    Add = 1,
+    /// `dst = src1 − src2`.
+    Sub = 2,
+    /// `dst = −src1`.
+    Neg = 3,
+    /// `dst = 2·src1`.
+    Dbl = 4,
+    /// `dst = 3·src1`.
+    Tpl = 5,
+    /// `dst = src1 · src2`.
+    Mul = 6,
+    /// `dst = src1²`.
+    Sqr = 7,
+    /// `dst = src1⁻¹` (iterative unit).
+    Inv = 8,
+    /// Output conversion: Montgomery → canonical, `dst = io port`,
+    /// `src1 = register`.
+    Cvt = 9,
+    /// Input conversion: canonical → Montgomery, `dst = register`,
+    /// `src1 = io port`.
+    Icv = 10,
+}
+
+impl Opcode {
+    /// All defined opcodes.
+    pub const ALL: [Opcode; 11] = [
+        Opcode::Nop,
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Neg,
+        Opcode::Dbl,
+        Opcode::Tpl,
+        Opcode::Mul,
+        Opcode::Sqr,
+        Opcode::Inv,
+        Opcode::Cvt,
+        Opcode::Icv,
+    ];
+
+    /// Decodes from the 5-bit field.
+    pub fn from_u8(v: u8) -> Option<Opcode> {
+        Self::ALL.into_iter().find(|o| *o as u8 == v)
+    }
+
+    /// True for `ADD`/`SUB`/`NEG`/`DBL`/`TPL` (Short pipeline units).
+    pub fn is_linear(self) -> bool {
+        matches!(self, Opcode::Add | Opcode::Sub | Opcode::Neg | Opcode::Dbl | Opcode::Tpl)
+    }
+
+    /// True for `MUL`/`SQR` (the Long `mmul` unit).
+    pub fn is_multiplicative(self) -> bool {
+        matches!(self, Opcode::Mul | Opcode::Sqr)
+    }
+
+    /// Number of register sources read.
+    pub fn n_sources(self) -> usize {
+        match self {
+            Opcode::Add | Opcode::Sub | Opcode::Mul => 2,
+            Opcode::Neg | Opcode::Dbl | Opcode::Tpl | Opcode::Sqr | Opcode::Inv | Opcode::Cvt => 1,
+            Opcode::Nop | Opcode::Icv => 0,
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Opcode::Nop => "NOP",
+            Opcode::Add => "ADD",
+            Opcode::Sub => "SUB",
+            Opcode::Neg => "NEG",
+            Opcode::Dbl => "DBL",
+            Opcode::Tpl => "TPL",
+            Opcode::Mul => "MUL",
+            Opcode::Sqr => "SQR",
+            Opcode::Inv => "INV",
+            Opcode::Cvt => "CVT",
+            Opcode::Icv => "ICV",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A register: bank plus index within the bank.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Default)]
+pub struct Reg {
+    /// Register bank.
+    pub bank: u8,
+    /// Index within the bank.
+    pub index: u16,
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}.{}", self.bank, self.index)
+    }
+}
+
+/// One machine operation (one issue slot's worth).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MachineOp {
+    /// Opcode.
+    pub op: Opcode,
+    /// Destination register (or IO port for `CVT`).
+    pub dst: Reg,
+    /// First source (or IO port for `ICV`).
+    pub src1: Reg,
+    /// Second source (`ADD`/`SUB`/`MUL` only).
+    pub src2: Reg,
+}
+
+impl MachineOp {
+    /// A NOP slot.
+    pub fn nop() -> Self {
+        MachineOp { op: Opcode::Nop, dst: Reg::default(), src1: Reg::default(), src2: Reg::default() }
+    }
+}
+
+impl fmt::Display for MachineOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op.n_sources() {
+            2 => write!(f, "{} {}, {}, {}", self.op, self.dst, self.src1, self.src2),
+            1 => write!(f, "{} {}, {}", self.op, self.dst, self.src1),
+            _ => write!(f, "{}", self.op),
+        }
+    }
+}
+
+/// A (possibly wide) instruction: one op per issue slot.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WideInst {
+    /// Slot operations (length = issue width; NOP-padded).
+    pub slots: Vec<MachineOp>,
+}
+
+/// Field widths for the instruction encoding.
+///
+/// The compact form packs a slot into one 32-bit word (9-bit register
+/// fields, at most 512 registers across banks); the `wide` form uses two
+/// words per slot with 16-bit register fields for high-pressure programs
+/// (large-k curves).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EncodingSpec {
+    /// Bits of the register field used for the bank (0 for single-bank).
+    pub bank_bits: u8,
+    /// Issue width (slots per wide instruction).
+    pub issue_width: u8,
+    /// Two-word encoding with 16-bit register fields.
+    pub wide: bool,
+}
+
+/// Error from encoding or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// A register's bank does not fit the bank field.
+    BankOverflow(Reg),
+    /// A register's index does not fit the index field.
+    IndexOverflow(Reg),
+    /// Unknown opcode bits during decode.
+    BadOpcode(u8),
+    /// Word stream length is not a multiple of the issue width.
+    Truncated,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BankOverflow(r) => write!(f, "register {r} exceeds bank field"),
+            CodecError::IndexOverflow(r) => write!(f, "register {r} exceeds index field"),
+            CodecError::BadOpcode(v) => write!(f, "undefined opcode bits {v:#x}"),
+            CodecError::Truncated => f.write_str("instruction stream truncated"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Register field width in bits.
+const REG_BITS: u32 = 9;
+
+impl EncodingSpec {
+    /// Spec for a bank count and issue width (compact encoding).
+    pub fn new(n_banks: u8, issue_width: u8) -> Self {
+        let bank_bits = (8 - (n_banks.max(1) - 1).leading_zeros()) as u8;
+        EncodingSpec { bank_bits, issue_width, wide: false }
+    }
+
+    /// Chooses compact or wide encoding from the peak per-bank register
+    /// demand.
+    pub fn for_pressure(n_banks: u8, issue_width: u8, max_regs_per_bank: u32) -> Self {
+        let mut spec = Self::new(n_banks, issue_width);
+        if max_regs_per_bank > spec.regs_per_bank() {
+            spec.wide = true;
+        }
+        spec
+    }
+
+    /// Words consumed per slot (1 compact, 2 wide).
+    pub fn words_per_slot(&self) -> usize {
+        if self.wide {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Registers addressable per bank under this spec.
+    pub fn regs_per_bank(&self) -> u32 {
+        if self.wide {
+            1 << (16 - self.bank_bits as u32)
+        } else {
+            1 << (REG_BITS - self.bank_bits as u32)
+        }
+    }
+
+    fn encode_reg(&self, r: Reg) -> Result<u32, CodecError> {
+        let idx_bits = REG_BITS - self.bank_bits as u32;
+        if (r.bank as u32) >= (1u32 << self.bank_bits) {
+            return Err(CodecError::BankOverflow(r));
+        }
+        if (r.index as u32) >= (1 << idx_bits) {
+            return Err(CodecError::IndexOverflow(r));
+        }
+        Ok(((r.bank as u32) << idx_bits) | r.index as u32)
+    }
+
+    fn decode_reg(&self, v: u32) -> Reg {
+        let idx_bits = REG_BITS - self.bank_bits as u32;
+        Reg { bank: (v >> idx_bits) as u8, index: (v & ((1 << idx_bits) - 1)) as u16 }
+    }
+
+    fn encode_reg16(&self, r: Reg) -> Result<u32, CodecError> {
+        let idx_bits = 16 - self.bank_bits as u32;
+        if (r.bank as u32) >= (1u32 << self.bank_bits) {
+            return Err(CodecError::BankOverflow(r));
+        }
+        if (r.index as u32) >= (1 << idx_bits) {
+            return Err(CodecError::IndexOverflow(r));
+        }
+        Ok(((r.bank as u32) << idx_bits) | r.index as u32)
+    }
+
+    fn decode_reg16(&self, v: u32) -> Reg {
+        let idx_bits = 16 - self.bank_bits as u32;
+        Reg { bank: (v >> idx_bits) as u8, index: (v & ((1 << idx_bits) - 1)) as u16 }
+    }
+
+    /// Encodes one op into its word(s).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a register exceeds the field widths.
+    pub fn encode_op(&self, m: &MachineOp) -> Result<Vec<u32>, CodecError> {
+        if self.wide {
+            let d = self.encode_reg16(m.dst)?;
+            let s1 = self.encode_reg16(m.src1)?;
+            let s2 = self.encode_reg16(m.src2)?;
+            Ok(vec![((m.op as u32) << 16) | d, (s1 << 16) | s2])
+        } else {
+            let d = self.encode_reg(m.dst)?;
+            let s1 = self.encode_reg(m.src1)?;
+            let s2 = self.encode_reg(m.src2)?;
+            Ok(vec![((m.op as u32) << 27) | (d << 18) | (s1 << 9) | s2])
+        }
+    }
+
+    /// Decodes one op from its word(s).
+    ///
+    /// # Errors
+    ///
+    /// Fails on undefined opcode bits or truncation.
+    pub fn decode_op(&self, words: &[u32]) -> Result<MachineOp, CodecError> {
+        if self.wide {
+            if words.len() < 2 {
+                return Err(CodecError::Truncated);
+            }
+            let opv = (words[0] >> 16) as u8;
+            let op = Opcode::from_u8(opv).ok_or(CodecError::BadOpcode(opv))?;
+            Ok(MachineOp {
+                op,
+                dst: self.decode_reg16(words[0] & 0xFFFF),
+                src1: self.decode_reg16(words[1] >> 16),
+                src2: self.decode_reg16(words[1] & 0xFFFF),
+            })
+        } else {
+            if words.is_empty() {
+                return Err(CodecError::Truncated);
+            }
+            let w = words[0];
+            let opv = (w >> 27) as u8;
+            let op = Opcode::from_u8(opv).ok_or(CodecError::BadOpcode(opv))?;
+            Ok(MachineOp {
+                op,
+                dst: self.decode_reg((w >> 18) & 0x1FF),
+                src1: self.decode_reg((w >> 9) & 0x1FF),
+                src2: self.decode_reg(w & 0x1FF),
+            })
+        }
+    }
+
+    /// Encodes a wide-instruction stream (NOP-padding slots).
+    ///
+    /// # Errors
+    ///
+    /// Propagates register-field overflows.
+    pub fn encode(&self, insts: &[WideInst]) -> Result<Vec<u32>, CodecError> {
+        let w = self.issue_width as usize;
+        let mut out = Vec::with_capacity(insts.len() * w * self.words_per_slot());
+        for inst in insts {
+            debug_assert!(inst.slots.len() <= w, "more slots than issue width");
+            for i in 0..w {
+                let op = inst.slots.get(i).copied().unwrap_or_else(MachineOp::nop);
+                out.extend(self.encode_op(&op)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decodes a word stream back into wide instructions.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated streams or undefined opcodes.
+    pub fn decode(&self, words: &[u32]) -> Result<Vec<WideInst>, CodecError> {
+        let wps = self.words_per_slot();
+        let stride = self.issue_width as usize * wps;
+        if words.len() % stride != 0 {
+            return Err(CodecError::Truncated);
+        }
+        words
+            .chunks(stride)
+            .map(|chunk| {
+                let slots = chunk
+                    .chunks(wps)
+                    .map(|slot| self.decode_op(slot))
+                    .collect::<Result<_, _>>()?;
+                Ok(WideInst { slots })
+            })
+            .collect()
+    }
+}
+
+/// A linked program image: encoding spec, instruction words, and the
+/// preloaded constant registers (canonical values, converted by `ICV`
+/// semantics at load time).
+#[derive(Clone, Debug)]
+pub struct ProgramImage {
+    /// Encoding parameters.
+    pub spec: EncodingSpec,
+    /// Encoded instruction words.
+    pub words: Vec<u32>,
+    /// `(register, canonical value)` preloads for the constant table.
+    pub const_preload: Vec<(Reg, finesse_ff::BigUint)>,
+    /// Register assigned to each input IO port.
+    pub input_regs: Vec<Reg>,
+    /// Registers holding outputs at program end.
+    pub output_regs: Vec<Reg>,
+}
+
+impl ProgramImage {
+    /// Instruction-memory footprint in bytes (4 bytes per slot word).
+    pub fn imem_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Hex dump of the first `n` words (the paper's Figure 3 program-image
+    /// style).
+    pub fn hex_head(&self, n: usize) -> String {
+        self.words
+            .iter()
+            .take(n)
+            .map(|w| format!("{w:08x}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_roundtrip() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_u8(op as u8), Some(op));
+        }
+        assert_eq!(Opcode::from_u8(31), None);
+    }
+
+    #[test]
+    fn classes() {
+        assert!(Opcode::Add.is_linear());
+        assert!(!Opcode::Mul.is_linear());
+        assert!(Opcode::Sqr.is_multiplicative());
+        assert!(!Opcode::Inv.is_multiplicative());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_single_bank() {
+        let spec = EncodingSpec::new(1, 1);
+        assert_eq!(spec.regs_per_bank(), 512);
+        let op = MachineOp {
+            op: Opcode::Mul,
+            dst: Reg { bank: 0, index: 511 },
+            src1: Reg { bank: 0, index: 3 },
+            src2: Reg { bank: 0, index: 42 },
+        };
+        let w = spec.encode_op(&op).unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(spec.decode_op(&w).unwrap(), op);
+    }
+
+    #[test]
+    fn wide_encoding_roundtrip() {
+        let mut spec = EncodingSpec::for_pressure(1, 1, 900);
+        assert!(spec.wide, "900 registers need the wide form");
+        assert_eq!(spec.regs_per_bank(), 65536);
+        spec.issue_width = 1;
+        let op = MachineOp {
+            op: Opcode::Sub,
+            dst: Reg { bank: 0, index: 899 },
+            src1: Reg { bank: 0, index: 4 },
+            src2: Reg { bank: 0, index: 777 },
+        };
+        let w = spec.encode_op(&op).unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(spec.decode_op(&w).unwrap(), op);
+        let insts = vec![WideInst { slots: vec![op] }];
+        let words = spec.encode(&insts).unwrap();
+        assert_eq!(spec.decode(&words).unwrap(), insts);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_multibank_vliw() {
+        let spec = EncodingSpec::new(4, 3);
+        assert_eq!(spec.regs_per_bank(), 128);
+        let inst = WideInst {
+            slots: vec![
+                MachineOp {
+                    op: Opcode::Add,
+                    dst: Reg { bank: 2, index: 100 },
+                    src1: Reg { bank: 1, index: 5 },
+                    src2: Reg { bank: 3, index: 127 },
+                },
+                MachineOp {
+                    op: Opcode::Sqr,
+                    dst: Reg { bank: 0, index: 1 },
+                    src1: Reg { bank: 0, index: 2 },
+                    src2: Reg::default(),
+                },
+            ],
+        };
+        let words = spec.encode(&[inst.clone()]).unwrap();
+        assert_eq!(words.len(), 3, "padded to issue width");
+        let back = spec.decode(&words).unwrap();
+        assert_eq!(back[0].slots[0], inst.slots[0]);
+        assert_eq!(back[0].slots[1], inst.slots[1]);
+        assert_eq!(back[0].slots[2].op, Opcode::Nop);
+    }
+
+    #[test]
+    fn field_overflow_errors() {
+        let spec = EncodingSpec::new(4, 1);
+        let bad = MachineOp {
+            op: Opcode::Add,
+            dst: Reg { bank: 0, index: 300 },
+            src1: Reg::default(),
+            src2: Reg::default(),
+        };
+        assert!(matches!(spec.encode_op(&bad), Err(CodecError::IndexOverflow(_))));
+        let bad_bank = MachineOp {
+            op: Opcode::Add,
+            dst: Reg { bank: 7, index: 0 },
+            src1: Reg::default(),
+            src2: Reg::default(),
+        };
+        assert!(matches!(spec.encode_op(&bad_bank), Err(CodecError::BankOverflow(_))));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let spec = EncodingSpec::new(1, 2);
+        assert!(matches!(spec.decode(&[0u32]), Err(CodecError::Truncated)));
+        let bad_op = 0x1Fu32 << 27;
+        assert!(matches!(spec.decode_op(&[bad_op]), Err(CodecError::BadOpcode(0x1F))));
+    }
+}

@@ -1,0 +1,174 @@
+//! An independent, textbook pairing used purely as a correctness oracle.
+//!
+//! This implementation shares *nothing* with the optimised flow: it
+//! untwists Q into E(F_p^k), runs a plain binary (non-NAF) Miller loop with
+//! affine arithmetic and chord/tangent lines in the full extension field,
+//! and finishes with a generic `(p^k − 1)/r` exponentiation. It is slow
+//! and that is the point — two implementations this different agreeing on
+//! random inputs is strong evidence both are right (the role external
+//! libraries play in the paper's validation flow).
+
+use finesse_curves::{Affine, Curve, Family, TwistKind};
+use finesse_ff::{Fp, Fpk, Fq};
+
+/// A point of E(F_p^k) in affine coordinates (None = infinity).
+type FullPoint = Option<(Fpk, Fpk)>;
+
+/// Computes the optimal-Ate pairing via the naive path.
+///
+/// For BLS curves the result is raised to `3(p^k−1)/r` to match the HKT
+/// normalisation of [`crate::PairingEngine`].
+pub fn oracle_pair(curve: &Curve, p: &Affine<Fp>, q: &Affine<Fq>) -> Fpk {
+    let tower = curve.tower();
+    if p.infinity || q.infinity {
+        return tower.fpk_one();
+    }
+    let f = oracle_miller(curve, p, q);
+    let mut e = curve.final_exp_full();
+    if matches!(curve.family(), Family::Bls12 | Family::Bls24) {
+        e = &(&e + &e) + &e; // 3·(p^k − 1)/r
+    }
+    tower.fpk_pow(&f, &e)
+}
+
+/// Untwists a twist point into E(F_p^k) full coordinates.
+pub fn untwist(curve: &Curve, q: &Affine<Fq>) -> (Fpk, Fpk) {
+    let tower = curve.tower();
+    // Build w² and w³ basis elements.
+    let one = tower.fq_one();
+    let w2 = tower.fpk_from_sparse([None, None, Some(one.clone()), None, None, None]);
+    let w3 = tower.fpk_from_sparse([None, None, None, Some(one), None, None]);
+    let xk = tower.fpk_mul_fq(&w2, &q.x);
+    let yk = tower.fpk_mul_fq(&w3, &q.y);
+    match curve.twist() {
+        TwistKind::D => (xk, yk),
+        TwistKind::M => {
+            // (x/w², y/w³)
+            let w2_inv = tower.fpk_inv(&w2);
+            let w3_inv = tower.fpk_inv(&w3);
+            (
+                tower.fpk_mul(&tower.fpk_from_fq(&q.x), &w2_inv),
+                tower.fpk_mul(&tower.fpk_from_fq(&q.y), &w3_inv),
+            )
+        }
+    }
+}
+
+fn embed_g1(curve: &Curve, p: &Affine<Fp>) -> (Fpk, Fpk) {
+    let tower = curve.tower();
+    (
+        tower.fpk_from_fq(&tower.fq_from_fp(&p.x)),
+        tower.fpk_from_fq(&tower.fq_from_fp(&p.y)),
+    )
+}
+
+/// Affine doubling in E(F_p^k); returns the new point and the tangent
+/// line evaluated at `(px, py)`.
+fn dbl_eval(curve: &Curve, t: &FullPoint, px: &Fpk, py: &Fpk) -> (FullPoint, Fpk) {
+    let k = curve.tower();
+    let Some((x, y)) = t else {
+        return (None, k.fpk_one());
+    };
+    if k.fpk_is_zero(y) {
+        return (None, k.fpk_one());
+    }
+    // λ = 3x²/(2y)
+    let x2 = k.fpk_sqr(x);
+    let num = k.fpk_add(&k.fpk_add(&x2, &x2), &x2);
+    let den = k.fpk_add(y, y);
+    let lambda = k.fpk_mul(&num, &k.fpk_inv(&den));
+    let x3 = k.fpk_sub(&k.fpk_sqr(&lambda), &k.fpk_add(x, x));
+    let y3 = k.fpk_sub(&k.fpk_mul(&lambda, &k.fpk_sub(x, &x3)), y);
+    // ℓ(P) = (yP − y) − λ(xP − x)
+    let l = k.fpk_sub(&k.fpk_sub(py, y), &k.fpk_mul(&lambda, &k.fpk_sub(px, x)));
+    (Some((x3, y3)), l)
+}
+
+/// Affine chord addition; returns the new point and the chord line at P.
+fn add_eval(curve: &Curve, t: &FullPoint, q: &(Fpk, Fpk), px: &Fpk, py: &Fpk) -> (FullPoint, Fpk) {
+    let k = curve.tower();
+    let Some((x1, y1)) = t else {
+        return (Some(q.clone()), k.fpk_one());
+    };
+    let (x2, y2) = q;
+    if x1 == x2 {
+        if y1 == y2 {
+            return dbl_eval(curve, t, px, py);
+        }
+        // vertical line: T + (−T) = O; vertical evaluations die in the
+        // final exponentiation, so contribute 1.
+        return (None, k.fpk_one());
+    }
+    let lambda = k.fpk_mul(&k.fpk_sub(y2, y1), &k.fpk_inv(&k.fpk_sub(x2, x1)));
+    let x3 = k.fpk_sub(&k.fpk_sub(&k.fpk_sqr(&lambda), x1), x2);
+    let y3 = k.fpk_sub(&k.fpk_mul(&lambda, &k.fpk_sub(x1, &x3)), y1);
+    let l = k.fpk_sub(&k.fpk_sub(py, y1), &k.fpk_mul(&lambda, &k.fpk_sub(px, x1)));
+    (Some((x3, y3)), l)
+}
+
+/// The naive Miller loop in E(F_p^k) (binary expansion, affine formulas).
+pub fn oracle_miller(curve: &Curve, p: &Affine<Fp>, q: &Affine<Fq>) -> Fpk {
+    let k = curve.tower();
+    let (px, py) = embed_g1(curve, p);
+    let qk = untwist(curve, q);
+    let param = curve.miller_param();
+    let c = param.magnitude();
+
+    let mut f = k.fpk_one();
+    let mut t: FullPoint = Some(qk.clone());
+    for i in (0..c.bits().saturating_sub(1)).rev() {
+        f = k.fpk_sqr(&f);
+        let (t2, l) = dbl_eval(curve, &t, &px, &py);
+        f = k.fpk_mul(&f, &l);
+        t = t2;
+        if c.bit(i) {
+            let (t2, l) = add_eval(curve, &t, &qk, &px, &py);
+            f = k.fpk_mul(&f, &l);
+            t = t2;
+        }
+    }
+    if param.is_negative() {
+        f = k.fpk_conj(&f);
+        t = t.map(|(x, y)| (x, k.fpk_neg(&y)));
+    }
+    if curve.family() == Family::Bn {
+        // Q1 = π(Q̃), Q2 = −π²(Q̃) — coordinate-wise Frobenius in Fpk.
+        let q1 = (k.fpk_frob(&qk.0, 1), k.fpk_frob(&qk.1, 1));
+        let q2 = (k.fpk_frob(&qk.0, 2), k.fpk_neg(&k.fpk_frob(&qk.1, 2)));
+        let (t2, l) = add_eval(curve, &t, &q1, &px, &py);
+        f = k.fpk_mul(&f, &l);
+        t = t2;
+        let (_, l) = add_eval(curve, &t, &q2, &px, &py);
+        f = k.fpk_mul(&f, &l);
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use finesse_curves::Curve;
+
+    #[test]
+    fn untwist_lands_on_full_curve() {
+        for name in ["BN254N", "BLS12-381"] {
+            let c = Curve::by_name(name);
+            let k = c.tower();
+            let (x, y) = untwist(&c, c.g2_generator());
+            // y² = x³ + b over Fpk
+            let lhs = k.fpk_sqr(&y);
+            let b = k.fpk_from_fq(&k.fq_from_fp(c.b()));
+            let rhs = k.fpk_add(&k.fpk_mul(&k.fpk_sqr(&x), &x), &b);
+            assert_eq!(lhs, rhs, "{name}: untwisted G2 is on E(Fp^k)");
+        }
+    }
+
+    #[test]
+    fn oracle_pairing_is_nondegenerate_and_order_r() {
+        let c = Curve::by_name("BN254N");
+        let e = oracle_pair(&c, c.g1_generator(), c.g2_generator());
+        let k = c.tower();
+        assert!(!k.fpk_is_one(&e), "e(G1, G2) != 1");
+        assert!(k.fpk_is_one(&k.fpk_pow(&e, c.r())), "e has order dividing r");
+    }
+}

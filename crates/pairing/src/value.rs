@@ -1,0 +1,234 @@
+//! The reference pairing engine: [`PairingFlow`] evaluated on concrete
+//! field elements.
+//!
+//! This plays the role that MCL/MIRACL/RELIC play for the paper's
+//! validation flow — a known-good software pairing the compiled
+//! accelerator programs are cross-checked against (here additionally
+//! backed by the fully independent [`crate::oracle`] implementation).
+
+use crate::flow::{emit_final_exponentiation, emit_miller_loop, emit_pairing, PairingFlow};
+use finesse_curves::{Affine, Curve};
+use finesse_ff::{BigUint, Fp, Fpk, Fq};
+use std::sync::Arc;
+
+/// A [`PairingFlow`] that computes on real field elements.
+pub struct ValueFlow<'c> {
+    curve: &'c Curve,
+    p: (Fp, Fp),
+    q: (Fq, Fq),
+    output: Option<Fpk>,
+}
+
+impl<'c> ValueFlow<'c> {
+    /// Creates a flow bound to concrete (finite) input points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either point is at infinity — callers handle identity
+    /// inputs before entering the flow (see [`PairingEngine::pair`]).
+    pub fn new(curve: &'c Curve, p: &Affine<Fp>, q: &Affine<Fq>) -> Self {
+        assert!(!p.infinity && !q.infinity, "flow inputs must be finite points");
+        ValueFlow {
+            curve,
+            p: (p.x.clone(), p.y.clone()),
+            q: (q.x.clone(), q.y.clone()),
+            output: None,
+        }
+    }
+
+    /// The recorded output, if [`PairingFlow::output`] ran.
+    pub fn take_output(&mut self) -> Option<Fpk> {
+        self.output.take()
+    }
+}
+
+impl PairingFlow for ValueFlow<'_> {
+    type Fp = Fp;
+    type Fq = Fq;
+    type Fpk = Fpk;
+
+    fn input_p(&mut self) -> (Fp, Fp) {
+        self.p.clone()
+    }
+    fn input_q(&mut self) -> (Fq, Fq) {
+        self.q.clone()
+    }
+    fn output(&mut self, f: &Fpk) {
+        self.output = Some(f.clone());
+    }
+    fn fq_constant(&mut self, value: &Fq, _label: &str) -> Fq {
+        value.clone()
+    }
+    fn fq_add(&mut self, a: &Fq, b: &Fq) -> Fq {
+        self.curve.tower().fq_add(a, b)
+    }
+    fn fq_sub(&mut self, a: &Fq, b: &Fq) -> Fq {
+        self.curve.tower().fq_sub(a, b)
+    }
+    fn fq_neg(&mut self, a: &Fq) -> Fq {
+        self.curve.tower().fq_neg(a)
+    }
+    fn fq_mul(&mut self, a: &Fq, b: &Fq) -> Fq {
+        self.curve.tower().fq_mul(a, b)
+    }
+    fn fq_sqr(&mut self, a: &Fq) -> Fq {
+        self.curve.tower().fq_sqr(a)
+    }
+    fn fq_muli(&mut self, a: &Fq, k: u64) -> Fq {
+        self.curve.tower().fq_mul_small(a, k)
+    }
+    fn fq_mul_fp(&mut self, a: &Fq, s: &Fp) -> Fq {
+        self.curve.tower().fq_mul_fp(a, s)
+    }
+    fn fq_frob(&mut self, a: &Fq, j: usize) -> Fq {
+        self.curve.tower().fq_frob(a, j)
+    }
+    fn fpk_one(&mut self) -> Fpk {
+        self.curve.tower().fpk_one()
+    }
+    fn fpk_mul(&mut self, a: &Fpk, b: &Fpk) -> Fpk {
+        self.curve.tower().fpk_mul(a, b)
+    }
+    fn fpk_sqr(&mut self, a: &Fpk) -> Fpk {
+        self.curve.tower().fpk_sqr(a)
+    }
+    fn fpk_cyclo_sqr(&mut self, a: &Fpk) -> Fpk {
+        self.curve.tower().fpk_cyclotomic_sqr(a)
+    }
+    fn fpk_conj(&mut self, a: &Fpk) -> Fpk {
+        self.curve.tower().fpk_conj(a)
+    }
+    fn fpk_inv(&mut self, a: &Fpk) -> Fpk {
+        self.curve.tower().fpk_inv(a)
+    }
+    fn fpk_frob(&mut self, a: &Fpk, j: usize) -> Fpk {
+        self.curve.tower().fpk_frob(a, j)
+    }
+    fn fpk_sparse(&mut self, coeffs: [Option<Fq>; 6]) -> Fpk {
+        self.curve.tower().fpk_from_sparse(coeffs)
+    }
+}
+
+/// The optimal-Ate pairing engine for a curve.
+///
+/// # Examples
+///
+/// ```no_run
+/// use finesse_curves::Curve;
+/// use finesse_pairing::PairingEngine;
+/// use finesse_ff::BigUint;
+///
+/// let curve = Curve::by_name("BN254N");
+/// let engine = PairingEngine::new(curve.clone());
+/// let g1 = curve.g1_generator();
+/// let g2 = curve.g2_generator();
+/// let e = engine.pair(g1, g2);
+/// // bilinearity: e([2]P, Q) = e(P, Q)²
+/// let two = BigUint::from_u64(2);
+/// let lhs = engine.pair(&curve.g1_mul(g1, &two), g2);
+/// assert_eq!(lhs, engine.gt_pow(&e, &two));
+/// ```
+pub struct PairingEngine {
+    curve: Arc<Curve>,
+}
+
+impl PairingEngine {
+    /// Creates an engine for a curve.
+    pub fn new(curve: Arc<Curve>) -> Self {
+        PairingEngine { curve }
+    }
+
+    /// The engine's curve.
+    pub fn curve(&self) -> &Arc<Curve> {
+        &self.curve
+    }
+
+    /// Computes the optimal-Ate pairing `e(P, Q)`.
+    ///
+    /// Identity inputs map to the identity of GT. For BLS curves the
+    /// result is normalised as `e(P,Q)^(3(p^k−1)/r)` (HKT convention, see
+    /// [`crate::flow::emit_final_exponentiation`]).
+    pub fn pair(&self, p: &Affine<Fp>, q: &Affine<Fq>) -> Fpk {
+        if p.infinity || q.infinity {
+            return self.curve.tower().fpk_one();
+        }
+        let mut flow = ValueFlow::new(&self.curve, p, q);
+        emit_pairing(&self.curve, &mut flow);
+        flow.take_output().expect("emit_pairing always outputs")
+    }
+
+    /// Product of pairings `Π e(P_i, Q_i)` with a single shared final
+    /// exponentiation — the standard optimisation for verifiers that
+    /// check pairing-product equations (BLS verify, Groth16, KZG).
+    pub fn multi_pair(&self, pairs: &[(Affine<Fp>, Affine<Fq>)]) -> Fpk {
+        let tower = self.curve.tower();
+        let mut acc = tower.fpk_one();
+        let mut any = false;
+        for (p, q) in pairs {
+            if p.infinity || q.infinity {
+                continue;
+            }
+            acc = tower.fpk_mul(&acc, &self.miller_loop(p, q));
+            any = true;
+        }
+        if !any {
+            return tower.fpk_one();
+        }
+        self.final_exponentiation(&acc)
+    }
+
+    /// Checks a two-term pairing equation `e(P1, Q1) == e(P2, Q2)` via
+    /// one product `e(P1, Q1)·e(−P2, Q2) == 1` (half the final
+    /// exponentiations of the naive check).
+    pub fn pairing_equation_holds(
+        &self,
+        p1: &Affine<Fp>,
+        q1: &Affine<Fq>,
+        p2: &Affine<Fp>,
+        q2: &Affine<Fq>,
+    ) -> bool {
+        let ops = finesse_curves::FpOps(std::sync::Arc::clone(self.curve.fp()));
+        let neg_p2 = finesse_curves::point::affine_neg(&ops, p2);
+        let prod = self.multi_pair(&[(p1.clone(), q1.clone()), (neg_p2, q2.clone())]);
+        self.gt_is_one(&prod)
+    }
+
+    /// The Miller loop alone (no final exponentiation).
+    pub fn miller_loop(&self, p: &Affine<Fp>, q: &Affine<Fq>) -> Fpk {
+        if p.infinity || q.infinity {
+            return self.curve.tower().fpk_one();
+        }
+        let mut flow = ValueFlow::new(&self.curve, p, q);
+        let (px, py) = flow.input_p();
+        let (qx, qy) = flow.input_q();
+        emit_miller_loop(&self.curve, &mut flow, &px, &py, &qx, &qy)
+    }
+
+    /// The final exponentiation alone.
+    pub fn final_exponentiation(&self, f: &Fpk) -> Fpk {
+        let g1 = self.curve.g1_generator().clone();
+        let g2 = self.curve.g2_generator().clone();
+        let mut flow = ValueFlow::new(&self.curve, &g1, &g2);
+        emit_final_exponentiation(&self.curve, &mut flow, f)
+    }
+
+    /// GT exponentiation.
+    pub fn gt_pow(&self, g: &Fpk, e: &BigUint) -> Fpk {
+        self.curve.tower().fpk_pow(g, e)
+    }
+
+    /// GT multiplication.
+    pub fn gt_mul(&self, a: &Fpk, b: &Fpk) -> Fpk {
+        self.curve.tower().fpk_mul(a, b)
+    }
+
+    /// The GT identity.
+    pub fn gt_one(&self) -> Fpk {
+        self.curve.tower().fpk_one()
+    }
+
+    /// True iff `g` is the GT identity.
+    pub fn gt_is_one(&self, g: &Fpk) -> bool {
+        self.curve.tower().fpk_is_one(g)
+    }
+}

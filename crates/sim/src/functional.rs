@@ -1,0 +1,189 @@
+//! The single-cycle functional simulator (paper §3.4): executes a linked
+//! binary image instruction-by-instruction on real Montgomery field
+//! elements, so compiled accelerator programs can be cross-validated
+//! against the reference pairing library.
+//!
+//! Unwritten-register reads are hard errors — this is what catches
+//! register-allocation or encoding bugs, exactly the role post-compile
+//! trace validation plays in the paper.
+
+use finesse_ff::{BigUint, Fp, FpCtx};
+use finesse_isa::{Opcode, ProgramImage, Reg};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Error raised by the functional simulator.
+#[derive(Debug)]
+pub enum FuncSimError {
+    /// The image failed to decode.
+    Decode(finesse_isa::CodecError),
+    /// An instruction read a register that was never written.
+    UnwrittenRegister {
+        /// The offending register.
+        reg: Reg,
+        /// Word index of the instruction.
+        at: usize,
+    },
+    /// An `ICV` referenced an input port beyond the provided inputs.
+    MissingInput(u16),
+}
+
+impl fmt::Display for FuncSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuncSimError::Decode(e) => write!(f, "image decode: {e}"),
+            FuncSimError::UnwrittenRegister { reg, at } => {
+                write!(f, "instruction {at} reads unwritten register {reg}")
+            }
+            FuncSimError::MissingInput(p) => write!(f, "ICV references missing input port {p}"),
+        }
+    }
+}
+
+impl std::error::Error for FuncSimError {}
+
+impl From<finesse_isa::CodecError> for FuncSimError {
+    fn from(e: finesse_isa::CodecError) -> Self {
+        FuncSimError::Decode(e)
+    }
+}
+
+/// Executes a program image on canonical inputs, returning canonical
+/// outputs (in `CVT` port order).
+///
+/// # Errors
+///
+/// Returns a [`FuncSimError`] on decode failures, unwritten-register
+/// reads, or missing inputs.
+pub fn run_image(
+    image: &ProgramImage,
+    ctx: &Arc<FpCtx>,
+    inputs: &[BigUint],
+) -> Result<Vec<BigUint>, FuncSimError> {
+    let insts = image.spec.decode(&image.words)?;
+    let mut regs: HashMap<Reg, Fp> = HashMap::new();
+    for (reg, value) in &image.const_preload {
+        regs.insert(*reg, ctx.from_biguint(value));
+    }
+    let mut outputs: HashMap<u16, BigUint> = HashMap::new();
+
+    let read = |regs: &HashMap<Reg, Fp>, r: Reg, at: usize| -> Result<Fp, FuncSimError> {
+        regs.get(&r)
+            .cloned()
+            .ok_or(FuncSimError::UnwrittenRegister { reg: r, at })
+    };
+
+    for (at, wide) in insts.iter().enumerate() {
+        // Two-phase execution per wide instruction: hardware reads all
+        // operands at issue, and write-backs land later — so every slot
+        // must observe the register file as it was *before* this word.
+        let mut writes: Vec<(Reg, Fp)> = Vec::with_capacity(wide.slots.len());
+        for slot in &wide.slots {
+            match slot.op {
+                Opcode::Nop => {}
+                Opcode::Icv => {
+                    let port = slot.src1.index;
+                    let v = inputs
+                        .get(port as usize)
+                        .ok_or(FuncSimError::MissingInput(port))?;
+                    writes.push((slot.dst, ctx.from_biguint(v)));
+                }
+                Opcode::Cvt => {
+                    let v = read(&regs, slot.src1, at)?;
+                    outputs.insert(slot.dst.index, v.to_biguint());
+                }
+                Opcode::Add => {
+                    let (a, b) = (read(&regs, slot.src1, at)?, read(&regs, slot.src2, at)?);
+                    writes.push((slot.dst, &a + &b));
+                }
+                Opcode::Sub => {
+                    let (a, b) = (read(&regs, slot.src1, at)?, read(&regs, slot.src2, at)?);
+                    writes.push((slot.dst, &a - &b));
+                }
+                Opcode::Neg => {
+                    let a = read(&regs, slot.src1, at)?;
+                    writes.push((slot.dst, -&a));
+                }
+                Opcode::Dbl => {
+                    let a = read(&regs, slot.src1, at)?;
+                    writes.push((slot.dst, a.double()));
+                }
+                Opcode::Tpl => {
+                    let a = read(&regs, slot.src1, at)?;
+                    writes.push((slot.dst, a.triple()));
+                }
+                Opcode::Mul => {
+                    let (a, b) = (read(&regs, slot.src1, at)?, read(&regs, slot.src2, at)?);
+                    writes.push((slot.dst, &a * &b));
+                }
+                Opcode::Sqr => {
+                    let a = read(&regs, slot.src1, at)?;
+                    writes.push((slot.dst, a.square()));
+                }
+                Opcode::Inv => {
+                    let a = read(&regs, slot.src1, at)?;
+                    writes.push((slot.dst, a.invert()));
+                }
+            }
+        }
+        for (r, v) in writes {
+            regs.insert(r, v);
+        }
+    }
+
+    let mut ports: Vec<u16> = outputs.keys().copied().collect();
+    ports.sort_unstable();
+    Ok(ports.into_iter().map(|p| outputs.remove(&p).unwrap()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use finesse_compiler::{allocate, link, schedule, ScheduleOptions};
+    use finesse_hw::HwModel;
+    use finesse_ir::{FpOp, FpProgram};
+
+    #[test]
+    fn runs_a_compiled_expression() {
+        // out = (a + b)·c − a²
+        let mut p = FpProgram::default();
+        p.inputs = vec!["a".into(), "b".into(), "c".into()];
+        let a = p.push(FpOp::Input(0));
+        let b = p.push(FpOp::Input(1));
+        let c = p.push(FpOp::Input(2));
+        let s = p.push(FpOp::Add(a, b));
+        let m = p.push(FpOp::Mul(s, c));
+        let sq = p.push(FpOp::Sqr(a));
+        let r = p.push(FpOp::Sub(m, sq));
+        p.outputs.push(r);
+
+        let hw = HwModel::paper_default();
+        let sch = schedule(&p, &hw, &ScheduleOptions::default());
+        let alloc = allocate(&p, &sch, hw.reg_quota).unwrap();
+        let image = link(&p, &sch, &alloc, hw.issue_width).unwrap();
+
+        let ctx = finesse_ff::FpCtx::new(BigUint::from_u64(1_000_000_007)).unwrap();
+        let out = run_image(
+            &image,
+            &ctx,
+            &[BigUint::from_u64(3), BigUint::from_u64(4), BigUint::from_u64(10)],
+        )
+        .unwrap();
+        assert_eq!(out, vec![BigUint::from_u64(61)]); // 7·10 − 9
+    }
+
+    #[test]
+    fn missing_input_is_detected() {
+        let mut p = FpProgram::default();
+        p.inputs = vec!["a".into()];
+        let a = p.push(FpOp::Input(0));
+        p.outputs.push(a);
+        let hw = HwModel::paper_default();
+        let sch = schedule(&p, &hw, &ScheduleOptions::default());
+        let alloc = allocate(&p, &sch, hw.reg_quota).unwrap();
+        let image = link(&p, &sch, &alloc, hw.issue_width).unwrap();
+        let ctx = finesse_ff::FpCtx::new(BigUint::from_u64(1_000_000_007)).unwrap();
+        assert!(matches!(run_image(&image, &ctx, &[]), Err(FuncSimError::MissingInput(0))));
+    }
+}

@@ -1,0 +1,104 @@
+//! # finesse-sim
+//!
+//! The two simulators of the paper's validation flow (§3.4):
+//!
+//! - [`functional`] — a single-cycle functional simulator that executes
+//!   linked binaries on real field elements, cross-validated against the
+//!   reference pairing library;
+//! - [`pipeline`] — a cycle-accurate simulator consistent with the RTL
+//!   pipeline model (latencies, dependences, bank ports, write-back
+//!   conflicts ± ring buffers), which supplies the cycle counts and IPC
+//!   data driving compiler affinity optimisation and design-space
+//!   exploration.
+
+pub mod functional;
+pub mod pipeline;
+
+pub use functional::{run_image, FuncSimError};
+pub use pipeline::{simulate, IssueTrace, SimReport, SlotKind};
+
+#[cfg(test)]
+mod integration {
+    use super::*;
+    use finesse_compiler::{compile_pairing, tower_shape, CompileOptions};
+    use finesse_curves::Curve;
+    use finesse_ff::BigUint;
+    use finesse_hw::HwModel;
+    use finesse_ir::convert::{fpk_to_fps, fps_to_fpk, fq_to_fps};
+    use finesse_ir::VariantConfig;
+    use finesse_pairing::PairingEngine;
+
+    /// The paper's validation flow, end to end: the compiled binary,
+    /// functionally simulated, must reproduce the reference pairing.
+    #[test]
+    fn compiled_binary_computes_the_pairing() {
+        let curve = Curve::by_name("BN254N");
+        let shape = tower_shape(&curve);
+        let variants = VariantConfig::all_karatsuba(&shape);
+        let hw = HwModel::paper_default();
+        let compiled = compile_pairing(&curve, &variants, &hw, &CompileOptions::default()).unwrap();
+
+        let engine = PairingEngine::new(curve.clone());
+        let p = curve.g1_mul(curve.g1_generator(), &BigUint::from_u64(7777));
+        let q = curve.g2_mul(curve.g2_generator(), &BigUint::from_u64(31415));
+        let expected = engine.pair(&p, &q);
+
+        // Flatten the inputs in the ABI order P.x, P.y, Q.x, Q.y.
+        let mut inputs: Vec<BigUint> = vec![p.x.to_biguint(), p.y.to_biguint()];
+        inputs.extend(fq_to_fps(&q.x).iter().map(|f| f.to_biguint()));
+        inputs.extend(fq_to_fps(&q.y).iter().map(|f| f.to_biguint()));
+
+        let out = run_image(&compiled.image, curve.fp(), &inputs).unwrap();
+        let out_fps: Vec<_> = out.iter().map(|v| curve.fp().from_biguint(v)).collect();
+        let got = fps_to_fpk(curve.tower(), &out_fps);
+        assert_eq!(got, expected, "functional simulation == reference pairing");
+        // Sanity: the flat widths agree.
+        assert_eq!(out.len(), fpk_to_fps(&expected).len());
+    }
+
+    /// The optimised schedule should reach the paper's ~0.85+ IPC band on
+    /// the default model, and the unoptimised baseline should crawl.
+    #[test]
+    fn ipc_band_matches_table7_shape() {
+        let curve = Curve::by_name("BN254N");
+        let shape = tower_shape(&curve);
+        let variants = VariantConfig::all_karatsuba(&shape);
+        let hw = HwModel::paper_default();
+
+        let opt = compile_pairing(&curve, &variants, &hw, &CompileOptions::default()).unwrap();
+        let insts = opt.image.spec.decode(&opt.image.words).unwrap();
+        let report = simulate(&insts, &hw, None);
+        let ipc = report.ipc();
+        assert!(ipc > 0.70, "optimised IPC {ipc:.3}");
+
+        let init = compile_pairing(&curve, &variants, &hw, &CompileOptions::baseline()).unwrap();
+        let insts = init.image.spec.decode(&init.image.words).unwrap();
+        let report_init = simulate(&insts, &hw, None);
+        let ipc_init = report_init.ipc();
+        assert!(ipc_init < 0.45, "baseline IPC {ipc_init:.3}");
+        assert!(
+            report_init.cycles > report.cycles,
+            "scheduling reduces cycles: {} vs {}",
+            report_init.cycles,
+            report.cycles
+        );
+        println!(
+            "BN254N: opt {} cycles (IPC {:.2}), init {} cycles (IPC {:.2})",
+            report.cycles, ipc, report_init.cycles, ipc_init
+        );
+    }
+
+    /// The write-back FIFO (HW2) must not hurt and usually helps.
+    #[test]
+    fn fifo_does_not_hurt() {
+        let curve = Curve::by_name("BN254N");
+        let shape = tower_shape(&curve);
+        let variants = VariantConfig::all_karatsuba(&shape);
+        let hw1 = HwModel::paper_default();
+        let compiled = compile_pairing(&curve, &variants, &hw1, &CompileOptions::default()).unwrap();
+        let insts = compiled.image.spec.decode(&compiled.image.words).unwrap();
+        let r1 = simulate(&insts, &hw1, None);
+        let r2 = simulate(&insts, &hw1.clone().with_fifo(), None);
+        assert!(r2.cycles <= r1.cycles);
+    }
+}

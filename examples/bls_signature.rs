@@ -1,0 +1,62 @@
+//! BLS short signatures (Boneh-Lynn-Shacham) on BLS12-381 — one of the
+//! motivating applications from the paper's introduction.
+//!
+//! Sign: sigma = [sk]H(m) in G1. Verify: e(sigma, G2) == e(H(m), pk).
+//!
+//! ```text
+//! cargo run --example bls_signature
+//! ```
+
+use finesse_curves::{Affine, Curve};
+use finesse_ff::{BigUint, Fp, Fq};
+use finesse_pairing::PairingEngine;
+use std::sync::Arc;
+
+struct KeyPair {
+    sk: BigUint,
+    pk: Affine<Fq>, // [sk] G2
+}
+
+fn keygen(curve: &Arc<Curve>, seed: u64) -> KeyPair {
+    // Deterministic toy key derivation (do not use for real keys).
+    let sk = BigUint::from_u64(seed).modpow(&BigUint::from_u64(3), curve.r());
+    let pk = curve.g2_mul(curve.g2_generator(), &sk);
+    KeyPair { sk, pk }
+}
+
+fn sign(curve: &Arc<Curve>, kp: &KeyPair, msg: &[u8]) -> Affine<Fp> {
+    let h = curve.hash_to_g1(msg);
+    curve.g1_mul(&h, &kp.sk)
+}
+
+fn verify(
+    curve: &Arc<Curve>,
+    engine: &PairingEngine,
+    pk: &Affine<Fq>,
+    msg: &[u8],
+    sig: &Affine<Fp>,
+) -> bool {
+    let h = curve.hash_to_g1(msg);
+    engine.pair(sig, curve.g2_generator()) == engine.pair(&h, pk)
+}
+
+fn main() {
+    let curve = Curve::by_name("BLS12-381");
+    let engine = PairingEngine::new(curve.clone());
+    let kp = keygen(&curve, 0xF00D_FACE);
+
+    let msg = b"agile pairing accelerators";
+    let sig = sign(&curve, &kp, msg);
+    println!("message   : {:?}", std::str::from_utf8(msg).unwrap());
+    println!("signature : ({}, ...)", sig.x);
+
+    assert!(verify(&curve, &engine, &kp.pk, msg, &sig), "valid signature verifies");
+    println!("verify    : ok");
+
+    assert!(!verify(&curve, &engine, &kp.pk, b"tampered message", &sig));
+    println!("tampered  : rejected");
+
+    let other = keygen(&curve, 0xBAD_5EED);
+    assert!(!verify(&curve, &engine, &other.pk, msg, &sig));
+    println!("wrong key : rejected");
+}

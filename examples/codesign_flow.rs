@@ -1,0 +1,33 @@
+//! The full Finesse design flow: curve in, validated accelerator and
+//! architectural feedback out "in minutes" (paper section 4.5).
+//!
+//! ```text
+//! cargo run --example codesign_flow
+//! ```
+
+use finesse_core::{DesignFlow, FlowConfig};
+
+fn main() {
+    // A design described in the plain-text configuration format (the
+    // paper's YAML role).
+    let cfg = FlowConfig::parse(
+        "
+        curve = BN254N
+        long = 38          # mmul pipeline depth
+        short = 8
+        linear_units = 1   # single issue
+        variants = all_karatsuba
+        cores = 8
+        ",
+    )
+    .expect("valid config");
+
+    let accelerator = DesignFlow::from_config(&cfg).build().expect("compiles");
+    println!("{}", accelerator.report());
+
+    // The validation stage: run the compiled binary on test vectors and
+    // compare against the reference pairing library.
+    let v = accelerator.validate(3);
+    println!("\nvalidation: {}/{} vectors match the reference pairing", v.matching, v.vectors);
+    assert!(v.all_passed());
+}

@@ -1,0 +1,55 @@
+//! Design-space exploration: operator variants x hardware models, ranked
+//! under different objectives (paper section 3.6 / Figure 10).
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use finesse_compiler::tower_shape;
+use finesse_curves::Curve;
+use finesse_dse::{best_point, explore, DesignPoint, Objective};
+use finesse_hw::HwModel;
+use finesse_ir::VariantConfig;
+
+fn main() {
+    let curve = Curve::by_name("BN254N");
+    let shape = tower_shape(&curve);
+
+    let mut points = Vec::new();
+    for (vname, v) in [
+        ("all-karatsuba", VariantConfig::all_karatsuba(&shape)),
+        ("all-schoolbook", VariantConfig::all_schoolbook(&shape)),
+        ("manual", VariantConfig::manual(&shape)),
+    ] {
+        for hw in [HwModel::single_issue(38, 8), HwModel::vliw(2, 8, 2)] {
+            points.push(DesignPoint {
+                label: format!("{vname} @ {}", hw.name),
+                variants: v.clone(),
+                hw,
+            });
+        }
+    }
+
+    println!("evaluating {} design points...\n", points.len());
+    let results = explore(&curve, points, 1);
+    println!("{:<42} {:>10} {:>6} {:>10} {:>9}", "point", "cycles", "IPC", "area mm2", "kops");
+    for (p, r) in &results {
+        match r {
+            Ok(e) => println!(
+                "{:<42} {:>10} {:>6.2} {:>10.2} {:>9.1}",
+                p.label,
+                e.cycles,
+                e.ipc,
+                e.area.total(),
+                e.throughput_ops / 1000.0
+            ),
+            Err(e) => println!("{:<42} failed: {e}", p.label),
+        }
+    }
+
+    for obj in [Objective::Cycles, Objective::Area, Objective::AreaDelay] {
+        if let Some((p, _)) = best_point(&results, obj) {
+            println!("best under {obj:?}: {}", p.label);
+        }
+    }
+}

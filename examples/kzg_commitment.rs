@@ -1,0 +1,118 @@
+//! A miniature KZG polynomial commitment (Kate-Zaverucha-Goldberg) — the
+//! SNARK building block cited in the paper's introduction.
+//!
+//! Trusted setup: powers [tau^i]G1 and [tau]G2. Commit C = [p(tau)]G1.
+//! Open at z with witness W = [(p(tau) - p(z))/(tau - z)]G1. Verify with
+//! one pairing equation: e(C - [p(z)]G1, G2) == e(W, [tau]G2 - [z]G2).
+//!
+//! ```text
+//! cargo run --example kzg_commitment
+//! ```
+
+use finesse_curves::point::affine_neg;
+use finesse_curves::{Affine, Curve, FpOps, FqOps};
+use finesse_ff::{BigUint, Fp, Fq};
+use finesse_pairing::PairingEngine;
+use std::sync::Arc;
+
+/// Polynomial with coefficients mod r (little-endian).
+#[derive(Clone)]
+struct Poly(Vec<BigUint>);
+
+impl Poly {
+    fn eval(&self, x: &BigUint, r: &BigUint) -> BigUint {
+        let mut acc = BigUint::zero();
+        for c in self.0.iter().rev() {
+            acc = (&(&acc * x) + c).rem(r);
+        }
+        acc
+    }
+
+    /// Synthetic division by (X - z): returns the quotient of p(X) - p(z).
+    fn divide_by_linear(&self, z: &BigUint, r: &BigUint) -> Poly {
+        let mut q = vec![BigUint::zero(); self.0.len().saturating_sub(1)];
+        let mut carry = BigUint::zero();
+        for i in (1..self.0.len()).rev() {
+            carry = (&self.0[i] + &(&carry * z)).rem(r);
+            q[i - 1] = carry.clone();
+        }
+        Poly(q)
+    }
+}
+
+struct Setup {
+    g1_powers: Vec<Affine<Fp>>, // [tau^i] G1
+    g2_tau: Affine<Fq>,
+}
+
+fn trusted_setup(curve: &Arc<Curve>, degree: usize) -> Setup {
+    // Toy ceremony: tau is a fixed secret (a real setup discards it).
+    let tau = BigUint::from_u64(0x5EED_CAFE).rem(curve.r());
+    let mut g1_powers = Vec::with_capacity(degree + 1);
+    let mut t_pow = BigUint::one();
+    for _ in 0..=degree {
+        g1_powers.push(curve.g1_mul(curve.g1_generator(), &t_pow));
+        t_pow = (&t_pow * &tau).rem(curve.r());
+    }
+    let g2_tau = curve.g2_mul(curve.g2_generator(), &tau);
+    Setup { g1_powers, g2_tau }
+}
+
+fn commit(curve: &Arc<Curve>, setup: &Setup, p: &Poly) -> Affine<Fp> {
+    let mut acc = Affine::infinity(curve.fp().zero());
+    for (c, base) in p.0.iter().zip(&setup.g1_powers) {
+        acc = curve.g1_add(&acc, &curve.g1_mul(base, c));
+    }
+    acc
+}
+
+fn main() {
+    let curve = Curve::by_name("BN254N");
+    let engine = PairingEngine::new(curve.clone());
+    let r = curve.r().clone();
+
+    // p(X) = 7 + 3X + 5X^2 + X^3
+    let p = Poly(vec![
+        BigUint::from_u64(7),
+        BigUint::from_u64(3),
+        BigUint::from_u64(5),
+        BigUint::from_u64(1),
+    ]);
+    let setup = trusted_setup(&curve, 3);
+    let commitment = commit(&curve, &setup, &p);
+    println!("commitment C = [p(tau)]G1 computed");
+
+    // Open at z = 11.
+    let z = BigUint::from_u64(11);
+    let y = p.eval(&z, &r);
+    println!("claimed evaluation: p(11) = {y}");
+
+    // Witness polynomial q(X) = (p(X) - y)/(X - z).
+    let q = p.divide_by_linear(&z, &r);
+    let witness = commit(&curve, &setup, &q);
+
+    // Verify: e(C - [y]G1, G2) == e(W, [tau - z]G2).
+    let fp_ops = FpOps(curve.fp().clone());
+    let c_minus_y = {
+        let y_g1 = curve.g1_mul(curve.g1_generator(), &y);
+        curve.g1_add(&commitment, &affine_neg(&fp_ops, &y_g1))
+    };
+    let tau_minus_z = {
+        let z_g2 = curve.g2_mul(curve.g2_generator(), &z);
+        let ops = FqOps(curve.tower());
+        curve.g2_add(&setup.g2_tau, &affine_neg(&ops, &z_g2))
+    };
+    let lhs = engine.pair(&c_minus_y, curve.g2_generator());
+    let rhs = engine.pair(&witness, &tau_minus_z);
+    assert_eq!(lhs, rhs, "KZG verification equation holds");
+    println!("opening verified: e(C - [y]G1, G2) == e(W, [tau - z]G2)");
+
+    // A wrong claimed value must fail.
+    let bad = (&y + &BigUint::one()).rem(&r);
+    let bad_c_minus_y = {
+        let y_g1 = curve.g1_mul(curve.g1_generator(), &bad);
+        curve.g1_add(&commitment, &affine_neg(&fp_ops, &y_g1))
+    };
+    assert_ne!(engine.pair(&bad_c_minus_y, curve.g2_generator()), rhs);
+    println!("forged evaluation rejected");
+}

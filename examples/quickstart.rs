@@ -1,0 +1,40 @@
+//! Quickstart: compute an optimal-Ate pairing and check bilinearity.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use finesse_curves::Curve;
+use finesse_ff::BigUint;
+use finesse_pairing::PairingEngine;
+
+fn main() {
+    // Every Table 2 curve is available by name; BN254N is the paper's
+    // headline evaluation curve.
+    let curve = Curve::by_name("BN254N");
+    println!(
+        "curve  : {} (p has {} bits, r has {} bits)",
+        curve.name(),
+        curve.p().bits(),
+        curve.r().bits()
+    );
+
+    let engine = PairingEngine::new(curve.clone());
+    let g1 = curve.g1_generator();
+    let g2 = curve.g2_generator();
+
+    let e = engine.pair(g1, g2);
+    println!("e(G1, G2) != 1 ? {}", !engine.gt_is_one(&e));
+
+    // Bilinearity: e([a]P, [b]Q) = e(P, Q)^(ab).
+    let a = BigUint::from_u64(6);
+    let b = BigUint::from_u64(7);
+    let lhs = engine.pair(&curve.g1_mul(g1, &a), &curve.g2_mul(g2, &b));
+    let rhs = engine.gt_pow(&e, &BigUint::from_u64(42));
+    assert_eq!(lhs, rhs, "bilinearity holds");
+    println!("bilinearity: e([6]P, [7]Q) == e(P, Q)^42  ok");
+
+    // GT elements have order r.
+    assert!(engine.gt_is_one(&engine.gt_pow(&e, curve.r())));
+    println!("GT order  : e(P, Q)^r == 1               ok");
+}

@@ -1,0 +1,26 @@
+//! # finesse
+//!
+//! Facade crate for the Finesse reproduction: re-exports every subsystem
+//! so examples and downstream users need a single dependency.
+//!
+//! ```no_run
+//! use finesse::core::DesignFlow;
+//!
+//! let acc = DesignFlow::for_curve("BN254N").build()?;
+//! println!("{}", acc.report());
+//! # Ok::<(), finesse::compiler::CompileError>(())
+//! ```
+//!
+//! See README.md for the architecture overview, DESIGN.md for the system
+//! inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+
+pub use finesse_compiler as compiler;
+pub use finesse_core as core;
+pub use finesse_curves as curves;
+pub use finesse_dse as dse;
+pub use finesse_ff as ff;
+pub use finesse_hw as hw;
+pub use finesse_ir as ir;
+pub use finesse_isa as isa;
+pub use finesse_pairing as pairing;
+pub use finesse_sim as sim;

@@ -1,0 +1,92 @@
+//! Integration: every Table 2 curve constructs, validates, and pairs
+//! bilinearly; a subset is additionally cross-checked against the
+//! independent oracle implementation.
+
+use finesse_curves::{all_specs, Curve};
+use finesse_ff::BigUint;
+use finesse_pairing::{oracle_pair, PairingEngine};
+
+#[test]
+fn table2_bit_widths_hold_for_all_seven() {
+    for spec in all_specs() {
+        let c = Curve::by_name(spec.name);
+        assert_eq!(c.p().bits(), spec.p_bits, "{}: log p", spec.name);
+        assert_eq!(c.r().bits(), spec.r_bits, "{}: log r", spec.name);
+        assert_eq!(c.k(), spec.family.embedding_degree(), "{}: k", spec.name);
+    }
+}
+
+#[test]
+fn generators_are_in_the_r_torsion_everywhere() {
+    for spec in all_specs() {
+        let c = Curve::by_name(spec.name);
+        assert!(c.g1_on_curve(c.g1_generator()), "{}", spec.name);
+        assert!(c.g2_on_curve(c.g2_generator()), "{}", spec.name);
+        assert!(c.g1_mul(c.g1_generator(), c.r()).infinity, "{}: [r]G1", spec.name);
+        assert!(c.g2_mul(c.g2_generator(), c.r()).infinity, "{}: [r]G2", spec.name);
+    }
+}
+
+#[test]
+fn psi_endomorphism_holds_everywhere() {
+    for spec in all_specs() {
+        let c = Curve::by_name(spec.name);
+        let q = c.g2_generator();
+        assert_eq!(c.psi(q), c.g2_mul(q, c.p()), "{}: psi(Q) = [p]Q", spec.name);
+    }
+}
+
+#[test]
+fn pairing_is_bilinear_on_all_seven_curves() {
+    for spec in all_specs() {
+        let c = Curve::by_name(spec.name);
+        let e = PairingEngine::new(c.clone());
+        let g1 = c.g1_generator();
+        let g2 = c.g2_generator();
+        let base = e.pair(g1, g2);
+        assert!(!e.gt_is_one(&base), "{}: non-degenerate", spec.name);
+        assert!(e.gt_is_one(&e.gt_pow(&base, c.r())), "{}: order r", spec.name);
+        let a = BigUint::from_u64(1000 + spec.p_bits as u64);
+        let lhs = e.pair(&c.g1_mul(g1, &a), g2);
+        assert_eq!(lhs, e.gt_pow(&base, &a), "{}: left linearity", spec.name);
+        let rhs = e.pair(g1, &c.g2_mul(g2, &a));
+        assert_eq!(rhs, e.gt_pow(&base, &a), "{}: right linearity", spec.name);
+    }
+}
+
+#[test]
+fn engine_matches_oracle_on_representative_curves() {
+    // One curve per family (the oracle is deliberately slow).
+    for name in ["BN254N", "BLS12-381", "BLS24-509"] {
+        let c = Curve::by_name(name);
+        let e = PairingEngine::new(c.clone());
+        let p = c.g1_mul(c.g1_generator(), &BigUint::from_u64(9_876_543));
+        let q = c.g2_mul(c.g2_generator(), &BigUint::from_u64(1_234_567));
+        assert_eq!(e.pair(&p, &q), oracle_pair(&c, &p, &q), "{name}");
+    }
+}
+
+#[test]
+fn final_exponentiation_chains_match_generic_exponent_everywhere() {
+    use finesse_pairing::{emit_final_exponentiation, ValueFlow};
+    for spec in all_specs() {
+        let c = Curve::by_name(spec.name);
+        let k = c.tower();
+        let a = k.fpk_sample(2024);
+        // Project into the cyclotomic subgroup via the easy part.
+        let inv = k.fpk_inv(&a);
+        let e1 = k.fpk_mul(&k.fpk_conj(&a), &inv);
+        let j = if c.k() == 12 { 2 } else { 4 };
+        let m = k.fpk_mul(&k.fpk_frob(&e1, j), &e1);
+
+        let g1 = c.g1_generator().clone();
+        let g2 = c.g2_generator().clone();
+        let mut flow = ValueFlow::new(&c, &g1, &g2);
+        let chain = emit_final_exponentiation(&c, &mut flow, &a);
+        let mut exp = c.hard_exponent();
+        if matches!(c.family(), finesse_curves::Family::Bls12 | finesse_curves::Family::Bls24) {
+            exp = &(&exp + &exp) + &exp; // HKT computes the 3x variant
+        }
+        assert_eq!(chain, k.fpk_pow(&m, &exp), "{}", spec.name);
+    }
+}

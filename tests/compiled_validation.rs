@@ -1,0 +1,147 @@
+//! The paper's validation matrix, end to end: for every Table 2 curve,
+//! compile the optimal-Ate program, execute the binary on the functional
+//! simulator, and require bit-exact agreement with the reference pairing
+//! library. Also checks the cycle-accurate IPC band per curve.
+
+use finesse_compiler::{compile_pairing, tower_shape, CompileOptions};
+use finesse_curves::{all_specs, Curve};
+use finesse_ff::BigUint;
+use finesse_hw::HwModel;
+use finesse_ir::convert::{fps_to_fpk, fq_to_fps};
+use finesse_ir::VariantConfig;
+use finesse_pairing::PairingEngine;
+use finesse_sim::{run_image, simulate};
+
+#[test]
+fn compiled_binaries_match_reference_on_all_seven_curves() {
+    for spec in all_specs() {
+        let curve = Curve::by_name(spec.name);
+        let shape = tower_shape(&curve);
+        let variants = VariantConfig::all_karatsuba(&shape);
+        let hw = HwModel::paper_default();
+        let compiled =
+            compile_pairing(&curve, &variants, &hw, &CompileOptions::default()).unwrap();
+
+        let engine = PairingEngine::new(curve.clone());
+        let p = curve.g1_mul(curve.g1_generator(), &BigUint::from_u64(0xABCDE));
+        let q = curve.g2_mul(curve.g2_generator(), &BigUint::from_u64(0x12345));
+        let expected = engine.pair(&p, &q);
+
+        let mut inputs: Vec<BigUint> = vec![p.x.to_biguint(), p.y.to_biguint()];
+        inputs.extend(fq_to_fps(&q.x).iter().map(|f| f.to_biguint()));
+        inputs.extend(fq_to_fps(&q.y).iter().map(|f| f.to_biguint()));
+        let out = run_image(&compiled.image, curve.fp(), &inputs)
+            .unwrap_or_else(|e| panic!("{}: functional sim failed: {e}", spec.name));
+        let fps: Vec<_> = out.iter().map(|v| curve.fp().from_biguint(v)).collect();
+        assert_eq!(
+            fps_to_fpk(curve.tower(), &fps),
+            expected,
+            "{}: compiled binary != reference pairing",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn scheduled_programs_reach_high_ipc_on_every_curve() {
+    for spec in all_specs() {
+        let curve = Curve::by_name(spec.name);
+        let shape = tower_shape(&curve);
+        let variants = VariantConfig::all_karatsuba(&shape);
+        let hw = HwModel::paper_default();
+        let compiled =
+            compile_pairing(&curve, &variants, &hw, &CompileOptions::default()).unwrap();
+        let insts = compiled.image.spec.decode(&compiled.image.words).unwrap();
+        let report = simulate(&insts, &hw, None);
+        assert!(
+            report.ipc() > 0.70,
+            "{}: IPC {:.2} below the paper's band",
+            spec.name,
+            report.ipc()
+        );
+    }
+}
+
+#[test]
+fn variant_choice_does_not_change_semantics() {
+    // Same curve, three variant configs, same pairing value.
+    let curve = Curve::by_name("BLS12-381");
+    let shape = tower_shape(&curve);
+    let hw = HwModel::paper_default();
+    let engine = PairingEngine::new(curve.clone());
+    let p = curve.g1_mul(curve.g1_generator(), &BigUint::from_u64(5));
+    let q = curve.g2_mul(curve.g2_generator(), &BigUint::from_u64(6));
+    let expected = engine.pair(&p, &q);
+
+    let mut inputs: Vec<BigUint> = vec![p.x.to_biguint(), p.y.to_biguint()];
+    inputs.extend(fq_to_fps(&q.x).iter().map(|f| f.to_biguint()));
+    inputs.extend(fq_to_fps(&q.y).iter().map(|f| f.to_biguint()));
+
+    for cfg in [
+        VariantConfig::all_karatsuba(&shape),
+        VariantConfig::all_schoolbook(&shape),
+        VariantConfig::manual(&shape),
+    ] {
+        let compiled = compile_pairing(&curve, &cfg, &hw, &CompileOptions::default()).unwrap();
+        let out = run_image(&compiled.image, curve.fp(), &inputs).unwrap();
+        let fps: Vec<_> = out.iter().map(|v| curve.fp().from_biguint(v)).collect();
+        assert_eq!(fps_to_fpk(curve.tower(), &fps), expected, "variant {cfg}");
+    }
+}
+
+#[test]
+fn unoptimized_baseline_is_also_correct() {
+    // The Table 7 "Init." program must compute the same pairing — the
+    // optimisations only remove work.
+    let curve = Curve::by_name("BN254N");
+    let shape = tower_shape(&curve);
+    let variants = VariantConfig::all_karatsuba(&shape);
+    let hw = HwModel::paper_default();
+    let engine = PairingEngine::new(curve.clone());
+    let p = curve.g1_generator().clone();
+    let q = curve.g2_generator().clone();
+    let expected = engine.pair(&p, &q);
+
+    let mut inputs: Vec<BigUint> = vec![p.x.to_biguint(), p.y.to_biguint()];
+    inputs.extend(fq_to_fps(&q.x).iter().map(|f| f.to_biguint()));
+    inputs.extend(fq_to_fps(&q.y).iter().map(|f| f.to_biguint()));
+
+    let compiled =
+        compile_pairing(&curve, &variants, &hw, &CompileOptions::baseline()).unwrap();
+    let out = run_image(&compiled.image, curve.fp(), &inputs).unwrap();
+    let fps: Vec<_> = out.iter().map(|v| curve.fp().from_biguint(v)).collect();
+    assert_eq!(fps_to_fpk(curve.tower(), &fps), expected);
+}
+
+#[test]
+fn vliw_compilation_is_correct_and_faster() {
+    let curve = Curve::by_name("BN254N");
+    let shape = tower_shape(&curve);
+    let variants = VariantConfig::all_karatsuba(&shape);
+    let engine = PairingEngine::new(curve.clone());
+    let p = curve.g1_generator().clone();
+    let q = curve.g2_generator().clone();
+    let expected = engine.pair(&p, &q);
+
+    let mut inputs: Vec<BigUint> = vec![p.x.to_biguint(), p.y.to_biguint()];
+    inputs.extend(fq_to_fps(&q.x).iter().map(|f| f.to_biguint()));
+    inputs.extend(fq_to_fps(&q.y).iter().map(|f| f.to_biguint()));
+
+    let single = HwModel::paper_default();
+    let wide = HwModel::vliw(4, 38, 8);
+    let c1 = compile_pairing(&curve, &variants, &single, &CompileOptions::default()).unwrap();
+    let c4 = compile_pairing(&curve, &variants, &wide, &CompileOptions::default()).unwrap();
+
+    let out = run_image(&c4.image, curve.fp(), &inputs).unwrap();
+    let fps: Vec<_> = out.iter().map(|v| curve.fp().from_biguint(v)).collect();
+    assert_eq!(fps_to_fpk(curve.tower(), &fps), expected, "VLIW binary is correct");
+
+    let r1 = simulate(&c1.image.spec.decode(&c1.image.words).unwrap(), &single, None);
+    let r4 = simulate(&c4.image.spec.decode(&c4.image.words).unwrap(), &wide, None);
+    assert!(
+        r4.cycles < r1.cycles,
+        "VLIW exploits ILP: {} vs {} cycles",
+        r4.cycles,
+        r1.cycles
+    );
+}
