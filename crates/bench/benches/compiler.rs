@@ -18,7 +18,9 @@ fn bench_full_compile(c: &mut Criterion) {
         let variants = VariantConfig::all_karatsuba(&shape);
         let hw = HwModel::paper_default();
         g.bench_with_input(BenchmarkId::from_parameter(name), &(), |bench, ()| {
-            bench.iter(|| compile_pairing(&curve, &variants, &hw, &CompileOptions::default()).unwrap())
+            bench.iter(|| {
+                compile_pairing(&curve, &variants, &hw, &CompileOptions::default()).unwrap()
+            })
         });
     }
     g.finish();
@@ -31,9 +33,13 @@ fn bench_passes(c: &mut Criterion) {
     let shape = tower_shape(&curve);
     let hir = pairing_hir(&curve);
     let variants = VariantConfig::all_karatsuba(&shape);
-    g.bench_function("lowering", |bench| bench.iter(|| lower(&hir, &shape, &variants).unwrap()));
+    g.bench_function("lowering", |bench| {
+        bench.iter(|| lower(&hir, &shape, &variants).unwrap())
+    });
     let lowered = lower(&hir, &shape, &variants).unwrap();
-    g.bench_function("iropt", |bench| bench.iter(|| optimize(&lowered, curve.fp())));
+    g.bench_function("iropt", |bench| {
+        bench.iter(|| optimize(&lowered, curve.fp()))
+    });
     g.finish();
 }
 

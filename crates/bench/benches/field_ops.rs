@@ -11,9 +11,11 @@ fn bench_fp_mul(c: &mut Criterion) {
         let curve = Curve::by_name(name);
         let a = curve.fp().sample(1);
         let b = curve.fp().sample(2);
-        g.bench_with_input(BenchmarkId::from_parameter(name), &(a, b), |bench, (a, b)| {
-            bench.iter(|| a * b)
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(a, b),
+            |bench, (a, b)| bench.iter(|| a * b),
+        );
     }
     g.finish();
 }
@@ -25,9 +27,11 @@ fn bench_fq_mul(c: &mut Criterion) {
         let t = curve.tower().clone();
         let a = t.fq_sample(1);
         let b = t.fq_sample(2);
-        g.bench_with_input(BenchmarkId::from_parameter(name), &(a, b), |bench, (a, b)| {
-            bench.iter(|| t.fq_mul(a, b))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(a, b),
+            |bench, (a, b)| bench.iter(|| t.fq_mul(a, b)),
+        );
     }
     g.finish();
 }

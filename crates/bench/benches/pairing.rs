@@ -29,7 +29,9 @@ fn bench_pairing_phases(c: &mut Criterion) {
     let engine = PairingEngine::new(curve.clone());
     let p = curve.g1_generator().clone();
     let q = curve.g2_generator().clone();
-    g.bench_function("miller_loop", |bench| bench.iter(|| engine.miller_loop(&p, &q)));
+    g.bench_function("miller_loop", |bench| {
+        bench.iter(|| engine.miller_loop(&p, &q))
+    });
     let f = engine.miller_loop(&p, &q);
     g.bench_function("final_exponentiation", |bench| {
         bench.iter(|| engine.final_exponentiation(&f))

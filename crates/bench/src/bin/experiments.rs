@@ -4,16 +4,14 @@
 //! experiments [table2|table3|table6|table7|fig2|fig6|fig8|fig9|fig10|fig11|fig12|all]
 //! ```
 //!
-//! Output goes to stdout and to `results/<name>.txt`. Expected shapes
-//! (who wins, by what factor) are described in EXPERIMENTS.md together
-//! with measured-vs-paper numbers.
+//! Output goes to stdout and to `results/<name>.txt`.
 
 use finesse_bench::{f, kfmt, TextTable};
 use finesse_compiler::{compile_pairing, tower_shape, CompileOptions};
 use finesse_curves::Curve;
 use finesse_dse::{
-    best_point, codesign_alu_sweep, evaluate_point, explore, figure10_points,
-    variant_sweep_points, DesignPoint, Objective,
+    best_point, codesign_alu_sweep, evaluate_point, explore, figure10_points, variant_sweep_points,
+    DesignPoint, Objective,
 };
 use finesse_hw::{
     area_breakdown, fpga_utilization, scale, security_bits, AreaInputs, HwModel, NodeMetrics,
@@ -25,13 +23,22 @@ use std::fs;
 use std::io::Write as _;
 use std::sync::Arc;
 
-const CURVES: [&str; 7] =
-    ["BN254N", "BN462", "BN638", "BLS12-381", "BLS12-446", "BLS12-638", "BLS24-509"];
+const CURVES: [&str; 7] = [
+    "BN254N",
+    "BN462",
+    "BN638",
+    "BLS12-381",
+    "BLS12-446",
+    "BLS12-638",
+    "BLS24-509",
+];
+
+type Experiment = (&'static str, fn() -> String);
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     fs::create_dir_all("results").expect("create results dir");
-    let experiments: Vec<(&str, fn() -> String)> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("table2", table2 as fn() -> String),
         ("table3", table3),
         ("table6", table6),
@@ -70,7 +77,14 @@ fn default_variants(curve: &Arc<Curve>) -> VariantConfig {
 /// Table 2: curve parameters and security levels.
 fn table2() -> String {
     let mut t = TextTable::new(&[
-        "curve", "log|t|", "log p", "log r", "k", "k·log p", "sec (model)", "sec (paper)",
+        "curve",
+        "log|t|",
+        "log p",
+        "log r",
+        "k",
+        "k·log p",
+        "sec (model)",
+        "sec (paper)",
     ]);
     for name in CURVES {
         let c = Curve::by_name(name);
@@ -113,7 +127,10 @@ fn op_cost(curve: &Arc<Curve>, level: u8, sqr: bool, cfg: &VariantConfig) -> (us
 /// Table 3: operation decomposition costs per variant.
 fn table3() -> String {
     let mut out = String::new();
-    for (name, levels) in [("BLS12-381", vec![2u8, 6, 12]), ("BLS24-509", vec![2, 4, 12, 24])] {
+    for (name, levels) in [
+        ("BLS12-381", vec![2u8, 6, 12]),
+        ("BLS24-509", vec![2, 4, 12, 24]),
+    ] {
         let curve = Curve::by_name(name);
         let shape = tower_shape(&curve);
         let mut t = TextTable::new(&["op", "variant", "F_p mul", "F_p linear"]);
@@ -123,14 +140,24 @@ fn table3() -> String {
                 ("schoolbook", VariantConfig::all_schoolbook(&shape)),
             ] {
                 let (m, l) = op_cost(&curve, d, false, &cfg);
-                t.row(vec![format!("M{d}"), tag.into(), m.to_string(), l.to_string()]);
+                t.row(vec![
+                    format!("M{d}"),
+                    tag.into(),
+                    m.to_string(),
+                    l.to_string(),
+                ]);
             }
             for (tag, cfg) in [
                 ("cheap-sqr", VariantConfig::all_karatsuba(&shape)),
                 ("schoolbook", VariantConfig::all_schoolbook(&shape)),
             ] {
                 let (m, l) = op_cost(&curve, d, true, &cfg);
-                t.row(vec![format!("S{d}"), tag.into(), m.to_string(), l.to_string()]);
+                t.row(vec![
+                    format!("S{d}"),
+                    tag.into(),
+                    m.to_string(),
+                    l.to_string(),
+                ]);
             }
         }
         out.push_str(&format!("tower {name}:\n{}\n", t.render()));
@@ -145,18 +172,32 @@ fn table6() -> String {
     let hw = HwModel::paper_default();
     let e1 = evaluate_point(
         &curve,
-        &DesignPoint { label: "1-core".into(), variants: variants.clone(), hw: hw.clone() },
+        &DesignPoint {
+            label: "1-core".into(),
+            variants: variants.clone(),
+            hw: hw.clone(),
+        },
         1,
     )
     .expect("evaluate");
     let e8 = evaluate_point(
         &curve,
-        &DesignPoint { label: "8-core".into(), variants, hw: hw.clone() },
+        &DesignPoint {
+            label: "8-core".into(),
+            variants,
+            hw: hw.clone(),
+        },
         8,
     )
     .expect("evaluate");
 
-    let compiled = compile_pairing(&curve, &default_variants(&curve), &hw, &CompileOptions::default()).unwrap();
+    let compiled = compile_pairing(
+        &curve,
+        &default_variants(&curve),
+        &hw,
+        &CompileOptions::default(),
+    )
+    .unwrap();
     let fpga = fpga_utilization(
         &hw,
         &AreaInputs {
@@ -182,7 +223,14 @@ fn table6() -> String {
     );
 
     let mut t = TextTable::new(&[
-        "work", "platform", "freq", "#cycle", "latency", "util/area", "throughput", "tp/area",
+        "work",
+        "platform",
+        "freq",
+        "#cycle",
+        "latency",
+        "util/area",
+        "throughput",
+        "tp/area",
     ]);
     t.row(vec![
         FLEXIPAIR.name.into(),
@@ -256,7 +304,12 @@ fn table6() -> String {
 /// Table 7: compilation strategies — instruction reduction and IPC.
 fn table7() -> String {
     let mut t = TextTable::new(&[
-        "curve", "instr init→opt", "reduction", "IPC init", "IPC opt HW1", "IPC opt HW2",
+        "curve",
+        "instr init→opt",
+        "reduction",
+        "IPC init",
+        "IPC opt HW1",
+        "IPC opt HW2",
         "compile",
     ]);
     for name in CURVES {
@@ -286,7 +339,10 @@ fn table7() -> String {
             format!("{:.1}s", opt.compile_time.as_secs_f64()),
         ]);
     }
-    format!("{}(paper: reductions -8.5%..-16.4%, IPC 0.19..0.22 → 0.87..0.97)\n", t.render())
+    format!(
+        "{}(paper: reductions -8.5%..-16.4%, IPC 0.19..0.22 → 0.87..0.97)\n",
+        t.render()
+    )
 }
 
 /// Figure 2: Karatsuba on/off per level, BLS24-509 on single issue.
@@ -304,7 +360,11 @@ fn fig2() -> String {
     }
     let points: Vec<DesignPoint> = configs
         .iter()
-        .map(|(label, v)| DesignPoint { label: label.clone(), variants: v.clone(), hw: hw.clone() })
+        .map(|(label, v)| DesignPoint {
+            label: label.clone(),
+            variants: v.clone(),
+            hw: hw.clone(),
+        })
         .collect();
     let results = explore(&curve, points, 1);
     let base = results[0].1.as_ref().unwrap().cycles as f64;
@@ -316,9 +376,17 @@ fn fig2() -> String {
     let mut t = TextTable::new(&["combination", "cycles", "norm. vs all-karat"]);
     for (p, r) in &results {
         let e = r.as_ref().unwrap();
-        t.row(vec![p.label.clone(), e.cycles.to_string(), f(e.cycles as f64 / base, 3)]);
+        t.row(vec![
+            p.label.clone(),
+            e.cycles.to_string(),
+            f(e.cycles as f64 / base, 3),
+        ]);
     }
-    t.row(vec![format!("optimal ({})", bp.variants.tag()), be.cycles.to_string(), f(be.cycles as f64 / base, 3)]);
+    t.row(vec![
+        format!("optimal ({})", bp.variants.tag()),
+        be.cycles.to_string(),
+        f(be.cycles as f64 / base, 3),
+    ]);
     format!(
         "{}(paper: disabling Karatsuba at p2/p4 reduces cycles on single-issue; optimal < all-karatsuba)\n",
         t.render()
@@ -329,8 +397,13 @@ fn fig2() -> String {
 fn fig6() -> String {
     let curve = Curve::by_name("BN254N");
     let hw = HwModel::paper_default();
-    let compiled =
-        compile_pairing(&curve, &default_variants(&curve), &hw, &CompileOptions::default()).unwrap();
+    let compiled = compile_pairing(
+        &curve,
+        &default_variants(&curve),
+        &hw,
+        &CompileOptions::default(),
+    )
+    .unwrap();
     let mut out = String::new();
     for cores in [1u32, 8] {
         let b = area_breakdown(
@@ -361,8 +434,15 @@ fn fig6() -> String {
 /// Figure 8: scalability across the seven curves.
 fn fig8() -> String {
     let mut t = TextTable::new(&[
-        "curve", "k·log p", "cycles", "delay us", "area mm2", "delay/sec", "area/klogp",
-        "area/k2log2p", "sec bits",
+        "curve",
+        "k·log p",
+        "cycles",
+        "delay us",
+        "area mm2",
+        "delay/sec",
+        "area/klogp",
+        "area/k2log2p",
+        "sec bits",
     ]);
     for name in CURVES {
         let curve = Curve::by_name(name);
@@ -409,12 +489,16 @@ fn fig9() -> String {
             let insts = c.image.spec.decode(&c.image.words).unwrap();
             let r = simulate(&insts, &hw, Some(window));
             let tr = r.trace.unwrap();
-            let line: String = tr.slots.iter().map(|row| match row[0] {
-                finesse_sim::SlotKind::Long => 'M',
-                finesse_sim::SlotKind::Short => 'a',
-                finesse_sim::SlotKind::Inverse => 'I',
-                finesse_sim::SlotKind::Empty => '.',
-            }).collect();
+            let line: String = tr
+                .slots
+                .iter()
+                .map(|row| match row[0] {
+                    finesse_sim::SlotKind::Long => 'M',
+                    finesse_sim::SlotKind::Short => 'a',
+                    finesse_sim::SlotKind::Inverse => 'I',
+                    finesse_sim::SlotKind::Empty => '.',
+                })
+                .collect();
             out.push_str(&format!(
                 "{name:>10} {tag}: {line}  (bubbles {:.0}%)\n",
                 100.0 * tr.bubble_fraction()
@@ -444,7 +528,12 @@ fn fig10() -> String {
                 ]);
             }
             Err(e) => {
-                t.row(vec![p.hw.name.clone(), p.label.clone(), format!("failed: {e}"), "-".into()]);
+                t.row(vec![
+                    p.hw.name.clone(),
+                    p.label.clone(),
+                    format!("failed: {e}"),
+                    "-".into(),
+                ]);
             }
         }
     }
@@ -482,7 +571,10 @@ fn fig11() -> String {
             f(p.throughput_kops, 1),
         ]);
     }
-    let best = sweep.iter().max_by(|a, b| a.throughput_kops.total_cmp(&b.throughput_kops)).unwrap();
+    let best = sweep
+        .iter()
+        .max_by(|a, b| a.throughput_kops.total_cmp(&b.throughput_kops))
+        .unwrap();
     format!(
         "{}optimal depth: {} (paper: 38)\n(paper: IPC drops with depth; critical path saturates; interior optimum)\n",
         t.render(),
@@ -496,7 +588,11 @@ fn fig12() -> String {
     let hw = HwModel::paper_default();
     let e4 = evaluate_point(
         &curve,
-        &DesignPoint { label: "4-core".into(), variants: default_variants(&curve), hw },
+        &DesignPoint {
+            label: "4-core".into(),
+            variants: default_variants(&curve),
+            hw,
+        },
         4,
     )
     .unwrap();

@@ -14,7 +14,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with a header row.
     pub fn new(header: &[&str]) -> Self {
-        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -42,7 +45,11 @@ impl TextTable {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1))));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1)))
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(row, &widths));
         }

@@ -22,7 +22,12 @@ impl<'c> IrFlow<'c> {
     /// Creates an empty recorder for a curve.
     pub fn new(curve: &'c Curve) -> Self {
         let k = curve.k() as u8;
-        IrFlow { curve, prog: HirProgram::new(), qdeg: k / 6, k }
+        IrFlow {
+            curve,
+            prog: HirProgram::new(),
+            qdeg: k / 6,
+            k,
+        }
     }
 
     /// Records the complete optimal-Ate pairing program.
@@ -44,7 +49,10 @@ impl PairingFlow for IrFlow<'_> {
     type Fpk = ValueId;
 
     fn input_p(&mut self) -> (ValueId, ValueId) {
-        (self.prog.declare_input("P.x", 1), self.prog.declare_input("P.y", 1))
+        (
+            self.prog.declare_input("P.x", 1),
+            self.prog.declare_input("P.y", 1),
+        )
     }
 
     fn input_q(&mut self) -> (ValueId, ValueId) {
@@ -59,8 +67,11 @@ impl PairingFlow for IrFlow<'_> {
     }
 
     fn fq_constant(&mut self, value: &finesse_ff::Fq, label: &str) -> ValueId {
-        self.prog
-            .add_constant(label, self.qdeg, finesse_ir::convert::fq_to_canonical(value))
+        self.prog.add_constant(
+            label,
+            self.qdeg,
+            finesse_ir::convert::fq_to_canonical(value),
+        )
     }
 
     fn fq_add(&mut self, a: &ValueId, b: &ValueId) -> ValueId {
@@ -107,7 +118,9 @@ impl PairingFlow for IrFlow<'_> {
             vec![finesse_ff::BigUint::zero(); self.qdeg as usize],
         );
         self.prog.push(
-            HirOp::Pack { parts: vec![one_q, zero, zero, zero, zero, zero] },
+            HirOp::Pack {
+                parts: vec![one_q, zero, zero, zero, zero, zero],
+            },
             self.k,
         )
     }

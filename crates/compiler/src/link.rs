@@ -21,18 +21,61 @@ fn to_machine(prog: &FpProgram, alloc: &RegAllocation, id: u32) -> MachineOp {
         FpOp::Input(s) => MachineOp {
             op: Opcode::Icv,
             dst,
-            src1: Reg { bank: 0, index: s as u16 },
+            src1: Reg {
+                bank: 0,
+                index: s as u16,
+            },
             src2: Reg::default(),
         },
         FpOp::Const(_) => unreachable!("constants are preloaded, not emitted"),
-        FpOp::Add(a, b) => MachineOp { op: Opcode::Add, dst, src1: r(a), src2: r(b) },
-        FpOp::Sub(a, b) => MachineOp { op: Opcode::Sub, dst, src1: r(a), src2: r(b) },
-        FpOp::Neg(a) => MachineOp { op: Opcode::Neg, dst, src1: r(a), src2: Reg::default() },
-        FpOp::Dbl(a) => MachineOp { op: Opcode::Dbl, dst, src1: r(a), src2: Reg::default() },
-        FpOp::Tpl(a) => MachineOp { op: Opcode::Tpl, dst, src1: r(a), src2: Reg::default() },
-        FpOp::Mul(a, b) => MachineOp { op: Opcode::Mul, dst, src1: r(a), src2: r(b) },
-        FpOp::Sqr(a) => MachineOp { op: Opcode::Sqr, dst, src1: r(a), src2: Reg::default() },
-        FpOp::Inv(a) => MachineOp { op: Opcode::Inv, dst, src1: r(a), src2: Reg::default() },
+        FpOp::Add(a, b) => MachineOp {
+            op: Opcode::Add,
+            dst,
+            src1: r(a),
+            src2: r(b),
+        },
+        FpOp::Sub(a, b) => MachineOp {
+            op: Opcode::Sub,
+            dst,
+            src1: r(a),
+            src2: r(b),
+        },
+        FpOp::Neg(a) => MachineOp {
+            op: Opcode::Neg,
+            dst,
+            src1: r(a),
+            src2: Reg::default(),
+        },
+        FpOp::Dbl(a) => MachineOp {
+            op: Opcode::Dbl,
+            dst,
+            src1: r(a),
+            src2: Reg::default(),
+        },
+        FpOp::Tpl(a) => MachineOp {
+            op: Opcode::Tpl,
+            dst,
+            src1: r(a),
+            src2: Reg::default(),
+        },
+        FpOp::Mul(a, b) => MachineOp {
+            op: Opcode::Mul,
+            dst,
+            src1: r(a),
+            src2: r(b),
+        },
+        FpOp::Sqr(a) => MachineOp {
+            op: Opcode::Sqr,
+            dst,
+            src1: r(a),
+            src2: Reg::default(),
+        },
+        FpOp::Inv(a) => MachineOp {
+            op: Opcode::Inv,
+            dst,
+            src1: r(a),
+            src2: Reg::default(),
+        },
     }
 }
 
@@ -41,7 +84,9 @@ pub fn assemble(prog: &FpProgram, sched: &Schedule, alloc: &RegAllocation) -> Ve
     sched
         .groups
         .iter()
-        .map(|g| WideInst { slots: g.iter().map(|&id| to_machine(prog, alloc, id)).collect() })
+        .map(|g| WideInst {
+            slots: g.iter().map(|&id| to_machine(prog, alloc, id)).collect(),
+        })
         .collect()
 }
 
@@ -64,7 +109,10 @@ pub fn link(
         insts.push(WideInst {
             slots: vec![MachineOp {
                 op: Opcode::Cvt,
-                dst: Reg { bank: 0, index: port as u16 },
+                dst: Reg {
+                    bank: 0,
+                    index: port as u16,
+                },
                 src1: alloc.reg_of[o as usize],
                 src2: Reg::default(),
             }],
@@ -82,9 +130,7 @@ pub fn link(
         .iter()
         .enumerate()
         .filter_map(|(i, op)| match op {
-            FpOp::Const(c) => {
-                Some((alloc.reg_of[i], prog.constants[*c as usize].clone()))
-            }
+            FpOp::Const(c) => Some((alloc.reg_of[i], prog.constants[*c as usize].clone())),
             _ => None,
         })
         .collect();
@@ -99,9 +145,19 @@ pub fn link(
         regs
     };
 
-    let output_regs = prog.outputs.iter().map(|&o| alloc.reg_of[o as usize]).collect();
+    let output_regs = prog
+        .outputs
+        .iter()
+        .map(|&o| alloc.reg_of[o as usize])
+        .collect();
 
-    Ok(ProgramImage { spec, words, const_preload, input_regs, output_regs })
+    Ok(ProgramImage {
+        spec,
+        words,
+        const_preload,
+        input_regs,
+        output_regs,
+    })
 }
 
 #[cfg(test)]
@@ -113,8 +169,10 @@ mod tests {
 
     #[test]
     fn image_roundtrips_through_decoder() {
-        let mut p = FpProgram::default();
-        p.inputs = vec!["a".into(), "b".into()];
+        let mut p = FpProgram {
+            inputs: vec!["a".into(), "b".into()],
+            ..Default::default()
+        };
         let a = p.push(FpOp::Input(0));
         let b = p.push(FpOp::Input(1));
         p.constants.push(finesse_ff::BigUint::from_u64(7));

@@ -79,12 +79,18 @@ fn fold_pass(prog: &FpProgram, ctx: &Arc<FpCtx>) -> FpProgram {
     let mut gvn: HashMap<GvnKey, FpId> = HashMap::new();
 
     let p = ctx.modulus().clone();
-    let norm = |v: &BigUint| -> BigUint { if v < &p { v.clone() } else { v.rem(&p) } };
+    let norm = |v: &BigUint| -> BigUint {
+        if v < &p {
+            v.clone()
+        } else {
+            v.rem(&p)
+        }
+    };
 
     let emit_const = |out: &mut FpProgram,
-                          consts: &mut HashMap<FpId, BigUint>,
-                          const_ids: &mut HashMap<BigUint, FpId>,
-                          v: BigUint|
+                      consts: &mut HashMap<FpId, BigUint>,
+                      const_ids: &mut HashMap<BigUint, FpId>,
+                      v: BigUint|
      -> FpId {
         if let Some(&id) = const_ids.get(&v) {
             return id;
@@ -123,7 +129,11 @@ fn fold_pass(prog: &FpProgram, ctx: &Arc<FpCtx>) -> FpProgram {
                     _ => {
                         // Strength reduction and commutative GVN.
                         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-                        let key = if a == b { GvnKey::Dbl(a) } else { GvnKey::Add(lo, hi) };
+                        let key = if a == b {
+                            GvnKey::Dbl(a)
+                        } else {
+                            GvnKey::Add(lo, hi)
+                        };
                         if let Some(&id) = gvn.get(&key) {
                             id
                         } else {
@@ -204,7 +214,11 @@ fn fold_pass(prog: &FpProgram, ctx: &Arc<FpCtx>) -> FpProgram {
                     (None, Some(y)) if y.is_one() => a,
                     _ => {
                         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-                        let key = if a == b { GvnKey::Sqr(a) } else { GvnKey::Mul(lo, hi) };
+                        let key = if a == b {
+                            GvnKey::Sqr(a)
+                        } else {
+                            GvnKey::Mul(lo, hi)
+                        };
                         if let Some(&id) = gvn.get(&key) {
                             id
                         } else {

@@ -11,7 +11,7 @@ use crate::irflow::IrFlow;
 use crate::link::link;
 use crate::opt::{optimize, OptStats};
 use crate::regalloc::{allocate, RegAllocation, RegPressureError};
-use crate::schedule::{schedule, Schedule, ScheduleOptions, SchedStrategy};
+use crate::schedule::{schedule, SchedStrategy, Schedule, ScheduleOptions};
 use finesse_curves::Curve;
 use finesse_hw::{HwModel, HwModelError};
 use finesse_ir::{lower, FpProgram, HirProgram, TowerShape, VariantConfig};
@@ -31,7 +31,10 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { optimize: true, sched: ScheduleOptions::default() }
+        CompileOptions {
+            optimize: true,
+            sched: ScheduleOptions::default(),
+        }
     }
 }
 
@@ -40,7 +43,10 @@ impl CompileOptions {
     pub fn baseline() -> Self {
         CompileOptions {
             optimize: false,
-            sched: ScheduleOptions { strategy: SchedStrategy::ProgramOrder, affinity_beta: 0.0 },
+            sched: ScheduleOptions {
+                strategy: SchedStrategy::ProgramOrder,
+                affinity_beta: 0.0,
+            },
         }
     }
 }
@@ -170,7 +176,13 @@ pub fn compile_pairing(
         optimize(&lowered, curve.fp())
     } else {
         let n = lowered.stats().executable();
-        (lowered, OptStats { before: n, after: n })
+        (
+            lowered,
+            OptStats {
+                before: n,
+                after: n,
+            },
+        )
     };
 
     let sched = schedule(&fp, &hw, &opts.sched);
@@ -205,7 +217,10 @@ mod tests {
         // Ballpark of the paper's Table 7 (BN254N: 55.3k optimised).
         let n = c.instruction_count();
         assert!(n > 20_000 && n < 120_000, "instruction count {n}");
-        assert!(c.opt_stats.after < c.opt_stats.before, "IROpt shrinks the program");
+        assert!(
+            c.opt_stats.after < c.opt_stats.before,
+            "IROpt shrinks the program"
+        );
         assert!(c.regs.peak_live > 50, "real register pressure");
         assert!(!c.image.words.is_empty());
         println!(

@@ -34,7 +34,11 @@ pub struct RegPressureError {
 
 impl std::fmt::Display for RegPressureError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "register bank {} exceeded its quota of {}", self.bank, self.quota)
+        write!(
+            f,
+            "register bank {} exceeded its quota of {}",
+            self.bank, self.quota
+        )
     }
 }
 
@@ -130,18 +134,28 @@ pub fn allocate(
         } else {
             let r = next_fresh[b];
             if r >= quota {
-                return Err(RegPressureError { bank: b as u8, quota });
+                return Err(RegPressureError {
+                    bank: b as u8,
+                    quota,
+                });
             }
             next_fresh[b] = r + 1;
             r
         };
-        reg_of[i] = Reg { bank: b as u8, index: idx };
+        reg_of[i] = Reg {
+            bank: b as u8,
+            index: idx,
+        };
         live_now[b] += 1;
         peak[b] = peak[b].max(live_now[b]);
     }
 
     let peak_live = peak.iter().sum();
-    Ok(RegAllocation { reg_of, peak_per_bank: peak, peak_live })
+    Ok(RegAllocation {
+        reg_of,
+        peak_per_bank: peak,
+        peak_live,
+    })
 }
 
 #[cfg(test)]
@@ -151,8 +165,10 @@ mod tests {
     use finesse_hw::HwModel;
 
     fn chain_program(len: usize) -> FpProgram {
-        let mut p = FpProgram::default();
-        p.inputs = vec!["a".into()];
+        let mut p = FpProgram {
+            inputs: vec!["a".into()],
+            ..Default::default()
+        };
         let a = p.push(FpOp::Input(0));
         let mut acc = a;
         for _ in 0..len {
@@ -175,8 +191,10 @@ mod tests {
     #[test]
     fn quota_violation_is_reported() {
         // Many simultaneously-live values (all feed the final sum).
-        let mut p = FpProgram::default();
-        p.inputs = vec!["a".into()];
+        let mut p = FpProgram {
+            inputs: vec!["a".into()],
+            ..Default::default()
+        };
         let a = p.push(FpOp::Input(0));
         let vals: Vec<_> = (0..40).map(|_| p.push(FpOp::Dbl(a))).collect();
         let mut acc = vals[0];
@@ -192,6 +210,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // pairwise (i, j) scan over parallel index-keyed tables
     fn no_two_live_values_share_a_register() {
         let p = chain_program(30);
         let hw = HwModel::paper_default();

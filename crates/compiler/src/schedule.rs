@@ -48,7 +48,10 @@ pub struct ScheduleOptions {
 
 impl Default for ScheduleOptions {
     fn default() -> Self {
-        ScheduleOptions { strategy: SchedStrategy::AffinityList, affinity_beta: 0.05 }
+        ScheduleOptions {
+            strategy: SchedStrategy::AffinityList,
+            affinity_beta: 0.05,
+        }
     }
 }
 
@@ -142,7 +145,11 @@ fn schedule_program_order(prog: &FpProgram, hw: &HwModel, bank_of: Vec<u8>) -> S
         groups.push(vec![i as u32]);
     }
     let predicted = completion.iter().copied().max().unwrap_or(0);
-    Schedule { groups, bank_of, predicted_cycles: predicted }
+    Schedule {
+        groups,
+        bank_of,
+        predicted_cycles: predicted,
+    }
 }
 
 /// Candidate pool bound per cycle for the packing DP.
@@ -252,8 +259,11 @@ fn schedule_affinity(prog: &FpProgram, hw: &HwModel, bank_of: Vec<u8>, beta: f64
                     None => break,
                 }
             }
-            let (first, second): (&Vec<_>, &Vec<_>) =
-                if prefer_long { (&longs, &shorts) } else { (&shorts, &longs) };
+            let (first, second): (&Vec<_>, &Vec<_>) = if prefer_long {
+                (&longs, &shorts)
+            } else {
+                (&shorts, &longs)
+            };
             cands.extend(first.iter().map(|&(_, Reverse(id))| id));
             cands.extend(second.iter().map(|&(_, Reverse(id))| id));
             // Return the drawn entries; chosen ones are lazily removed
@@ -323,7 +333,11 @@ fn schedule_affinity(prog: &FpProgram, hw: &HwModel, bank_of: Vec<u8>, beta: f64
         t += 1;
     }
 
-    Schedule { groups, bank_of, predicted_cycles: makespan }
+    Schedule {
+        groups,
+        bank_of,
+        predicted_cycles: makespan,
+    }
 }
 
 // Lazy-deletion helper: drop entries whose ids were chosen this cycle.
@@ -439,8 +453,10 @@ mod tests {
     /// A small synthetic program: a chain of muls with independent adds
     /// that can hide the Long latency.
     fn mix_program(chain: usize, indep: usize) -> FpProgram {
-        let mut p = FpProgram::default();
-        p.inputs = vec!["a".into(), "b".into()];
+        let mut p = FpProgram {
+            inputs: vec!["a".into(), "b".into()],
+            ..Default::default()
+        };
         let a = p.push(FpOp::Input(0));
         let b = p.push(FpOp::Input(1));
         let mut acc = a;
@@ -471,7 +487,14 @@ mod tests {
         let p = mix_program(10, 20);
         let hw = HwModel::paper_default();
         for strat in [SchedStrategy::ProgramOrder, SchedStrategy::AffinityList] {
-            let s = schedule(&p, &hw, &ScheduleOptions { strategy: strat, affinity_beta: 0.05 });
+            let s = schedule(
+                &p,
+                &hw,
+                &ScheduleOptions {
+                    strategy: strat,
+                    affinity_beta: 0.05,
+                },
+            );
             let ids = all_ids(&s);
             let expect: Vec<u32> = p
                 .insts
@@ -512,7 +535,14 @@ mod tests {
         // Interleaved mul chain + adds: reordering hides Long latency.
         let p = mix_program(40, 200);
         let hw = HwModel::paper_default();
-        let naive = schedule(&p, &hw, &ScheduleOptions { strategy: SchedStrategy::ProgramOrder, affinity_beta: 0.0 });
+        let naive = schedule(
+            &p,
+            &hw,
+            &ScheduleOptions {
+                strategy: SchedStrategy::ProgramOrder,
+                affinity_beta: 0.0,
+            },
+        );
         let smart = schedule(&p, &hw, &ScheduleOptions::default());
         assert!(
             smart.predicted_cycles < naive.predicted_cycles,
@@ -532,7 +562,10 @@ mod tests {
             let longs = g
                 .iter()
                 .filter(|&&id| {
-                    matches!(p.insts[id as usize], FpOp::Mul(..) | FpOp::Sqr(_) | FpOp::Input(_))
+                    matches!(
+                        p.insts[id as usize],
+                        FpOp::Mul(..) | FpOp::Sqr(_) | FpOp::Input(_)
+                    )
                 })
                 .count();
             assert!(longs <= 1, "one mmul per cycle");

@@ -86,7 +86,9 @@ impl FlowConfig {
             if line.is_empty() {
                 continue;
             }
-            let (k, v) = line.split_once('=').ok_or(ParseConfigError::BadLine(n + 1))?;
+            let (k, v) = line
+                .split_once('=')
+                .ok_or(ParseConfigError::BadLine(n + 1))?;
             kv.insert(k.trim().to_lowercase(), v.trim().to_owned());
         }
         let mut cfg = FlowConfig::default();
@@ -155,7 +157,10 @@ mod tests {
             FlowConfig::parse("long = many"),
             Err(ParseConfigError::BadValue(_))
         ));
-        assert!(matches!(FlowConfig::parse("garbage"), Err(ParseConfigError::BadLine(1))));
+        assert!(matches!(
+            FlowConfig::parse("garbage"),
+            Err(ParseConfigError::BadLine(1))
+        ));
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! (the paper's simulator-versus-library validation stage).
 
 use crate::config::FlowConfig;
-use finesse_compiler::{compile_pairing, tower_shape, CompileError, CompiledPairing, CompileOptions};
+use finesse_compiler::{
+    compile_pairing, tower_shape, CompileError, CompileOptions, CompiledPairing,
+};
 use finesse_curves::Curve;
 use finesse_dse::{evaluate_point, DesignPoint, Evaluation};
 use finesse_ff::BigUint;
@@ -85,15 +87,24 @@ impl DesignFlow {
     ///
     /// Propagates compilation failures.
     pub fn build(self) -> Result<Accelerator, CompileError> {
-        let compiled =
-            compile_pairing(&self.curve, &self.variants, &self.hw, &CompileOptions::default())?;
+        let compiled = compile_pairing(
+            &self.curve,
+            &self.variants,
+            &self.hw,
+            &CompileOptions::default(),
+        )?;
         let point = DesignPoint {
             label: "flow".into(),
             variants: self.variants.clone(),
             hw: self.hw.clone(),
         };
         let eval = evaluate_point(&self.curve, &point, self.cores)?;
-        Ok(Accelerator { curve: self.curve, compiled, eval, cores: self.cores })
+        Ok(Accelerator {
+            curve: self.curve,
+            compiled,
+            eval,
+            cores: self.cores,
+        })
     }
 }
 
@@ -144,7 +155,7 @@ impl Accelerator {
         let engine = PairingEngine::new(Arc::clone(&self.curve));
         let mut matching = 0;
         for i in 0..vectors {
-            let a = BigUint::from_u64(0x5DEE_C3 + 977 * i as u64);
+            let a = BigUint::from_u64(0x5D_EE_C3 + 977 * i as u64);
             let b = BigUint::from_u64(0xB0BA_CAFE_u64.rotate_left(i) | 1);
             let p = self.curve.g1_mul(self.curve.g1_generator(), &a);
             let q = self.curve.g2_mul(self.curve.g2_generator(), &b);
@@ -156,7 +167,10 @@ impl Accelerator {
             let Ok(out) = run_image(&self.compiled.image, self.curve.fp(), &inputs) else {
                 continue;
             };
-            let fps: Vec<_> = out.iter().map(|v| self.curve.fp().from_biguint(v)).collect();
+            let fps: Vec<_> = out
+                .iter()
+                .map(|v| self.curve.fp().from_biguint(v))
+                .collect();
             if fps_to_fpk(self.curve.tower(), &fps) == expected {
                 matching += 1;
             }

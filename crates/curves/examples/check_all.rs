@@ -4,7 +4,12 @@ fn main() {
         match finesse_curves::Curve::from_spec(spec) {
             Ok(c) => println!(
                 "{:>10}: OK p={}b r={}b twist={:?} g2cf={}b  [{:?}]",
-                spec.name, c.p().bits(), c.r().bits(), c.twist(), c.g2_cofactor().bits(), start.elapsed()
+                spec.name,
+                c.p().bits(),
+                c.r().bits(),
+                c.twist(),
+                c.g2_cofactor().bits(),
+                start.elapsed()
             ),
             Err(e) => println!("{:>10}: FAILED — {e}", spec.name),
         }

@@ -61,7 +61,11 @@ pub enum CurveError {
 impl fmt::Display for CurveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CurveError::BitLengthMismatch { what, expected, got } => {
+            CurveError::BitLengthMismatch {
+                what,
+                expected,
+                got,
+            } => {
                 write!(f, "{what} has {got} bits, spec expects {expected}")
             }
             CurveError::NotPrime(what) => write!(f, "{what} is not prime"),
@@ -174,14 +178,26 @@ impl Curve {
         let p_int = family.prime(&t);
         let r_int = family.order(&t);
         let trace = family.trace(&t);
-        let p = p_int.to_biguint().ok_or(CurveError::NegativeParameter("p"))?;
-        let r = r_int.to_biguint().ok_or(CurveError::NegativeParameter("r"))?;
+        let p = p_int
+            .to_biguint()
+            .ok_or(CurveError::NegativeParameter("p"))?;
+        let r = r_int
+            .to_biguint()
+            .ok_or(CurveError::NegativeParameter("r"))?;
         if let Some((pb, rb)) = expected_bits {
             if p.bits() != pb {
-                return Err(CurveError::BitLengthMismatch { what: "p", expected: pb, got: p.bits() });
+                return Err(CurveError::BitLengthMismatch {
+                    what: "p",
+                    expected: pb,
+                    got: p.bits(),
+                });
             }
             if r.bits() != rb {
-                return Err(CurveError::BitLengthMismatch { what: "r", expected: rb, got: r.bits() });
+                return Err(CurveError::BitLengthMismatch {
+                    what: "r",
+                    expected: rb,
+                    got: r.bits(),
+                });
             }
         }
         if !p.is_probable_prime(40) {
@@ -208,8 +224,11 @@ impl Curve {
                 // The spec's ξ is a hint; if it happens to be a 2nd/3rd
                 // power in F_p2 for this prime, scan small alternatives
                 // (any valid ξ yields an isomorphic tower).
-                let mut tower =
-                    TowerCtx::sextic_over_fp2(&fp, beta_fp.clone(), (fp.from_i64(xi[0]), fp.from_i64(xi[1])));
+                let mut tower = TowerCtx::sextic_over_fp2(
+                    &fp,
+                    beta_fp.clone(),
+                    (fp.from_i64(xi[0]), fp.from_i64(xi[1])),
+                );
                 if matches!(tower, Err(TowerError::ReducibleSextic)) {
                     'scan: for c1 in 1..4i64 {
                         for c0 in 1..24i64 {
@@ -234,7 +253,12 @@ impl Curve {
                     &fp,
                     beta_fp,
                     (fp.from_i64(c0), fp.from_i64(c1)),
-                    [fp.from_i64(xi[0]), fp.from_i64(xi[1]), fp.from_i64(xi[2]), fp.from_i64(xi[3])],
+                    [
+                        fp.from_i64(xi[0]),
+                        fp.from_i64(xi[1]),
+                        fp.from_i64(xi[2]),
+                        fp.from_i64(xi[3]),
+                    ],
                 )?
             }
             _ => unreachable!("families are k=12 or k=24"),
@@ -365,7 +389,9 @@ impl Curve {
         let tm = Self::trace_over_extension(trace, tower.fp().modulus(), tower.qdeg());
         // 4q − t_m² = 3 f²
         let four_q = &BigInt::from_i64(4) * &q_int;
-        let disc = (&four_q - &(&tm * &tm)).to_biguint().ok_or(CurveError::TwistNotFound)?;
+        let disc = (&four_q - &(&tm * &tm))
+            .to_biguint()
+            .ok_or(CurveError::TwistNotFound)?;
         let f2 = disc.div_exact(&BigUint::from_u64(3));
         let f = f2.isqrt();
         if &f * &f != f2 {
@@ -378,7 +404,8 @@ impl Curve {
         let mut cands: Vec<BigInt> = vec![tm.clone(), tm.neg()];
         for sign_t in [1i64, -1] {
             for sign_f in [1i64, -1] {
-                let num = &(&BigInt::from_i64(sign_t) * &tm) + &(&BigInt::from_i64(sign_f) * &three_f);
+                let num =
+                    &(&BigInt::from_i64(sign_t) * &tm) + &(&BigInt::from_i64(sign_f) * &three_f);
                 if num.magnitude().is_even() {
                     cands.push(BigInt::from_sign_magnitude(
                         num.is_negative(),
@@ -411,7 +438,8 @@ impl Curve {
                 for n in &orders {
                     if is_identity(&ops, &scalar_mul(&ops, &pt, n)) {
                         // confirm with a second point
-                        let pt2 = Self::find_point_on_twist(tower, &bt, 1000).ok_or(CurveError::TwistNotFound)?;
+                        let pt2 = Self::find_point_on_twist(tower, &bt, 1000)
+                            .ok_or(CurveError::TwistNotFound)?;
                         if is_identity(&ops, &scalar_mul(&ops, &pt2, n)) {
                             return Ok((kind, bt, n.clone()));
                         }
@@ -610,7 +638,10 @@ impl Curve {
     /// G1 point addition.
     pub fn g1_add(&self, a: &Affine<Fp>, b: &Affine<Fp>) -> Affine<Fp> {
         let ops = FpOps(Arc::clone(&self.fp));
-        to_affine(&ops, &jac_add(&ops, &to_jacobian(&ops, a), &to_jacobian(&ops, b)))
+        to_affine(
+            &ops,
+            &jac_add(&ops, &to_jacobian(&ops, a), &to_jacobian(&ops, b)),
+        )
     }
 
     /// G2 scalar multiplication, returning an affine point.
@@ -622,7 +653,10 @@ impl Curve {
     /// G2 point addition.
     pub fn g2_add(&self, a: &Affine<Fq>, b: &Affine<Fq>) -> Affine<Fq> {
         let ops = FqOps(&self.tower);
-        to_affine(&ops, &jac_add(&ops, &to_jacobian(&ops, a), &to_jacobian(&ops, b)))
+        to_affine(
+            &ops,
+            &jac_add(&ops, &to_jacobian(&ops, a), &to_jacobian(&ops, b)),
+        )
     }
 
     /// True iff an affine point lies on E(F_p).
@@ -648,7 +682,9 @@ impl Curve {
         }
         let ops = FpOps(Arc::clone(&self.fp));
         for ctr in 0..10_000u64 {
-            let x = self.fp.sample(h.wrapping_add(ctr.wrapping_mul(0x9E37_79B9)));
+            let x = self
+                .fp
+                .sample(h.wrapping_add(ctr.wrapping_mul(0x9E37_79B9)));
             let rhs = &(&x.square() * &x) + &self.b;
             if let Some(y) = rhs.sqrt() {
                 let pt = Affine::new(x, y);
@@ -696,16 +732,16 @@ impl Curve {
     /// Panics if the name is unknown or construction fails — both indicate
     /// corrupted built-in parameters, which is a build-breaking bug.
     pub fn by_name(name: &str) -> Arc<Curve> {
-        let spec = crate::spec::spec_by_name(name)
-            .unwrap_or_else(|| panic!("unknown curve name: {name}"));
+        let spec =
+            crate::spec::spec_by_name(name).unwrap_or_else(|| panic!("unknown curve name: {name}"));
         let mut reg = registry().lock().expect("curve registry poisoned");
         if let Some(c) = reg.get(spec.name) {
             return Arc::clone(c);
         }
-        let curve = Arc::new(
-            Curve::from_spec(spec)
-                .unwrap_or_else(|e| panic!("built-in curve {} failed to construct: {e}", spec.name)),
-        );
+        let curve =
+            Arc::new(Curve::from_spec(spec).unwrap_or_else(|e| {
+                panic!("built-in curve {} failed to construct: {e}", spec.name)
+            }));
         reg.insert(spec.name.to_owned(), Arc::clone(&curve));
         curve
     }

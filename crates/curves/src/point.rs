@@ -139,12 +139,20 @@ pub struct Affine<E> {
 impl<E: Clone> Affine<E> {
     /// A finite point.
     pub fn new(x: E, y: E) -> Self {
-        Affine { x, y, infinity: false }
+        Affine {
+            x,
+            y,
+            infinity: false,
+        }
     }
 
     /// The point at infinity (coordinates are placeholders).
     pub fn infinity(placeholder: E) -> Self {
-        Affine { x: placeholder.clone(), y: placeholder, infinity: true }
+        Affine {
+            x: placeholder.clone(),
+            y: placeholder,
+            infinity: true,
+        }
     }
 }
 
@@ -173,9 +181,17 @@ pub fn is_on_curve<O: FieldOps>(ops: &O, pt: &Affine<O::El>, b: &O::El) -> bool 
 /// Lifts an affine point to Jacobian coordinates.
 pub fn to_jacobian<O: FieldOps>(ops: &O, pt: &Affine<O::El>) -> Jacobian<O::El> {
     if pt.infinity {
-        Jacobian { x: ops.one(), y: ops.one(), z: ops.zero() }
+        Jacobian {
+            x: ops.one(),
+            y: ops.one(),
+            z: ops.zero(),
+        }
     } else {
-        Jacobian { x: pt.x.clone(), y: pt.y.clone(), z: ops.one() }
+        Jacobian {
+            x: pt.x.clone(),
+            y: pt.y.clone(),
+            z: ops.one(),
+        }
     }
 }
 
@@ -193,7 +209,11 @@ pub fn to_affine<O: FieldOps>(ops: &O, pt: &Jacobian<O::El>) -> Affine<O::El> {
 /// Jacobian doubling (`a = 0` curve).
 pub fn jac_double<O: FieldOps>(ops: &O, p: &Jacobian<O::El>) -> Jacobian<O::El> {
     if ops.is_zero(&p.z) || ops.is_zero(&p.y) {
-        return Jacobian { x: ops.one(), y: ops.one(), z: ops.zero() };
+        return Jacobian {
+            x: ops.one(),
+            y: ops.one(),
+            z: ops.zero(),
+        };
     }
     let a = ops.sqr(&p.x);
     let b = ops.sqr(&p.y);
@@ -207,7 +227,11 @@ pub fn jac_double<O: FieldOps>(ops: &O, p: &Jacobian<O::El>) -> Jacobian<O::El> 
     let c8 = ops.mul_small(&c, 8);
     let y3 = ops.sub(&ops.mul(&e, &ops.sub(&d, &x3)), &c8);
     let z3 = ops.dbl(&ops.mul(&p.y, &p.z));
-    Jacobian { x: x3, y: y3, z: z3 }
+    Jacobian {
+        x: x3,
+        y: y3,
+        z: z3,
+    }
 }
 
 /// General Jacobian addition (`a = 0` curve), handling doubling and
@@ -230,7 +254,11 @@ pub fn jac_add<O: FieldOps>(ops: &O, p: &Jacobian<O::El>, q: &Jacobian<O::El>) -
             return jac_double(ops, p);
         }
         // P + (−P) = O
-        return Jacobian { x: ops.one(), y: ops.one(), z: ops.zero() };
+        return Jacobian {
+            x: ops.one(),
+            y: ops.one(),
+            z: ops.zero(),
+        };
     }
     let h = ops.sub(&u2, &u1);
     let i = ops.sqr(&ops.dbl(&h));
@@ -238,17 +266,25 @@ pub fn jac_add<O: FieldOps>(ops: &O, p: &Jacobian<O::El>, q: &Jacobian<O::El>) -
     let r = ops.dbl(&ops.sub(&s2, &s1));
     let v = ops.mul(&u1, &i);
     let x3 = ops.sub(&ops.sub(&ops.sqr(&r), &j), &ops.dbl(&v));
-    let y3 = ops.sub(
-        &ops.mul(&r, &ops.sub(&v, &x3)),
-        &ops.dbl(&ops.mul(&s1, &j)),
+    let y3 = ops.sub(&ops.mul(&r, &ops.sub(&v, &x3)), &ops.dbl(&ops.mul(&s1, &j)));
+    let z3 = ops.mul(
+        &ops.sub(&ops.sqr(&ops.add(&p.z, &q.z)), &ops.add(&z1z1, &z2z2)),
+        &h,
     );
-    let z3 = ops.mul(&ops.sub(&ops.sqr(&ops.add(&p.z, &q.z)), &ops.add(&z1z1, &z2z2)), &h);
-    Jacobian { x: x3, y: y3, z: z3 }
+    Jacobian {
+        x: x3,
+        y: y3,
+        z: z3,
+    }
 }
 
 /// Scalar multiplication by a non-negative big integer (double-and-add).
 pub fn scalar_mul<O: FieldOps>(ops: &O, p: &Affine<O::El>, k: &BigUint) -> Jacobian<O::El> {
-    let mut acc = Jacobian { x: ops.one(), y: ops.one(), z: ops.zero() };
+    let mut acc = Jacobian {
+        x: ops.one(),
+        y: ops.one(),
+        z: ops.zero(),
+    };
     if p.infinity || k.is_zero() {
         return acc;
     }
@@ -313,7 +349,11 @@ mod tests {
             let r = scalar_mul(&ops, p, &BigUint::from_u64(order));
             assert!(is_identity(&ops, &r), "order {order} should annihilate");
             // P + (−P) = O
-            let s = jac_add(&ops, &to_jacobian(&ops, p), &to_jacobian(&ops, &affine_neg(&ops, p)));
+            let s = jac_add(
+                &ops,
+                &to_jacobian(&ops, p),
+                &to_jacobian(&ops, &affine_neg(&ops, p)),
+            );
             assert!(is_identity(&ops, &s));
             // on-curve stays on-curve through doubling
             let d = to_affine(&ops, &jac_double(&ops, &to_jacobian(&ops, p)));
@@ -343,7 +383,11 @@ mod tests {
         let (ops, b) = tiny();
         let pts = points_on_tiny(&ops, &b);
         let p = &pts[1];
-        let mut acc = Jacobian { x: ops.one(), y: ops.one(), z: ops.zero() };
+        let mut acc = Jacobian {
+            x: ops.one(),
+            y: ops.one(),
+            z: ops.zero(),
+        };
         let pj = to_jacobian(&ops, p);
         for k in 0..10u64 {
             let via_mul = to_affine(&ops, &scalar_mul(&ops, p, &BigUint::from_u64(k)));
@@ -356,7 +400,11 @@ mod tests {
     #[test]
     fn doubling_identity_edge_cases() {
         let (ops, _) = tiny();
-        let inf: Jacobian<Fp> = Jacobian { x: ops.one(), y: ops.one(), z: ops.zero() };
+        let inf: Jacobian<Fp> = Jacobian {
+            x: ops.one(),
+            y: ops.one(),
+            z: ops.zero(),
+        };
         assert!(is_identity(&ops, &jac_double(&ops, &inf)));
         assert!(is_identity(&ops, &jac_add(&ops, &inf, &inf)));
     }

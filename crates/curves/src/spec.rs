@@ -39,7 +39,9 @@ impl Family {
                 let r = self.order(t);
                 let num = &(&tm1 * &tm1) * &r;
                 let third = BigInt::from_biguint(
-                    num.to_biguint().expect("positive").div_exact(&BigUint::from_u64(3)),
+                    num.to_biguint()
+                        .expect("positive")
+                        .div_exact(&BigUint::from_u64(3)),
                 );
                 &third + t
             }
@@ -48,7 +50,9 @@ impl Family {
                 let r = self.order(t);
                 let num = &(&tm1 * &tm1) * &r;
                 let third = BigInt::from_biguint(
-                    num.to_biguint().expect("positive").div_exact(&BigUint::from_u64(3)),
+                    num.to_biguint()
+                        .expect("positive")
+                        .div_exact(&BigUint::from_u64(3)),
                 );
                 &third + t
             }
@@ -178,7 +182,15 @@ pub const BLS12_381: CurveSpec = CurveSpec {
 pub const BLS12_446: CurveSpec = CurveSpec {
     name: "BLS12-446",
     family: Family::Bls12,
-    t_terms: &[(-1, 74), (-1, 73), (-1, 63), (-1, 57), (-1, 50), (-1, 17), (-1, 0)],
+    t_terms: &[
+        (-1, 74),
+        (-1, 73),
+        (-1, 63),
+        (-1, 57),
+        (-1, 50),
+        (-1, 17),
+        (-1, 0),
+    ],
     b_hint: None,
     beta: -1,
     xi2: None,
@@ -220,7 +232,9 @@ pub const BLS24_509: CurveSpec = CurveSpec {
 
 /// All seven curves of Table 2, in the paper's order.
 pub fn all_specs() -> [&'static CurveSpec; 7] {
-    [&BN254N, &BN462, &BN638, &BLS12_381, &BLS12_446, &BLS12_638, &BLS24_509]
+    [
+        &BN254N, &BN462, &BN638, &BLS12_381, &BLS12_446, &BLS12_638, &BLS24_509,
+    ]
 }
 
 /// Looks up a spec by (case-insensitive) name.
@@ -276,7 +290,15 @@ mod tests {
     #[test]
     fn table2_bit_lengths_of_t() {
         // log |t| column of Table 2 (±1 from the paper's rounding).
-        let expect = [(BN254N, 63usize), (BN462, 115), (BN638, 158), (BLS12_381, 64), (BLS12_446, 75), (BLS12_638, 108), (BLS24_509, 52)];
+        let expect = [
+            (BN254N, 63usize),
+            (BN462, 115),
+            (BN638, 158),
+            (BLS12_381, 64),
+            (BLS12_446, 75),
+            (BLS12_638, 108),
+            (BLS24_509, 52),
+        ];
         for (spec, bits) in expect {
             let observed = spec.t().magnitude().bits();
             assert!(

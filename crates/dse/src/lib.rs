@@ -94,8 +94,12 @@ pub fn evaluate_point(
     point: &DesignPoint,
     cores: u32,
 ) -> Result<Evaluation, CompileError> {
-    let compiled =
-        compile_pairing(curve, &point.variants, &point.hw, &CompileOptions::default())?;
+    let compiled = compile_pairing(
+        curve,
+        &point.variants,
+        &point.hw,
+        &CompileOptions::default(),
+    )?;
     let insts = compiled
         .image
         .spec
@@ -148,12 +152,12 @@ pub fn explore(
         .unwrap_or(4)
         .min(points.len());
     let chunk_size = points.len().div_ceil(n_workers);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = points
             .chunks(chunk_size)
             .map(|chunk| {
                 let curve = Arc::clone(curve);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     chunk
                         .iter()
                         .map(|p| {
@@ -169,7 +173,6 @@ pub fn explore(
             .flat_map(|h| h.join().expect("worker panicked"))
             .collect()
     })
-    .expect("scope failed")
 }
 
 /// Picks the best successful point under an objective.
@@ -256,7 +259,11 @@ pub fn codesign_alu_sweep(
     let mut out = Vec::with_capacity(depths.len());
     for &d in depths {
         let hw = HwModel::paper_default().with_long_latency(d);
-        let point = DesignPoint { label: format!("L{d}"), variants: variants.clone(), hw };
+        let point = DesignPoint {
+            label: format!("L{d}"),
+            variants: variants.clone(),
+            hw,
+        };
         let eval = evaluate_point(curve, &point, 1)?;
         out.push(AluFamilyPoint {
             depth: d,
@@ -327,7 +334,10 @@ mod tests {
         let sweep = codesign_alu_sweep(&curve, &[14, 26, 38, 44], &variants).unwrap();
         assert_eq!(sweep.len(), 4);
         // IPC decreases with depth; critical path decreases then saturates.
-        assert!(sweep[0].ipc >= sweep[3].ipc, "IPC drops with deeper pipelines");
+        assert!(
+            sweep[0].ipc >= sweep[3].ipc,
+            "IPC drops with deeper pipelines"
+        );
         assert!(sweep[0].critical_path_ns > sweep[2].critical_path_ns);
         assert!((sweep[2].critical_path_ns - sweep[3].critical_path_ns).abs() < 1e-9);
         // Throughput peaks at the saturation depth, not the deepest.

@@ -33,12 +33,18 @@ pub struct BigInt {
 impl BigInt {
     /// The value zero.
     pub fn zero() -> Self {
-        BigInt { negative: false, magnitude: BigUint::zero() }
+        BigInt {
+            negative: false,
+            magnitude: BigUint::zero(),
+        }
     }
 
     /// The value one.
     pub fn one() -> Self {
-        BigInt { negative: false, magnitude: BigUint::one() }
+        BigInt {
+            negative: false,
+            magnitude: BigUint::one(),
+        }
     }
 
     /// Constructs from an `i64`.
@@ -51,12 +57,18 @@ impl BigInt {
 
     /// Constructs a non-negative value from a [`BigUint`].
     pub fn from_biguint(v: BigUint) -> Self {
-        BigInt { negative: false, magnitude: v }
+        BigInt {
+            negative: false,
+            magnitude: v,
+        }
     }
 
     /// Constructs from sign and magnitude (zero normalises to positive).
     pub fn from_sign_magnitude(negative: bool, magnitude: BigUint) -> Self {
-        BigInt { negative: negative && !magnitude.is_zero(), magnitude }
+        BigInt {
+            negative: negative && !magnitude.is_zero(),
+            magnitude,
+        }
     }
 
     /// Evaluates a `2^a ± 2^b ± ...` style expression: each `(sign, power)`
@@ -140,20 +152,19 @@ impl std::ops::Add for &BigInt {
         }
         match self.magnitude.cmp(&rhs.magnitude) {
             Ordering::Equal => BigInt::zero(),
-            Ordering::Greater => BigInt::from_sign_magnitude(
-                self.negative,
-                &self.magnitude - &rhs.magnitude,
-            ),
-            Ordering::Less => BigInt::from_sign_magnitude(
-                rhs.negative,
-                &rhs.magnitude - &self.magnitude,
-            ),
+            Ordering::Greater => {
+                BigInt::from_sign_magnitude(self.negative, &self.magnitude - &rhs.magnitude)
+            }
+            Ordering::Less => {
+                BigInt::from_sign_magnitude(rhs.negative, &rhs.magnitude - &self.magnitude)
+            }
         }
     }
 }
 
 impl std::ops::Sub for &BigInt {
     type Output = BigInt;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a - b := a + (-b) by construction
     fn sub(self, rhs: &BigInt) -> BigInt {
         self + &rhs.neg()
     }
@@ -162,7 +173,10 @@ impl std::ops::Sub for &BigInt {
 impl std::ops::Mul for &BigInt {
     type Output = BigInt;
     fn mul(self, rhs: &BigInt) -> BigInt {
-        BigInt::from_sign_magnitude(self.negative != rhs.negative, &self.magnitude * &rhs.magnitude)
+        BigInt::from_sign_magnitude(
+            self.negative != rhs.negative,
+            &self.magnitude * &rhs.magnitude,
+        )
     }
 }
 
@@ -209,7 +223,8 @@ mod tests {
     #[test]
     fn power_terms() {
         // -(2^63 + 2^62 + 2^60 + 2^57 + 2^48 + 2^16) = BLS12-381 t
-        let t = BigInt::from_power_terms(&[(-1, 63), (-1, 62), (-1, 60), (-1, 57), (-1, 48), (-1, 16)]);
+        let t =
+            BigInt::from_power_terms(&[(-1, 63), (-1, 62), (-1, 60), (-1, 57), (-1, 48), (-1, 16)]);
         assert!(t.is_negative());
         assert_eq!(t.magnitude().to_hex(), "d201000000010000");
     }

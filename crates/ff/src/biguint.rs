@@ -124,7 +124,10 @@ impl BigUint {
     ///
     /// Panics if the value does not fit in `width` limbs.
     pub fn to_fixed_limbs(&self, width: usize) -> Vec<u64> {
-        assert!(self.limbs.len() <= width, "value does not fit in {width} limbs");
+        assert!(
+            self.limbs.len() <= width,
+            "value does not fit in {width} limbs"
+        );
         let mut out = vec![0u64; width];
         out[..self.limbs.len()].copy_from_slice(&self.limbs);
         out
@@ -148,7 +151,7 @@ impl BigUint {
 
     /// True iff the value is even (zero counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (`0` for zero).
@@ -162,7 +165,7 @@ impl BigUint {
     /// Returns bit `i` (little-endian position), `false` beyond the top.
     pub fn bit(&self, i: usize) -> bool {
         let (limb, off) = (i / 64, i % 64);
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// The low 64 bits (zero for zero).
@@ -186,10 +189,10 @@ impl BigUint {
         }
         let mut out = self.limbs.clone();
         let mut borrow = 0u64;
-        for i in 0..out.len() {
+        for (i, o) in out.iter_mut().enumerate() {
             let rhs = other.limbs.get(i).copied().unwrap_or(0);
-            let (d, b) = sbb(out[i], rhs, borrow);
-            out[i] = d;
+            let (d, b) = sbb(*o, rhs, borrow);
+            *o = d;
             borrow = b;
         }
         debug_assert_eq!(borrow, 0);
@@ -235,7 +238,7 @@ impl BigUint {
             return BigUint::zero();
         }
         let mut out = vec![0u64; self.limbs.len() - limb_shift];
-        for i in 0..out.len() {
+        for (i, o) in out.iter_mut().enumerate() {
             let lo = self.limbs[i + limb_shift] >> bit_shift;
             let hi = if bit_shift != 0 {
                 self.limbs
@@ -244,7 +247,7 @@ impl BigUint {
             } else {
                 0
             };
-            out[i] = lo | hi;
+            *o = lo | hi;
         }
         Self::from_limbs(out)
     }
@@ -387,7 +390,10 @@ impl BigUint {
     ///
     /// Panics if `modulus` is zero or one.
     pub fn modpow(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
-        assert!(!modulus.is_zero() && !modulus.is_one(), "modulus must be >= 2");
+        assert!(
+            !modulus.is_zero() && !modulus.is_one(),
+            "modulus must be >= 2"
+        );
         if exp.is_zero() {
             return BigUint::one();
         }
@@ -429,7 +435,7 @@ impl BigUint {
                 if n == p {
                     return true;
                 }
-                if n % p == 0 {
+                if n.is_multiple_of(p) {
                     return false;
                 }
             }
@@ -599,7 +605,8 @@ impl std::ops::Sub for &BigUint {
     /// Panics on underflow; use [`BigUint::checked_sub`] when the ordering
     /// is not statically known.
     fn sub(self, rhs: &BigUint) -> BigUint {
-        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
     }
 }
 
@@ -656,10 +663,22 @@ mod tests {
 
     #[test]
     fn parse_and_format_roundtrip() {
-        let cases = ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"];
+        let cases = [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ];
         for c in cases {
             let v = BigUint::from_hex(c).unwrap();
-            assert_eq!(v.to_hex(), c.trim_start_matches('0').to_lowercase().to_string().pipe_nonempty(c));
+            assert_eq!(
+                v.to_hex(),
+                c.trim_start_matches('0')
+                    .to_lowercase()
+                    .to_string()
+                    .pipe_nonempty(c)
+            );
         }
         assert!(BigUint::from_hex("xyz").is_err());
         assert!(BigUint::from_hex("").is_err());
@@ -697,7 +716,11 @@ mod tests {
 
     #[test]
     fn mul_matches_u128() {
-        for (a, bb) in [(0u128, 5u128), (17, 23), (u64::MAX as u128, u64::MAX as u128)] {
+        for (a, bb) in [
+            (0u128, 5u128),
+            (17, 23),
+            (u64::MAX as u128, u64::MAX as u128),
+        ] {
             assert_eq!(&b(a) * &b(bb), b(a * bb));
         }
     }
@@ -708,7 +731,9 @@ mod tests {
         // Karatsuba path against schoolbook.
         let mut state = 1u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         let a = BigUint::from_limbs((0..80).map(|_| next()).collect());
@@ -765,7 +790,7 @@ mod tests {
         assert!(b(1_000_000_007).is_probable_prime(20));
         assert!(!b(1_000_000_008).is_probable_prime(20));
         assert!(!b(561).is_probable_prime(20)); // Carmichael
-        // BLS12-381 prime
+                                                // BLS12-381 prime
         let p = BigUint::from_hex(
             "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab",
         )

@@ -83,16 +83,31 @@ impl FpCtx {
     ///
     /// Panics if `p` is even or `< 3`.
     pub fn new_unchecked(p: BigUint) -> Self {
-        assert!(!p.is_even() && !p.is_one() && !p.is_zero(), "modulus must be odd and >= 3");
+        assert!(
+            !p.is_even() && !p.is_one() && !p.is_zero(),
+            "modulus must be odd and >= 3"
+        );
         let width = p.limbs().len();
         let p_limbs = p.to_fixed_limbs(width);
         let n0 = mont_neg_inv(p_limbs[0]);
         // R = 2^(64*width); compute R^2 mod p and R mod p by division.
-        let r2 = BigUint::one().shl(128 * width).rem(&p).to_fixed_limbs(width);
+        let r2 = BigUint::one()
+            .shl(128 * width)
+            .rem(&p)
+            .to_fixed_limbs(width);
         let one_mont = BigUint::one().shl(64 * width).rem(&p).to_fixed_limbs(width);
         let p_minus_2 = p.checked_sub(&BigUint::from_u64(2)).expect("p >= 3");
         let modulus_bits = p.bits();
-        FpCtx { p, p_limbs, width, n0, r2, one_mont, p_minus_2, modulus_bits }
+        FpCtx {
+            p,
+            p_limbs,
+            width,
+            n0,
+            r2,
+            one_mont,
+            p_minus_2,
+            modulus_bits,
+        }
     }
 
     /// The modulus.
@@ -153,6 +168,7 @@ impl FpCtx {
     }
 
     /// Converts Montgomery-form limbs back to a canonical [`BigUint`].
+    #[allow(clippy::wrong_self_convention)] // converts *out of* Montgomery form, needs the ctx
     pub(crate) fn from_mont(&self, v: &[u64]) -> BigUint {
         let mut one = vec![0u64; self.width];
         one[0] = 1;
@@ -178,12 +194,18 @@ impl fmt::Debug for FpCtx {
 impl FpCtx {
     /// The additive identity of this field.
     pub fn zero(self: &Arc<Self>) -> Fp {
-        Fp { ctx: Arc::clone(self), v: vec![0u64; self.width] }
+        Fp {
+            ctx: Arc::clone(self),
+            v: vec![0u64; self.width],
+        }
     }
 
     /// The multiplicative identity of this field.
     pub fn one(self: &Arc<Self>) -> Fp {
-        Fp { ctx: Arc::clone(self), v: self.one_mont.clone() }
+        Fp {
+            ctx: Arc::clone(self),
+            v: self.one_mont.clone(),
+        }
     }
 
     /// Embeds a `u64`.
@@ -193,8 +215,15 @@ impl FpCtx {
 
     /// Embeds an arbitrary integer, reducing mod `p`.
     pub fn from_biguint(self: &Arc<Self>, v: &BigUint) -> Fp {
-        let reduced = if v < &self.p { v.clone() } else { v.rem(&self.p) };
-        Fp { ctx: Arc::clone(self), v: self.to_mont(&reduced) }
+        let reduced = if v < &self.p {
+            v.clone()
+        } else {
+            v.rem(&self.p)
+        };
+        Fp {
+            ctx: Arc::clone(self),
+            v: self.to_mont(&reduced),
+        }
     }
 
     /// Embeds a signed integer, reducing into `[0, p)`.
@@ -265,7 +294,10 @@ impl Fp {
         if carry != 0 || cmp_slices(&out, &self.ctx.p_limbs) != std::cmp::Ordering::Less {
             sub_assign_slices(&mut out, &self.ctx.p_limbs);
         }
-        Fp { ctx: Arc::clone(&self.ctx), v: out }
+        Fp {
+            ctx: Arc::clone(&self.ctx),
+            v: out,
+        }
     }
 
     /// Subtraction modulo p.
@@ -276,7 +308,10 @@ impl Fp {
         if borrow != 0 {
             crate::limbs::add_assign_slices(&mut out, &self.ctx.p_limbs);
         }
-        Fp { ctx: Arc::clone(&self.ctx), v: out }
+        Fp {
+            ctx: Arc::clone(&self.ctx),
+            v: out,
+        }
     }
 
     /// Negation modulo p.
@@ -286,18 +321,27 @@ impl Fp {
         }
         let mut out = self.ctx.p_limbs.clone();
         sub_assign_slices(&mut out, &self.v);
-        Fp { ctx: Arc::clone(&self.ctx), v: out }
+        Fp {
+            ctx: Arc::clone(&self.ctx),
+            v: out,
+        }
     }
 
     /// Multiplication modulo p.
     pub fn mul(&self, other: &Fp) -> Fp {
         self.check_ctx(other);
-        Fp { ctx: Arc::clone(&self.ctx), v: self.ctx.mont_mul(&self.v, &other.v) }
+        Fp {
+            ctx: Arc::clone(&self.ctx),
+            v: self.ctx.mont_mul(&self.v, &other.v),
+        }
     }
 
     /// Squaring modulo p.
     pub fn square(&self) -> Fp {
-        Fp { ctx: Arc::clone(&self.ctx), v: self.ctx.mont_mul(&self.v, &self.v) }
+        Fp {
+            ctx: Arc::clone(&self.ctx),
+            v: self.ctx.mont_mul(&self.v, &self.v),
+        }
     }
 
     /// Doubling (`2x`), the hardware `DBL` operation.
@@ -497,8 +541,14 @@ mod tests {
 
     #[test]
     fn construction_validates() {
-        assert_eq!(FpCtx::new(BigUint::from_u64(8)).unwrap_err(), FieldCtxError::InvalidModulus);
-        assert_eq!(FpCtx::new(BigUint::from_u64(9)).unwrap_err(), FieldCtxError::NotPrime);
+        assert_eq!(
+            FpCtx::new(BigUint::from_u64(8)).unwrap_err(),
+            FieldCtxError::InvalidModulus
+        );
+        assert_eq!(
+            FpCtx::new(BigUint::from_u64(9)).unwrap_err(),
+            FieldCtxError::NotPrime
+        );
         assert!(FpCtx::new(BigUint::from_u64(1_000_000_007)).is_ok());
     }
 

@@ -17,7 +17,9 @@ pub fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
 /// `(difference, borrow_out)` where `borrow_out` is `0` or `1`.
 #[inline(always)]
 pub fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
-    let t = (a as u128).wrapping_sub(b as u128).wrapping_sub(borrow as u128);
+    let t = (a as u128)
+        .wrapping_sub(b as u128)
+        .wrapping_sub(borrow as u128);
     (t as u64, (t >> 127) as u64)
 }
 
@@ -110,7 +112,8 @@ mod tests {
     fn mac_full_width() {
         // acc + b*c + carry with maximal operands never overflows 128 bits.
         let (lo, hi) = mac(u64::MAX, u64::MAX, u64::MAX, u64::MAX);
-        let expect = (u64::MAX as u128) + (u64::MAX as u128) * (u64::MAX as u128) + (u64::MAX as u128);
+        let expect =
+            (u64::MAX as u128) + (u64::MAX as u128) * (u64::MAX as u128) + (u64::MAX as u128);
         assert_eq!(lo, expect as u64);
         assert_eq!(hi, (expect >> 64) as u64);
     }

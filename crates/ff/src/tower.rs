@@ -53,7 +53,10 @@ impl Fq {
     ///
     /// Panics if the coefficient count is not the tower's `k/6`.
     pub fn from_coeffs(c: Vec<Fp>) -> Self {
-        assert!(c.len() == 2 || c.len() == 4, "Fq must have 2 or 4 coefficients");
+        assert!(
+            c.len() == 2 || c.len() == 4,
+            "Fq must have 2 or 4 coefficients"
+        );
         Fq { c }
     }
 }
@@ -233,7 +236,11 @@ impl TowerCtx {
         // before Frobenius constants exist; none of these use frobenius).
         if qdeg == 4 {
             let xi2v = ctx.xi2.clone().expect("qdeg 4 has xi2");
-            let e = ctx.q_of_degree(2).checked_sub(&BigUint::one()).unwrap().shr(1);
+            let e = ctx
+                .q_of_degree(2)
+                .checked_sub(&BigUint::one())
+                .unwrap()
+                .shr(1);
             let r = ctx.fp2_pow(&xi2v, &e);
             if r == (ctx.fp.one(), ctx.fp.zero()) {
                 return Err(TowerError::QuadraticResidueXi2);
@@ -393,7 +400,10 @@ impl TowerCtx {
     }
 
     fn fp2_frob(&self, a: &(Fp, Fp), j: usize) -> (Fp, Fp) {
-        (a.0.clone(), &a.1 * &self.u_frob[j % self.u_frob.len().max(1)])
+        (
+            a.0.clone(),
+            &a.1 * &self.u_frob[j % self.u_frob.len().max(1)],
+        )
     }
 
     // ------------------------------------------------------------------
@@ -402,7 +412,9 @@ impl TowerCtx {
 
     /// The zero of F_q.
     pub fn fq_zero(&self) -> Fq {
-        Fq { c: (0..self.qdeg).map(|_| self.fp.zero()).collect() }
+        Fq {
+            c: (0..self.qdeg).map(|_| self.fp.zero()).collect(),
+        }
     }
 
     /// The one of F_q.
@@ -422,7 +434,12 @@ impl TowerCtx {
     /// Deterministically samples an F_q element (for tests and vectors).
     pub fn fq_sample(&self, seed: u64) -> Fq {
         Fq {
-            c: (0..self.qdeg as u64).map(|i| self.fp.sample(seed.wrapping_mul(0x9E37).wrapping_add(i * 0x1234_5678_9ABC))).collect(),
+            c: (0..self.qdeg as u64)
+                .map(|i| {
+                    self.fp
+                        .sample(seed.wrapping_mul(0x9E37).wrapping_add(i * 0x1234_5678_9ABC))
+                })
+                .collect(),
         }
     }
 
@@ -438,17 +455,23 @@ impl TowerCtx {
 
     /// Addition in F_q.
     pub fn fq_add(&self, a: &Fq, b: &Fq) -> Fq {
-        Fq { c: a.c.iter().zip(&b.c).map(|(x, y)| x + y).collect() }
+        Fq {
+            c: a.c.iter().zip(&b.c).map(|(x, y)| x + y).collect(),
+        }
     }
 
     /// Subtraction in F_q.
     pub fn fq_sub(&self, a: &Fq, b: &Fq) -> Fq {
-        Fq { c: a.c.iter().zip(&b.c).map(|(x, y)| x - y).collect() }
+        Fq {
+            c: a.c.iter().zip(&b.c).map(|(x, y)| x - y).collect(),
+        }
     }
 
     /// Negation in F_q.
     pub fn fq_neg(&self, a: &Fq) -> Fq {
-        Fq { c: a.c.iter().map(|x| -x).collect() }
+        Fq {
+            c: a.c.iter().map(|x| -x).collect(),
+        }
     }
 
     /// Doubling in F_q.
@@ -464,14 +487,19 @@ impl TowerCtx {
     }
 
     fn fq_from_fp4(x0: (Fp, Fp), x1: (Fp, Fp)) -> Fq {
-        Fq { c: vec![x0.0, x0.1, x1.0, x1.1] }
+        Fq {
+            c: vec![x0.0, x0.1, x1.0, x1.1],
+        }
     }
 
     /// Multiplication in F_q.
     pub fn fq_mul(&self, a: &Fq, b: &Fq) -> Fq {
         match self.qdeg {
             2 => {
-                let (c0, c1) = self.fp2_mul(&(a.c[0].clone(), a.c[1].clone()), &(b.c[0].clone(), b.c[1].clone()));
+                let (c0, c1) = self.fp2_mul(
+                    &(a.c[0].clone(), a.c[1].clone()),
+                    &(b.c[0].clone(), b.c[1].clone()),
+                );
                 Fq { c: vec![c0, c1] }
             }
             4 => {
@@ -530,9 +558,13 @@ impl TowerCtx {
             4 => {
                 let (a0, a1) = Self::as_fp4(a);
                 let xi2 = self.xi2.clone().expect("qdeg 4");
-                let norm = self.fp2_sub(&self.fp2_sqr(&a0), &self.fp2_mul(&self.fp2_sqr(&a1), &xi2));
+                let norm =
+                    self.fp2_sub(&self.fp2_sqr(&a0), &self.fp2_mul(&self.fp2_sqr(&a1), &xi2));
                 let ninv = self.fp2_inv(&norm);
-                Self::fq_from_fp4(self.fp2_mul(&a0, &ninv), self.fp2_neg(&self.fp2_mul(&a1, &ninv)))
+                Self::fq_from_fp4(
+                    self.fp2_mul(&a0, &ninv),
+                    self.fp2_neg(&self.fp2_mul(&a1, &ninv)),
+                )
             }
             _ => unreachable!("qdeg is 2 or 4"),
         }
@@ -540,12 +572,16 @@ impl TowerCtx {
 
     /// Scales an F_q element by an F_p scalar.
     pub fn fq_mul_fp(&self, a: &Fq, s: &Fp) -> Fq {
-        Fq { c: a.c.iter().map(|x| x * s).collect() }
+        Fq {
+            c: a.c.iter().map(|x| x * s).collect(),
+        }
     }
 
     /// Multiplies by a small non-negative integer.
     pub fn fq_mul_small(&self, a: &Fq, k: u64) -> Fq {
-        Fq { c: a.c.iter().map(|x| x.mul_small(k)).collect() }
+        Fq {
+            c: a.c.iter().map(|x| x.mul_small(k)).collect(),
+        }
     }
 
     /// Multiplies by the sextic non-residue ξ (the IR `adj` operation at
@@ -649,11 +685,19 @@ impl TowerCtx {
     // ------------------------------------------------------------------
 
     fn c_add(&self, a: &[Fq; 3], b: &[Fq; 3]) -> [Fq; 3] {
-        [self.fq_add(&a[0], &b[0]), self.fq_add(&a[1], &b[1]), self.fq_add(&a[2], &b[2])]
+        [
+            self.fq_add(&a[0], &b[0]),
+            self.fq_add(&a[1], &b[1]),
+            self.fq_add(&a[2], &b[2]),
+        ]
     }
 
     fn c_sub(&self, a: &[Fq; 3], b: &[Fq; 3]) -> [Fq; 3] {
-        [self.fq_sub(&a[0], &b[0]), self.fq_sub(&a[1], &b[1]), self.fq_sub(&a[2], &b[2])]
+        [
+            self.fq_sub(&a[0], &b[0]),
+            self.fq_sub(&a[1], &b[1]),
+            self.fq_sub(&a[2], &b[2]),
+        ]
     }
 
     fn c_mul(&self, a: &[Fq; 3], b: &[Fq; 3]) -> [Fq; 3] {
@@ -684,9 +728,18 @@ impl TowerCtx {
         let v0 = self.fq_sqr(&a[0]);
         let v1 = self.fq_sqr(&a[1]);
         let v2 = self.fq_sqr(&a[2]);
-        let t01 = self.fq_sub(&self.fq_sqr(&self.fq_add(&a[0], &a[1])), &self.fq_add(&v0, &v1));
-        let t02 = self.fq_sub(&self.fq_sqr(&self.fq_add(&a[0], &a[2])), &self.fq_add(&v0, &v2));
-        let t12 = self.fq_sub(&self.fq_sqr(&self.fq_add(&a[1], &a[2])), &self.fq_add(&v1, &v2));
+        let t01 = self.fq_sub(
+            &self.fq_sqr(&self.fq_add(&a[0], &a[1])),
+            &self.fq_add(&v0, &v1),
+        );
+        let t02 = self.fq_sub(
+            &self.fq_sqr(&self.fq_add(&a[0], &a[2])),
+            &self.fq_add(&v0, &v2),
+        );
+        let t12 = self.fq_sub(
+            &self.fq_sqr(&self.fq_add(&a[1], &a[2])),
+            &self.fq_add(&v1, &v2),
+        );
         [
             self.fq_add(&v0, &self.fq_mul_xi(&t12)),
             self.fq_add(&t01, &self.fq_mul_xi(&v2)),
@@ -700,15 +753,18 @@ impl TowerCtx {
 
     fn c_inv(&self, a: &[Fq; 3]) -> [Fq; 3] {
         // Standard cubic-extension inversion via the adjugate.
-        let c0 = self.fq_sub(&self.fq_sqr(&a[0]), &self.fq_mul_xi(&self.fq_mul(&a[1], &a[2])));
-        let c1 = self.fq_sub(&self.fq_mul_xi(&self.fq_sqr(&a[2])), &self.fq_mul(&a[0], &a[1]));
+        let c0 = self.fq_sub(
+            &self.fq_sqr(&a[0]),
+            &self.fq_mul_xi(&self.fq_mul(&a[1], &a[2])),
+        );
+        let c1 = self.fq_sub(
+            &self.fq_mul_xi(&self.fq_sqr(&a[2])),
+            &self.fq_mul(&a[0], &a[1]),
+        );
         let c2 = self.fq_sub(&self.fq_sqr(&a[1]), &self.fq_mul(&a[0], &a[2]));
         let norm = self.fq_add(
             &self.fq_mul(&a[0], &c0),
-            &self.fq_mul_xi(&self.fq_add(
-                &self.fq_mul(&a[2], &c1),
-                &self.fq_mul(&a[1], &c2),
-            )),
+            &self.fq_mul_xi(&self.fq_add(&self.fq_mul(&a[2], &c1), &self.fq_mul(&a[1], &c2))),
         );
         let ninv = self.fq_inv(&norm);
         [
@@ -734,7 +790,9 @@ impl TowerCtx {
     fn from_parts(even: [Fq; 3], odd: [Fq; 3]) -> Fpk {
         let [e0, e1, e2] = even;
         let [o0, o1, o2] = odd;
-        Fpk { c: vec![e0, o0, e1, o1, e2, o2] }
+        Fpk {
+            c: vec![e0, o0, e1, o1, e2, o2],
+        }
     }
 
     // ------------------------------------------------------------------
@@ -743,7 +801,9 @@ impl TowerCtx {
 
     /// The zero of F_p^k.
     pub fn fpk_zero(&self) -> Fpk {
-        Fpk { c: (0..6).map(|_| self.fq_zero()).collect() }
+        Fpk {
+            c: (0..6).map(|_| self.fq_zero()).collect(),
+        }
     }
 
     /// The one of F_p^k.
@@ -776,7 +836,11 @@ impl TowerCtx {
 
     /// Deterministically samples an element (tests/vectors).
     pub fn fpk_sample(&self, seed: u64) -> Fpk {
-        Fpk { c: (0..6u64).map(|i| self.fq_sample(seed ^ (i.wrapping_mul(0xABCD_EF01_2345)))).collect() }
+        Fpk {
+            c: (0..6u64)
+                .map(|i| self.fq_sample(seed ^ (i.wrapping_mul(0xABCD_EF01_2345))))
+                .collect(),
+        }
     }
 
     /// True iff one.
@@ -791,17 +855,31 @@ impl TowerCtx {
 
     /// Addition.
     pub fn fpk_add(&self, a: &Fpk, b: &Fpk) -> Fpk {
-        Fpk { c: a.c.iter().zip(&b.c).map(|(x, y)| self.fq_add(x, y)).collect() }
+        Fpk {
+            c: a.c
+                .iter()
+                .zip(&b.c)
+                .map(|(x, y)| self.fq_add(x, y))
+                .collect(),
+        }
     }
 
     /// Subtraction.
     pub fn fpk_sub(&self, a: &Fpk, b: &Fpk) -> Fpk {
-        Fpk { c: a.c.iter().zip(&b.c).map(|(x, y)| self.fq_sub(x, y)).collect() }
+        Fpk {
+            c: a.c
+                .iter()
+                .zip(&b.c)
+                .map(|(x, y)| self.fq_sub(x, y))
+                .collect(),
+        }
     }
 
     /// Negation.
     pub fn fpk_neg(&self, a: &Fpk) -> Fpk {
-        Fpk { c: a.c.iter().map(|x| self.fq_neg(x)).collect() }
+        Fpk {
+            c: a.c.iter().map(|x| self.fq_neg(x)).collect(),
+        }
     }
 
     /// Multiplication (Karatsuba quadratic over Karatsuba cubic —
@@ -823,7 +901,10 @@ impl TowerCtx {
     pub fn fpk_sqr(&self, a: &Fpk) -> Fpk {
         let (a0, a1) = (Self::even_part(a), Self::odd_part(a));
         let v0 = self.c_mul(&a0, &a1);
-        let t = self.c_mul(&self.c_add(&a0, &a1), &self.c_add(&a0, &self.c_mul_by_s(&a1)));
+        let t = self.c_mul(
+            &self.c_add(&a0, &a1),
+            &self.c_add(&a0, &self.c_mul_by_s(&a1)),
+        );
         let even = self.c_sub(&self.c_sub(&t, &v0), &self.c_mul_by_s(&v0));
         let odd = self.c_add(&v0, &v0);
         Self::from_parts(even, odd)
@@ -837,7 +918,13 @@ impl TowerCtx {
             c: a.c
                 .iter()
                 .enumerate()
-                .map(|(m, x)| if m % 2 == 1 { self.fq_neg(x) } else { x.clone() })
+                .map(|(m, x)| {
+                    if m % 2 == 1 {
+                        self.fq_neg(x)
+                    } else {
+                        x.clone()
+                    }
+                })
                 .collect(),
         }
     }
@@ -880,7 +967,9 @@ impl TowerCtx {
 
     /// Scales by an F_q element (coefficient-wise).
     pub fn fpk_mul_fq(&self, a: &Fpk, s: &Fq) -> Fpk {
-        Fpk { c: a.c.iter().map(|x| self.fq_mul(x, s)).collect() }
+        Fpk {
+            c: a.c.iter().map(|x| self.fq_mul(x, s)).collect(),
+        }
     }
 
     /// Exponentiation by an arbitrary big-integer exponent.
@@ -923,33 +1012,20 @@ impl TowerCtx {
         let (t4, t5) = self.fq4_sq(z4, z5);
 
         // z0' = 3t0 − 2z0 ; z1' = 3t1 + 2z1
-        let c0 = self.fq_sub(
-            &self.fq_mul_small(&t0, 3),
-            &self.fq_mul_small(z0, 2),
-        );
-        let c3 = self.fq_add(
-            &self.fq_mul_small(&t1, 3),
-            &self.fq_mul_small(z1, 2),
-        );
+        let c0 = self.fq_sub(&self.fq_mul_small(&t0, 3), &self.fq_mul_small(z0, 2));
+        let c3 = self.fq_add(&self.fq_mul_small(&t1, 3), &self.fq_mul_small(z1, 2));
         // z4' = 3t2 − 2z4 ; z5' = 3t3 + 2z5
-        let c2 = self.fq_sub(
-            &self.fq_mul_small(&t2, 3),
-            &self.fq_mul_small(z4, 2),
-        );
-        let c5 = self.fq_add(
-            &self.fq_mul_small(&t3, 3),
-            &self.fq_mul_small(z5, 2),
-        );
+        let c2 = self.fq_sub(&self.fq_mul_small(&t2, 3), &self.fq_mul_small(z4, 2));
+        let c5 = self.fq_add(&self.fq_mul_small(&t3, 3), &self.fq_mul_small(z5, 2));
         // z2' = 3·ξ·t5 + 2z2 ; z3' = 3t4 − 2z3
         let c1 = self.fq_add(
             &self.fq_mul_small(&self.fq_mul_xi(&t5), 3),
             &self.fq_mul_small(z2, 2),
         );
-        let c4 = self.fq_sub(
-            &self.fq_mul_small(&t4, 3),
-            &self.fq_mul_small(z3, 2),
-        );
-        Fpk { c: vec![c0, c1, c2, c3, c4, c5] }
+        let c4 = self.fq_sub(&self.fq_mul_small(&t4, 3), &self.fq_mul_small(z3, 2));
+        Fpk {
+            c: vec![c0, c1, c2, c3, c4, c5],
+        }
     }
 
     /// Squares `a + b·w³`-style pairs: returns
@@ -1113,7 +1189,14 @@ mod tests {
         let c0 = t.fq_sample(1);
         let c1 = t.fq_sample(2);
         let c3 = t.fq_sample(3);
-        let sparse = t.fpk_from_sparse([Some(c0.clone()), Some(c1.clone()), None, Some(c3.clone()), None, None]);
+        let sparse = t.fpk_from_sparse([
+            Some(c0.clone()),
+            Some(c1.clone()),
+            None,
+            Some(c3.clone()),
+            None,
+            None,
+        ]);
         assert_eq!(sparse.coeffs()[0], c0);
         assert_eq!(sparse.coeffs()[2], t.fq_zero());
         let dense = t.fpk_mul(&sparse, &t.fpk_one());

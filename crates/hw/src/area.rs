@@ -1,7 +1,7 @@
 //! Analytical ASIC area model, calibrated to the paper's 40nm LP silicon
 //! (Figure 6 breakdown, Table 6 totals, Figure 12 floorplan summary).
 //!
-//! This is the substitution for commercial EDA synthesis (see DESIGN.md):
+//! This is the substitution for commercial EDA synthesis:
 //! the co-design loop only consumes scalar area feedback, so a calibrated
 //! analytical model exercises the same code path. Structure:
 //!
@@ -113,7 +113,11 @@ pub fn karatsuba_levels(bits: u32) -> u32 {
 /// ~40% area saving claim of §3.3 is checked in tests).
 pub fn mmul_area(field_bits: u32, pipeline_depth: u32, karatsuba: bool) -> f64 {
     let levels = karatsuba_levels(field_bits);
-    let units: f64 = if karatsuba { 3f64.powi(levels as i32) } else { 4f64.powi(levels as i32) };
+    let units: f64 = if karatsuba {
+        3f64.powi(levels as i32)
+    } else {
+        4f64.powi(levels as i32)
+    };
     // ×2: multiply + Montgomery reduction halves share the structure.
     let mult_array = 2.0 * units * BASE_MULT_MM2;
     // Wallace compressors + pipeline registers: grow with depth and width.
@@ -137,7 +141,12 @@ pub fn area_breakdown(model: &HwModel, inputs: &AreaInputs) -> AreaBreakdown {
     let alu_core = mmul + linear + minv;
 
     let n = inputs.cores as f64;
-    AreaBreakdown { imem, dmem: dmem_core * n, alu: alu_core * n, mmul: mmul * n }
+    AreaBreakdown {
+        imem,
+        dmem: dmem_core * n,
+        alu: alu_core * n,
+        mmul: mmul * n,
+    }
 }
 
 #[cfg(test)]
@@ -147,14 +156,23 @@ mod tests {
     fn bn254_inputs(cores: u32) -> AreaInputs {
         // Paper-scale BN254N design point: ~55.3k single-issue
         // instructions (221 KiB image), ~420 live registers.
-        AreaInputs { field_bits: 254, imem_bytes: 55_300 * 4, live_registers: 420, cores }
+        AreaInputs {
+            field_bits: 254,
+            imem_bytes: 55_300 * 4,
+            live_registers: 420,
+            cores,
+        }
     }
 
     #[test]
     fn calibration_matches_figure6_single_core() {
         let m = HwModel::paper_default();
         let b = area_breakdown(&m, &bn254_inputs(1));
-        assert!((b.total() - 1.77).abs() < 0.12, "1-core total {:.3} vs 1.77 mm²", b.total());
+        assert!(
+            (b.total() - 1.77).abs() < 0.12,
+            "1-core total {:.3} vs 1.77 mm²",
+            b.total()
+        );
         assert!((b.imem - 0.885).abs() < 0.06, "imem {:.3} vs 0.885", b.imem);
         assert!((b.alu - 0.62).abs() < 0.07, "alu {:.3} vs 0.62", b.alu);
         assert!((b.dmem - 0.27).abs() < 0.05, "dmem {:.3} vs 0.27", b.dmem);
@@ -165,14 +183,21 @@ mod tests {
     fn calibration_matches_figure6_eight_core() {
         let m = HwModel::paper_default();
         let b = area_breakdown(&m, &bn254_inputs(8));
-        assert!((b.total() - 8.00).abs() < 0.6, "8-core total {:.3} vs 8.00 mm²", b.total());
+        assert!(
+            (b.total() - 8.00).abs() < 0.6,
+            "8-core total {:.3} vs 8.00 mm²",
+            b.total()
+        );
         // IMem share drops from ~50% to ~11%.
         let share1 = {
             let b1 = area_breakdown(&m, &bn254_inputs(1));
             b1.imem / b1.total()
         };
         let share8 = b.imem / b.total();
-        assert!(share1 > 0.45 && share1 < 0.55, "1-core imem share {share1:.2}");
+        assert!(
+            share1 > 0.45 && share1 < 0.55,
+            "1-core imem share {share1:.2}"
+        );
         assert!(share8 < 0.15, "8-core imem share {share8:.2}");
     }
 
@@ -189,12 +214,34 @@ mod tests {
     fn area_grows_superlinearly_but_subquadratically() {
         // Figure 8(a): area/(k log p) grows mildly; far below quadratic.
         let m = HwModel::paper_default();
-        let small = area_breakdown(&m, &AreaInputs { field_bits: 254, imem_bytes: 220_000, live_registers: 420, cores: 1 });
-        let big = area_breakdown(&m, &AreaInputs { field_bits: 638, imem_bytes: 560_000, live_registers: 420, cores: 1 });
+        let small = area_breakdown(
+            &m,
+            &AreaInputs {
+                field_bits: 254,
+                imem_bytes: 220_000,
+                live_registers: 420,
+                cores: 1,
+            },
+        );
+        let big = area_breakdown(
+            &m,
+            &AreaInputs {
+                field_bits: 638,
+                imem_bytes: 560_000,
+                live_registers: 420,
+                cores: 1,
+            },
+        );
         let ratio = big.total() / small.total();
         let bits_ratio = 638.0 / 254.0;
-        assert!(ratio > bits_ratio * 0.9, "at least ~linear (got {ratio:.2})");
-        assert!(ratio < bits_ratio * bits_ratio * 0.7, "well below quadratic");
+        assert!(
+            ratio > bits_ratio * 0.9,
+            "at least ~linear (got {ratio:.2})"
+        );
+        assert!(
+            ratio < bits_ratio * bits_ratio * 0.7,
+            "well below quadratic"
+        );
     }
 
     #[test]

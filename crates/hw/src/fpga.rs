@@ -1,5 +1,5 @@
 //! FPGA resource/timing model for the Xilinx Virtex-7 target (the Vivado
-//! substitution; see DESIGN.md).
+//! substitution).
 //!
 //! Slice counts decompose into the same structural pieces as the ASIC
 //! model — DSP-backed `mmul` with slice-based compressors and pipeline
@@ -23,7 +23,11 @@ pub struct FpgaDevice {
 }
 
 /// The evaluation board's Virtex-7 part.
-pub const VIRTEX7: FpgaDevice = FpgaDevice { slices: 108_300, dsps: 3_600, brams: 1_470 };
+pub const VIRTEX7: FpgaDevice = FpgaDevice {
+    slices: 108_300,
+    dsps: 3_600,
+    brams: 1_470,
+};
 
 /// Estimated FPGA utilisation for a design point.
 #[derive(Clone, Copy, Debug)]
@@ -60,7 +64,7 @@ pub fn fpga_utilization(model: &HwModel, inputs: &AreaInputs) -> FpgaUtilization
     // Karatsuba structure duplicated for the Montgomery reduction half.
     let levels = karatsuba_levels(bits);
     let dsps = 2 * 3u32.pow(levels) * 4; // 4 DSP48s per 32×32-class unit
-    // Slices: pipeline registers/compressors + linear units + minv.
+                                         // Slices: pipeline registers/compressors + linear units + minv.
     let mmul = SLICES_PER_STAGE_BIT * model.long_lat as f64 * (2 * bits) as f64;
     let linear = model.n_linear_units as f64 * SLICES_PER_LINEAR_BIT * bits as f64;
     let minv = SLICES_PER_MINV_BIT * bits as f64;
@@ -71,9 +75,8 @@ pub fn fpga_utilization(model: &HwModel, inputs: &AreaInputs) -> FpgaUtilization
     let imem_brams = (inputs.imem_bytes as f64 * 8.0 / 36_864.0).ceil();
     let dmem_brams =
         (inputs.live_registers as f64 * bits as f64 / 36_864.0).ceil() * inputs.cores as f64;
-    let freq = 1000.0
-        / (FPGA_T_FLOOR_NS
-            .max(5.0 * crate::timing::critical_path_ns(model.long_lat, bits)));
+    let freq =
+        1000.0 / (FPGA_T_FLOOR_NS.max(5.0 * crate::timing::critical_path_ns(model.long_lat, bits)));
     FpgaUtilization {
         slices: slices as u32,
         dsps,
@@ -89,7 +92,12 @@ mod tests {
     fn bn254_point() -> (HwModel, AreaInputs) {
         (
             HwModel::paper_default(),
-            AreaInputs { field_bits: 254, imem_bytes: 55_300 * 4, live_registers: 420, cores: 1 },
+            AreaInputs {
+                field_bits: 254,
+                imem_bytes: 55_300 * 4,
+                live_registers: 420,
+                cores: 1,
+            },
         )
     }
 
@@ -102,7 +110,11 @@ mod tests {
             "slices {} vs 13928",
             u.slices
         );
-        assert!((u.frequency_mhz - 153.8).abs() < 8.0, "freq {:.1}", u.frequency_mhz);
+        assert!(
+            (u.frequency_mhz - 153.8).abs() < 8.0,
+            "freq {:.1}",
+            u.frequency_mhz
+        );
     }
 
     #[test]
@@ -117,8 +129,24 @@ mod tests {
     #[test]
     fn wider_fields_use_more_resources() {
         let m = HwModel::paper_default();
-        let small = fpga_utilization(&m, &AreaInputs { field_bits: 254, imem_bytes: 220_000, live_registers: 420, cores: 1 });
-        let big = fpga_utilization(&m, &AreaInputs { field_bits: 638, imem_bytes: 560_000, live_registers: 420, cores: 1 });
+        let small = fpga_utilization(
+            &m,
+            &AreaInputs {
+                field_bits: 254,
+                imem_bytes: 220_000,
+                live_registers: 420,
+                cores: 1,
+            },
+        );
+        let big = fpga_utilization(
+            &m,
+            &AreaInputs {
+                field_bits: 638,
+                imem_bytes: 560_000,
+                live_registers: 420,
+                cores: 1,
+            },
+        );
         assert!(big.slices > small.slices);
         assert!(big.dsps > small.dsps);
     }

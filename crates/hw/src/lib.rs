@@ -5,7 +5,7 @@
 //! - [`model`] — the parameterized pipeline model consumed by the
 //!   compiler's scheduler and the cycle-accurate simulator;
 //! - [`area`] / [`timing`] — calibrated 40nm-LP analytical ASIC models
-//!   (the EDA-feedback substitution, see DESIGN.md);
+//!   (the EDA-feedback substitution);
 //! - [`fpga`] — the Virtex-7 resource/frequency model;
 //! - [`scaling`] — Stillmaker–Baas-style technology-node normalisation;
 //! - [`security`] — (Sex)TNFS security estimation fitted to

@@ -127,7 +127,15 @@ impl HwModel {
     /// family axis of Figure 11).
     pub fn with_long_latency(mut self, long_lat: u32) -> Self {
         self.long_lat = long_lat;
-        self.name = format!("L{long_lat}/S{} {}", self.short_lat, if self.issue_width == 1 { "single-issue" } else { "VLIW" });
+        self.name = format!(
+            "L{long_lat}/S{} {}",
+            self.short_lat,
+            if self.issue_width == 1 {
+                "single-issue"
+            } else {
+                "VLIW"
+            }
+        );
         self
     }
 

@@ -112,25 +112,51 @@ mod tests {
             throughput_ops: 96_700.0,
         };
         let s = scale(&m, TechNode::N40, TechNode::N65);
-        assert!((s.frequency_mhz - 423.0).abs() < 5.0, "freq {:.0}", s.frequency_mhz);
+        assert!(
+            (s.frequency_mhz - 423.0).abs() < 5.0,
+            "freq {:.0}",
+            s.frequency_mhz
+        );
         assert!((s.area_mm2 - 12.0).abs() < 0.1, "area {:.2}", s.area_mm2);
-        assert!((s.latency_us - 150.2).abs() < 1.5, "lat {:.1}", s.latency_us);
-        assert!((s.throughput_ops - 53_300.0).abs() < 800.0, "tp {:.0}", s.throughput_ops);
+        assert!(
+            (s.latency_us - 150.2).abs() < 1.5,
+            "lat {:.1}",
+            s.latency_us
+        );
+        assert!(
+            (s.throughput_ops - 53_300.0).abs() < 800.0,
+            "tp {:.0}",
+            s.throughput_ops
+        );
         // Area efficiency lands at the published 4.44 kops/mm².
         assert!((s.ops_per_mm2() / 1000.0 - 4.44).abs() < 0.1);
     }
 
     #[test]
     fn scaling_roundtrips() {
-        let m = NodeMetrics { frequency_mhz: 500.0, area_mm2: 3.0, latency_us: 10.0, throughput_ops: 1e5 };
-        let back = scale(&scale(&m, TechNode::N40, TechNode::N7), TechNode::N7, TechNode::N40);
+        let m = NodeMetrics {
+            frequency_mhz: 500.0,
+            area_mm2: 3.0,
+            latency_us: 10.0,
+            throughput_ops: 1e5,
+        };
+        let back = scale(
+            &scale(&m, TechNode::N40, TechNode::N7),
+            TechNode::N7,
+            TechNode::N40,
+        );
         assert!((back.frequency_mhz - m.frequency_mhz).abs() < 1e-9);
         assert!((back.area_mm2 - m.area_mm2).abs() < 1e-9);
     }
 
     #[test]
     fn newer_nodes_are_smaller_and_faster() {
-        let m = NodeMetrics { frequency_mhz: 500.0, area_mm2: 3.0, latency_us: 10.0, throughput_ops: 1e5 };
+        let m = NodeMetrics {
+            frequency_mhz: 500.0,
+            area_mm2: 3.0,
+            latency_us: 10.0,
+            throughput_ops: 1e5,
+        };
         let s = scale(&m, TechNode::N40, TechNode::N16);
         assert!(s.frequency_mhz > m.frequency_mhz);
         assert!(s.area_mm2 < m.area_mm2);

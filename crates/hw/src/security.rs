@@ -45,9 +45,7 @@ fn anchors(family: Family) -> Vec<Anchor> {
 /// field size `k·log2 p` bits.
 pub fn security_bits(family: Family, klogp: f64) -> f64 {
     let a = anchors(family);
-    let c = if a.len() == 1 {
-        a[0].1
-    } else if klogp <= a[0].0 {
+    let c = if a.len() == 1 || klogp <= a[0].0 {
         a[0].1
     } else if klogp >= a[a.len() - 1].0 {
         a[a.len() - 1].1

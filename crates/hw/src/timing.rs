@@ -84,7 +84,11 @@ mod tests {
         let narrow = critical_path_ns(20, 254);
         let wide = critical_path_ns(20, 638);
         assert!(wide > narrow);
-        assert!(wide / narrow < 1.35, "log-like growth, got {}", wide / narrow);
+        assert!(
+            wide / narrow < 1.35,
+            "log-like growth, got {}",
+            wide / narrow
+        );
     }
 
     #[test]
@@ -95,6 +99,9 @@ mod tests {
         let tp = throughput_ops(63_607, 38, 254, 1);
         assert!((tp - 12_100.0).abs() < 500.0, "throughput {tp:.0} ops");
         let tp8 = throughput_ops(63_607, 38, 254, 8);
-        assert!((tp8 - 96_700.0).abs() < 4_000.0, "8-core throughput {tp8:.0}");
+        assert!(
+            (tp8 - 96_700.0).abs() < 4_000.0,
+            "8-core throughput {tp8:.0}"
+        );
     }
 }

@@ -37,7 +37,14 @@ pub fn fps_to_fpk(tower: &TowerCtx, fps: &[Fp]) -> Fpk {
     assert_eq!(fps.len(), 6 * q, "flat width must equal k");
     let chunk = |i: usize| Fq::from_coeffs(fps[i * q..(i + 1) * q].to_vec());
     // internal [E0 E1 E2 O0 O1 O2] → w-powers [E0 O0 E1 O1 E2 O2].
-    Fpk::from_coeffs(vec![chunk(0), chunk(3), chunk(1), chunk(4), chunk(2), chunk(5)])
+    Fpk::from_coeffs(vec![
+        chunk(0),
+        chunk(3),
+        chunk(1),
+        chunk(4),
+        chunk(2),
+        chunk(5),
+    ])
 }
 
 /// Canonical (non-Montgomery) flat coefficients of an F_q element — the

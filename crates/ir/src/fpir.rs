@@ -226,7 +226,10 @@ impl FpProgram {
             };
             vals.push(v);
         }
-        self.outputs.iter().map(|&o| vals[o as usize].clone()).collect()
+        self.outputs
+            .iter()
+            .map(|&o| vals[o as usize].clone())
+            .collect()
     }
 }
 
@@ -241,8 +244,10 @@ mod tests {
     #[test]
     fn evaluate_small_program() {
         // out = (a + b)² − a·b
-        let mut p = FpProgram::default();
-        p.inputs = vec!["a".into(), "b".into()];
+        let mut p = FpProgram {
+            inputs: vec!["a".into(), "b".into()],
+            ..Default::default()
+        };
         let a = p.push(FpOp::Input(0));
         let b = p.push(FpOp::Input(1));
         let s = p.push(FpOp::Add(a, b));

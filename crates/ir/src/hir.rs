@@ -158,8 +158,12 @@ impl fmt::Display for HirError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HirError::UseBeforeDef { at } => write!(f, "instruction {at} uses an undefined value"),
-            HirError::LevelMismatch { at } => write!(f, "instruction {at} violates level divisibility"),
-            HirError::BadSlot { at } => write!(f, "instruction {at} references a bad input/const slot"),
+            HirError::LevelMismatch { at } => {
+                write!(f, "instruction {at} violates level divisibility")
+            }
+            HirError::BadSlot { at } => {
+                write!(f, "instruction {at} references a bad input/const slot")
+            }
         }
     }
 }
@@ -182,7 +186,10 @@ impl HirProgram {
     /// Declares an input of the given level.
     pub fn declare_input(&mut self, name: &str, level: u8) -> ValueId {
         let slot = self.inputs.len() as u32;
-        self.inputs.push(HirInput { name: name.to_owned(), level });
+        self.inputs.push(HirInput {
+            name: name.to_owned(),
+            level,
+        });
         self.push(HirOp::Input { slot }, level)
     }
 
@@ -199,7 +206,11 @@ impl HirProgram {
             return self.push(HirOp::Const { idx: idx as u32 }, level);
         }
         let idx = self.constants.len() as u32;
-        self.constants.push(HirConst { label: label.to_owned(), level, coeffs });
+        self.constants.push(HirConst {
+            label: label.to_owned(),
+            level,
+            coeffs,
+        });
         self.push(HirOp::Const { idx }, level)
     }
 

@@ -232,7 +232,9 @@ mod tests {
         let c1 = hir.declare_input("c1", q);
         let zero = hir.add_constant("zero", q, vec![finesse_ff::BigUint::zero(); q as usize]);
         let packed = hir.push(
-            HirOp::Pack { parts: vec![c0, c1, zero, zero, zero, zero] },
+            HirOp::Pack {
+                parts: vec![c0, c1, zero, zero, zero, zero],
+            },
             shape.k,
         );
         let sq = hir.push(HirOp::Sqr(packed), shape.k);

@@ -86,7 +86,11 @@ pub fn lower(
                 if av.len() == bv.len() {
                     ex.mul(d, &av, &bv)
                 } else {
-                    let (big, small) = if av.len() > bv.len() { (av, bv) } else { (bv, av) };
+                    let (big, small) = if av.len() > bv.len() {
+                        (av, bv)
+                    } else {
+                        (bv, av)
+                    };
                     if small.len() != 1 {
                         return Err(format!(
                             "mixed-level mul only supports an F_p scalar (got {} × {})",
@@ -94,7 +98,9 @@ pub fn lower(
                             small.len()
                         ));
                     }
-                    big.iter().map(|&x| ex.emit(FpOp::Mul(x, small[0]))).collect()
+                    big.iter()
+                        .map(|&x| ex.emit(FpOp::Mul(x, small[0])))
+                        .collect()
                 }
             }
             HirOp::Sqr(a) => ex.sqr(d, &map[a.0 as usize].clone()),
@@ -161,11 +167,17 @@ impl Expander<'_> {
     // -- componentwise linear helpers -----------------------------------
 
     fn add(&mut self, a: &[FpId], b: &[FpId]) -> Vec<FpId> {
-        a.iter().zip(b).map(|(&x, &y)| self.emit(FpOp::Add(x, y))).collect()
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.emit(FpOp::Add(x, y)))
+            .collect()
     }
 
     fn sub(&mut self, a: &[FpId], b: &[FpId]) -> Vec<FpId> {
-        a.iter().zip(b).map(|(&x, &y)| self.emit(FpOp::Sub(x, y))).collect()
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.emit(FpOp::Sub(x, y)))
+            .collect()
     }
 
     fn neg(&mut self, a: &[FpId]) -> Vec<FpId> {
@@ -179,10 +191,10 @@ impl Expander<'_> {
             2 => self.emit(FpOp::Dbl(a)),
             3 => self.emit(FpOp::Tpl(a)),
             _ => {
-                if k % 2 == 0 {
+                if k.is_multiple_of(2) {
                     let h = self.muli_fp(a, k / 2);
                     self.emit(FpOp::Dbl(h))
-                } else if k % 3 == 0 {
+                } else if k.is_multiple_of(3) {
                     let t = self.muli_fp(a, k / 3);
                     self.emit(FpOp::Tpl(t))
                 } else {
@@ -535,7 +547,11 @@ impl Expander<'_> {
                 let c1: Vec<FpId> = ld.frob[j].clone().iter().map(|v| self.konst(v)).collect();
                 let r1 = self.mul(dp, &f1, &c1);
                 let f2 = self.frob(dp, &a2, j);
-                let c2: Vec<FpId> = ld.frob_sq[j].clone().iter().map(|v| self.konst(v)).collect();
+                let c2: Vec<FpId> = ld.frob_sq[j]
+                    .clone()
+                    .iter()
+                    .map(|v| self.konst(v))
+                    .collect();
                 let r2 = self.mul(dp, &f2, &c2);
                 [r0, r1, r2].concat()
             }

@@ -91,8 +91,7 @@ impl TowerShape {
     pub fn for_curve(curve: &Curve) -> TowerShape {
         let tower = curve.tower();
         let fpc = curve.fp();
-        let flat =
-            |xs: &[Fp]| -> Vec<BigUint> { xs.iter().map(Fp::to_biguint).collect() };
+        let flat = |xs: &[Fp]| -> Vec<BigUint> { xs.iter().map(Fp::to_biguint).collect() };
         let pair_flat = |x: &(Fp, Fp)| vec![x.0.to_biguint(), x.1.to_biguint()];
 
         // Level 2: u² = β.
@@ -241,7 +240,10 @@ impl TowerShape {
             });
         }
 
-        TowerShape { k: tower.k() as u8, levels }
+        TowerShape {
+            k: tower.k() as u8,
+            levels,
+        }
     }
 
     /// The level descriptor for a given degree.

@@ -71,7 +71,11 @@ impl VariantConfig {
             cfg.mul.insert(l.degree, MulVariant::Karatsuba);
             cfg.sqr.insert(
                 l.degree,
-                if l.arity == 2 { SqrVariant::Complex } else { SqrVariant::ChSqr3 },
+                if l.arity == 2 {
+                    SqrVariant::Complex
+                } else {
+                    SqrVariant::ChSqr3
+                },
             );
         }
         cfg
@@ -160,9 +164,17 @@ impl VariantConfig {
         for l in &shape.levels {
             let muls = [MulVariant::Karatsuba, MulVariant::Schoolbook];
             let sqrs: &[SqrVariant] = if l.arity == 2 {
-                &[SqrVariant::Complex, SqrVariant::Schoolbook, SqrVariant::ViaMul]
+                &[
+                    SqrVariant::Complex,
+                    SqrVariant::Schoolbook,
+                    SqrVariant::ViaMul,
+                ]
             } else {
-                &[SqrVariant::ChSqr2, SqrVariant::ChSqr3, SqrVariant::Schoolbook]
+                &[
+                    SqrVariant::ChSqr2,
+                    SqrVariant::ChSqr3,
+                    SqrVariant::Schoolbook,
+                ]
             };
             let mut next = Vec::with_capacity(out.len() * muls.len() * sqrs.len());
             for cfg in &out {

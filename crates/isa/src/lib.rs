@@ -67,7 +67,10 @@ impl Opcode {
 
     /// True for `ADD`/`SUB`/`NEG`/`DBL`/`TPL` (Short pipeline units).
     pub fn is_linear(self) -> bool {
-        matches!(self, Opcode::Add | Opcode::Sub | Opcode::Neg | Opcode::Dbl | Opcode::Tpl)
+        matches!(
+            self,
+            Opcode::Add | Opcode::Sub | Opcode::Neg | Opcode::Dbl | Opcode::Tpl
+        )
     }
 
     /// True for `MUL`/`SQR` (the Long `mmul` unit).
@@ -135,7 +138,12 @@ pub struct MachineOp {
 impl MachineOp {
     /// A NOP slot.
     pub fn nop() -> Self {
-        MachineOp { op: Opcode::Nop, dst: Reg::default(), src1: Reg::default(), src2: Reg::default() }
+        MachineOp {
+            op: Opcode::Nop,
+            dst: Reg::default(),
+            src1: Reg::default(),
+            src2: Reg::default(),
+        }
     }
 }
 
@@ -205,7 +213,11 @@ impl EncodingSpec {
     /// Spec for a bank count and issue width (compact encoding).
     pub fn new(n_banks: u8, issue_width: u8) -> Self {
         let bank_bits = (8 - (n_banks.max(1) - 1).leading_zeros()) as u8;
-        EncodingSpec { bank_bits, issue_width, wide: false }
+        EncodingSpec {
+            bank_bits,
+            issue_width,
+            wide: false,
+        }
     }
 
     /// Chooses compact or wide encoding from the peak per-bank register
@@ -249,7 +261,10 @@ impl EncodingSpec {
 
     fn decode_reg(&self, v: u32) -> Reg {
         let idx_bits = REG_BITS - self.bank_bits as u32;
-        Reg { bank: (v >> idx_bits) as u8, index: (v & ((1 << idx_bits) - 1)) as u16 }
+        Reg {
+            bank: (v >> idx_bits) as u8,
+            index: (v & ((1 << idx_bits) - 1)) as u16,
+        }
     }
 
     fn encode_reg16(&self, r: Reg) -> Result<u32, CodecError> {
@@ -265,7 +280,10 @@ impl EncodingSpec {
 
     fn decode_reg16(&self, v: u32) -> Reg {
         let idx_bits = 16 - self.bank_bits as u32;
-        Reg { bank: (v >> idx_bits) as u8, index: (v & ((1 << idx_bits) - 1)) as u16 }
+        Reg {
+            bank: (v >> idx_bits) as u8,
+            index: (v & ((1 << idx_bits) - 1)) as u16,
+        }
     }
 
     /// Encodes one op into its word(s).
@@ -347,7 +365,7 @@ impl EncodingSpec {
     pub fn decode(&self, words: &[u32]) -> Result<Vec<WideInst>, CodecError> {
         let wps = self.words_per_slot();
         let stride = self.issue_width as usize * wps;
-        if words.len() % stride != 0 {
+        if !words.len().is_multiple_of(stride) {
             return Err(CodecError::Truncated);
         }
         words
@@ -424,7 +442,10 @@ mod tests {
         assert_eq!(spec.regs_per_bank(), 512);
         let op = MachineOp {
             op: Opcode::Mul,
-            dst: Reg { bank: 0, index: 511 },
+            dst: Reg {
+                bank: 0,
+                index: 511,
+            },
             src1: Reg { bank: 0, index: 3 },
             src2: Reg { bank: 0, index: 42 },
         };
@@ -441,9 +462,15 @@ mod tests {
         spec.issue_width = 1;
         let op = MachineOp {
             op: Opcode::Sub,
-            dst: Reg { bank: 0, index: 899 },
+            dst: Reg {
+                bank: 0,
+                index: 899,
+            },
             src1: Reg { bank: 0, index: 4 },
-            src2: Reg { bank: 0, index: 777 },
+            src2: Reg {
+                bank: 0,
+                index: 777,
+            },
         };
         let w = spec.encode_op(&op).unwrap();
         assert_eq!(w.len(), 2);
@@ -461,9 +488,15 @@ mod tests {
             slots: vec![
                 MachineOp {
                     op: Opcode::Add,
-                    dst: Reg { bank: 2, index: 100 },
+                    dst: Reg {
+                        bank: 2,
+                        index: 100,
+                    },
                     src1: Reg { bank: 1, index: 5 },
-                    src2: Reg { bank: 3, index: 127 },
+                    src2: Reg {
+                        bank: 3,
+                        index: 127,
+                    },
                 },
                 MachineOp {
                     op: Opcode::Sqr,
@@ -473,7 +506,7 @@ mod tests {
                 },
             ],
         };
-        let words = spec.encode(&[inst.clone()]).unwrap();
+        let words = spec.encode(std::slice::from_ref(&inst)).unwrap();
         assert_eq!(words.len(), 3, "padded to issue width");
         let back = spec.decode(&words).unwrap();
         assert_eq!(back[0].slots[0], inst.slots[0]);
@@ -486,18 +519,27 @@ mod tests {
         let spec = EncodingSpec::new(4, 1);
         let bad = MachineOp {
             op: Opcode::Add,
-            dst: Reg { bank: 0, index: 300 },
+            dst: Reg {
+                bank: 0,
+                index: 300,
+            },
             src1: Reg::default(),
             src2: Reg::default(),
         };
-        assert!(matches!(spec.encode_op(&bad), Err(CodecError::IndexOverflow(_))));
+        assert!(matches!(
+            spec.encode_op(&bad),
+            Err(CodecError::IndexOverflow(_))
+        ));
         let bad_bank = MachineOp {
             op: Opcode::Add,
             dst: Reg { bank: 7, index: 0 },
             src1: Reg::default(),
             src2: Reg::default(),
         };
-        assert!(matches!(spec.encode_op(&bad_bank), Err(CodecError::BankOverflow(_))));
+        assert!(matches!(
+            spec.encode_op(&bad_bank),
+            Err(CodecError::BankOverflow(_))
+        ));
     }
 
     #[test]
@@ -505,6 +547,9 @@ mod tests {
         let spec = EncodingSpec::new(1, 2);
         assert!(matches!(spec.decode(&[0u32]), Err(CodecError::Truncated)));
         let bad_op = 0x1Fu32 << 27;
-        assert!(matches!(spec.decode_op(&[bad_op]), Err(CodecError::BadOpcode(0x1F))));
+        assert!(matches!(
+            spec.decode_op(&[bad_op]),
+            Err(CodecError::BadOpcode(0x1F))
+        ));
     }
 }

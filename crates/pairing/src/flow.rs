@@ -87,7 +87,11 @@ struct ProjPoint<F: PairingFlow + ?Sized> {
 
 impl<F: PairingFlow + ?Sized> Clone for ProjPoint<F> {
     fn clone(&self) -> Self {
-        ProjPoint { x: self.x.clone(), y: self.y.clone(), z: self.z.clone() }
+        ProjPoint {
+            x: self.x.clone(),
+            y: self.y.clone(),
+            z: self.z.clone(),
+        }
     }
 }
 
@@ -130,7 +134,11 @@ pub fn emit_miller_loop<F: PairingFlow>(
     let q = (qx.clone(), qy.clone());
     let q_neg = (qx.clone(), flow.fq_neg(qy));
 
-    let mut t = ProjPoint::<F> { x: qx.clone(), y: qy.clone(), z: one };
+    let mut t = ProjPoint::<F> {
+        x: qx.clone(),
+        y: qy.clone(),
+        z: one,
+    };
     let mut f = flow.fpk_one();
 
     for i in (0..naf.len().saturating_sub(1)).rev() {
@@ -167,12 +175,7 @@ pub fn emit_miller_loop<F: PairingFlow>(
 }
 
 /// Applies the untwist–Frobenius endomorphism ψ inside a flow.
-fn emit_psi<F: PairingFlow>(
-    curve: &Curve,
-    flow: &mut F,
-    qx: &F::Fq,
-    qy: &F::Fq,
-) -> (F::Fq, F::Fq) {
+fn emit_psi<F: PairingFlow>(curve: &Curve, flow: &mut F, qx: &F::Fq, qy: &F::Fq) -> (F::Fq, F::Fq) {
     let (cx, cy) = curve.psi_constants();
     let gx = flow.fq_constant(cx, "psi_x");
     let gy = flow.fq_constant(cy, "psi_y");
@@ -256,7 +259,11 @@ fn add_step<F: PairingFlow>(
     let ly2 = flow.fq_mul(&lambda, ay);
     let j = flow.fq_sub(&tx, &ly2);
     let neg_theta = flow.fq_neg(&theta);
-    LineCoeffs { ly: lambda.clone(), lx: neg_theta, lt: j }
+    LineCoeffs {
+        ly: lambda.clone(),
+        lx: neg_theta,
+        lt: j,
+    }
 }
 
 /// Multiplies the accumulator by a line, placing coefficients according to

@@ -133,7 +133,10 @@ mod tests {
         // Additivity in the first argument.
         let p2 = c.g1_mul(g1, &BigUint::from_u64(2));
         let sum = c.g1_add(g1, &p2);
-        assert_eq!(e.pair(&sum, g2), e.gt_mul(&e.pair(g1, g2), &e.pair(&p2, g2)));
+        assert_eq!(
+            e.pair(&sum, g2),
+            e.gt_mul(&e.pair(g1, g2), &e.pair(&p2, g2))
+        );
     }
 
     #[test]

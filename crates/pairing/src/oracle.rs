@@ -169,6 +169,9 @@ mod tests {
         let e = oracle_pair(&c, c.g1_generator(), c.g2_generator());
         let k = c.tower();
         assert!(!k.fpk_is_one(&e), "e(G1, G2) != 1");
-        assert!(k.fpk_is_one(&k.fpk_pow(&e, c.r())), "e has order dividing r");
+        assert!(
+            k.fpk_is_one(&k.fpk_pow(&e, c.r())),
+            "e has order dividing r"
+        );
     }
 }

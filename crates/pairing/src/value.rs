@@ -27,7 +27,10 @@ impl<'c> ValueFlow<'c> {
     /// Panics if either point is at infinity — callers handle identity
     /// inputs before entering the flow (see [`PairingEngine::pair`]).
     pub fn new(curve: &'c Curve, p: &Affine<Fp>, q: &Affine<Fq>) -> Self {
-        assert!(!p.infinity && !q.infinity, "flow inputs must be finite points");
+        assert!(
+            !p.infinity && !q.infinity,
+            "flow inputs must be finite points"
+        );
         ValueFlow {
             curve,
             p: (p.x.clone(), p.y.clone()),

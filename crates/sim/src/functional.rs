@@ -134,7 +134,10 @@ pub fn run_image(
 
     let mut ports: Vec<u16> = outputs.keys().copied().collect();
     ports.sort_unstable();
-    Ok(ports.into_iter().map(|p| outputs.remove(&p).unwrap()).collect())
+    Ok(ports
+        .into_iter()
+        .map(|p| outputs.remove(&p).unwrap())
+        .collect())
 }
 
 #[cfg(test)]
@@ -147,8 +150,10 @@ mod tests {
     #[test]
     fn runs_a_compiled_expression() {
         // out = (a + b)·c − a²
-        let mut p = FpProgram::default();
-        p.inputs = vec!["a".into(), "b".into(), "c".into()];
+        let mut p = FpProgram {
+            inputs: vec!["a".into(), "b".into(), "c".into()],
+            ..Default::default()
+        };
         let a = p.push(FpOp::Input(0));
         let b = p.push(FpOp::Input(1));
         let c = p.push(FpOp::Input(2));
@@ -167,7 +172,11 @@ mod tests {
         let out = run_image(
             &image,
             &ctx,
-            &[BigUint::from_u64(3), BigUint::from_u64(4), BigUint::from_u64(10)],
+            &[
+                BigUint::from_u64(3),
+                BigUint::from_u64(4),
+                BigUint::from_u64(10),
+            ],
         )
         .unwrap();
         assert_eq!(out, vec![BigUint::from_u64(61)]); // 7·10 − 9
@@ -175,8 +184,10 @@ mod tests {
 
     #[test]
     fn missing_input_is_detected() {
-        let mut p = FpProgram::default();
-        p.inputs = vec!["a".into()];
+        let mut p = FpProgram {
+            inputs: vec!["a".into()],
+            ..Default::default()
+        };
         let a = p.push(FpOp::Input(0));
         p.outputs.push(a);
         let hw = HwModel::paper_default();
@@ -184,6 +195,9 @@ mod tests {
         let alloc = allocate(&p, &sch, hw.reg_quota).unwrap();
         let image = link(&p, &sch, &alloc, hw.issue_width).unwrap();
         let ctx = finesse_ff::FpCtx::new(BigUint::from_u64(1_000_000_007)).unwrap();
-        assert!(matches!(run_image(&image, &ctx, &[]), Err(FuncSimError::MissingInput(0))));
+        assert!(matches!(
+            run_image(&image, &ctx, &[]),
+            Err(FuncSimError::MissingInput(0))
+        ));
     }
 }

@@ -95,7 +95,8 @@ mod integration {
         let shape = tower_shape(&curve);
         let variants = VariantConfig::all_karatsuba(&shape);
         let hw1 = HwModel::paper_default();
-        let compiled = compile_pairing(&curve, &variants, &hw1, &CompileOptions::default()).unwrap();
+        let compiled =
+            compile_pairing(&curve, &variants, &hw1, &CompileOptions::default()).unwrap();
         let insts = compiled.image.spec.decode(&compiled.image.words).unwrap();
         let r1 = simulate(&insts, &hw1, None);
         let r2 = simulate(&insts, &hw1.clone().with_fifo(), None);

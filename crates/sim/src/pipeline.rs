@@ -121,7 +121,10 @@ pub fn simulate(insts: &[WideInst], hw: &HwModel, trace_window: Option<(u64, u64
     let mut instructions = 0u64;
     let mut stalls = 0u64;
     let mut wb_conflicts = 0u64;
-    let mut trace = trace_window.map(|(s, _)| IssueTrace { start: s, slots: Vec::new() });
+    let mut trace = trace_window.map(|(s, _)| IssueTrace {
+        start: s,
+        slots: Vec::new(),
+    });
 
     for wide in insts {
         // Find the earliest cycle >= t at which this word can issue.
@@ -137,7 +140,11 @@ pub fn simulate(insts: &[WideInst], hw: &HwModel, trace_window: Option<(u64, u64
                 let mut srcs: Vec<Reg> = Vec::new();
                 match slot.op {
                     Opcode::Icv => {}
-                    Opcode::Cvt | Opcode::Neg | Opcode::Dbl | Opcode::Tpl | Opcode::Sqr
+                    Opcode::Cvt
+                    | Opcode::Neg
+                    | Opcode::Dbl
+                    | Opcode::Tpl
+                    | Opcode::Sqr
                     | Opcode::Inv => srcs.push(slot.src1),
                     Opcode::Add | Opcode::Sub | Opcode::Mul => {
                         srcs.push(slot.src1);
@@ -184,7 +191,8 @@ pub fn simulate(insts: &[WideInst], hw: &HwModel, trace_window: Option<(u64, u64
             // Stall one cycle.
             if let (Some(tr), Some((ws, we))) = (trace.as_mut(), trace_window) {
                 if t >= ws && t < we {
-                    tr.slots.push(vec![SlotKind::Empty; hw.issue_width as usize]);
+                    tr.slots
+                        .push(vec![SlotKind::Empty; hw.issue_width as usize]);
                 }
             }
             stalls += 1;
@@ -251,7 +259,9 @@ mod tests {
     }
 
     fn single(ops: Vec<MachineOp>) -> Vec<WideInst> {
-        ops.into_iter().map(|o| WideInst { slots: vec![o] }).collect()
+        ops.into_iter()
+            .map(|o| WideInst { slots: vec![o] })
+            .collect()
     }
 
     #[test]
@@ -291,7 +301,7 @@ mod tests {
         // same bank (Long 38, Short 8 → collision when issued 30 apart).
         let mut ops = vec![op(Opcode::Icv, 0, 0, 0)];
         ops.push(op(Opcode::Mul, 1, 0, 0)); // issues at 38, done 76
-        // 29 independent shorts to advance time to 67...
+                                            // 29 independent shorts to advance time to 67...
         for i in 0..29 {
             ops.push(op(Opcode::Dbl, 10 + i, 0, 0));
         }
@@ -329,7 +339,10 @@ mod tests {
         let tr = r.trace.unwrap();
         // ICV at cycle 0, stalls for cycles 1..=37, SQRs at 38..=42.
         assert_eq!(tr.slots.len(), 43);
-        assert!(tr.bubble_fraction() > 0.5, "leading ICV latency shows as bubbles");
+        assert!(
+            tr.bubble_fraction() > 0.5,
+            "leading ICV latency shows as bubbles"
+        );
         assert!(tr.render().contains('M'));
     }
 }

@@ -50,7 +50,10 @@ fn main() {
     println!("message   : {:?}", std::str::from_utf8(msg).unwrap());
     println!("signature : ({}, ...)", sig.x);
 
-    assert!(verify(&curve, &engine, &kp.pk, msg, &sig), "valid signature verifies");
+    assert!(
+        verify(&curve, &engine, &kp.pk, msg, &sig),
+        "valid signature verifies"
+    );
     println!("verify    : ok");
 
     assert!(!verify(&curve, &engine, &kp.pk, b"tampered message", &sig));

@@ -28,6 +28,9 @@ fn main() {
     // The validation stage: run the compiled binary on test vectors and
     // compare against the reference pairing library.
     let v = accelerator.validate(3);
-    println!("\nvalidation: {}/{} vectors match the reference pairing", v.matching, v.vectors);
+    println!(
+        "\nvalidation: {}/{} vectors match the reference pairing",
+        v.matching, v.vectors
+    );
     assert!(v.all_passed());
 }

@@ -32,7 +32,10 @@ fn main() {
 
     println!("evaluating {} design points...\n", points.len());
     let results = explore(&curve, points, 1);
-    println!("{:<42} {:>10} {:>6} {:>10} {:>9}", "point", "cycles", "IPC", "area mm2", "kops");
+    println!(
+        "{:<42} {:>10} {:>6} {:>10} {:>9}",
+        "point", "cycles", "IPC", "area mm2", "kops"
+    );
     for (p, r) in &results {
         match r {
             Ok(e) => println!(

@@ -22,8 +22,17 @@ fn main() {
     let t = BigInt::from_power_terms(&[(-1, 77), (-1, 59), (1, 9)]);
     println!("porting BLS12 curve with t = {t} ...");
 
-    let curve = match Curve::new("BLS12-custom", Family::Bls12, t, None, -1, None, &[1, 1], None, 0)
-    {
+    let curve = match Curve::new(
+        "BLS12-custom",
+        Family::Bls12,
+        t,
+        None,
+        -1,
+        None,
+        &[1, 1],
+        None,
+        0,
+    ) {
         Ok(c) => Arc::new(c),
         Err(e) => {
             println!("parameter set rejected: {e}");
@@ -31,14 +40,22 @@ fn main() {
             return;
         }
     };
-    println!("p bits = {}, r bits = {}, twist = {:?}", curve.p().bits(), curve.r().bits(), curve.twist());
+    println!(
+        "p bits = {}, r bits = {}, twist = {:?}",
+        curve.p().bits(),
+        curve.r().bits(),
+        curve.twist()
+    );
 
     // The reference pairing works immediately...
     let engine = PairingEngine::new(curve.clone());
     let e = engine.pair(curve.g1_generator(), curve.g2_generator());
     let a = BigUint::from_u64(97);
     assert_eq!(
-        engine.pair(&curve.g1_mul(curve.g1_generator(), &a), curve.g2_generator()),
+        engine.pair(
+            &curve.g1_mul(curve.g1_generator(), &a),
+            curve.g2_generator()
+        ),
         engine.gt_pow(&e, &a)
     );
     println!("bilinearity on the new curve: ok");

@@ -11,8 +11,8 @@
 //! # Ok::<(), finesse::compiler::CompileError>(())
 //! ```
 //!
-//! See README.md for the architecture overview, DESIGN.md for the system
-//! inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+//! See README.md for the architecture overview and the per-crate map of
+//! the workspace.
 
 pub use finesse_compiler as compiler;
 pub use finesse_core as core;

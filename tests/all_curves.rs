@@ -22,8 +22,16 @@ fn generators_are_in_the_r_torsion_everywhere() {
         let c = Curve::by_name(spec.name);
         assert!(c.g1_on_curve(c.g1_generator()), "{}", spec.name);
         assert!(c.g2_on_curve(c.g2_generator()), "{}", spec.name);
-        assert!(c.g1_mul(c.g1_generator(), c.r()).infinity, "{}: [r]G1", spec.name);
-        assert!(c.g2_mul(c.g2_generator(), c.r()).infinity, "{}: [r]G2", spec.name);
+        assert!(
+            c.g1_mul(c.g1_generator(), c.r()).infinity,
+            "{}: [r]G1",
+            spec.name
+        );
+        assert!(
+            c.g2_mul(c.g2_generator(), c.r()).infinity,
+            "{}: [r]G2",
+            spec.name
+        );
     }
 }
 
@@ -45,7 +53,11 @@ fn pairing_is_bilinear_on_all_seven_curves() {
         let g2 = c.g2_generator();
         let base = e.pair(g1, g2);
         assert!(!e.gt_is_one(&base), "{}: non-degenerate", spec.name);
-        assert!(e.gt_is_one(&e.gt_pow(&base, c.r())), "{}: order r", spec.name);
+        assert!(
+            e.gt_is_one(&e.gt_pow(&base, c.r())),
+            "{}: order r",
+            spec.name
+        );
         let a = BigUint::from_u64(1000 + spec.p_bits as u64);
         let lhs = e.pair(&c.g1_mul(g1, &a), g2);
         assert_eq!(lhs, e.gt_pow(&base, &a), "{}: left linearity", spec.name);
@@ -84,7 +96,10 @@ fn final_exponentiation_chains_match_generic_exponent_everywhere() {
         let mut flow = ValueFlow::new(&c, &g1, &g2);
         let chain = emit_final_exponentiation(&c, &mut flow, &a);
         let mut exp = c.hard_exponent();
-        if matches!(c.family(), finesse_curves::Family::Bls12 | finesse_curves::Family::Bls24) {
+        if matches!(
+            c.family(),
+            finesse_curves::Family::Bls12 | finesse_curves::Family::Bls24
+        ) {
             exp = &(&exp + &exp) + &exp; // HKT computes the 3x variant
         }
         assert_eq!(chain, k.fpk_pow(&m, &exp), "{}", spec.name);

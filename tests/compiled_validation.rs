@@ -19,8 +19,7 @@ fn compiled_binaries_match_reference_on_all_seven_curves() {
         let shape = tower_shape(&curve);
         let variants = VariantConfig::all_karatsuba(&shape);
         let hw = HwModel::paper_default();
-        let compiled =
-            compile_pairing(&curve, &variants, &hw, &CompileOptions::default()).unwrap();
+        let compiled = compile_pairing(&curve, &variants, &hw, &CompileOptions::default()).unwrap();
 
         let engine = PairingEngine::new(curve.clone());
         let p = curve.g1_mul(curve.g1_generator(), &BigUint::from_u64(0xABCDE));
@@ -49,8 +48,7 @@ fn scheduled_programs_reach_high_ipc_on_every_curve() {
         let shape = tower_shape(&curve);
         let variants = VariantConfig::all_karatsuba(&shape);
         let hw = HwModel::paper_default();
-        let compiled =
-            compile_pairing(&curve, &variants, &hw, &CompileOptions::default()).unwrap();
+        let compiled = compile_pairing(&curve, &variants, &hw, &CompileOptions::default()).unwrap();
         let insts = compiled.image.spec.decode(&compiled.image.words).unwrap();
         let report = simulate(&insts, &hw, None);
         assert!(
@@ -106,8 +104,7 @@ fn unoptimized_baseline_is_also_correct() {
     inputs.extend(fq_to_fps(&q.x).iter().map(|f| f.to_biguint()));
     inputs.extend(fq_to_fps(&q.y).iter().map(|f| f.to_biguint()));
 
-    let compiled =
-        compile_pairing(&curve, &variants, &hw, &CompileOptions::baseline()).unwrap();
+    let compiled = compile_pairing(&curve, &variants, &hw, &CompileOptions::baseline()).unwrap();
     let out = run_image(&compiled.image, curve.fp(), &inputs).unwrap();
     let fps: Vec<_> = out.iter().map(|v| curve.fp().from_biguint(v)).collect();
     assert_eq!(fps_to_fpk(curve.tower(), &fps), expected);
@@ -134,9 +131,17 @@ fn vliw_compilation_is_correct_and_faster() {
 
     let out = run_image(&c4.image, curve.fp(), &inputs).unwrap();
     let fps: Vec<_> = out.iter().map(|v| curve.fp().from_biguint(v)).collect();
-    assert_eq!(fps_to_fpk(curve.tower(), &fps), expected, "VLIW binary is correct");
+    assert_eq!(
+        fps_to_fpk(curve.tower(), &fps),
+        expected,
+        "VLIW binary is correct"
+    );
 
-    let r1 = simulate(&c1.image.spec.decode(&c1.image.words).unwrap(), &single, None);
+    let r1 = simulate(
+        &c1.image.spec.decode(&c1.image.words).unwrap(),
+        &single,
+        None,
+    );
     let r4 = simulate(&c4.image.spec.decode(&c4.image.words).unwrap(), &wide, None);
     assert!(
         r4.cycles < r1.cycles,

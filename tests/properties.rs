@@ -1,183 +1,270 @@
-//! Property-based tests (proptest) on the core substrates: big-integer
-//! arithmetic against a u128 oracle, NAF reconstruction, field axioms,
-//! compiler-pass semantic preservation on random programs, schedule
-//! legality, and encoding round-trips.
+//! Property-based tests on the core substrates: big-integer arithmetic
+//! against a u128 oracle, NAF reconstruction, field axioms, compiler-pass
+//! semantic preservation on random programs, schedule legality, and
+//! encoding round-trips.
+//!
+//! The build environment is offline, so instead of proptest these drive
+//! each property from a deterministic splitmix64 generator — same checks,
+//! reproducible cases.
 
-use finesse_compiler::{allocate, optimize, schedule, ScheduleOptions, SchedStrategy};
+use finesse_compiler::{allocate, optimize, schedule, SchedStrategy, ScheduleOptions};
 use finesse_curves::Curve;
 use finesse_ff::{BigUint, FpCtx};
 use finesse_hw::HwModel;
 use finesse_ir::{FpOp, FpProgram};
 use finesse_isa::{EncodingSpec, MachineOp, Opcode, Reg, WideInst};
-use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Deterministic splitmix64 stream; every test derives its cases from this.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_u128(&mut self) -> u128 {
+        (self.next_u64() as u128) << 64 | self.next_u64() as u128
+    }
+
+    /// Uniform-enough value in `[0, bound)` for test-case generation.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+const CASES: usize = 64;
 
 fn small_ctx() -> Arc<FpCtx> {
     FpCtx::new(BigUint::from_u64(1_000_000_007)).unwrap()
 }
 
-proptest! {
-    #[test]
-    fn biguint_add_mul_match_u128(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+#[test]
+fn biguint_add_mul_match_u128() {
+    let mut rng = Rng::new(1);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let (x, y) = (BigUint::from_u64(a), BigUint::from_u64(b));
-        prop_assert_eq!(&x + &y, BigUint::from_u128(a as u128 + b as u128));
-        prop_assert_eq!(&x * &y, BigUint::from_u128(a as u128 * b as u128));
+        assert_eq!(&x + &y, BigUint::from_u128(a as u128 + b as u128));
+        assert_eq!(&x * &y, BigUint::from_u128(a as u128 * b as u128));
     }
+}
 
-    #[test]
-    fn biguint_divrem_reconstructs(a in any::<u128>(), d in 1u64..u64::MAX) {
+#[test]
+fn biguint_divrem_reconstructs() {
+    let mut rng = Rng::new(2);
+    for _ in 0..CASES {
+        let a = rng.next_u128();
+        let d = 1 + rng.below(u64::MAX - 1);
         let n = BigUint::from_u128(a);
         let dv = BigUint::from_u64(d);
         let (q, r) = n.divrem(&dv);
-        prop_assert!(r < dv);
-        prop_assert_eq!(&(&q * &dv) + &r, n);
+        assert!(r < dv);
+        assert_eq!(&(&q * &dv) + &r, n);
     }
+}
 
-    #[test]
-    fn naf_reconstructs_and_is_sparse(v in any::<u64>()) {
+#[test]
+fn naf_reconstructs_and_is_sparse() {
+    let mut rng = Rng::new(3);
+    for _ in 0..CASES {
+        let v = rng.next_u64();
         let n = BigUint::from_u64(v);
         let naf = n.naf();
         let mut acc: i128 = 0;
         for (i, &d) in naf.iter().enumerate() {
             acc += (d as i128) << i;
         }
-        prop_assert_eq!(acc, v as i128);
+        assert_eq!(acc, v as i128);
         for w in naf.windows(2) {
-            prop_assert!(w[0] == 0 || w[1] == 0, "adjacent non-zero NAF digits");
+            assert!(w[0] == 0 || w[1] == 0, "adjacent non-zero NAF digits");
         }
     }
+}
 
-    #[test]
-    fn isqrt_is_floor_sqrt(v in any::<u128>()) {
+#[test]
+fn isqrt_is_floor_sqrt() {
+    let mut rng = Rng::new(4);
+    for _ in 0..CASES {
+        let v = rng.next_u128();
         let n = BigUint::from_u128(v);
         let r = n.isqrt();
-        prop_assert!(&r * &r <= n);
+        assert!(&r * &r <= n);
         let r1 = &r + &BigUint::one();
-        prop_assert!(&r1 * &r1 > n);
+        assert!(&r1 * &r1 > n);
     }
+}
 
-    #[test]
-    fn fp_field_axioms(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
-        let ctx = small_ctx();
+#[test]
+fn fp_field_axioms() {
+    let ctx = small_ctx();
+    let mut rng = Rng::new(5);
+    for _ in 0..CASES {
+        let (a, b, c) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
         let (x, y, z) = (ctx.from_u64(a), ctx.from_u64(b), ctx.from_u64(c));
-        prop_assert_eq!(&x + &y, &y + &x);
-        prop_assert_eq!(&x * &y, &y * &x);
-        prop_assert_eq!(&x * &(&y + &z), &(&x * &y) + &(&x * &z));
+        assert_eq!(&x + &y, &y + &x);
+        assert_eq!(&x * &y, &y * &x);
+        assert_eq!(&x * &(&y + &z), &(&x * &y) + &(&x * &z));
         if !x.is_zero() {
-            prop_assert!((&x * &x.invert()).is_one());
+            assert!((&x * &x.invert()).is_one());
         }
     }
+}
 
-    #[test]
-    fn encoding_roundtrip_random_ops(
-        opv in 0u8..11,
-        d in 0u16..512,
-        s1 in 0u16..512,
-        s2 in 0u16..512,
-    ) {
+#[test]
+fn encoding_roundtrip_random_ops() {
+    let mut rng = Rng::new(6);
+    for _ in 0..CASES {
         let spec = EncodingSpec::new(1, 1);
         let op = MachineOp {
-            op: Opcode::from_u8(opv).unwrap(),
-            dst: Reg { bank: 0, index: d },
-            src1: Reg { bank: 0, index: s1 },
-            src2: Reg { bank: 0, index: s2 },
+            op: Opcode::from_u8(rng.below(11) as u8).unwrap(),
+            dst: Reg {
+                bank: 0,
+                index: rng.below(512) as u16,
+            },
+            src1: Reg {
+                bank: 0,
+                index: rng.below(512) as u16,
+            },
+            src2: Reg {
+                bank: 0,
+                index: rng.below(512) as u16,
+            },
         };
         let words = spec.encode_op(&op).unwrap();
-        prop_assert_eq!(spec.decode_op(&words).unwrap(), op);
+        assert_eq!(spec.decode_op(&words).unwrap(), op);
     }
 }
 
-/// Strategy: random straight-line FpPrograms with two inputs.
-fn random_program(max_len: usize) -> impl Strategy<Value = FpProgram> {
-    proptest::collection::vec((0u8..8, any::<u32>(), any::<u32>(), 0u64..1000), 1..max_len).prop_map(
-        |ops| {
-            let mut p = FpProgram::default();
-            p.inputs = vec!["a".into(), "b".into()];
-            let a = p.push(FpOp::Input(0));
-            let _b = p.push(FpOp::Input(1));
-            let _ = a;
-            for (kind, x, y, cval) in ops {
-                let n = p.insts.len() as u32;
-                let pick = |v: u32| v % n;
-                let op = match kind {
-                    0 => FpOp::Add(pick(x), pick(y)),
-                    1 => FpOp::Sub(pick(x), pick(y)),
-                    2 => FpOp::Mul(pick(x), pick(y)),
-                    3 => FpOp::Sqr(pick(x)),
-                    4 => FpOp::Neg(pick(x)),
-                    5 => FpOp::Dbl(pick(x)),
-                    6 => FpOp::Tpl(pick(x)),
-                    _ => {
-                        let idx = p.constants.len() as u32;
-                        p.constants.push(BigUint::from_u64(cval));
-                        FpOp::Const(idx)
-                    }
-                };
-                p.push(op);
+/// Random straight-line FpProgram with two inputs.
+fn random_program(rng: &mut Rng, max_len: usize) -> FpProgram {
+    let len = 1 + rng.below(max_len as u64 - 1) as usize;
+    let mut p = FpProgram {
+        inputs: vec!["a".into(), "b".into()],
+        ..Default::default()
+    };
+    p.push(FpOp::Input(0));
+    p.push(FpOp::Input(1));
+    for _ in 0..len {
+        let kind = rng.below(8) as u8;
+        let (x, y) = (rng.next_u64() as u32, rng.next_u64() as u32);
+        let n = p.insts.len() as u32;
+        let pick = |v: u32| v % n;
+        let op = match kind {
+            0 => FpOp::Add(pick(x), pick(y)),
+            1 => FpOp::Sub(pick(x), pick(y)),
+            2 => FpOp::Mul(pick(x), pick(y)),
+            3 => FpOp::Sqr(pick(x)),
+            4 => FpOp::Neg(pick(x)),
+            5 => FpOp::Dbl(pick(x)),
+            6 => FpOp::Tpl(pick(x)),
+            _ => {
+                let idx = p.constants.len() as u32;
+                p.constants.push(BigUint::from_u64(rng.below(1000)));
+                FpOp::Const(idx)
             }
-            let last = (p.insts.len() - 1) as u32;
-            p.outputs.push(last);
-            p
-        },
-    )
+        };
+        p.push(op);
+    }
+    let last = (p.insts.len() - 1) as u32;
+    p.outputs.push(last);
+    p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// IROpt must preserve program semantics on arbitrary programs.
-    #[test]
-    fn optimizer_preserves_semantics(prog in random_program(60), a in any::<u64>(), b in any::<u64>()) {
-        let ctx = small_ctx();
-        let inputs = [ctx.from_u64(a), ctx.from_u64(b)];
+/// IROpt must preserve program semantics on arbitrary programs.
+#[test]
+fn optimizer_preserves_semantics() {
+    let ctx = small_ctx();
+    let mut rng = Rng::new(7);
+    for _ in 0..CASES {
+        let prog = random_program(&mut rng, 60);
+        let inputs = [ctx.from_u64(rng.next_u64()), ctx.from_u64(rng.next_u64())];
         let before = prog.evaluate(&ctx, &inputs);
         let (opt, stats) = optimize(&prog, &ctx);
-        prop_assert!(opt.validate().is_ok());
+        assert!(opt.validate().is_ok());
         let after = opt.evaluate(&ctx, &inputs);
-        prop_assert_eq!(before, after);
-        prop_assert!(stats.after <= stats.before);
+        assert_eq!(before, after);
+        assert!(stats.after <= stats.before);
     }
+}
 
-    /// Schedules must respect dependences and contain every op exactly once.
-    #[test]
-    fn schedules_are_legal(prog in random_program(60), affinity in 0.0f64..0.3) {
+/// Schedules must respect dependences and contain every op exactly once.
+#[test]
+fn schedules_are_legal() {
+    let mut rng = Rng::new(8);
+    for _ in 0..CASES {
+        let prog = random_program(&mut rng, 60);
+        let affinity = rng.next_f64() * 0.3;
         for hw in [HwModel::paper_default(), HwModel::vliw(2, 8, 2)] {
             for strategy in [SchedStrategy::ProgramOrder, SchedStrategy::AffinityList] {
-                let s = schedule(&prog, &hw, &ScheduleOptions { strategy, affinity_beta: affinity });
+                let s = schedule(
+                    &prog,
+                    &hw,
+                    &ScheduleOptions {
+                        strategy,
+                        affinity_beta: affinity,
+                    },
+                );
                 // each schedulable op exactly once
                 let mut seen = HashMap::new();
                 for (gi, g) in s.groups.iter().enumerate() {
-                    prop_assert!(g.len() <= hw.issue_width as usize);
+                    assert!(g.len() <= hw.issue_width as usize);
                     for &id in g {
-                        prop_assert!(seen.insert(id, gi).is_none(), "duplicate op");
+                        assert!(seen.insert(id, gi).is_none(), "duplicate op");
                     }
                 }
                 for (i, op) in prog.insts.iter().enumerate() {
                     if matches!(op, FpOp::Const(_)) {
-                        prop_assert!(!seen.contains_key(&(i as u32)));
+                        assert!(!seen.contains_key(&(i as u32)));
                         continue;
                     }
-                    prop_assert!(seen.contains_key(&(i as u32)), "missing op {i}");
+                    assert!(seen.contains_key(&(i as u32)), "missing op {i}");
                     for o in op.operands() {
                         if !matches!(prog.insts[o as usize], FpOp::Const(_)) {
-                            prop_assert!(seen[&o] < seen[&(i as u32)], "dependence violated");
+                            assert!(seen[&o] < seen[&(i as u32)], "dependence violated");
                         }
                     }
                 }
                 // register allocation succeeds and respects quotas
                 let alloc = allocate(&prog, &s, hw.reg_quota).unwrap();
                 for (bank, &peak) in alloc.peak_per_bank.iter().enumerate() {
-                    prop_assert!(peak <= hw.reg_quota as u32, "bank {bank} over quota");
+                    assert!(peak <= hw.reg_quota as u32, "bank {bank} over quota");
                 }
             }
         }
     }
+}
 
-    /// Wide-instruction encode/decode round-trips for random streams.
-    #[test]
-    fn wide_stream_roundtrip(ops in proptest::collection::vec((0u8..11, 0u16..128, 0u16..128, 0u16..128), 1..20)) {
+/// Wide-instruction encode/decode round-trips for random streams.
+#[test]
+fn wide_stream_roundtrip() {
+    let mut rng = Rng::new(9);
+    for _ in 0..CASES {
         let spec = EncodingSpec::new(4, 3);
+        let n_ops = 1 + rng.below(19) as usize;
+        let ops: Vec<(u8, u16, u16, u16)> = (0..n_ops)
+            .map(|_| {
+                (
+                    rng.below(11) as u8,
+                    rng.below(128) as u16,
+                    rng.below(128) as u16,
+                    rng.below(128) as u16,
+                )
+            })
+            .collect();
         let insts: Vec<WideInst> = ops
             .chunks(3)
             .map(|chunk| WideInst {
@@ -185,9 +272,18 @@ proptest! {
                     .iter()
                     .map(|&(o, d, s1, s2)| MachineOp {
                         op: Opcode::from_u8(o).unwrap(),
-                        dst: Reg { bank: (d % 4) as u8, index: d % 128 },
-                        src1: Reg { bank: (s1 % 4) as u8, index: s1 % 128 },
-                        src2: Reg { bank: (s2 % 4) as u8, index: s2 % 128 },
+                        dst: Reg {
+                            bank: (d % 4) as u8,
+                            index: d % 128,
+                        },
+                        src1: Reg {
+                            bank: (s1 % 4) as u8,
+                            index: s1 % 128,
+                        },
+                        src2: Reg {
+                            bank: (s2 % 4) as u8,
+                            index: s2 % 128,
+                        },
                     })
                     .collect(),
             })
@@ -196,30 +292,30 @@ proptest! {
         let decoded = spec.decode(&words).unwrap();
         for (orig, dec) in insts.iter().zip(&decoded) {
             for (i, slot) in orig.slots.iter().enumerate() {
-                prop_assert_eq!(&dec.slots[i], slot);
+                assert_eq!(&dec.slots[i], slot);
             }
         }
     }
 }
 
 /// Tower field axioms on a real pairing tower, randomized.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn fq_and_fpk_axioms_randomized(seed1 in any::<u64>(), seed2 in any::<u64>()) {
-        let curve = Curve::by_name("BLS12-381");
-        let t = curve.tower();
+#[test]
+fn fq_and_fpk_axioms_randomized() {
+    let curve = Curve::by_name("BLS12-381");
+    let t = curve.tower();
+    let mut rng = Rng::new(10);
+    for _ in 0..12 {
+        let (seed1, seed2) = (rng.next_u64(), rng.next_u64());
         let a = t.fq_sample(seed1);
         let b = t.fq_sample(seed2);
-        prop_assert_eq!(t.fq_mul(&a, &b), t.fq_mul(&b, &a));
-        prop_assert_eq!(t.fq_sqr(&a), t.fq_mul(&a, &a));
+        assert_eq!(t.fq_mul(&a, &b), t.fq_mul(&b, &a));
+        assert_eq!(t.fq_sqr(&a), t.fq_mul(&a, &a));
         if !t.fq_is_zero(&a) {
-            prop_assert!(t.fq_is_one(&t.fq_mul(&a, &t.fq_inv(&a))));
+            assert!(t.fq_is_one(&t.fq_mul(&a, &t.fq_inv(&a))));
         }
         let x = t.fpk_sample(seed1);
         let y = t.fpk_sample(seed2);
-        prop_assert_eq!(t.fpk_mul(&x, &y), t.fpk_mul(&y, &x));
-        prop_assert_eq!(t.fpk_sqr(&x), t.fpk_mul(&x, &x));
+        assert_eq!(t.fpk_mul(&x, &y), t.fpk_mul(&y, &x));
+        assert_eq!(t.fpk_sqr(&x), t.fpk_mul(&x, &x));
     }
 }

@@ -1,0 +1,46 @@
+//! Workspace-surface smoke test: the facade crate must expose every
+//! subsystem, and `Curve::by_name` must round-trip for every supported
+//! curve name (exact case, lower case, and via the spec registry).
+
+use finesse::curves::{all_specs, spec_by_name, Curve};
+
+#[test]
+fn curve_by_name_round_trips_for_every_supported_curve() {
+    let specs = all_specs();
+    assert_eq!(specs.len(), 7, "Table 2 curve set");
+    for spec in specs {
+        // spec registry lookup is case-insensitive and agrees with the spec
+        let found = spec_by_name(spec.name).expect("spec lookup by canonical name");
+        assert_eq!(found.name, spec.name);
+        let lower = spec_by_name(&spec.name.to_lowercase()).expect("case-insensitive lookup");
+        assert_eq!(lower.name, spec.name);
+
+        // constructing the curve preserves the canonical name...
+        let curve = Curve::by_name(spec.name);
+        assert_eq!(curve.name(), spec.name);
+
+        // ...and the registry caches: a second lookup is the same instance
+        let again = Curve::by_name(&spec.name.to_lowercase());
+        assert!(
+            std::sync::Arc::ptr_eq(&curve, &again),
+            "{} not cached",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn facade_reexports_every_subsystem() {
+    // Touch one symbol per re-exported crate so a dropped re-export fails
+    // to compile rather than silently shrinking the public surface.
+    let _ = finesse::ff::BigUint::one();
+    let _ = finesse::isa::EncodingSpec::new(1, 1);
+    let _ = finesse::curves::all_specs();
+    let _ = finesse::ir::FpProgram::default();
+    let _ = finesse::hw::HwModel::paper_default();
+    let _ = std::any::type_name::<finesse::pairing::PairingEngine>();
+    let _ = finesse::compiler::CompileOptions::default();
+    let _ = std::any::type_name::<finesse::sim::SimReport>();
+    let _ = std::any::type_name::<finesse::dse::Objective>();
+    let _ = std::any::type_name::<finesse::core::DesignFlow>();
+}
