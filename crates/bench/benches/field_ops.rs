@@ -20,6 +20,40 @@ fn bench_fp_mul(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fp_sqr(c: &mut Criterion) {
+    // The dedicated CIOS squaring kernel (~half the partial products);
+    // compare against fp_mul on the same curve.
+    let mut g = c.benchmark_group("fp_sqr");
+    for name in ["BN254N", "BLS12-381", "BLS12-638", "BLS24-509"] {
+        let curve = Curve::by_name(name);
+        let a = curve.fp().sample(1);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &a, |bench, a| {
+            bench.iter(|| a.square())
+        });
+    }
+    g.finish();
+}
+
+fn bench_fp_batch_invert(c: &mut Criterion) {
+    use finesse_ff::Fp;
+    let mut g = c.benchmark_group("fp_batch_invert");
+    let curve = Curve::by_name("BLS12-381");
+    let elems: Vec<Fp> = (1..=64u64).map(|s| curve.fp().sample(s)).collect();
+    g.bench_with_input(BenchmarkId::new("batch", 64), &elems, |bench, elems| {
+        bench.iter(|| {
+            let mut batch = elems.clone();
+            Fp::batch_invert(&mut batch);
+            batch
+        })
+    });
+    g.bench_with_input(
+        BenchmarkId::new("individual", 64),
+        &elems,
+        |bench, elems| bench.iter(|| elems.iter().map(Fp::invert).collect::<Vec<_>>()),
+    );
+    g.finish();
+}
+
 fn bench_fq_mul(c: &mut Criterion) {
     let mut g = c.benchmark_group("fq_mul");
     for name in ["BN254N", "BLS24-509"] {
@@ -64,6 +98,6 @@ fn bench_fpk_ops(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_fp_mul, bench_fq_mul, bench_fpk_ops
+    targets = bench_fp_mul, bench_fp_sqr, bench_fp_batch_invert, bench_fq_mul, bench_fpk_ops
 }
 criterion_main!(benches);

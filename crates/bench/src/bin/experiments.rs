@@ -2,9 +2,14 @@
 //!
 //! ```text
 //! experiments [table2|table3|table6|table7|fig2|fig6|fig8|fig9|fig10|fig11|fig12|all]
+//! experiments --bench-json [CURVE|all]
 //! ```
 //!
-//! Output goes to stdout and to `results/<name>.txt`.
+//! Output goes to stdout and to `results/<name>.txt`; the `--bench-json`
+//! mode times the field-arithmetic substrate (fp_mul/fp_sqr/fq_mul and the
+//! full pairing) per Table-2 curve and writes machine-readable
+//! `results/BENCH_fieldops.json`, the perf-trajectory artifact CI uploads
+//! on every PR.
 
 use finesse_bench::{f, kfmt, TextTable};
 use finesse_compiler::{compile_pairing, tower_shape, CompileOptions};
@@ -38,6 +43,13 @@ type Experiment = (&'static str, fn() -> String);
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     fs::create_dir_all("results").expect("create results dir");
+    if arg == "--bench-json" {
+        let which = std::env::args().nth(2).unwrap_or_else(|| "all".into());
+        let json = bench_fieldops_json(&which);
+        fs::write("results/BENCH_fieldops.json", &json).expect("write bench json");
+        print!("{json}");
+        return;
+    }
     let experiments: Vec<Experiment> = vec![
         ("table2", table2 as fn() -> String),
         ("table3", table3),
@@ -72,6 +84,115 @@ fn main() {
 
 fn default_variants(curve: &Arc<Curve>) -> VariantConfig {
     VariantConfig::all_karatsuba(&tower_shape(curve))
+}
+
+/// Median ns/op over five batches, batch size calibrated to ~10 ms.
+fn bench_ns<F: FnMut()>(mut f: F) -> f64 {
+    use std::time::Instant;
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let el = t.elapsed().as_nanos() as f64;
+        if el >= 1e7 || iters >= 1 << 24 {
+            break;
+        }
+        iters = (iters * 4).min(1 << 24);
+    }
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[2]
+}
+
+/// Reference timings of the Vec-limbed field arithmetic immediately
+/// before the inline-limb (`Limbs`) rewrite, captured on the development
+/// machine with the criterion-shim harness. Kept in the emitted JSON so
+/// every future emission shows the trajectory against the last
+/// representation change; `null` means the combination was not measured.
+const PRE_PR_FP_MUL_NS: [(&str, f64); 4] = [
+    ("BN254N", 60.6),
+    ("BLS12-381", 96.5),
+    ("BLS12-638", 229.3),
+    ("BLS24-509", 153.2),
+];
+const PRE_PR_FQ_MUL_NS: [(&str, f64); 2] = [("BN254N", 461.6), ("BLS24-509", 3904.7)];
+const PRE_PR_PAIRING_NS: [(&str, f64); 3] = [
+    ("BN254N", 6_201_048.0),
+    ("BLS12-381", 9_452_807.0),
+    ("BLS24-509", 49_701_200.0),
+];
+
+/// `--bench-json`: field-substrate microbenchmarks as machine-readable
+/// JSON (one row per requested Table-2 curve).
+fn bench_fieldops_json(which: &str) -> String {
+    use finesse_pairing::PairingEngine;
+    use std::hint::black_box;
+
+    let selected: Vec<&str> = if which == "all" {
+        CURVES.to_vec()
+    } else {
+        let found = CURVES.iter().find(|c| c.eq_ignore_ascii_case(which));
+        vec![found.unwrap_or_else(|| {
+            eprintln!("unknown curve `{which}`; expected one of {CURVES:?} or `all`");
+            std::process::exit(2);
+        })]
+    };
+
+    let mut rows = Vec::new();
+    for name in selected {
+        let curve = Curve::by_name(name);
+        let fp = curve.fp();
+        let tower = curve.tower().clone();
+        let (a, b) = (fp.sample(1), fp.sample(2));
+        let fp_mul = bench_ns(|| {
+            black_box(black_box(&a) * black_box(&b));
+        });
+        let fp_sqr = bench_ns(|| {
+            black_box(black_box(&a).square());
+        });
+        let (qa, qb) = (tower.fq_sample(1), tower.fq_sample(2));
+        let fq_mul = bench_ns(|| {
+            black_box(tower.fq_mul(black_box(&qa), black_box(&qb)));
+        });
+        let engine = PairingEngine::new(curve.clone());
+        let (g1, g2) = (curve.g1_generator(), curve.g2_generator());
+        let pairing = bench_ns(|| {
+            black_box(engine.pair(black_box(g1), black_box(g2)));
+        });
+        rows.push(format!(
+            "    {{\"curve\": \"{name}\", \"p_bits\": {}, \"limbs\": {}, \
+             \"fp_mul_ns\": {fp_mul:.1}, \"fp_sqr_ns\": {fp_sqr:.1}, \
+             \"fq_mul_ns\": {fq_mul:.1}, \"pairing_ns\": {pairing:.0}}}",
+            curve.p().bits(),
+            fp.width(),
+        ));
+    }
+
+    let baseline = |pairs: &[(&str, f64)]| -> String {
+        pairs
+            .iter()
+            .map(|(n, v)| format!("\"{n}\": {v:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    format!(
+        "{{\n  \"schema\": \"finesse-bench-fieldops/v1\",\n  \"harness\": \"median of 5 batches, ns per op\",\n\
+         \n  \"curves\": [\n{}\n  ],\n  \"pre_pr_baseline_ns\": {{\n    \"note\": \"Vec-limbed Fp before the inline-limb rewrite (criterion-shim medians, same machine)\",\n    \"fp_mul\": {{{}}},\n    \"fq_mul\": {{{}}},\n    \"pairing\": {{{}}}\n  }}\n}}\n",
+        rows.join(",\n"),
+        baseline(&PRE_PR_FP_MUL_NS),
+        baseline(&PRE_PR_FQ_MUL_NS),
+        baseline(&PRE_PR_PAIRING_NS),
+    )
 }
 
 /// Table 2: curve parameters and security levels.

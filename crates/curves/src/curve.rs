@@ -10,8 +10,8 @@
 //! construction instead of corrupting pairings downstream.
 
 use crate::point::{
-    affine_neg, is_identity, is_on_curve, jac_add, scalar_mul, to_affine, to_jacobian, Affine,
-    FpOps, FqOps,
+    affine_neg, is_identity, is_on_curve, jac_add, jac_mul, to_affine, to_jacobian, Affine, FpOps,
+    FqOps,
 };
 use crate::spec::{CurveSpec, Family};
 use finesse_ff::{BigInt, BigUint, FieldCtxError, Fp, FpCtx, Fq, TowerCtx, TowerError};
@@ -334,17 +334,17 @@ impl Curve {
                 continue;
             }
             for pt in &points {
-                if !is_identity(ops, &scalar_mul(ops, pt, n1)) {
+                if !is_identity(ops, &jac_mul(ops, pt, n1)) {
                     continue 'bloop;
                 }
             }
             // Cofactor-clear the first point that survives into a generator.
             for pt in &points {
-                let g = to_affine(ops, &scalar_mul(ops, pt, cofactor));
+                let g = to_affine(ops, &jac_mul(ops, pt, cofactor));
                 if g.infinity {
                     continue;
                 }
-                debug_assert!(is_identity(ops, &scalar_mul(ops, &g, r)));
+                debug_assert!(is_identity(ops, &jac_mul(ops, &g, r)));
                 // Canonicalise y to the lexicographically smaller root.
                 let y_neg = (-&g.y).to_biguint();
                 let g = if y_neg < g.y.to_biguint() {
@@ -436,11 +436,11 @@ impl Curve {
         for (kind, bt) in attempts {
             if let Some(pt) = Self::find_point_on_twist(tower, &bt, 0) {
                 for n in &orders {
-                    if is_identity(&ops, &scalar_mul(&ops, &pt, n)) {
+                    if is_identity(&ops, &jac_mul(&ops, &pt, n)) {
                         // confirm with a second point
                         let pt2 = Self::find_point_on_twist(tower, &bt, 1000)
                             .ok_or(CurveError::TwistNotFound)?;
-                        if is_identity(&ops, &scalar_mul(&ops, &pt2, n)) {
+                        if is_identity(&ops, &jac_mul(&ops, &pt2, n)) {
                             return Ok((kind, bt, n.clone()));
                         }
                     }
@@ -471,11 +471,11 @@ impl Curve {
         let ops = FqOps(tower);
         for attempt in 0..16u64 {
             let pt = Self::find_point_on_twist(tower, bt, attempt * 7919)?;
-            let g = to_affine(&ops, &scalar_mul(&ops, &pt, cofactor));
+            let g = to_affine(&ops, &jac_mul(&ops, &pt, cofactor));
             if g.infinity {
                 continue;
             }
-            if is_identity(&ops, &scalar_mul(&ops, &g, r)) {
+            if is_identity(&ops, &jac_mul(&ops, &g, r)) {
                 return Some(g);
             }
         }
@@ -495,7 +495,7 @@ impl Curve {
         let wf = tower.w_frob_const(1).clone();
         let gx = tower.fq_sqr(&wf); // ξ^((p−1)/3)
         let gy = tower.fq_mul(&gx, &wf); // ξ^((p−1)/2)
-        let p_g2 = to_affine(&ops, &scalar_mul(&ops, g2, p));
+        let p_g2 = to_affine(&ops, &jac_mul(&ops, g2, p));
         for (cx, cy) in [
             (gx.clone(), gy.clone()),
             (tower.fq_inv(&gx), tower.fq_inv(&gy)),
@@ -632,7 +632,7 @@ impl Curve {
     /// G1 scalar multiplication, returning an affine point.
     pub fn g1_mul(&self, p: &Affine<Fp>, k: &BigUint) -> Affine<Fp> {
         let ops = FpOps(Arc::clone(&self.fp));
-        to_affine(&ops, &scalar_mul(&ops, p, k))
+        to_affine(&ops, &jac_mul(&ops, p, k))
     }
 
     /// G1 point addition.
@@ -647,7 +647,7 @@ impl Curve {
     /// G2 scalar multiplication, returning an affine point.
     pub fn g2_mul(&self, p: &Affine<Fq>, k: &BigUint) -> Affine<Fq> {
         let ops = FqOps(&self.tower);
-        to_affine(&ops, &scalar_mul(&ops, p, k))
+        to_affine(&ops, &jac_mul(&ops, p, k))
     }
 
     /// G2 point addition.
@@ -688,7 +688,7 @@ impl Curve {
             let rhs = &(&x.square() * &x) + &self.b;
             if let Some(y) = rhs.sqrt() {
                 let pt = Affine::new(x, y);
-                let g = to_affine(&ops, &scalar_mul(&ops, &pt, &self.g1_cofactor));
+                let g = to_affine(&ops, &jac_mul(&ops, &pt, &self.g1_cofactor));
                 if !g.infinity {
                     return g;
                 }

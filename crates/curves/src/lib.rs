@@ -22,5 +22,7 @@ pub mod point;
 pub mod spec;
 
 pub use curve::{Curve, CurveError, TwistKind};
-pub use point::{Affine, FieldOps, FpOps, FqOps, Jacobian};
+pub use point::{
+    batch_to_affine, jac_mul, scalar_mul, to_affine, Affine, FieldOps, FpOps, FqOps, Jacobian,
+};
 pub use spec::{all_specs, spec_by_name, CurveSpec, Family};

@@ -53,6 +53,28 @@ pub trait FieldOps {
         }
         acc
     }
+
+    /// Inverts every element of a slice in place with Montgomery's trick:
+    /// one field inversion plus `3(n−1)` multiplications.
+    ///
+    /// Panics on zero elements, matching [`FieldOps::inv`].
+    fn batch_inv(&self, elems: &mut [Self::El]) {
+        if elems.is_empty() {
+            return;
+        }
+        let mut prefix = Vec::with_capacity(elems.len());
+        let mut acc = self.one();
+        for e in elems.iter() {
+            prefix.push(acc.clone());
+            acc = self.mul(&acc, e);
+        }
+        let mut inv = self.inv(&acc);
+        for (e, pre) in elems.iter_mut().zip(prefix.iter()).rev() {
+            let out = self.mul(&inv, pre);
+            inv = self.mul(&inv, e);
+            *e = out;
+        }
+    }
 }
 
 /// [`FieldOps`] over the base prime field (G1 coordinates).
@@ -87,6 +109,9 @@ impl FieldOps for FpOps {
     }
     fn is_zero(&self, a: &Fp) -> bool {
         a.is_zero()
+    }
+    fn batch_inv(&self, elems: &mut [Fp]) {
+        Fp::batch_invert(elems);
     }
 }
 
@@ -206,6 +231,32 @@ pub fn to_affine<O: FieldOps>(ops: &O, pt: &Jacobian<O::El>) -> Affine<O::El> {
     Affine::new(ops.mul(&pt.x, &zinv2), ops.mul(&pt.y, &zinv3))
 }
 
+/// Normalises many Jacobian points with a single field inversion
+/// ([`FieldOps::batch_inv`], Montgomery's trick) — the standard way to
+/// amortise the one expensive operation when emitting precomputed tables
+/// or fixed-base windows.
+pub fn batch_to_affine<O: FieldOps>(ops: &O, pts: &[Jacobian<O::El>]) -> Vec<Affine<O::El>> {
+    // Gather the non-identity z coordinates and invert them together.
+    let mut zs: Vec<O::El> = pts
+        .iter()
+        .filter(|p| !ops.is_zero(&p.z))
+        .map(|p| p.z.clone())
+        .collect();
+    ops.batch_inv(&mut zs);
+    let mut inv_iter = zs.into_iter();
+    pts.iter()
+        .map(|p| {
+            if ops.is_zero(&p.z) {
+                return Affine::infinity(ops.zero());
+            }
+            let zinv = inv_iter.next().expect("one inverse per finite point");
+            let zinv2 = ops.sqr(&zinv);
+            let zinv3 = ops.mul(&zinv2, &zinv);
+            Affine::new(ops.mul(&p.x, &zinv2), ops.mul(&p.y, &zinv3))
+        })
+        .collect()
+}
+
 /// Jacobian doubling (`a = 0` curve).
 pub fn jac_double<O: FieldOps>(ops: &O, p: &Jacobian<O::El>) -> Jacobian<O::El> {
     if ops.is_zero(&p.z) || ops.is_zero(&p.y) {
@@ -293,6 +344,118 @@ pub fn scalar_mul<O: FieldOps>(ops: &O, p: &Affine<O::El>, k: &BigUint) -> Jacob
         acc = jac_double(ops, &acc);
         if k.bit(i) {
             acc = jac_add(ops, &acc, &base);
+        }
+    }
+    acc
+}
+
+/// Width of the [`jac_mul`] signed window: width-4 recoding uses the odd
+/// digits `±1, ±3, ±5, ±7` (four precomputed multiples) and cuts
+/// additions to roughly one per five doublings on pairing-sized scalars.
+const WNAF_WINDOW: u32 = 4;
+
+/// Recodes a scalar into width-`w` non-adjacent form: each digit is zero
+/// or odd in `±(1 .. 2^(w−1))`, and any two non-zero digits are at least
+/// `w` positions apart.
+fn wnaf_digits(k: &BigUint, w: u32) -> Vec<i64> {
+    let mut limbs: Vec<u64> = k.limbs().to_vec();
+    let mask = (1u64 << w) - 1;
+    let half = 1i64 << (w - 1);
+    let is_zero = |l: &[u64]| l.iter().all(|&x| x == 0);
+    // In-place helpers on the little-endian limb scratch.
+    let shr1 = |l: &mut [u64]| {
+        let mut top = 0u64;
+        for limb in l.iter_mut().rev() {
+            let next = *limb & 1;
+            *limb = (*limb >> 1) | (top << 63);
+            top = next;
+        }
+    };
+    let sub_small = |l: &mut [u64], v: u64| {
+        let mut borrow = v;
+        for limb in l.iter_mut() {
+            let (d, b) = limb.overflowing_sub(borrow);
+            *limb = d;
+            borrow = b as u64;
+            if borrow == 0 {
+                break;
+            }
+        }
+    };
+    let add_small = |l: &mut [u64], v: u64| {
+        let mut carry = v;
+        for limb in l.iter_mut() {
+            let (s, c) = limb.overflowing_add(carry);
+            *limb = s;
+            carry = c as u64;
+            if carry == 0 {
+                break;
+            }
+        }
+        debug_assert_eq!(carry, 0, "wNAF scratch overflow");
+    };
+    // One spare limb so the +|d| correction for negative digits cannot
+    // overflow the scratch.
+    limbs.push(0);
+    let mut digits = Vec::with_capacity(k.bits() + 1);
+    while !is_zero(&limbs) {
+        if limbs[0] & 1 == 1 {
+            let mut d = (limbs[0] & mask) as i64;
+            if d >= half {
+                d -= 1 << w;
+            }
+            if d >= 0 {
+                sub_small(&mut limbs, d as u64);
+            } else {
+                add_small(&mut limbs, (-d) as u64);
+            }
+            digits.push(d);
+        } else {
+            digits.push(0);
+        }
+        shr1(&mut limbs);
+    }
+    digits
+}
+
+/// Scalar multiplication by a non-negative big integer using a signed
+/// width-4 windowed NAF: one table of 8 odd multiples, then one doubling
+/// per scalar bit and one addition per non-zero digit (~bits/5).
+///
+/// This is the fast path used by the curve-level `g1_mul`/`g2_mul`;
+/// [`scalar_mul`] remains as the minimal double-and-add reference.
+pub fn jac_mul<O: FieldOps>(ops: &O, p: &Affine<O::El>, k: &BigUint) -> Jacobian<O::El> {
+    let identity = Jacobian {
+        x: ops.one(),
+        y: ops.one(),
+        z: ops.zero(),
+    };
+    if p.infinity || k.is_zero() {
+        return identity;
+    }
+    let base = to_jacobian(ops, p);
+    // Odd multiples table: table[i] = (2i+1)·P. Width-w digits reach
+    // ±(2^(w−1) − 1), so 2^(w−2) entries cover every odd magnitude.
+    let two_p = jac_double(ops, &base);
+    let mut table = Vec::with_capacity(1 << (WNAF_WINDOW - 2));
+    table.push(base);
+    for i in 1..1usize << (WNAF_WINDOW - 2) {
+        table.push(jac_add(ops, &table[i - 1], &two_p));
+    }
+    let digits = wnaf_digits(k, WNAF_WINDOW);
+    let mut acc = identity;
+    for &d in digits.iter().rev() {
+        acc = jac_double(ops, &acc);
+        if d > 0 {
+            acc = jac_add(ops, &acc, &table[(d as usize - 1) / 2]);
+        } else if d < 0 {
+            let t = &table[((-d) as usize - 1) / 2];
+            let neg = Jacobian {
+                x: t.x.clone(),
+                y: ops.neg(&t.y),
+                z: t.z.clone(),
+            };
+            acc = jac_add(ops, &acc, &neg);
         }
     }
     acc
@@ -395,6 +558,71 @@ mod tests {
             assert_eq!(via_mul, via_add, "k = {k}");
             acc = jac_add(&ops, &acc, &pj);
         }
+    }
+
+    #[test]
+    fn jac_mul_matches_double_and_add() {
+        let (ops, b) = tiny();
+        let pts = points_on_tiny(&ops, &b);
+        let p = &pts[2];
+        // Small scalars exhaustively, plus a few larger multi-window ones.
+        for k in (0..40u64).chain([97, 255, 256, 1023, 0xFFFF_FFFF]) {
+            let k = BigUint::from_u64(k);
+            let fast = to_affine(&ops, &jac_mul(&ops, p, &k));
+            let slow = to_affine(&ops, &scalar_mul(&ops, p, &k));
+            assert_eq!(fast, slow, "k = {k:?}");
+        }
+        // Identity inputs.
+        let inf = Affine::infinity(ops.zero());
+        assert!(is_identity(
+            &ops,
+            &jac_mul(&ops, &inf, &BigUint::from_u64(5))
+        ));
+        assert!(is_identity(&ops, &jac_mul(&ops, p, &BigUint::zero())));
+    }
+
+    #[test]
+    fn batch_to_affine_matches_individual() {
+        let (ops, b) = tiny();
+        let pts = points_on_tiny(&ops, &b);
+        let mut jacs: Vec<Jacobian<Fp>> = pts
+            .iter()
+            .take(6)
+            .enumerate()
+            .map(|(i, p)| jac_mul(&ops, p, &BigUint::from_u64(i as u64 + 2)))
+            .collect();
+        // Include an identity in the middle to exercise the skip path.
+        jacs.insert(
+            3,
+            Jacobian {
+                x: ops.one(),
+                y: ops.one(),
+                z: ops.zero(),
+            },
+        );
+        let batch = batch_to_affine(&ops, &jacs);
+        for (j, a) in jacs.iter().zip(&batch) {
+            assert_eq!(*a, to_affine(&ops, j));
+        }
+        assert!(batch[3].infinity);
+        assert!(batch_to_affine(&ops, &[]).is_empty());
+    }
+
+    #[test]
+    fn wnaf_digits_reconstruct() {
+        for v in [1u64, 2, 3, 15, 16, 17, 255, 0xDEAD_BEEF, u64::MAX] {
+            let digits = wnaf_digits(&BigUint::from_u64(v), WNAF_WINDOW);
+            let mut acc: i128 = 0;
+            for (i, &d) in digits.iter().enumerate() {
+                acc += (d as i128) << i;
+            }
+            assert_eq!(acc, v as i128, "v = {v}");
+            for &d in &digits {
+                assert!(d == 0 || d % 2 != 0, "digits are zero or odd");
+                assert!(d.abs() < 1 << (WNAF_WINDOW - 1));
+            }
+        }
+        assert!(wnaf_digits(&BigUint::zero(), WNAF_WINDOW).is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! The representation is a little-endian `Vec<u64>` with no trailing zero
 //! limbs; zero is the empty vector.
 
-use crate::limbs::{adc, cmp_slices, mac, sbb};
+use crate::limbs::{adc, cios_mont_mul, cmp_slices, mac, mont_neg_inv, sbb};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -408,16 +408,39 @@ impl BigUint {
             }
             return acc;
         }
-        let ctx = crate::fp::FpCtx::new_unchecked(modulus.clone());
-        let base = ctx.to_mont(&self.rem(modulus));
-        let mut acc = ctx.mont_one();
+        // Odd modulus of any width: drive the slice-level CIOS kernel with
+        // heap scratch (this path is bookkeeping, not field arithmetic, so
+        // it is not bound by the fixed-capacity `Limbs` hot path).
+        let n = modulus.limbs.len();
+        let p = modulus.to_fixed_limbs(n);
+        let n0 = mont_neg_inv(p[0]);
+        let r2 = BigUint::one().shl(128 * n).rem(modulus).to_fixed_limbs(n);
+        let one_mont = BigUint::one().shl(64 * n).rem(modulus).to_fixed_limbs(n);
+        let mut scratch = vec![0u64; n + 2];
+        let mut base = vec![0u64; n];
+        cios_mont_mul(
+            &mut base,
+            &self.rem(modulus).to_fixed_limbs(n),
+            &r2,
+            &p,
+            n0,
+            &mut scratch,
+        );
+        let mut acc = one_mont;
+        let mut tmp = vec![0u64; n];
         for i in (0..exp.bits()).rev() {
-            acc = ctx.mont_mul(&acc, &acc);
+            cios_mont_mul(&mut tmp, &acc, &acc, &p, n0, &mut scratch);
+            std::mem::swap(&mut acc, &mut tmp);
             if exp.bit(i) {
-                acc = ctx.mont_mul(&acc, &base);
+                cios_mont_mul(&mut tmp, &acc, &base, &p, n0, &mut scratch);
+                std::mem::swap(&mut acc, &mut tmp);
             }
         }
-        ctx.from_mont(&acc)
+        // Convert out of Montgomery form: multiply by 1.
+        let mut one = vec![0u64; n];
+        one[0] = 1;
+        cios_mont_mul(&mut tmp, &acc, &one, &p, n0, &mut scratch);
+        BigUint::from_limbs(tmp)
     }
 
     /// Miller–Rabin probabilistic primality test with `rounds` random bases

@@ -1,15 +1,45 @@
-//! Prime-field arithmetic in Montgomery form.
+//! Prime-field arithmetic in Montgomery form, allocation-free on the hot
+//! path.
 //!
 //! [`FpCtx`] owns everything derived from the modulus (limb width, `n0'`,
 //! `R^2 mod p`); [`Fp`] is a fixed-width element bound to its context via
 //! `Arc`, so elements of different fields can never be mixed silently —
 //! mixing panics in debug and release alike.
 //!
-//! The multiplication is CIOS (coarsely integrated operand scanning)
+//! # Representation
+//!
+//! Elements store their limbs inline in a [`Limbs`] value
+//! (`[u64; MAX_LIMBS]` plus an active width), sized for the largest
+//! Table-2 curve (BN638/BLS12-638 ⇒ [`MAX_LIMBS`]` = 10`). Every field
+//! operation — [`Fp::mul`], [`Fp::square`], [`Fp::add`], [`Fp::sub`],
+//! [`Fp::neg`] and their `*_assign` forms — runs entirely on the stack:
+//! after context construction no heap allocation occurs, matching the
+//! paper's premise that the modular-multiplication substrate (`mmul`)
+//! dominates pairing cost and must not be throttled by the allocator.
+//!
+//! Multiplication is CIOS (coarsely integrated operand scanning)
 //! Montgomery multiplication, the standard software algorithm matching the
-//! word-serial structure of the paper's `mmul` hardware unit.
+//! word-serial structure of the paper's `mmul` hardware unit. Squaring
+//! uses a dedicated kernel ([`FpCtx::mont_sqr_into`]) that computes the
+//! `n(n+1)/2` distinct partial products once and doubles them — about half
+//! the multiply work of the general kernel — followed by a separated
+//! Montgomery reduction. Inversion is Fermat (`x^(p−2)`); batches of
+//! inversions should use [`Fp::batch_invert`] (Montgomery's trick: one
+//! inversion plus `3(n−1)` multiplications).
+//!
+//! # When `BigUint` is still the right type
+//!
+//! [`crate::BigUint`] remains the representation for everything *outside*
+//! the field hot path: curve-parameter synthesis (evaluating family
+//! polynomials), exponent bookkeeping (final-exponentiation chains, NAF
+//! recoding), primality testing, and moduli wider than [`MAX_LIMBS`]
+//! limbs (e.g. `BigUint::modpow` over p^k-sized integers). Converting
+//! between the two costs one Montgomery multiplication and should never
+//! appear inside a loop.
 
-use crate::limbs::{adc, cmp_slices, mac, mont_neg_inv, sub_assign_slices};
+use crate::limbs::{
+    adc, add_assign_slices, cmp_slices, mac, mont_neg_inv, sub_assign_slices, Limbs, MAX_LIMBS,
+};
 use crate::BigUint;
 use std::fmt;
 use std::sync::Arc;
@@ -29,11 +59,11 @@ use std::sync::Arc;
 /// ```
 pub struct FpCtx {
     p: BigUint,
-    p_limbs: Vec<u64>,
+    p_limbs: Limbs,
     width: usize,
     n0: u64,
-    r2: Vec<u64>,
-    one_mont: Vec<u64>,
+    r2: Limbs,
+    one_mont: Limbs,
     p_minus_2: BigUint,
     modulus_bits: usize,
 }
@@ -45,6 +75,9 @@ pub enum FieldCtxError {
     InvalidModulus,
     /// The modulus failed the primality test.
     NotPrime,
+    /// The modulus needs more than [`MAX_LIMBS`] limbs; wider moduli
+    /// belong to [`BigUint::modpow`]'s arbitrary-width path.
+    TooWide,
 }
 
 impl fmt::Display for FieldCtxError {
@@ -52,6 +85,11 @@ impl fmt::Display for FieldCtxError {
         match self {
             FieldCtxError::InvalidModulus => f.write_str("modulus must be an odd integer >= 3"),
             FieldCtxError::NotPrime => f.write_str("modulus is not prime"),
+            FieldCtxError::TooWide => write!(
+                f,
+                "modulus exceeds {MAX_LIMBS} limbs ({} bits)",
+                64 * MAX_LIMBS
+            ),
         }
     }
 }
@@ -64,11 +102,15 @@ impl FpCtx {
     ///
     /// # Errors
     ///
-    /// Returns [`FieldCtxError::InvalidModulus`] for even/small moduli and
+    /// Returns [`FieldCtxError::InvalidModulus`] for even/small moduli,
+    /// [`FieldCtxError::TooWide`] beyond [`MAX_LIMBS`] limbs, and
     /// [`FieldCtxError::NotPrime`] for composite ones.
     pub fn new(p: BigUint) -> Result<Arc<Self>, FieldCtxError> {
         if p.is_even() || p.is_one() || p.is_zero() {
             return Err(FieldCtxError::InvalidModulus);
+        }
+        if p.limbs().len() > MAX_LIMBS {
+            return Err(FieldCtxError::TooWide);
         }
         if !p.is_probable_prime(40) {
             return Err(FieldCtxError::NotPrime);
@@ -76,26 +118,34 @@ impl FpCtx {
         Ok(Arc::new(Self::new_unchecked(p)))
     }
 
-    /// Creates a context without the primality check (used internally by
-    /// `BigUint::modpow`, where the modulus need only be odd).
+    /// Creates a context without the primality check (any odd modulus).
     ///
     /// # Panics
     ///
-    /// Panics if `p` is even or `< 3`.
+    /// Panics if `p` is even, `< 3`, or wider than [`MAX_LIMBS`] limbs —
+    /// wider moduli belong to [`BigUint::modpow`], which carries its own
+    /// arbitrary-width Montgomery path.
     pub fn new_unchecked(p: BigUint) -> Self {
         assert!(
             !p.is_even() && !p.is_one() && !p.is_zero(),
             "modulus must be odd and >= 3"
         );
         let width = p.limbs().len();
-        let p_limbs = p.to_fixed_limbs(width);
-        let n0 = mont_neg_inv(p_limbs[0]);
+        assert!(
+            width <= MAX_LIMBS,
+            "modulus has {width} limbs; FpCtx supports at most {MAX_LIMBS} (640 bits)"
+        );
+        let p_limbs = Limbs::from_slice(&p.to_fixed_limbs(width));
+        let n0 = mont_neg_inv(p_limbs.as_slice()[0]);
         // R = 2^(64*width); compute R^2 mod p and R mod p by division.
-        let r2 = BigUint::one()
-            .shl(128 * width)
-            .rem(&p)
-            .to_fixed_limbs(width);
-        let one_mont = BigUint::one().shl(64 * width).rem(&p).to_fixed_limbs(width);
+        let r2 = Limbs::from_slice(
+            &BigUint::one()
+                .shl(128 * width)
+                .rem(&p)
+                .to_fixed_limbs(width),
+        );
+        let one_mont =
+            Limbs::from_slice(&BigUint::one().shl(64 * width).rem(&p).to_fixed_limbs(width));
         let p_minus_2 = p.checked_sub(&BigUint::from_u64(2)).expect("p >= 3");
         let modulus_bits = p.bits();
         FpCtx {
@@ -125,16 +175,25 @@ impl FpCtx {
         self.width
     }
 
-    /// CIOS Montgomery multiplication over raw limb vectors.
-    pub(crate) fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
-        let n = self.width;
-        debug_assert_eq!(a.len(), n);
-        debug_assert_eq!(b.len(), n);
-        let mut t = vec![0u64; n + 2];
-        for &ai in a.iter().take(n) {
+    /// CIOS Montgomery multiplication into a caller-provided output:
+    /// `out = a · b · R⁻¹ mod p`. Scratch lives on the stack; nothing
+    /// allocates.
+    ///
+    /// Works directly on the fixed `[u64; MAX_LIMBS]` backing arrays with
+    /// `n` clamped to [`MAX_LIMBS`], so every index is provably in bounds
+    /// and the checks compile away (the slice-generic kernel in
+    /// [`crate::limbs`] serves the arbitrary-width `modpow` path instead).
+    #[inline]
+    pub fn mont_mul_into(&self, out: &mut Limbs, a: &Limbs, b: &Limbs) {
+        let n = self.width.min(MAX_LIMBS);
+        debug_assert_eq!(a.len(), n, "operand width mismatch");
+        debug_assert_eq!(b.len(), n, "operand width mismatch");
+        let (av, bv, pv) = (&a.buf, &b.buf, &self.p_limbs.buf);
+        let mut t = [0u64; MAX_LIMBS + 2];
+        for &ai in av.iter().take(n) {
             let mut carry = 0u64;
-            for j in 0..n {
-                let (lo, hi) = mac(t[j], ai, b[j], carry);
+            for (j, &bj) in bv.iter().enumerate().take(n) {
+                let (lo, hi) = mac(t[j], ai, bj, carry);
                 t[j] = lo;
                 carry = hi;
             }
@@ -142,9 +201,9 @@ impl FpCtx {
             t[n] = lo;
             t[n + 1] = hi;
             let m = t[0].wrapping_mul(self.n0);
-            let (_, mut carry2) = mac(t[0], m, self.p_limbs[0], 0);
+            let (_, mut carry2) = mac(t[0], m, pv[0], 0);
             for j in 1..n {
-                let (lo, hi) = mac(t[j], m, self.p_limbs[j], carry2);
+                let (lo, hi) = mac(t[j], m, pv[j], carry2);
                 t[j - 1] = lo;
                 carry2 = hi;
             }
@@ -154,30 +213,109 @@ impl FpCtx {
             t[n + 1] = 0;
         }
         let overflow = t[n] != 0;
-        t.truncate(n);
-        if overflow || cmp_slices(&t, &self.p_limbs) != std::cmp::Ordering::Less {
-            sub_assign_slices(&mut t, &self.p_limbs);
+        out.buf[..n].copy_from_slice(&t[..n]);
+        out.len = n;
+        let os = out.as_mut_slice();
+        if overflow || cmp_slices(os, &pv[..n]) != std::cmp::Ordering::Less {
+            sub_assign_slices(os, &pv[..n]);
         }
-        t
+    }
+
+    /// Dedicated Montgomery squaring into a caller-provided output:
+    /// `out = a² · R⁻¹ mod p`, computing roughly half the partial products
+    /// of the general multiply (shared cross products doubled by a one-bit
+    /// shift, then a separated Montgomery reduction).
+    #[inline]
+    pub fn mont_sqr_into(&self, out: &mut Limbs, a: &Limbs) {
+        let n = self.width.min(MAX_LIMBS);
+        debug_assert_eq!(a.len(), n, "operand width mismatch");
+        let (av, pv) = (&a.buf, &self.p_limbs.buf);
+        let mut t = [0u64; 2 * MAX_LIMBS];
+        // Off-diagonal products a_i · a_j for j > i.
+        for i in 0..n {
+            let ai = av[i];
+            let mut carry = 0u64;
+            for j in (i + 1)..n {
+                let (lo, hi) = mac(t[i + j], ai, av[j], carry);
+                t[i + j] = lo;
+                carry = hi;
+            }
+            t[i + n] = carry;
+        }
+        // Single fused pass: double each cross-product limb (one-bit shift
+        // across the buffer) and fold in the diagonal a_i² terms.
+        let mut shift_top = 0u64;
+        let mut add_carry = 0u64;
+        for i in 0..n {
+            let d = t[2 * i];
+            let doubled = (d << 1) | shift_top;
+            shift_top = d >> 63;
+            let (lo, hi) = mac(doubled, av[i], av[i], add_carry);
+            t[2 * i] = lo;
+            let d = t[2 * i + 1];
+            let doubled = (d << 1) | shift_top;
+            shift_top = d >> 63;
+            let (lo, c) = adc(doubled, hi, 0);
+            t[2 * i + 1] = lo;
+            add_carry = c;
+        }
+        // Montgomery-reduce the double-width square.
+        let mut carry2 = 0u64;
+        for i in 0..n {
+            let m = t[i].wrapping_mul(self.n0);
+            let (_, mut carry) = mac(t[i], m, pv[0], 0);
+            for j in 1..n {
+                let (lo, hi) = mac(t[i + j], m, pv[j], carry);
+                t[i + j] = lo;
+                carry = hi;
+            }
+            let (lo, hi) = adc(t[i + n], carry, carry2);
+            t[i + n] = lo;
+            carry2 = hi;
+        }
+        out.buf[..n].copy_from_slice(&t[n..2 * n]);
+        out.len = n;
+        let os = out.as_mut_slice();
+        if carry2 != 0 || cmp_slices(os, &pv[..n]) != std::cmp::Ordering::Less {
+            sub_assign_slices(os, &pv[..n]);
+        }
+    }
+
+    /// By-value Montgomery multiplication ([`Limbs`] is `Copy`, so this is
+    /// still allocation-free).
+    #[inline]
+    pub(crate) fn mont_mul(&self, a: &Limbs, b: &Limbs) -> Limbs {
+        let mut out = Limbs::zero(self.width);
+        self.mont_mul_into(&mut out, a, b);
+        out
+    }
+
+    /// By-value Montgomery squaring.
+    #[inline]
+    pub(crate) fn mont_sqr(&self, a: &Limbs) -> Limbs {
+        let mut out = Limbs::zero(self.width);
+        self.mont_sqr_into(&mut out, a);
+        out
     }
 
     /// Converts a canonical residue (`< p`) into Montgomery form.
-    pub(crate) fn to_mont(&self, v: &BigUint) -> Vec<u64> {
+    pub(crate) fn to_mont(&self, v: &BigUint) -> Limbs {
         debug_assert!(v < &self.p);
-        self.mont_mul(&v.to_fixed_limbs(self.width), &self.r2)
+        self.mont_mul(&Limbs::from_slice(&v.to_fixed_limbs(self.width)), &self.r2)
     }
 
     /// Converts Montgomery-form limbs back to a canonical [`BigUint`].
     #[allow(clippy::wrong_self_convention)] // converts *out of* Montgomery form, needs the ctx
-    pub(crate) fn from_mont(&self, v: &[u64]) -> BigUint {
-        let mut one = vec![0u64; self.width];
-        one[0] = 1;
-        BigUint::from_limbs(self.mont_mul(v, &one))
+    pub(crate) fn from_mont(&self, v: &Limbs) -> BigUint {
+        let mut one = Limbs::zero(self.width);
+        one.as_mut_slice()[0] = 1;
+        BigUint::from_limbs(self.mont_mul(v, &one).as_slice().to_vec())
     }
 
-    /// Montgomery representation of one.
-    pub(crate) fn mont_one(&self) -> Vec<u64> {
-        self.one_mont.clone()
+    /// Montgomery representation of one (borrowed — callers copy only when
+    /// they actually need ownership).
+    pub(crate) fn mont_one(&self) -> &Limbs {
+        &self.one_mont
     }
 }
 
@@ -196,7 +334,7 @@ impl FpCtx {
     pub fn zero(self: &Arc<Self>) -> Fp {
         Fp {
             ctx: Arc::clone(self),
-            v: vec![0u64; self.width],
+            v: Limbs::zero(self.width),
         }
     }
 
@@ -204,7 +342,7 @@ impl FpCtx {
     pub fn one(self: &Arc<Self>) -> Fp {
         Fp {
             ctx: Arc::clone(self),
-            v: self.one_mont.clone(),
+            v: *self.mont_one(),
         }
     }
 
@@ -252,10 +390,13 @@ impl FpCtx {
 }
 
 /// A prime-field element in Montgomery form, bound to its [`FpCtx`].
+///
+/// The limbs live inline ([`Limbs`]); cloning copies a stack buffer and
+/// bumps the context's `Arc` refcount — no field operation allocates.
 #[derive(Clone)]
 pub struct Fp {
     ctx: Arc<FpCtx>,
-    v: Vec<u64>,
+    v: Limbs,
 }
 
 impl Fp {
@@ -273,7 +414,7 @@ impl Fp {
 
     /// True iff zero.
     pub fn is_zero(&self) -> bool {
-        self.v.iter().all(|&l| l == 0)
+        self.v.is_zero()
     }
 
     /// True iff one.
@@ -286,48 +427,82 @@ impl Fp {
         self.ctx.from_mont(&self.v)
     }
 
-    /// Addition modulo p.
-    pub fn add(&self, other: &Fp) -> Fp {
+    /// In-place addition modulo p: `self += other`.
+    #[inline]
+    pub fn add_assign(&mut self, other: &Fp) {
         self.check_ctx(other);
-        let mut out = self.v.clone();
-        let carry = crate::limbs::add_assign_slices(&mut out, &other.v);
-        if carry != 0 || cmp_slices(&out, &self.ctx.p_limbs) != std::cmp::Ordering::Less {
-            sub_assign_slices(&mut out, &self.ctx.p_limbs);
+        let p = &self.ctx.p_limbs;
+        let out = self.v.as_mut_slice();
+        let carry = add_assign_slices(out, other.v.as_slice());
+        if carry != 0 || cmp_slices(out, p.as_slice()) != std::cmp::Ordering::Less {
+            sub_assign_slices(out, p.as_slice());
         }
-        Fp {
-            ctx: Arc::clone(&self.ctx),
-            v: out,
+    }
+
+    /// In-place subtraction modulo p: `self -= other`.
+    #[inline]
+    pub fn sub_assign(&mut self, other: &Fp) {
+        self.check_ctx(other);
+        let p = &self.ctx.p_limbs;
+        let out = self.v.as_mut_slice();
+        let borrow = sub_assign_slices(out, other.v.as_slice());
+        if borrow != 0 {
+            add_assign_slices(out, p.as_slice());
         }
+    }
+
+    /// In-place negation modulo p: `self = -self`.
+    #[inline]
+    pub fn neg_assign(&mut self) {
+        if self.is_zero() {
+            return;
+        }
+        let mut out = self.ctx.p_limbs;
+        sub_assign_slices(out.as_mut_slice(), self.v.as_slice());
+        self.v = out;
+    }
+
+    /// In-place multiplication modulo p: `self *= other`.
+    #[inline]
+    pub fn mul_assign(&mut self, other: &Fp) {
+        self.check_ctx(other);
+        let v = self.v;
+        self.ctx.mont_mul_into(&mut self.v, &v, &other.v);
+    }
+
+    /// In-place squaring modulo p (dedicated squaring kernel).
+    #[inline]
+    pub fn square_assign(&mut self) {
+        let v = self.v;
+        self.ctx.mont_sqr_into(&mut self.v, &v);
+    }
+
+    /// Addition modulo p.
+    #[inline]
+    pub fn add(&self, other: &Fp) -> Fp {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
     }
 
     /// Subtraction modulo p.
+    #[inline]
     pub fn sub(&self, other: &Fp) -> Fp {
-        self.check_ctx(other);
-        let mut out = self.v.clone();
-        let borrow = sub_assign_slices(&mut out, &other.v);
-        if borrow != 0 {
-            crate::limbs::add_assign_slices(&mut out, &self.ctx.p_limbs);
-        }
-        Fp {
-            ctx: Arc::clone(&self.ctx),
-            v: out,
-        }
+        let mut out = self.clone();
+        out.sub_assign(other);
+        out
     }
 
     /// Negation modulo p.
+    #[inline]
     pub fn neg(&self) -> Fp {
-        if self.is_zero() {
-            return self.clone();
-        }
-        let mut out = self.ctx.p_limbs.clone();
-        sub_assign_slices(&mut out, &self.v);
-        Fp {
-            ctx: Arc::clone(&self.ctx),
-            v: out,
-        }
+        let mut out = self.clone();
+        out.neg_assign();
+        out
     }
 
     /// Multiplication modulo p.
+    #[inline]
     pub fn mul(&self, other: &Fp) -> Fp {
         self.check_ctx(other);
         Fp {
@@ -336,11 +511,13 @@ impl Fp {
         }
     }
 
-    /// Squaring modulo p.
+    /// Squaring modulo p, via the dedicated CIOS squaring kernel (~½ the
+    /// partial products of a general multiply).
+    #[inline]
     pub fn square(&self) -> Fp {
         Fp {
             ctx: Arc::clone(&self.ctx),
-            v: self.ctx.mont_mul(&self.v, &self.v),
+            v: self.ctx.mont_sqr(&self.v),
         }
     }
 
@@ -361,38 +538,50 @@ impl Fp {
         let mut k = k;
         while k > 0 {
             if k & 1 == 1 {
-                acc = acc.add(&base);
+                acc.add_assign(&base);
             }
-            base = base.double();
+            let b = base.clone();
+            base.add_assign(&b);
             k >>= 1;
         }
         acc
     }
 
     /// Halving: multiplies by the inverse of 2 (exact since p is odd).
+    ///
+    /// Works directly on the Montgomery limbs: `(v + p)/2` when `v` is
+    /// odd, `v/2` otherwise — division by two commutes with the
+    /// Montgomery scaling.
     pub fn halve(&self) -> Fp {
-        let n = self.to_biguint();
-        let half = if n.is_even() {
-            n.shr(1)
-        } else {
-            (&n + self.ctx.modulus()).shr(1)
-        };
-        self.ctx.from_biguint(&half)
+        let mut out = self.clone();
+        let v = out.v.as_mut_slice();
+        let mut top = 0u64;
+        if v[0] & 1 == 1 {
+            top = add_assign_slices(v, self.ctx.p_limbs.as_slice());
+        }
+        for limb in v.iter_mut().rev() {
+            let next_top = *limb & 1;
+            *limb = (*limb >> 1) | (top << 63);
+            top = next_top;
+        }
+        out
     }
 
     /// Exponentiation by an arbitrary [`BigUint`] exponent.
     pub fn pow(&self, e: &BigUint) -> Fp {
         let mut acc = self.ctx.one();
         for i in (0..e.bits()).rev() {
-            acc = acc.square();
+            acc.square_assign();
             if e.bit(i) {
-                acc = acc.mul(self);
+                acc.mul_assign(self);
             }
         }
         acc
     }
 
     /// Multiplicative inverse via Fermat's little theorem (`x^(p-2)`).
+    ///
+    /// For many inversions at once, prefer [`Fp::batch_invert`].
     ///
     /// # Panics
     ///
@@ -401,8 +590,38 @@ impl Fp {
     /// a provably non-zero Miller value).
     pub fn invert(&self) -> Fp {
         assert!(!self.is_zero(), "inversion of zero");
-        let e = self.ctx.p_minus_2.clone();
-        self.pow(&e)
+        self.pow(&self.ctx.p_minus_2)
+    }
+
+    /// Inverts every element of a slice in place using Montgomery's trick:
+    /// one field inversion plus `3(n−1)` multiplications, instead of `n`
+    /// Fermat exponentiations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is zero (same contract as [`Fp::invert`]), or
+    /// if elements come from different field contexts.
+    pub fn batch_invert(elems: &mut [Fp]) {
+        let Some(first) = elems.first() else {
+            return;
+        };
+        let ctx = Arc::clone(first.ctx());
+        // prefix[i] = elems[0] · … · elems[i-1]
+        let mut prefix = Vec::with_capacity(elems.len());
+        let mut acc = ctx.one();
+        for e in elems.iter() {
+            assert!(!e.is_zero(), "inversion of zero");
+            prefix.push(acc.clone());
+            acc.mul_assign(e);
+        }
+        // acc = (Π elems)⁻¹; peel off one element per step from the back.
+        let mut inv = acc.invert();
+        for (e, pre) in elems.iter_mut().zip(prefix.iter()).rev() {
+            let mut out = inv.clone();
+            out.mul_assign(pre);
+            inv.mul_assign(e);
+            *e = out;
+        }
     }
 
     /// Square root via Tonelli–Shanks, `None` for quadratic non-residues.
@@ -441,17 +660,17 @@ impl Fp {
             let mut i = 0usize;
             let mut t2 = t.clone();
             while !t2.is_one() {
-                t2 = t2.square();
+                t2.square_assign();
                 i += 1;
             }
             let mut b = c;
             for _ in 0..m - i - 1 {
-                b = b.square();
+                b.square_assign();
             }
             m = i;
             c = b.square();
-            t = &t * &c;
-            r = &r * &b;
+            t.mul_assign(&c);
+            r.mul_assign(&b);
         }
         debug_assert_eq!(r.square(), *self);
         Some(r)
@@ -526,6 +745,24 @@ impl std::ops::Neg for &Fp {
     }
 }
 
+impl std::ops::AddAssign<&Fp> for Fp {
+    fn add_assign(&mut self, rhs: &Fp) {
+        Fp::add_assign(self, rhs);
+    }
+}
+
+impl std::ops::SubAssign<&Fp> for Fp {
+    fn sub_assign(&mut self, rhs: &Fp) {
+        Fp::sub_assign(self, rhs);
+    }
+}
+
+impl std::ops::MulAssign<&Fp> for Fp {
+    fn mul_assign(&mut self, rhs: &Fp) {
+        Fp::mul_assign(self, rhs);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -550,6 +787,25 @@ mod tests {
             FieldCtxError::NotPrime
         );
         assert!(FpCtx::new(BigUint::from_u64(1_000_000_007)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "limbs")]
+    fn construction_rejects_wide_moduli() {
+        // 11 limbs > MAX_LIMBS: hot-path contexts refuse; BigUint::modpow
+        // handles such moduli instead.
+        let p = BigUint::one().shl(64 * 10 + 5);
+        let p = &p + &BigUint::from_u64(3);
+        let _ = FpCtx::new_unchecked(p);
+    }
+
+    #[test]
+    fn checked_construction_errors_on_wide_moduli() {
+        // The Result-returning constructor must report TooWide instead of
+        // panicking (and before paying for a Miller–Rabin run).
+        let p = BigUint::one().shl(64 * 10 + 5);
+        let p = &p + &BigUint::from_u64(3);
+        assert_eq!(FpCtx::new(p).unwrap_err(), FieldCtxError::TooWide);
     }
 
     #[test]
@@ -581,12 +837,74 @@ mod tests {
     }
 
     #[test]
+    fn square_matches_mul() {
+        let c = ctx();
+        for seed in 0..32u64 {
+            let a = c.sample(seed);
+            assert_eq!(a.square(), &a * &a, "seed {seed}");
+        }
+        // Edge values where the squaring kernel's reduction is exercised.
+        assert_eq!(c.zero().square(), c.zero());
+        assert_eq!(c.one().square(), c.one());
+        let pm1 = c.from_biguint(&c.modulus().checked_sub(&BigUint::one()).unwrap());
+        assert_eq!(pm1.square(), c.one());
+    }
+
+    #[test]
+    fn assign_ops_match_value_ops() {
+        let c = ctx();
+        for seed in 0..8u64 {
+            let a = c.sample(seed);
+            let b = c.sample(seed + 77);
+            let mut x = a.clone();
+            x.add_assign(&b);
+            assert_eq!(x, &a + &b);
+            let mut x = a.clone();
+            x.sub_assign(&b);
+            assert_eq!(x, &a - &b);
+            let mut x = a.clone();
+            x.mul_assign(&b);
+            assert_eq!(x, &a * &b);
+            let mut x = a.clone();
+            x.neg_assign();
+            assert_eq!(x, -&a);
+            let mut x = a.clone();
+            x.square_assign();
+            assert_eq!(x, a.square());
+        }
+    }
+
+    #[test]
     fn inversion_and_fermat() {
         let c = ctx();
         for seed in 1..8u64 {
             let a = c.sample(seed);
             assert_eq!(&a * &a.invert(), c.one());
         }
+    }
+
+    #[test]
+    fn batch_invert_matches_individual() {
+        let c = ctx();
+        let mut batch: Vec<Fp> = (1..20u64).map(|s| c.sample(s)).collect();
+        let individual: Vec<Fp> = batch.iter().map(Fp::invert).collect();
+        Fp::batch_invert(&mut batch);
+        assert_eq!(batch, individual);
+        // Degenerate sizes.
+        let mut empty: Vec<Fp> = vec![];
+        Fp::batch_invert(&mut empty);
+        let mut single = vec![c.sample(5)];
+        let expect = single[0].invert();
+        Fp::batch_invert(&mut single);
+        assert_eq!(single[0], expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "inversion of zero")]
+    fn batch_invert_zero_panics() {
+        let c = ctx();
+        let mut batch = vec![c.one(), c.zero()];
+        Fp::batch_invert(&mut batch);
     }
 
     #[test]
@@ -605,6 +923,18 @@ mod tests {
         assert_eq!(a.mul_small(5), &a.double().double() + &a);
         assert_eq!(a.halve().double(), a);
         assert_eq!(c.from_i64(-1), -&c.one());
+    }
+
+    #[test]
+    fn halve_limb_path_matches_reference() {
+        let c = ctx();
+        let inv2 = c.from_u64(2).invert();
+        for seed in 0..16u64 {
+            let a = c.sample(seed);
+            assert_eq!(a.halve(), &a * &inv2, "seed {seed}");
+        }
+        assert_eq!(c.zero().halve(), c.zero());
+        assert_eq!(c.one().halve().double(), c.one());
     }
 
     #[test]

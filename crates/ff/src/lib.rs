@@ -4,13 +4,16 @@
 //!
 //! - [`BigUint`] / [`BigInt`] — arbitrary-precision integers for parameter
 //!   synthesis, exponent computation, and primality testing;
-//! - [`FpCtx`] / [`Fp`] — prime fields in Montgomery (CIOS) form;
+//! - [`FpCtx`] / [`Fp`] — prime fields in Montgomery (CIOS) form with
+//!   inline fixed-capacity limb storage ([`Limbs`], capacity
+//!   [`MAX_LIMBS`]), so every hot-path operation is allocation-free;
 //! - [`tower`] — the extension-field towers F_p → F_p^2 → F_p^(k/6) →
 //!   F_p^k used by optimal Ate pairings, including Frobenius maps,
 //!   cyclotomic squaring and generic Tonelli–Shanks square roots.
 //!
-//! Everything is built from scratch (no external bignum), dynamically sized
-//! so a single code path serves every curve from BN254 to BLS24-509.
+//! Everything is built from scratch (no external bignum); one code path
+//! serves every curve from BN254 to BLS24-509, with element widths fixed
+//! at field-context construction (at most [`MAX_LIMBS`] limbs).
 //!
 //! ```
 //! use finesse_ff::{BigUint, FpCtx};
@@ -31,4 +34,5 @@ pub mod tower;
 pub use bigint::BigInt;
 pub use biguint::{BigUint, ParseBigUintError};
 pub use fp::{FieldCtxError, Fp, FpCtx};
+pub use limbs::{Limbs, MAX_LIMBS};
 pub use tower::{Fpk, Fq, TowerCtx, TowerError};

@@ -1,8 +1,112 @@
 //! Low-level 64-bit limb primitives shared by [`crate::BigUint`] and the
 //! Montgomery arithmetic in [`crate::fp`].
 //!
-//! All helpers are branch-free single-limb steps; multi-limb loops live with
-//! their callers so each algorithm stays readable in one place.
+//! Two layers live here:
+//!
+//! * branch-free single-limb steps ([`adc`], [`sbb`], [`mac`]) plus the
+//!   slice-level Montgomery multiply ([`cios_mont_mul`]) that works on
+//!   caller-provided buffers of any width (used by `BigUint::modpow` for
+//!   arbitrary odd moduli);
+//! * [`Limbs`], the fixed-capacity inline limb store sized by
+//!   [`MAX_LIMBS`] that the hot field arithmetic in [`crate::fp`] is built
+//!   on — a plain value type, so no field operation ever touches the heap.
+//!   The width-capped kernels themselves (including the dedicated
+//!   squaring) live in [`crate::fp`], specialised over the fixed arrays.
+
+/// Maximum limb count of any supported prime field: the largest Table-2
+/// curves (BN638, BLS12-638) have 638-bit primes, i.e. ten 64-bit limbs.
+///
+/// [`crate::FpCtx`] rejects wider moduli at construction; arbitrary-width
+/// modular arithmetic stays with [`crate::BigUint`].
+pub const MAX_LIMBS: usize = 10;
+
+/// A fixed-capacity little-endian limb vector with inline storage.
+///
+/// `Limbs` is `Copy`: moving or cloning one is a stack copy, never an
+/// allocation. The active width `len` is set once from the field context
+/// and preserved by every kernel, so equal-width invariants hold by
+/// construction.
+#[derive(Clone, Copy)]
+pub struct Limbs {
+    /// Backing store; limbs past `len` are zero. Crate-visible so the
+    /// Montgomery kernels in [`crate::fp`] can index the fixed-size array
+    /// directly (bounds provably inside `MAX_LIMBS`, so the checks fold
+    /// away) instead of going through runtime-length slices.
+    pub(crate) buf: [u64; MAX_LIMBS],
+    pub(crate) len: usize,
+}
+
+impl Limbs {
+    /// All-zero value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > MAX_LIMBS`.
+    #[inline]
+    pub fn zero(len: usize) -> Self {
+        assert!(len <= MAX_LIMBS, "width {len} exceeds MAX_LIMBS");
+        Limbs {
+            buf: [0u64; MAX_LIMBS],
+            len,
+        }
+    }
+
+    /// Copies a slice (the slice length becomes the active width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is longer than [`MAX_LIMBS`].
+    #[inline]
+    pub fn from_slice(s: &[u64]) -> Self {
+        let mut out = Self::zero(s.len());
+        out.buf[..s.len()].copy_from_slice(s);
+        out
+    }
+
+    /// Active limbs as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.buf[..self.len]
+    }
+
+    /// Active limbs as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u64] {
+        &mut self.buf[..self.len]
+    }
+
+    /// Active width in limbs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the width is zero (never the case for field elements).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True iff every active limb is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.as_slice().iter().all(|&l| l == 0)
+    }
+}
+
+impl PartialEq for Limbs {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Limbs {}
+
+impl core::fmt::Debug for Limbs {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
 
 /// Add with carry: computes `a + b + carry`, returning `(sum, carry_out)`.
 ///
@@ -90,6 +194,48 @@ pub fn mont_neg_inv(m: u64) -> u64 {
     inv.wrapping_neg()
 }
 
+/// CIOS (coarsely integrated operand scanning) Montgomery multiplication:
+/// `out = a · b · R⁻¹ mod p` with `R = 2^(64n)`, fully reduced.
+///
+/// `t` is caller-provided scratch of length `n + 2` (`BigUint::modpow`
+/// reuses a `Vec` across its ladder). All of `out`, `a`, `b`, `p` have
+/// length `n`.
+pub fn cios_mont_mul(out: &mut [u64], a: &[u64], b: &[u64], p: &[u64], n0: u64, t: &mut [u64]) {
+    let n = p.len();
+    debug_assert_eq!(a.len(), n);
+    debug_assert_eq!(b.len(), n);
+    debug_assert_eq!(out.len(), n);
+    debug_assert_eq!(t.len(), n + 2);
+    t.fill(0);
+    for &ai in a.iter().take(n) {
+        let mut carry = 0u64;
+        for j in 0..n {
+            let (lo, hi) = mac(t[j], ai, b[j], carry);
+            t[j] = lo;
+            carry = hi;
+        }
+        let (lo, hi) = adc(t[n], carry, 0);
+        t[n] = lo;
+        t[n + 1] = hi;
+        let m = t[0].wrapping_mul(n0);
+        let (_, mut carry2) = mac(t[0], m, p[0], 0);
+        for j in 1..n {
+            let (lo, hi) = mac(t[j], m, p[j], carry2);
+            t[j - 1] = lo;
+            carry2 = hi;
+        }
+        let (lo, hi) = adc(t[n], carry2, 0);
+        t[n - 1] = lo;
+        t[n] = t[n + 1] + hi;
+        t[n + 1] = 0;
+    }
+    let overflow = t[n] != 0;
+    out.copy_from_slice(&t[..n]);
+    if overflow || cmp_slices(out, p) != core::cmp::Ordering::Less {
+        sub_assign_slices(out, p);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +276,49 @@ mod tests {
     #[should_panic(expected = "odd")]
     fn neg_inv_rejects_even() {
         mont_neg_inv(2);
+    }
+
+    #[test]
+    fn cios_mont_mul_roundtrips_montgomery_form() {
+        // 3-limb odd modulus: mont_mul(to_mont(x), 1) recovers x, i.e. the
+        // slice kernel agrees with the R-scaling identities it implements.
+        let p = [0xFFFF_FFFF_FFFF_FFC5u64, 0xDEAD_BEEF_1234_5677, 0x7FFF];
+        let n0 = mont_neg_inv(p[0]);
+        let mut x = [0x1234_5678_9ABC_DEF0u64, 0x0FED_CBA9_8765_4321, 0x4321];
+        x[2] %= p[2]; // reduce below p (top limb smaller)
+                      // r2 = R² mod p computed via BigUint for the 3-limb modulus.
+        let pb = crate::BigUint::from_limbs(p.to_vec());
+        let r2v = crate::BigUint::one()
+            .shl(128 * 3)
+            .rem(&pb)
+            .to_fixed_limbs(3);
+        let mut scratch = [0u64; 5];
+        let mut xm = [0u64; 3];
+        cios_mont_mul(&mut xm, &x, &r2v, &p, n0, &mut scratch);
+        let one = [1u64, 0, 0];
+        let mut back = [0u64; 3];
+        cios_mont_mul(&mut back, &xm, &one, &p, n0, &mut scratch);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn limbs_value_type_basics() {
+        let a = Limbs::from_slice(&[1, 2, 3]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.as_slice(), &[1, 2, 3]);
+        assert!(!a.is_zero() && !a.is_empty());
+        let z = Limbs::zero(3);
+        assert!(z.is_zero());
+        assert_ne!(a, z);
+        let mut b = a;
+        b.as_mut_slice()[0] = 9;
+        assert_ne!(a, b, "copies are independent");
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_LIMBS")]
+    fn limbs_reject_overwide() {
+        let _ = Limbs::zero(MAX_LIMBS + 1);
     }
 
     #[test]

@@ -33,45 +33,78 @@ const MAX_FROB: usize = 6;
 /// An element of the twist field F_q (q = p² or p⁴), stored as `k/6`
 /// base-field coefficients:
 ///
-/// * `qdeg == 2`: `c = [a0, a1]` meaning `a0 + a1·u`;
-/// * `qdeg == 4`: `c = [a00, a01, a10, a11]` meaning
+/// * `qdeg == 2`: coefficients `[a0, a1]` meaning `a0 + a1·u`;
+/// * `qdeg == 4`: coefficients `[a00, a01, a10, a11]` meaning
 ///   `(a00 + a01·u) + (a10 + a11·u)·v`.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Storage is a fixed inline array sized for the widest tower (qdeg 4);
+/// qdeg-2 elements pad the tail with zeros, so cloning an `Fq` never
+/// allocates (each [`Fp`] coefficient is itself inline-limb).
+#[derive(Clone)]
 pub struct Fq {
-    c: Vec<Fp>,
+    c: [Fp; 4],
+    len: usize,
 }
 
 impl Fq {
-    /// Coefficients over F_p in tower order.
+    /// Coefficients over F_p in tower order (exactly `k/6` entries).
     pub fn coeffs(&self) -> &[Fp] {
-        &self.c
+        &self.c[..self.len]
     }
 
     /// Constructs from base-field coefficients.
     ///
     /// # Panics
     ///
-    /// Panics if the coefficient count is not the tower's `k/6`.
+    /// Panics if the coefficient count is not a tower's `k/6` (2 or 4).
     pub fn from_coeffs(c: Vec<Fp>) -> Self {
-        assert!(
-            c.len() == 2 || c.len() == 4,
-            "Fq must have 2 or 4 coefficients"
-        );
-        Fq { c }
+        match <[Fp; 4]>::try_from(c) {
+            Ok(four) => Self::new4(four),
+            Err(c) => {
+                assert_eq!(c.len(), 2, "Fq must have 2 or 4 coefficients");
+                let mut it = c.into_iter();
+                let (c0, c1) = (it.next().unwrap(), it.next().unwrap());
+                Self::new2(c0, c1)
+            }
+        }
+    }
+
+    /// qdeg-2 element (zero-padded tail).
+    fn new2(c0: Fp, c1: Fp) -> Self {
+        let z = c0.ctx().zero();
+        Fq {
+            c: [c0, c1, z.clone(), z],
+            len: 2,
+        }
+    }
+
+    /// qdeg-4 element.
+    fn new4(c: [Fp; 4]) -> Self {
+        Fq { c, len: 4 }
     }
 }
 
+impl PartialEq for Fq {
+    fn eq(&self, other: &Self) -> bool {
+        self.coeffs() == other.coeffs()
+    }
+}
+
+impl Eq for Fq {}
+
 impl fmt::Debug for Fq {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Fq{:?}", self.c)
+        write!(f, "Fq{:?}", self.coeffs())
     }
 }
 
 /// An element of the pairing target field F_p^k, as six F_q coefficients in
 /// `w`-power order: `self = Σ c[m]·w^m`, `w⁶ = ξ`.
+///
+/// Stored as a fixed inline array — an `Fpk` value owns no heap memory.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Fpk {
-    c: Vec<Fq>,
+    c: [Fq; 6],
 }
 
 impl Fpk {
@@ -86,14 +119,16 @@ impl Fpk {
     ///
     /// Panics unless exactly six coefficients are given.
     pub fn from_coeffs(c: Vec<Fq>) -> Self {
-        assert_eq!(c.len(), 6, "Fpk must have 6 coefficients over Fq");
+        let c: [Fq; 6] = c
+            .try_into()
+            .unwrap_or_else(|v: Vec<Fq>| panic!("Fpk needs 6 coefficients, got {}", v.len()));
         Fpk { c }
     }
 }
 
 impl fmt::Debug for Fpk {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Fpk{:?}", self.c)
+        write!(f, "Fpk{:?}", &self.c[..])
     }
 }
 
@@ -224,7 +259,7 @@ impl TowerCtx {
             qdeg,
             beta,
             xi2,
-            xi: Fq { c: xi },
+            xi: Fq::from_coeffs(xi),
             u_frob: Vec::new(),
             v_frob: Vec::new(),
             w_frob: Vec::new(),
@@ -247,14 +282,13 @@ impl TowerCtx {
             }
         }
         let qm1 = ctx.q.checked_sub(&BigUint::one()).unwrap();
-        let xi = ctx.xi.clone();
-        let sq = ctx.fq_pow(&xi, &qm1.shr(1));
+        let sq = ctx.fq_pow(&ctx.xi, &qm1.shr(1));
         if ctx.fq_is_one(&sq) {
             return Err(TowerError::ReducibleSextic);
         }
         let (third, rem) = qm1.divrem(&BigUint::from_u64(3));
         debug_assert!(rem.is_zero(), "3 | q - 1 since p = 1 mod 6");
-        let cb = ctx.fq_pow(&xi, &third);
+        let cb = ctx.fq_pow(&ctx.xi, &third);
         if ctx.fq_is_one(&cb) {
             return Err(TowerError::ReducibleSextic);
         }
@@ -272,8 +306,7 @@ impl TowerCtx {
                 v_frob.push((ctx.fp.one(), ctx.fp.zero()));
             }
             let sixth = pj_m1.divrem(&BigUint::from_u64(6)).0;
-            let xi = ctx.xi.clone();
-            w_frob.push(ctx.fq_pow(&xi, &sixth));
+            w_frob.push(ctx.fq_pow(&ctx.xi, &sixth));
         }
         ctx.u_frob = u_frob;
         ctx.v_frob = v_frob;
@@ -400,10 +433,9 @@ impl TowerCtx {
     }
 
     fn fp2_frob(&self, a: &(Fp, Fp), j: usize) -> (Fp, Fp) {
-        (
-            a.0.clone(),
-            &a.1 * &self.u_frob[j % self.u_frob.len().max(1)],
-        )
+        let mut c1 = a.1.clone();
+        c1.mul_assign(&self.u_frob[j]);
+        (a.0.clone(), c1)
     }
 
     // ------------------------------------------------------------------
@@ -412,8 +444,10 @@ impl TowerCtx {
 
     /// The zero of F_q.
     pub fn fq_zero(&self) -> Fq {
+        let z = self.fp.zero();
         Fq {
-            c: (0..self.qdeg).map(|_| self.fp.zero()).collect(),
+            c: [z.clone(), z.clone(), z.clone(), z],
+            len: self.qdeg,
         }
     }
 
@@ -433,45 +467,52 @@ impl TowerCtx {
 
     /// Deterministically samples an F_q element (for tests and vectors).
     pub fn fq_sample(&self, seed: u64) -> Fq {
-        Fq {
-            c: (0..self.qdeg as u64)
-                .map(|i| {
-                    self.fp
-                        .sample(seed.wrapping_mul(0x9E37).wrapping_add(i * 0x1234_5678_9ABC))
-                })
-                .collect(),
+        let mut out = self.fq_zero();
+        for (i, c) in out.c[..out.len].iter_mut().enumerate() {
+            *c = self.fp.sample(
+                seed.wrapping_mul(0x9E37)
+                    .wrapping_add(i as u64 * 0x1234_5678_9ABC),
+            );
         }
+        out
     }
 
     /// True iff zero.
     pub fn fq_is_zero(&self, a: &Fq) -> bool {
-        a.c.iter().all(Fp::is_zero)
+        a.coeffs().iter().all(Fp::is_zero)
     }
 
     /// True iff one.
     pub fn fq_is_one(&self, a: &Fq) -> bool {
-        a.c[0].is_one() && a.c[1..].iter().all(Fp::is_zero)
+        let c = a.coeffs();
+        c[0].is_one() && c[1..].iter().all(Fp::is_zero)
     }
 
-    /// Addition in F_q.
+    /// Addition in F_q (coefficient-wise, in place on a copy).
     pub fn fq_add(&self, a: &Fq, b: &Fq) -> Fq {
-        Fq {
-            c: a.c.iter().zip(&b.c).map(|(x, y)| x + y).collect(),
+        let mut out = a.clone();
+        for (x, y) in out.c[..out.len].iter_mut().zip(b.coeffs()) {
+            x.add_assign(y);
         }
+        out
     }
 
     /// Subtraction in F_q.
     pub fn fq_sub(&self, a: &Fq, b: &Fq) -> Fq {
-        Fq {
-            c: a.c.iter().zip(&b.c).map(|(x, y)| x - y).collect(),
+        let mut out = a.clone();
+        for (x, y) in out.c[..out.len].iter_mut().zip(b.coeffs()) {
+            x.sub_assign(y);
         }
+        out
     }
 
     /// Negation in F_q.
     pub fn fq_neg(&self, a: &Fq) -> Fq {
-        Fq {
-            c: a.c.iter().map(|x| -x).collect(),
+        let mut out = a.clone();
+        for x in out.c[..out.len].iter_mut() {
+            x.neg_assign();
         }
+        out
     }
 
     /// Doubling in F_q.
@@ -487,9 +528,7 @@ impl TowerCtx {
     }
 
     fn fq_from_fp4(x0: (Fp, Fp), x1: (Fp, Fp)) -> Fq {
-        Fq {
-            c: vec![x0.0, x0.1, x1.0, x1.1],
-        }
+        Fq::new4([x0.0, x0.1, x1.0, x1.1])
     }
 
     /// Multiplication in F_q.
@@ -500,7 +539,7 @@ impl TowerCtx {
                     &(a.c[0].clone(), a.c[1].clone()),
                     &(b.c[0].clone(), b.c[1].clone()),
                 );
-                Fq { c: vec![c0, c1] }
+                Fq::new2(c0, c1)
             }
             4 => {
                 let (a0, a1) = Self::as_fp4(a);
@@ -524,7 +563,7 @@ impl TowerCtx {
         match self.qdeg {
             2 => {
                 let (c0, c1) = self.fp2_sqr(&(a.c[0].clone(), a.c[1].clone()));
-                Fq { c: vec![c0, c1] }
+                Fq::new2(c0, c1)
             }
             4 => {
                 let (a0, a1) = Self::as_fp4(a);
@@ -553,7 +592,7 @@ impl TowerCtx {
         match self.qdeg {
             2 => {
                 let (c0, c1) = self.fp2_inv(&(a.c[0].clone(), a.c[1].clone()));
-                Fq { c: vec![c0, c1] }
+                Fq::new2(c0, c1)
             }
             4 => {
                 let (a0, a1) = Self::as_fp4(a);
@@ -572,23 +611,26 @@ impl TowerCtx {
 
     /// Scales an F_q element by an F_p scalar.
     pub fn fq_mul_fp(&self, a: &Fq, s: &Fp) -> Fq {
-        Fq {
-            c: a.c.iter().map(|x| x * s).collect(),
+        let mut out = a.clone();
+        for x in out.c[..out.len].iter_mut() {
+            x.mul_assign(s);
         }
+        out
     }
 
     /// Multiplies by a small non-negative integer.
     pub fn fq_mul_small(&self, a: &Fq, k: u64) -> Fq {
-        Fq {
-            c: a.c.iter().map(|x| x.mul_small(k)).collect(),
+        let mut out = a.clone();
+        for x in out.c[..out.len].iter_mut() {
+            *x = x.mul_small(k);
         }
+        out
     }
 
     /// Multiplies by the sextic non-residue ξ (the IR `adj` operation at
     /// the F_q level).
     pub fn fq_mul_xi(&self, a: &Fq) -> Fq {
-        let xi = self.xi.clone();
-        self.fq_mul(a, &xi)
+        self.fq_mul(a, &self.xi)
     }
 
     /// `j`-fold Frobenius `a ↦ a^(p^j)` in F_q.
@@ -604,8 +646,10 @@ impl TowerCtx {
         assert!(j <= MAX_FROB, "frobenius power out of precomputed range");
         match self.qdeg {
             2 => {
-                let r = self.fp2_frob(&(a.c[0].clone(), a.c[1].clone()), j);
-                Fq { c: vec![r.0, r.1] }
+                // In place on a copy: only the odd coefficient changes.
+                let mut out = a.clone();
+                out.c[1].mul_assign(&self.u_frob[j]);
+                out
             }
             4 => {
                 let (a0, a1) = Self::as_fp4(a);
@@ -791,7 +835,7 @@ impl TowerCtx {
         let [e0, e1, e2] = even;
         let [o0, o1, o2] = odd;
         Fpk {
-            c: vec![e0, o0, e1, o1, e2, o2],
+            c: [e0, o0, e1, o1, e2, o2],
         }
     }
 
@@ -802,7 +846,7 @@ impl TowerCtx {
     /// The zero of F_p^k.
     pub fn fpk_zero(&self) -> Fpk {
         Fpk {
-            c: (0..6).map(|_| self.fq_zero()).collect(),
+            c: std::array::from_fn(|_| self.fq_zero()),
         }
     }
 
@@ -827,19 +871,16 @@ impl TowerCtx {
     /// recovers the sparsity (§4.3 of the paper).
     pub fn fpk_from_sparse(&self, coeffs: [Option<Fq>; 6]) -> Fpk {
         Fpk {
-            c: coeffs
-                .into_iter()
-                .map(|c| c.unwrap_or_else(|| self.fq_zero()))
-                .collect(),
+            c: coeffs.map(|c| c.unwrap_or_else(|| self.fq_zero())),
         }
     }
 
     /// Deterministically samples an element (tests/vectors).
     pub fn fpk_sample(&self, seed: u64) -> Fpk {
         Fpk {
-            c: (0..6u64)
-                .map(|i| self.fq_sample(seed ^ (i.wrapping_mul(0xABCD_EF01_2345))))
-                .collect(),
+            c: std::array::from_fn(|i| {
+                self.fq_sample(seed ^ ((i as u64).wrapping_mul(0xABCD_EF01_2345)))
+            }),
         }
     }
 
@@ -856,29 +897,21 @@ impl TowerCtx {
     /// Addition.
     pub fn fpk_add(&self, a: &Fpk, b: &Fpk) -> Fpk {
         Fpk {
-            c: a.c
-                .iter()
-                .zip(&b.c)
-                .map(|(x, y)| self.fq_add(x, y))
-                .collect(),
+            c: std::array::from_fn(|m| self.fq_add(&a.c[m], &b.c[m])),
         }
     }
 
     /// Subtraction.
     pub fn fpk_sub(&self, a: &Fpk, b: &Fpk) -> Fpk {
         Fpk {
-            c: a.c
-                .iter()
-                .zip(&b.c)
-                .map(|(x, y)| self.fq_sub(x, y))
-                .collect(),
+            c: std::array::from_fn(|m| self.fq_sub(&a.c[m], &b.c[m])),
         }
     }
 
     /// Negation.
     pub fn fpk_neg(&self, a: &Fpk) -> Fpk {
         Fpk {
-            c: a.c.iter().map(|x| self.fq_neg(x)).collect(),
+            c: std::array::from_fn(|m| self.fq_neg(&a.c[m])),
         }
     }
 
@@ -915,17 +948,13 @@ impl TowerCtx {
     /// For elements in the cyclotomic subgroup this is the inverse.
     pub fn fpk_conj(&self, a: &Fpk) -> Fpk {
         Fpk {
-            c: a.c
-                .iter()
-                .enumerate()
-                .map(|(m, x)| {
-                    if m % 2 == 1 {
-                        self.fq_neg(x)
-                    } else {
-                        x.clone()
-                    }
-                })
-                .collect(),
+            c: std::array::from_fn(|m| {
+                if m % 2 == 1 {
+                    self.fq_neg(&a.c[m])
+                } else {
+                    a.c[m].clone()
+                }
+            }),
         }
     }
 
@@ -953,22 +982,22 @@ impl TowerCtx {
     /// Panics if `j > 6` (precomputed-constant range).
     pub fn fpk_frob(&self, a: &Fpk, j: usize) -> Fpk {
         assert!(j <= MAX_FROB, "frobenius power out of precomputed range");
-        let mut out = Vec::with_capacity(6);
-        for (m, x) in a.c.iter().enumerate() {
-            let mut y = self.fq_frob_raw(x, j);
-            // multiply by ξ^(m (p^j − 1)/6) = w_frob[j]^m
-            for _ in 0..m {
-                y = self.fq_mul(&y, &self.w_frob[j]);
-            }
-            out.push(y);
+        Fpk {
+            c: std::array::from_fn(|m| {
+                let mut y = self.fq_frob_raw(&a.c[m], j);
+                // multiply by ξ^(m (p^j − 1)/6) = w_frob[j]^m
+                for _ in 0..m {
+                    y = self.fq_mul(&y, &self.w_frob[j]);
+                }
+                y
+            }),
         }
-        Fpk { c: out }
     }
 
     /// Scales by an F_q element (coefficient-wise).
     pub fn fpk_mul_fq(&self, a: &Fpk, s: &Fq) -> Fpk {
         Fpk {
-            c: a.c.iter().map(|x| self.fq_mul(x, s)).collect(),
+            c: std::array::from_fn(|m| self.fq_mul(&a.c[m], s)),
         }
     }
 
@@ -1024,7 +1053,7 @@ impl TowerCtx {
         );
         let c4 = self.fq_sub(&self.fq_mul_small(&t4, 3), &self.fq_mul_small(z3, 2));
         Fpk {
-            c: vec![c0, c1, c2, c3, c4, c5],
+            c: [c0, c1, c2, c3, c4, c5],
         }
     }
 

@@ -260,7 +260,7 @@ fn add_step<F: PairingFlow>(
     let j = flow.fq_sub(&tx, &ly2);
     let neg_theta = flow.fq_neg(&theta);
     LineCoeffs {
-        ly: lambda.clone(),
+        ly: lambda,
         lx: neg_theta,
         lt: j,
     }
@@ -343,10 +343,10 @@ pub fn emit_final_exponentiation<F: PairingFlow>(
 /// BN hard part: Scott–Benger–Charlemagne–Perez–Kachisa vectorial
 /// addition chain computing `m^((p⁴−p²+1)/r)` exactly.
 fn emit_bn_hard_part<F: PairingFlow>(curve: &Curve, flow: &mut F, m: &F::Fpk) -> F::Fpk {
-    let x = curve.t().clone();
-    let fx = emit_cyclo_exp(flow, m, &x);
-    let fx2 = emit_cyclo_exp(flow, &fx, &x);
-    let fx3 = emit_cyclo_exp(flow, &fx2, &x);
+    let x = curve.t();
+    let fx = emit_cyclo_exp(flow, m, x);
+    let fx2 = emit_cyclo_exp(flow, &fx, x);
+    let fx3 = emit_cyclo_exp(flow, &fx2, x);
 
     let fp1 = flow.fpk_frob(m, 1);
     let fp2 = flow.fpk_frob(m, 2);
@@ -392,19 +392,19 @@ fn emit_bn_hard_part<F: PairingFlow>(curve: &Curve, flow: &mut F, m: &F::Fpk) ->
 /// BLS12 hard part (Hayashida–Kiyomura–Teruya):
 /// `3(p⁴−p²+1)/r = (x−1)²(x+p)(x²+p²−1) + 3`.
 fn emit_bls12_hard_part<F: PairingFlow>(curve: &Curve, flow: &mut F, m: &F::Fpk) -> F::Fpk {
-    let x = curve.t().clone();
-    let xm1 = &x - &BigInt::one();
+    let x = curve.t();
+    let xm1 = x - &BigInt::one();
     // y = m^((x−1)²)
     let y = emit_cyclo_exp(flow, m, &xm1);
     let y = emit_cyclo_exp(flow, &y, &xm1);
     // y ^= (x + p)
-    let yx = emit_cyclo_exp(flow, &y, &x);
+    let yx = emit_cyclo_exp(flow, &y, x);
     let yp = flow.fpk_frob(&y, 1);
     let y = flow.fpk_mul(&yx, &yp);
     // y ^= (x² + p² − 1)
     let yx2 = {
-        let t = emit_cyclo_exp(flow, &y, &x);
-        emit_cyclo_exp(flow, &t, &x)
+        let t = emit_cyclo_exp(flow, &y, x);
+        emit_cyclo_exp(flow, &t, x)
     };
     let yp2 = flow.fpk_frob(&y, 2);
     let yinv = flow.fpk_conj(&y);
@@ -421,27 +421,27 @@ fn emit_bls12_hard_part<F: PairingFlow>(curve: &Curve, flow: &mut F, m: &F::Fpk)
 /// BLS24 hard part (generalised HKT):
 /// `3(p⁸−p⁴+1)/r = (x−1)²(x+p)(x²+p²)(x⁴+p⁴−1) + 3`.
 fn emit_bls24_hard_part<F: PairingFlow>(curve: &Curve, flow: &mut F, m: &F::Fpk) -> F::Fpk {
-    let x = curve.t().clone();
-    let xm1 = &x - &BigInt::one();
+    let x = curve.t();
+    let xm1 = x - &BigInt::one();
     let y = emit_cyclo_exp(flow, m, &xm1);
     let y = emit_cyclo_exp(flow, &y, &xm1);
     // y ^= (x + p)
-    let yx = emit_cyclo_exp(flow, &y, &x);
+    let yx = emit_cyclo_exp(flow, &y, x);
     let yp = flow.fpk_frob(&y, 1);
     let y = flow.fpk_mul(&yx, &yp);
     // y ^= (x² + p²)
     let yx2 = {
-        let t = emit_cyclo_exp(flow, &y, &x);
-        emit_cyclo_exp(flow, &t, &x)
+        let t = emit_cyclo_exp(flow, &y, x);
+        emit_cyclo_exp(flow, &t, x)
     };
     let yp2 = flow.fpk_frob(&y, 2);
     let y = flow.fpk_mul(&yx2, &yp2);
     // y ^= (x⁴ + p⁴ − 1)
     let yx4 = {
-        let t = emit_cyclo_exp(flow, &y, &x);
-        let t = emit_cyclo_exp(flow, &t, &x);
-        let t = emit_cyclo_exp(flow, &t, &x);
-        emit_cyclo_exp(flow, &t, &x)
+        let t = emit_cyclo_exp(flow, &y, x);
+        let t = emit_cyclo_exp(flow, &t, x);
+        let t = emit_cyclo_exp(flow, &t, x);
+        emit_cyclo_exp(flow, &t, x)
     };
     let yp4 = flow.fpk_frob(&y, 4);
     let yinv = flow.fpk_conj(&y);
