@@ -50,6 +50,16 @@ fn main() {
         print!("{json}");
         return;
     }
+    if arg == "--bench-regress" {
+        let which = std::env::args()
+            .nth(2)
+            .unwrap_or_else(|| "BLS24-509".into());
+        let max_pct: f64 = std::env::args()
+            .nth(3)
+            .map(|s| s.parse().expect("max regression must be a number"))
+            .unwrap_or(10.0);
+        std::process::exit(bench_regress(&which, max_pct));
+    }
     let experiments: Vec<Experiment> = vec![
         ("table2", table2 as fn() -> String),
         ("table3", table3),
@@ -132,6 +142,68 @@ const PRE_PR_PAIRING_NS: [(&str, f64); 3] = [
     ("BLS24-509", 49_701_200.0),
 ];
 
+/// The allocation-free (PR 2) fq_mul medians, i.e. the state immediately
+/// before the lazy-reduction rewrite. Written into the emitted JSON's
+/// `pr2_baseline_ns` block; `--bench-regress` reads the *committed* JSON
+/// as its source of truth and only falls back to these constants when the
+/// file is missing or lacks the entry.
+const PR2_FQ_MUL_NS: [(&str, f64); 7] = [
+    ("BN254N", 391.8),
+    ("BN462", 667.0),
+    ("BN638", 849.7),
+    ("BLS12-381", 498.5),
+    ("BLS12-446", 582.0),
+    ("BLS12-638", 855.4),
+    ("BLS24-509", 2800.5),
+];
+
+/// Extracts `pr2_baseline_ns.fq_mul.<name>` from the committed
+/// `results/BENCH_fieldops.json` (the format this binary itself emits),
+/// so re-baselining means editing one file.
+fn pr2_baseline_from_json(name: &str) -> Option<f64> {
+    let text = fs::read_to_string("results/BENCH_fieldops.json").ok()?;
+    let block = &text[text.find("\"pr2_baseline_ns\"")?..];
+    // Bound the search to the pr2 block's own fq_mul object so a missing
+    // entry falls back to the builtin constant instead of silently
+    // matching the same curve name in a later baseline block.
+    let fq = &block[block.find("\"fq_mul\"")?..];
+    let fq = &fq[..fq.find('}')? + 1];
+    let entry = &fq[fq.find(&format!("\"{name}\":"))? + name.len() + 3..];
+    let end = entry.find([',', '}'])?;
+    entry[..end].trim().parse().ok()
+}
+
+/// `--bench-regress CURVE [MAX_PCT]`: re-measures the curve's `fq_mul`
+/// median and fails (exit 1) if it regressed more than `MAX_PCT` percent
+/// against the PR 2 baseline embedded in `results/BENCH_fieldops.json`.
+fn bench_regress(which: &str, max_pct: f64) -> i32 {
+    use std::hint::black_box;
+    let Some(&(name, builtin)) = PR2_FQ_MUL_NS
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(which))
+    else {
+        eprintln!("unknown curve `{which}`; expected one of {CURVES:?}");
+        return 2;
+    };
+    let baseline = pr2_baseline_from_json(name).unwrap_or(builtin);
+    let curve = Curve::by_name(name);
+    let tower = curve.tower().clone();
+    let (qa, qb) = (tower.fq_sample(1), tower.fq_sample(2));
+    let measured = bench_ns(|| {
+        black_box(tower.fq_mul(black_box(&qa), black_box(&qb)));
+    });
+    let delta_pct = 100.0 * (measured - baseline) / baseline;
+    println!(
+        "fq_mul {name}: measured {measured:.1} ns vs PR2 baseline {baseline:.1} ns \
+         ({delta_pct:+.1}%, limit +{max_pct:.0}%)"
+    );
+    if delta_pct > max_pct {
+        eprintln!("REGRESSION: fq_mul {name} is {delta_pct:.1}% slower than the PR2 baseline");
+        return 1;
+    }
+    0
+}
+
 /// `--bench-json`: field-substrate microbenchmarks as machine-readable
 /// JSON (one row per requested Table-2 curve).
 fn bench_fieldops_json(which: &str) -> String {
@@ -187,8 +259,9 @@ fn bench_fieldops_json(which: &str) -> String {
     };
     format!(
         "{{\n  \"schema\": \"finesse-bench-fieldops/v1\",\n  \"harness\": \"median of 5 batches, ns per op\",\n\
-         \n  \"curves\": [\n{}\n  ],\n  \"pre_pr_baseline_ns\": {{\n    \"note\": \"Vec-limbed Fp before the inline-limb rewrite (criterion-shim medians, same machine)\",\n    \"fp_mul\": {{{}}},\n    \"fq_mul\": {{{}}},\n    \"pairing\": {{{}}}\n  }}\n}}\n",
+         \n  \"curves\": [\n{}\n  ],\n  \"pr2_baseline_ns\": {{\n    \"note\": \"allocation-free Fp (PR 2) before the lazy-reduction rewrite; CI's --bench-regress floor\",\n    \"fq_mul\": {{{}}}\n  }},\n  \"pre_pr_baseline_ns\": {{\n    \"note\": \"Vec-limbed Fp before the inline-limb rewrite (criterion-shim medians, same machine)\",\n    \"fp_mul\": {{{}}},\n    \"fq_mul\": {{{}}},\n    \"pairing\": {{{}}}\n  }}\n}}\n",
         rows.join(",\n"),
+        baseline(&PR2_FQ_MUL_NS),
         baseline(&PRE_PR_FP_MUL_NS),
         baseline(&PRE_PR_FQ_MUL_NS),
         baseline(&PRE_PR_PAIRING_NS),
@@ -488,26 +561,56 @@ fn fig2() -> String {
         })
         .collect();
     let results = explore(&curve, points, 1);
-    let base = results[0].1.as_ref().unwrap().cycles as f64;
+    // A failed design point must not abort the whole figure: failed rows
+    // are reported in place and the normalisation baseline comes from the
+    // first row that evaluated successfully (the column header names that
+    // row, so the ratios stay honest even if "all karatsuba" failed).
+    let Some((base_label, base)) = results
+        .iter()
+        .find_map(|(p, r)| r.as_ref().ok().map(|e| (p.label.clone(), e.cycles as f64)))
+    else {
+        let errs: Vec<String> = results
+            .iter()
+            .map(|(p, r)| {
+                format!(
+                    "{}: {}",
+                    p.label,
+                    r.as_ref().err().cloned().unwrap_or_default()
+                )
+            })
+            .collect();
+        return format!("fig2: every design point failed:\n{}\n", errs.join("\n"));
+    };
 
-    // "Optimal" from the exhaustive mul-variant sweep.
+    // "Optimal" from the exhaustive mul-variant sweep (like the named
+    // rows, an all-failed sweep is reported instead of aborting).
     let sweep = explore(&curve, variant_sweep_points(&curve, &hw), 1);
-    let (bp, be) = best_point(&sweep, Objective::Cycles).expect("sweep nonempty");
+    let best = best_point(&sweep, Objective::Cycles);
 
-    let mut t = TextTable::new(&["combination", "cycles", "norm. vs all-karat"]);
+    let norm_header = format!("norm. vs {base_label}");
+    let mut t = TextTable::new(&["combination", "cycles", &norm_header]);
     for (p, r) in &results {
-        let e = r.as_ref().unwrap();
-        t.row(vec![
-            p.label.clone(),
-            e.cycles.to_string(),
-            f(e.cycles as f64 / base, 3),
-        ]);
+        match r {
+            Ok(e) => t.row(vec![
+                p.label.clone(),
+                e.cycles.to_string(),
+                f(e.cycles as f64 / base, 3),
+            ]),
+            Err(e) => t.row(vec![p.label.clone(), format!("failed: {e}"), "-".into()]),
+        };
     }
-    t.row(vec![
-        format!("optimal ({})", bp.variants.tag()),
-        be.cycles.to_string(),
-        f(be.cycles as f64 / base, 3),
-    ]);
+    match best {
+        Some((bp, be)) => t.row(vec![
+            format!("optimal ({})", bp.variants.tag()),
+            be.cycles.to_string(),
+            f(be.cycles as f64 / base, 3),
+        ]),
+        None => t.row(vec![
+            "optimal".into(),
+            "failed: every sweep point failed".into(),
+            "-".into(),
+        ]),
+    };
     format!(
         "{}(paper: disabling Karatsuba at p2/p4 reduces cycles on single-issue; optimal < all-karatsuba)\n",
         t.render()

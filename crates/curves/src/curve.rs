@@ -56,6 +56,13 @@ pub enum CurveError {
     TwistNotFound,
     /// The ψ endomorphism constants failed the `ψ(Q) = [p]Q` identity.
     EndomorphismMismatch,
+    /// Try-and-increment hash-to-curve exhausted its counter budget
+    /// without landing on the curve (astronomically unlikely for a real
+    /// curve; indicates corrupted parameters rather than bad luck).
+    HashToCurveExhausted,
+    /// An exponent derivation hit an arithmetic impossibility (reported
+    /// instead of aborting; indicates corrupted curve parameters).
+    ExponentDerivation(&'static str),
 }
 
 impl fmt::Display for CurveError {
@@ -81,6 +88,12 @@ impl fmt::Display for CurveError {
             }
             CurveError::EndomorphismMismatch => {
                 f.write_str("untwist-Frobenius constants failed psi(Q) = [p]Q")
+            }
+            CurveError::HashToCurveExhausted => {
+                f.write_str("hash-to-curve found no point within the counter budget")
+            }
+            CurveError::ExponentDerivation(what) => {
+                write!(f, "exponent derivation failed: {what}")
             }
         }
     }
@@ -673,7 +686,14 @@ impl Curve {
 
     /// Hashes arbitrary bytes to a G1 point (try-and-increment + cofactor
     /// clearing) — enough for the BLS-signature example; not constant time.
-    pub fn hash_to_g1(&self, msg: &[u8]) -> Affine<Fp> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::HashToCurveExhausted`] if 10 000 counters
+    /// yield no subgroup point — about half of all x-coordinates have a
+    /// square right-hand side, so this signals corrupted curve parameters,
+    /// not bad luck; a serving library must report it rather than abort.
+    pub fn hash_to_g1(&self, msg: &[u8]) -> Result<Affine<Fp>, CurveError> {
         // Simple deterministic digest: FNV-1a folded into field elements.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for &byte in msg {
@@ -690,17 +710,30 @@ impl Curve {
                 let pt = Affine::new(x, y);
                 let g = to_affine(&ops, &jac_mul(&ops, &pt, &self.g1_cofactor));
                 if !g.infinity {
-                    return g;
+                    return Ok(g);
                 }
             }
         }
-        unreachable!("hash-to-curve failed after 10000 counters");
+        Err(CurveError::HashToCurveExhausted)
     }
 
     /// The full final-exponentiation exponent `(p^k − 1)/r` (oracle use).
-    pub fn final_exp_full(&self) -> BigUint {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::ExponentDerivation`] if `r ∤ p^k − 1` —
+    /// impossible for a curve that passed construction validation, but
+    /// reported instead of aborting the process.
+    pub fn final_exp_full(&self) -> Result<BigUint, CurveError> {
         let pk = self.p.pow(self.k() as u32);
-        pk.checked_sub(&BigUint::one()).unwrap().div_exact(&self.r)
+        let num = pk
+            .checked_sub(&BigUint::one())
+            .ok_or(CurveError::ExponentDerivation("p^k underflowed"))?;
+        let (q, rem) = num.divrem(&self.r);
+        if !rem.is_zero() {
+            return Err(CurveError::ExponentDerivation("r does not divide p^k - 1"));
+        }
+        Ok(q)
     }
 
     /// The hard-part exponent `Φ_k(p)/r` where `Φ_12 = p⁴ − p² + 1`,
@@ -831,9 +864,9 @@ mod tests {
     #[test]
     fn hash_to_g1_lands_in_subgroup() {
         let c = Curve::by_name("BN254N");
-        let h1 = c.hash_to_g1(b"finesse");
-        let h2 = c.hash_to_g1(b"finesse");
-        let h3 = c.hash_to_g1(b"different message");
+        let h1 = c.hash_to_g1(b"finesse").expect("hash lands");
+        let h2 = c.hash_to_g1(b"finesse").expect("hash lands");
+        let h3 = c.hash_to_g1(b"different message").expect("hash lands");
         assert_eq!(h1, h2, "deterministic");
         assert!(h1 != h3, "message-dependent");
         assert!(c.g1_on_curve(&h1));
@@ -841,10 +874,24 @@ mod tests {
     }
 
     #[test]
+    fn hash_to_g1_succeeds_across_inputs() {
+        // The try-and-increment loop now reports exhaustion instead of
+        // aborting; every real input must come back Ok.
+        let c = Curve::by_name("BN254N");
+        for i in 0..32u32 {
+            assert!(
+                c.hash_to_g1(&i.to_le_bytes()).is_ok(),
+                "input {i} failed to hash"
+            );
+        }
+        assert!(c.hash_to_g1(b"").is_ok(), "empty message hashes");
+    }
+
+    #[test]
     fn hard_exponent_divides_cleanly() {
         let c = Curve::by_name("BN254N");
         // (p^k − 1)/r = (p^6−1)(p^2+1) · hard, sanity: both computable.
-        let full = c.final_exp_full();
+        let full = c.final_exp_full().expect("r divides p^k - 1");
         let hard = c.hard_exponent();
         assert!(full.bits() > hard.bits());
     }

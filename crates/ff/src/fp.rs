@@ -66,6 +66,87 @@ pub struct FpCtx {
     one_mont: Limbs,
     p_minus_2: BigUint,
     modulus_bits: usize,
+    /// `p²` over `2·width` limbs — the offset added to double-width
+    /// accumulators before a subtraction so lazy kernels never go negative.
+    p2: [u64; 2 * MAX_LIMBS],
+    /// `64·width − modulus_bits`: spare bits above the modulus in a
+    /// single-width buffer. An unreduced value bounded by `k·p` is
+    /// representable iff `k ≤ 2^headroom`, and a double-width value
+    /// bounded by `k·p²` is Montgomery-reducible iff `k ≤ 2^headroom`
+    /// (both reduce to `k·p ≤ R`).
+    headroom: u32,
+}
+
+/// A single-width value under *incomplete* (lazy) reduction: the integer
+/// is only guaranteed to be `< bound·p`, not `< p`.
+///
+/// Produced and consumed by the `*_noreduce` kernels; the `bound` field is
+/// threaded through every operation and debug-asserted against the
+/// context's [`FpCtx::headroom_bits`] envelope, so a chain that could
+/// overflow the inline buffers fails loudly in debug builds (the
+/// differential tests drive every chain at the 10-limb `MAX_LIMBS` edge).
+#[derive(Clone, Copy, Debug)]
+pub struct Unreduced {
+    v: Limbs,
+    /// The value is `< bound · p`.
+    bound: u32,
+}
+
+impl Unreduced {
+    /// The raw limbs (value `< bound()·p`, same width as the field).
+    pub fn limbs(&self) -> &Limbs {
+        &self.v
+    }
+
+    /// The tracked bound multiple: the value is `< bound·p`.
+    pub fn bound(&self) -> u32 {
+        self.bound
+    }
+}
+
+/// A double-width Montgomery accumulator: the plain (un-reduced) product
+/// of two single-width values, or a ± combination of such products.
+///
+/// Karatsuba cross terms accumulate here *before* any Montgomery
+/// reduction, so an F_p2/F_q multiplication pays one [`FpCtx::redc_into`]
+/// per output coefficient instead of one interleaved reduction per
+/// sub-product. The value is interpreted mod `2^(128·width)`; subtraction
+/// may wrap transiently as long as the final accumulated value is the true
+/// non-negative integer (lazy call sites add a `k·p²` offset via
+/// [`FpCtx::wide_add_kp2`] where an operand could otherwise dominate).
+#[derive(Clone, Copy, Debug)]
+pub struct WideAcc {
+    w: [u64; 2 * MAX_LIMBS],
+    /// Upper bound on the accumulated value as a multiple of `p²`.
+    bound: u32,
+}
+
+impl WideAcc {
+    /// The raw double-width limbs (little-endian, zero-padded).
+    pub fn limbs(&self) -> &[u64] {
+        &self.w
+    }
+
+    /// Upper bound on the value as a multiple of `p²`.
+    pub fn bound(&self) -> u32 {
+        self.bound
+    }
+
+    /// Tightens the tracked bound to a caller-proven value.
+    ///
+    /// Interval tracking through `±` chains is conservative (subtracting a
+    /// non-negative quantity cannot raise a bound, but the tracker keeps
+    /// the operand sum); call sites that know a tighter mathematical bound
+    /// — e.g. a Karatsuba cross term `(a0+a1)(b0+b1) − a0b0 − a1b1 =
+    /// a0b1 + a1b0 < 2p²` — annotate it here. Must only tighten.
+    pub fn assume_bound(&mut self, bound: u32) {
+        debug_assert!(
+            bound <= self.bound,
+            "assume_bound may only tighten ({bound} > {})",
+            self.bound
+        );
+        self.bound = bound;
+    }
 }
 
 /// Error constructing an [`FpCtx`].
@@ -148,6 +229,9 @@ impl FpCtx {
             Limbs::from_slice(&BigUint::one().shl(64 * width).rem(&p).to_fixed_limbs(width));
         let p_minus_2 = p.checked_sub(&BigUint::from_u64(2)).expect("p >= 3");
         let modulus_bits = p.bits();
+        let mut p2 = [0u64; 2 * MAX_LIMBS];
+        p2[..2 * width].copy_from_slice(&(&p * &p).to_fixed_limbs(2 * width));
+        let headroom = (64 * width - modulus_bits) as u32;
         FpCtx {
             p,
             p_limbs,
@@ -157,6 +241,8 @@ impl FpCtx {
             one_mont,
             p_minus_2,
             modulus_bits,
+            p2,
+            headroom,
         }
     }
 
@@ -188,8 +274,30 @@ impl FpCtx {
         let n = self.width.min(MAX_LIMBS);
         debug_assert_eq!(a.len(), n, "operand width mismatch");
         debug_assert_eq!(b.len(), n, "operand width mismatch");
-        let (av, bv, pv) = (&a.buf, &b.buf, &self.p_limbs.buf);
+        let pv = &self.p_limbs.buf;
         let mut t = [0u64; MAX_LIMBS + 2];
+        self.cios_rounds(&mut t, &a.buf, &b.buf, n);
+        let overflow = t[n] != 0;
+        out.buf[..n].copy_from_slice(&t[..n]);
+        out.len = n;
+        let os = out.as_mut_slice();
+        if overflow || cmp_slices(os, &pv[..n]) != std::cmp::Ordering::Less {
+            sub_assign_slices(os, &pv[..n]);
+        }
+    }
+
+    /// The interleaved CIOS rounds shared by [`FpCtx::mont_mul_into`] and
+    /// [`FpCtx::mont_mul_noreduce_into`]: on return `t[..n]` plus the
+    /// overflow limb `t[n]` hold `a·b·R⁻¹` before any final subtraction.
+    #[inline]
+    fn cios_rounds(
+        &self,
+        t: &mut [u64; MAX_LIMBS + 2],
+        av: &[u64; MAX_LIMBS],
+        bv: &[u64; MAX_LIMBS],
+        n: usize,
+    ) {
+        let pv = &self.p_limbs.buf;
         for &ai in av.iter().take(n) {
             let mut carry = 0u64;
             for (j, &bj) in bv.iter().enumerate().take(n) {
@@ -212,24 +320,46 @@ impl FpCtx {
             t[n] = t[n + 1] + hi;
             t[n + 1] = 0;
         }
-        let overflow = t[n] != 0;
-        out.buf[..n].copy_from_slice(&t[..n]);
-        out.len = n;
-        let os = out.as_mut_slice();
-        if overflow || cmp_slices(os, &pv[..n]) != std::cmp::Ordering::Less {
-            sub_assign_slices(os, &pv[..n]);
-        }
     }
 
-    /// Dedicated Montgomery squaring into a caller-provided output:
-    /// `out = a² · R⁻¹ mod p`, computing roughly half the partial products
-    /// of the general multiply (shared cross products doubled by a one-bit
-    /// shift, then a separated Montgomery reduction).
+    /// CIOS Montgomery multiplication that *defers the final conditional
+    /// subtraction*: `out ≡ a·b·R⁻¹ (mod p)` with `out < 2p`, not `< p`.
+    ///
+    /// Sound only when `bound(a)·bound(b)·p ≤ R` (two spare bits cover the
+    /// standard `2p × 2p` case); the [`Unreduced`]-typed wrapper
+    /// [`FpCtx::mul_noreduce`] debug-asserts this against the context's
+    /// headroom. With the bound satisfied the result fits the active width
+    /// exactly (the overflow limb is provably zero).
     #[inline]
-    pub fn mont_sqr_into(&self, out: &mut Limbs, a: &Limbs) {
+    pub fn mont_mul_noreduce_into(&self, out: &mut Limbs, a: &Limbs, b: &Limbs) {
         let n = self.width.min(MAX_LIMBS);
         debug_assert_eq!(a.len(), n, "operand width mismatch");
-        let (av, pv) = (&a.buf, &self.p_limbs.buf);
+        debug_assert_eq!(b.len(), n, "operand width mismatch");
+        let mut t = [0u64; MAX_LIMBS + 2];
+        self.cios_rounds(&mut t, &a.buf, &b.buf, n);
+        debug_assert_eq!(t[n], 0, "noreduce product exceeded 2p (bound violated)");
+        out.buf[..n].copy_from_slice(&t[..n]);
+        out.len = n;
+    }
+
+    /// Dedicated Montgomery squaring deferring the final conditional
+    /// subtraction (same contract as [`FpCtx::mont_mul_noreduce_into`]).
+    #[inline]
+    pub fn mont_sqr_noreduce_into(&self, out: &mut Limbs, a: &Limbs) {
+        let n = self.width.min(MAX_LIMBS);
+        debug_assert_eq!(a.len(), n, "operand width mismatch");
+        let mut t = Self::sqr_phase(&a.buf, n);
+        let carry2 = self.redc_rounds(&mut t, n);
+        debug_assert_eq!(carry2, 0, "noreduce square exceeded 2p (bound violated)");
+        out.buf[..n].copy_from_slice(&t[n..2 * n]);
+        out.len = n;
+    }
+
+    /// Schoolbook double-width square of the active limbs: the
+    /// `n(n+1)/2` distinct partial products computed once, cross products
+    /// doubled by a fused one-bit shift, diagonals folded in.
+    #[inline]
+    fn sqr_phase(av: &[u64; MAX_LIMBS], n: usize) -> [u64; 2 * MAX_LIMBS] {
         let mut t = [0u64; 2 * MAX_LIMBS];
         // Off-diagonal products a_i · a_j for j > i.
         for i in 0..n {
@@ -259,7 +389,15 @@ impl FpCtx {
             t[2 * i + 1] = lo;
             add_carry = c;
         }
-        // Montgomery-reduce the double-width square.
+        t
+    }
+
+    /// The `n` rounds of separated Montgomery reduction on a double-width
+    /// buffer; afterwards `t[n..2n]` (plus the returned carry) holds
+    /// `T·R⁻¹` before the final conditional subtraction.
+    #[inline]
+    fn redc_rounds(&self, t: &mut [u64; 2 * MAX_LIMBS], n: usize) -> u64 {
+        let pv = &self.p_limbs.buf;
         let mut carry2 = 0u64;
         for i in 0..n {
             let m = t[i].wrapping_mul(self.n0);
@@ -273,12 +411,237 @@ impl FpCtx {
             t[i + n] = lo;
             carry2 = hi;
         }
+        carry2
+    }
+
+    /// Dedicated Montgomery squaring into a caller-provided output:
+    /// `out = a² · R⁻¹ mod p`, computing roughly half the partial products
+    /// of the general multiply (shared cross products doubled by a one-bit
+    /// shift, then a separated Montgomery reduction).
+    #[inline]
+    pub fn mont_sqr_into(&self, out: &mut Limbs, a: &Limbs) {
+        let n = self.width.min(MAX_LIMBS);
+        debug_assert_eq!(a.len(), n, "operand width mismatch");
+        let mut t = Self::sqr_phase(&a.buf, n);
+        let carry2 = self.redc_rounds(&mut t, n);
+        let pv = &self.p_limbs.buf;
         out.buf[..n].copy_from_slice(&t[n..2 * n]);
         out.len = n;
         let os = out.as_mut_slice();
         if carry2 != 0 || cmp_slices(os, &pv[..n]) != std::cmp::Ordering::Less {
             sub_assign_slices(os, &pv[..n]);
         }
+    }
+
+    /// Spare bits above the modulus in a single-width buffer
+    /// (`64·width − modulus_bits`); the lazy-reduction envelope.
+    pub fn headroom_bits(&self) -> u32 {
+        self.headroom
+    }
+
+    /// Largest admissible bound multiple for unreduced values in this
+    /// field: `2^headroom`, capped to keep the arithmetic in `u32`.
+    fn max_bound(&self) -> u32 {
+        1u32 << self.headroom.min(16)
+    }
+
+    /// Wraps raw little-endian limbs as an [`Unreduced`] value, *checking*
+    /// `value < bound·p` (this is the test-facing constructor; hot paths
+    /// build `Unreduced` values through [`Fp::as_unreduced`] and the
+    /// kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is out of bounds, the slice is wider than the
+    /// field, or `bound` exceeds the headroom envelope.
+    pub fn unreduced_from_limbs(&self, limbs: &[u64], bound: u32) -> Unreduced {
+        assert!(limbs.len() <= self.width, "slice wider than the field");
+        assert!(bound <= self.max_bound(), "bound exceeds headroom envelope");
+        let value = BigUint::from_limbs(limbs.to_vec());
+        let limit = &BigUint::from_u64(bound as u64) * &self.p;
+        assert!(value < limit, "value is not < bound·p");
+        let mut v = Limbs::zero(self.width);
+        v.buf[..limbs.len()].copy_from_slice(limbs);
+        Unreduced { v, bound }
+    }
+
+    /// Addition without reduction: `a + b`, bound `bound(a) + bound(b)`.
+    ///
+    /// No comparison, no conditional subtraction — the sum is only
+    /// required to stay inside the headroom envelope (debug-asserted).
+    #[inline]
+    pub fn add_noreduce(&self, a: &Unreduced, b: &Unreduced) -> Unreduced {
+        let n = self.width;
+        let bound = a.bound + b.bound;
+        debug_assert!(bound <= self.max_bound(), "unreduced sum exceeds headroom");
+        let mut v = a.v;
+        let carry = add_assign_slices(&mut v.buf[..n], &b.v.buf[..n]);
+        debug_assert_eq!(carry, 0, "unreduced sum overflowed the limb width");
+        Unreduced { v, bound }
+    }
+
+    /// Subtraction kept non-negative by a `k·p` offset: `a + k·p − b`,
+    /// bound `bound(a) + k`. Requires `bound(b) ≤ k` so the offset
+    /// dominates the subtrahend (debug-asserted, along with the envelope).
+    #[inline]
+    pub fn sub_with_kp(&self, a: &Unreduced, b: &Unreduced, k: u32) -> Unreduced {
+        let n = self.width;
+        debug_assert!(b.bound <= k, "k·p does not dominate the subtrahend");
+        let bound = a.bound + k;
+        debug_assert!(
+            bound <= self.max_bound(),
+            "unreduced difference exceeds headroom"
+        );
+        let mut v = a.v;
+        for _ in 0..k {
+            let carry = add_assign_slices(&mut v.buf[..n], &self.p_limbs.buf[..n]);
+            debug_assert_eq!(carry, 0, "k·p offset overflowed the limb width");
+        }
+        let borrow = sub_assign_slices(&mut v.buf[..n], &b.v.buf[..n]);
+        debug_assert_eq!(borrow, 0, "subtrahend exceeded a + k·p");
+        Unreduced { v, bound }
+    }
+
+    /// Plain double-width product `a·b` — *no* Montgomery reduction at
+    /// all. Karatsuba call sites accumulate several of these into one
+    /// [`WideAcc`] and reduce once via [`FpCtx::redc_into`].
+    #[inline]
+    pub fn mul_wide(&self, a: &Unreduced, b: &Unreduced) -> WideAcc {
+        let n = self.width.min(MAX_LIMBS);
+        let bound = a.bound.saturating_mul(b.bound);
+        debug_assert!(bound <= self.max_bound(), "wide product exceeds headroom");
+        let bv = &b.v.buf;
+        let mut w = [0u64; 2 * MAX_LIMBS];
+        for (i, &ai) in a.v.buf.iter().enumerate().take(n) {
+            let mut carry = 0u64;
+            for (j, &bj) in bv.iter().enumerate().take(n) {
+                let (lo, hi) = mac(w[i + j], ai, bj, carry);
+                w[i + j] = lo;
+                carry = hi;
+            }
+            w[i + n] = carry;
+        }
+        WideAcc { w, bound }
+    }
+
+    /// Plain double-width square (half the partial products of
+    /// [`FpCtx::mul_wide`]), no reduction.
+    #[inline]
+    pub fn sqr_wide(&self, a: &Unreduced) -> WideAcc {
+        let n = self.width.min(MAX_LIMBS);
+        let bound = a.bound.saturating_mul(a.bound);
+        debug_assert!(bound <= self.max_bound(), "wide square exceeds headroom");
+        WideAcc {
+            w: Self::sqr_phase(&a.v.buf, n),
+            bound,
+        }
+    }
+
+    /// Double-width accumulation: `acc += x`.
+    #[inline]
+    pub fn wide_add_assign(&self, acc: &mut WideAcc, x: &WideAcc) {
+        let n2 = 2 * self.width;
+        let _ = add_assign_slices(&mut acc.w[..n2], &x.w[..n2]);
+        acc.bound += x.bound;
+    }
+
+    /// Double-width subtraction: `acc -= x`, wrapping mod `2^(128·width)`.
+    ///
+    /// A transiently wrapped (negative) accumulator is fine — limb
+    /// arithmetic is associative mod `2^(128·width)` — provided the
+    /// *final* accumulated value handed to [`FpCtx::redc_into`] is the
+    /// true non-negative integer (add a [`FpCtx::wide_add_kp2`] offset
+    /// where an operand could otherwise dominate). The upper bound is
+    /// unchanged: subtracting a non-negative value cannot raise it.
+    #[inline]
+    pub fn wide_sub_assign(&self, acc: &mut WideAcc, x: &WideAcc) {
+        let n2 = 2 * self.width;
+        let _ = sub_assign_slices(&mut acc.w[..n2], &x.w[..n2]);
+    }
+
+    /// Adds the `k·p²` offset that keeps a following subtraction
+    /// non-negative: `acc += k·p²`, bound `+k`.
+    #[inline]
+    pub fn wide_add_kp2(&self, acc: &mut WideAcc, k: u32) {
+        let n2 = 2 * self.width;
+        for _ in 0..k {
+            let _ = add_assign_slices(&mut acc.w[..n2], &self.p2[..n2]);
+        }
+        acc.bound += k;
+    }
+
+    /// Separated Montgomery reduction of a double-width accumulator to a
+    /// *canonical* residue: `out = t·R⁻¹ mod p`, `out < p`.
+    ///
+    /// Requires `t < p·R`, which the bound envelope guarantees
+    /// (`bound ≤ 2^headroom ⇒ bound·p² ≤ p·R`); debug builds additionally
+    /// verify the high half of the buffer directly, which catches a
+    /// wrapped or over-accumulated value on real data regardless of the
+    /// bound bookkeeping.
+    #[inline]
+    pub fn redc_into(&self, out: &mut Limbs, t: &WideAcc) {
+        let n = self.width.min(MAX_LIMBS);
+        debug_assert!(t.bound <= self.max_bound(), "REDC input exceeds headroom");
+        debug_assert!(
+            cmp_slices(&t.w[n..2 * n], &self.p_limbs.buf[..n]) == std::cmp::Ordering::Less,
+            "REDC input is not < p·R (bound annotation violated or value wrapped)"
+        );
+        let mut buf = t.w;
+        let carry2 = self.redc_rounds(&mut buf, n);
+        let pv = &self.p_limbs.buf;
+        out.buf[..n].copy_from_slice(&buf[n..2 * n]);
+        out.len = n;
+        let os = out.as_mut_slice();
+        if carry2 != 0 || cmp_slices(os, &pv[..n]) != std::cmp::Ordering::Less {
+            sub_assign_slices(os, &pv[..n]);
+        }
+    }
+
+    /// By-value form of [`FpCtx::redc_into`].
+    #[inline]
+    pub fn redc(&self, t: &WideAcc) -> Limbs {
+        let mut out = Limbs::zero(self.width);
+        self.redc_into(&mut out, t);
+        out
+    }
+
+    /// [`Unreduced`]-typed wrapper over [`FpCtx::mont_mul_noreduce_into`]:
+    /// Montgomery product with the final subtraction deferred, output
+    /// bound `2p`.
+    #[inline]
+    pub fn mul_noreduce(&self, a: &Unreduced, b: &Unreduced) -> Unreduced {
+        debug_assert!(
+            a.bound.saturating_mul(b.bound) <= self.max_bound(),
+            "noreduce product operands exceed headroom"
+        );
+        let mut v = Limbs::zero(self.width);
+        self.mont_mul_noreduce_into(&mut v, &a.v, &b.v);
+        Unreduced { v, bound: 2 }
+    }
+
+    /// [`Unreduced`]-typed wrapper over [`FpCtx::mont_sqr_noreduce_into`].
+    #[inline]
+    pub fn sqr_noreduce(&self, a: &Unreduced) -> Unreduced {
+        debug_assert!(
+            a.bound.saturating_mul(a.bound) <= self.max_bound(),
+            "noreduce square operand exceeds headroom"
+        );
+        let mut v = Limbs::zero(self.width);
+        self.mont_sqr_noreduce_into(&mut v, &a.v);
+        Unreduced { v, bound: 2 }
+    }
+
+    /// Fully reduces an [`Unreduced`] value to its canonical residue
+    /// (at most `bound − 1` conditional subtractions).
+    #[inline]
+    pub fn reduce(&self, a: &Unreduced) -> Limbs {
+        let n = self.width;
+        let mut v = a.v;
+        let pv = &self.p_limbs.buf[..n];
+        while cmp_slices(&v.buf[..n], pv) != std::cmp::Ordering::Less {
+            sub_assign_slices(&mut v.buf[..n], pv);
+        }
+        v
     }
 
     /// By-value Montgomery multiplication ([`Limbs`] is `Copy`, so this is
@@ -396,13 +759,36 @@ impl FpCtx {
 #[derive(Clone)]
 pub struct Fp {
     ctx: Arc<FpCtx>,
-    v: Limbs,
+    pub(crate) v: Limbs,
 }
 
 impl Fp {
     /// The owning field context.
     pub fn ctx(&self) -> &Arc<FpCtx> {
         &self.ctx
+    }
+
+    /// Wraps canonical Montgomery-form limbs produced by the lazy kernels
+    /// (e.g. [`FpCtx::redc_into`]) back into a field element.
+    pub(crate) fn from_mont_limbs(ctx: &Arc<FpCtx>, v: Limbs) -> Fp {
+        debug_assert!(
+            cmp_slices(v.as_slice(), ctx.p_limbs.as_slice()) == std::cmp::Ordering::Less,
+            "limbs are not a canonical residue"
+        );
+        Fp {
+            ctx: Arc::clone(ctx),
+            v,
+        }
+    }
+
+    /// Views this (canonical, `< p`) element as an [`Unreduced`] value of
+    /// bound 1, entering the lazy-reduction kernels.
+    #[inline]
+    pub fn as_unreduced(&self) -> Unreduced {
+        Unreduced {
+            v: self.v,
+            bound: 1,
+        }
     }
 
     fn check_ctx(&self, other: &Fp) {
@@ -568,7 +954,26 @@ impl Fp {
     }
 
     /// Exponentiation by an arbitrary [`BigUint`] exponent.
+    ///
+    /// When the modulus leaves at least two spare bits in its limb buffer
+    /// (every Table-2 curve does), the square-and-multiply ladder runs on
+    /// `< 2p`-bounded [`Unreduced`] values — every per-step conditional
+    /// subtraction is deferred to one final [`FpCtx::reduce`].
     pub fn pow(&self, e: &BigUint) -> Fp {
+        if self.ctx.headroom >= 2 {
+            let base = self.as_unreduced();
+            let mut acc = Unreduced {
+                v: *self.ctx.mont_one(),
+                bound: 1,
+            };
+            for i in (0..e.bits()).rev() {
+                acc = self.ctx.sqr_noreduce(&acc);
+                if e.bit(i) {
+                    acc = self.ctx.mul_noreduce(&acc, &base);
+                }
+            }
+            return Fp::from_mont_limbs(&self.ctx, self.ctx.reduce(&acc));
+        }
         let mut acc = self.ctx.one();
         for i in (0..e.bits()).rev() {
             acc.square_assign();
@@ -986,6 +1391,149 @@ mod tests {
         let a = c.sample(11);
         assert_eq!(a.square().legendre(), 1);
         assert_eq!(c.zero().legendre(), 0);
+    }
+
+    /// Montgomery radix R = 2^(64·width) mod p as a BigUint.
+    fn r_mod_p(c: &Arc<FpCtx>) -> BigUint {
+        BigUint::one().shl(64 * c.width()).rem(c.modulus())
+    }
+
+    #[test]
+    fn mul_wide_redc_matches_mont_mul() {
+        let c = ctx();
+        for seed in 0..16u64 {
+            let a = c.sample(seed);
+            let b = c.sample(seed + 31);
+            let w = c.mul_wide(&a.as_unreduced(), &b.as_unreduced());
+            // Plain product of the Montgomery reps, then REDC, is exactly
+            // the interleaved CIOS product.
+            assert_eq!(c.redc(&w), (&a * &b).v, "seed {seed}");
+            let sq = c.sqr_wide(&a.as_unreduced());
+            assert_eq!(c.redc(&sq), a.square().v, "seed {seed} sqr");
+        }
+    }
+
+    #[test]
+    fn noreduce_kernels_are_congruent_and_bounded() {
+        let c = ctx();
+        let two_p = &BigUint::from_u64(2) * c.modulus();
+        for seed in 0..16u64 {
+            let a = c.sample(seed);
+            let b = c.sample(seed + 7);
+            let m = c.mul_noreduce(&a.as_unreduced(), &b.as_unreduced());
+            let got = BigUint::from_limbs(m.limbs().as_slice().to_vec());
+            assert!(got < two_p, "seed {seed}: noreduce mul not < 2p");
+            assert_eq!(got.rem(c.modulus()), (&a * &b).to_biguint_montless());
+            let s = c.sqr_noreduce(&a.as_unreduced());
+            let got = BigUint::from_limbs(s.limbs().as_slice().to_vec());
+            assert!(got < two_p, "seed {seed}: noreduce sqr not < 2p");
+            assert_eq!(got.rem(c.modulus()), a.square().to_biguint_montless());
+        }
+    }
+
+    impl Fp {
+        /// The raw Montgomery representation as an integer (test helper).
+        fn to_biguint_montless(&self) -> BigUint {
+            BigUint::from_limbs(self.v.as_slice().to_vec())
+        }
+    }
+
+    #[test]
+    fn add_noreduce_and_sub_with_kp_track_values() {
+        let c = ctx();
+        let p = c.modulus().clone();
+        for seed in 0..12u64 {
+            let a = c.sample(seed);
+            let b = c.sample(seed + 3);
+            let (ai, bi) = (
+                BigUint::from_limbs(a.v.as_slice().to_vec()),
+                BigUint::from_limbs(b.v.as_slice().to_vec()),
+            );
+            let s = c.add_noreduce(&a.as_unreduced(), &b.as_unreduced());
+            assert_eq!(
+                BigUint::from_limbs(s.limbs().as_slice().to_vec()),
+                &ai + &bi
+            );
+            assert_eq!(s.bound(), 2);
+            let d = c.sub_with_kp(&a.as_unreduced(), &b.as_unreduced(), 1);
+            assert_eq!(
+                BigUint::from_limbs(d.limbs().as_slice().to_vec()),
+                &(&ai + &p) - &bi
+            );
+            assert_eq!(d.bound(), 2);
+            // reduce() brings either back to canonical.
+            assert_eq!(
+                BigUint::from_limbs(c.reduce(&s).as_slice().to_vec()),
+                (&ai + &bi).rem(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn redc_is_mont_reduction_of_plain_product() {
+        // redc(mul_wide(a, b)) must equal a·b·R⁻¹ mod p for *unreduced*
+        // 2p-bounded operands too.
+        let c = ctx();
+        let p = c.modulus().clone();
+        let rinv = r_mod_p(&c).modpow(&p.checked_sub(&BigUint::from_u64(2)).unwrap(), &p);
+        for seed in 0..8u64 {
+            let a = c.sample(seed);
+            let b = c.sample(seed + 5);
+            let ua = c.add_noreduce(&a.as_unreduced(), &a.as_unreduced()); // 2a < 2p
+            let ub = c.add_noreduce(&b.as_unreduced(), &b.as_unreduced());
+            let w = c.mul_wide(&ua, &ub);
+            let (ai, bi) = (
+                BigUint::from_limbs(ua.limbs().as_slice().to_vec()),
+                BigUint::from_limbs(ub.limbs().as_slice().to_vec()),
+            );
+            let expect = (&(&ai * &bi).rem(&p) * &rinv).rem(&p);
+            assert_eq!(
+                BigUint::from_limbs(c.redc(&w).as_slice().to_vec()),
+                expect,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_accumulation_with_p2_offset() {
+        // (a·b + p² − c·d) REDC ≡ (ab − cd)·R⁻¹ mod p.
+        let c = ctx();
+        let p = c.modulus().clone();
+        let rinv = r_mod_p(&c).modpow(&p.checked_sub(&BigUint::from_u64(2)).unwrap(), &p);
+        for seed in 0..8u64 {
+            let (a, b) = (c.sample(seed), c.sample(seed + 11));
+            let (x, y) = (c.sample(seed + 22), c.sample(seed + 33));
+            let mut acc = c.mul_wide(&a.as_unreduced(), &b.as_unreduced());
+            c.wide_add_kp2(&mut acc, 1);
+            let w2 = c.mul_wide(&x.as_unreduced(), &y.as_unreduced());
+            c.wide_sub_assign(&mut acc, &w2);
+            let big = |f: &Fp| BigUint::from_limbs(f.v.as_slice().to_vec());
+            let prod = |u: &Fp, v: &Fp| (&big(u) * &big(v)).rem(&p);
+            let diff = (&(&prod(&a, &b) + &p) - &prod(&x, &y)).rem(&p);
+            let expect = (&diff * &rinv).rem(&p);
+            assert_eq!(
+                BigUint::from_limbs(c.redc(&acc).as_slice().to_vec()),
+                expect,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn unreduced_from_limbs_validates() {
+        let c = ctx();
+        let pm1 = c.modulus().checked_sub(&BigUint::one()).unwrap();
+        let u = c.unreduced_from_limbs(&pm1.to_fixed_limbs(c.width()), 1);
+        assert_eq!(u.bound(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not < bound·p")]
+    fn unreduced_from_limbs_rejects_oversized() {
+        let c = ctx();
+        let u = c.modulus().to_fixed_limbs(c.width());
+        let _ = c.unreduced_from_limbs(&u, 1); // p is not < 1·p
     }
 
     #[test]

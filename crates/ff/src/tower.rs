@@ -19,7 +19,48 @@
 //! `ξ₂^((p^j−1)/2)`, `ξ^((p^j−1)/6)` computed once at context construction
 //! (this mirrors the small constant table the paper's lowering emits), and
 //! are validated against a direct `x^p` exponentiation in the test suite.
+//!
+//! # Lazy (incomplete) reduction in the hot path
+//!
+//! When the non-residues take their standard small forms (`β = −1`, and
+//! for k = 24 `ξ₂ = 1 + u`) and the prime leaves enough spare bits in its
+//! limb buffer, the multiplicative kernels switch to *lazy reduction*:
+//! Karatsuba sub-products are computed as plain double-width integers
+//! ([`crate::WideAcc`]), cross terms are added and subtracted **unreduced**
+//! at double width, and each output coefficient pays exactly one separated
+//! Montgomery reduction (`FpCtx::redc_into`) — instead of one interleaved
+//! reduction per sub-product plus carry-managed recombination.
+//!
+//! The invariants, enforced by `bound` tracking on every unreduced value
+//! (debug-asserted; exercised at the 10-limb `MAX_LIMBS` edge by the
+//! differential tests):
+//!
+//! * **Stored coefficients are always canonical** (`< p`). Unreduced
+//!   values never escape a single `fp2_mul`/`fp2_sqr`/`fq_mul`/`fq_sqr`
+//!   call, so equality stays bit-exact and every other consumer of
+//!   [`Fp`]/[`Fq`] is unaffected.
+//! * **Single-width unreduced values** (operand sums `a0 + a1`, offset
+//!   differences `a0 + p − a1`) are bounded by `2p` and only ever feed
+//!   double-width multiplications. This needs 2 spare bits
+//!   ([`FpCtx::headroom_bits`] ≥ 2): satisfied by every Table-2 curve,
+//!   including the 638-bit primes in 640-bit buffers.
+//! * **Double-width accumulators** stay below `2^h · p²` (`h` = headroom
+//!   bits), which is exactly the `T < p·R` pre-condition of Montgomery
+//!   reduction. The k = 12 chains peak at `4p²` (`h ≥ 2`); the k = 24
+//!   chains peak at `8p²` and therefore require `h ≥ 3` (BLS24-509:
+//!   509 bits in 512 — exactly 3).
+//! * **Subtractions are kept non-negative** by `k·p²` offsets
+//!   (`β = −1` turns `v0 + β·v1` into `v0 + p² − v1`), which vanish under
+//!   reduction; where a chain can dip negative transiently the buffer is
+//!   allowed to wrap mod `2^(128n)` — only the final accumulated value
+//!   handed to the reducer must be the true non-negative integer, and
+//!   debug builds verify `T < p·R` directly against the buffer.
+//!
+//! Towers whose parameters fall outside these forms (exotic β/ξ₂, or a
+//! modulus filling its top limb) keep the fully-reduced generic kernels —
+//! the dispatch is decided once at construction.
 
+use crate::fp::{Unreduced, WideAcc};
 use crate::{BigUint, Fp, FpCtx};
 use std::fmt;
 use std::sync::Arc;
@@ -54,17 +95,23 @@ impl Fq {
 
     /// Constructs from base-field coefficients.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the coefficient count is not a tower's `k/6` (2 or 4).
-    pub fn from_coeffs(c: Vec<Fp>) -> Self {
+    /// Returns [`TowerError::CoeffCount`] if the coefficient count is not
+    /// a tower's `k/6` (2 or 4).
+    pub fn from_coeffs(c: Vec<Fp>) -> Result<Self, TowerError> {
         match <[Fp; 4]>::try_from(c) {
-            Ok(four) => Self::new4(four),
+            Ok(four) => Ok(Self::new4(four)),
             Err(c) => {
-                assert_eq!(c.len(), 2, "Fq must have 2 or 4 coefficients");
+                if c.len() != 2 {
+                    return Err(TowerError::CoeffCount {
+                        expected: "2 or 4",
+                        got: c.len(),
+                    });
+                }
                 let mut it = c.into_iter();
-                let (c0, c1) = (it.next().unwrap(), it.next().unwrap());
-                Self::new2(c0, c1)
+                let (c0, c1) = (it.next().expect("len 2"), it.next().expect("len 2"));
+                Ok(Self::new2(c0, c1))
             }
         }
     }
@@ -115,14 +162,16 @@ impl Fpk {
 
     /// Constructs from six `w`-power coefficients.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless exactly six coefficients are given.
-    pub fn from_coeffs(c: Vec<Fq>) -> Self {
-        let c: [Fq; 6] = c
-            .try_into()
-            .unwrap_or_else(|v: Vec<Fq>| panic!("Fpk needs 6 coefficients, got {}", v.len()));
-        Fpk { c }
+    /// Returns [`TowerError::CoeffCount`] unless exactly six coefficients
+    /// are given.
+    pub fn from_coeffs(c: Vec<Fq>) -> Result<Self, TowerError> {
+        let c: [Fq; 6] = c.try_into().map_err(|v: Vec<Fq>| TowerError::CoeffCount {
+            expected: "6",
+            got: v.len(),
+        })?;
+        Ok(Fpk { c })
     }
 }
 
@@ -132,7 +181,7 @@ impl fmt::Debug for Fpk {
     }
 }
 
-/// Error constructing a [`TowerCtx`].
+/// Error constructing a [`TowerCtx`] or a tower element.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TowerError {
     /// The embedding degree must be 12 or 24 (sextic-twist towers).
@@ -145,6 +194,14 @@ pub enum TowerError {
     QuadraticResidueXi2,
     /// `ξ` is a square or cube in F_q, so `w⁶ = ξ` is reducible.
     ReducibleSextic,
+    /// An element constructor received the wrong number of coefficients
+    /// ([`Fq::from_coeffs`] wants `k/6`, [`Fpk::from_coeffs`] wants 6).
+    CoeffCount {
+        /// Human-readable admissible counts.
+        expected: &'static str,
+        /// Count actually supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for TowerError {
@@ -155,6 +212,9 @@ impl fmt::Display for TowerError {
             TowerError::QuadraticResidueBeta => "beta is a quadratic residue in Fp",
             TowerError::QuadraticResidueXi2 => "xi2 is a quadratic residue in Fp2",
             TowerError::ReducibleSextic => "xi is a square or cube in Fq; w^6 - xi is reducible",
+            TowerError::CoeffCount { expected, got } => {
+                return write!(f, "wrong coefficient count: expected {expected}, got {got}")
+            }
         };
         f.write_str(msg)
     }
@@ -185,6 +245,35 @@ pub struct TowerCtx {
     q: BigUint,
     /// p^k.
     pk: BigUint,
+    /// Lazy reduction enabled for the F_p2 layer (`β = −1`, headroom ≥ 2).
+    lazy2: bool,
+    /// Lazy reduction enabled for the F_p4 layer (`β = −1`, `ξ₂ = 1 + u`,
+    /// headroom ≥ 3; the k = 24 chains peak at 8p²).
+    lazy4: bool,
+    /// Structure of the sextic non-residue, for the mul-free `ξ` scaling.
+    xi_kind: XiKind,
+}
+
+/// An unreduced F_p2 value `c0 + c1·u` held as double-width accumulators
+/// (the working representation inside the lazy tower kernels).
+#[derive(Clone, Copy)]
+struct WidePair {
+    c0: WideAcc,
+    c1: WideAcc,
+}
+
+/// How the sextic non-residue ξ is shaped — decides whether multiplying
+/// by ξ (twice per cubic-layer Karatsuba) needs real multiplications.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum XiKind {
+    /// Arbitrary ξ: scale via a full `fq_mul`.
+    Generic,
+    /// k = 12, `ξ = 1 + u`, `β = −1`:
+    /// `(a0 + a1·u)·ξ = (a0 − a1) + (a0 + a1)·u` — additions only.
+    OnePlusU,
+    /// k = 24, `ξ = v`, `ξ₂ = 1 + u`, `β = −1`:
+    /// `(a0 + a1·v)·ξ = ξ₂·a1 + a0·v` — additions only.
+    V,
 }
 
 impl fmt::Debug for TowerCtx {
@@ -259,12 +348,44 @@ impl TowerCtx {
             qdeg,
             beta,
             xi2,
-            xi: Fq::from_coeffs(xi),
+            xi: Fq::from_coeffs(xi)?,
             u_frob: Vec::new(),
             v_frob: Vec::new(),
             w_frob: Vec::new(),
             q,
             pk,
+            lazy2: false,
+            lazy4: false,
+            xi_kind: XiKind::Generic,
+        };
+
+        // Lazy-reduction dispatch (see the module docs for the bound
+        // analysis): decided once, before any tower arithmetic runs, so
+        // even the construction-time non-residue checks benefit.
+        let h = fp.headroom_bits();
+        let beta_m1 = ctx.beta == -&fp.one();
+        let xi2_one_plus_u = ctx
+            .xi2
+            .as_ref()
+            .is_some_and(|(c0, c1)| c0.is_one() && c1.is_one());
+        ctx.lazy2 = beta_m1 && h >= 2;
+        ctx.lazy4 = qdeg == 4 && beta_m1 && xi2_one_plus_u && h >= 3;
+        ctx.xi_kind = {
+            let c = ctx.xi.coeffs();
+            if qdeg == 2 && beta_m1 && c[0].is_one() && c[1].is_one() {
+                XiKind::OnePlusU
+            } else if qdeg == 4
+                && beta_m1
+                && xi2_one_plus_u
+                && c[0].is_zero()
+                && c[1].is_zero()
+                && c[2].is_one()
+                && c[3].is_zero()
+            {
+                XiKind::V
+            } else {
+                XiKind::Generic
+            }
         };
 
         // Non-residue checks that need field ops (done on the raw ctx
@@ -327,6 +448,13 @@ impl TowerCtx {
     /// The twist-field degree `k/6` (2 or 4).
     pub fn qdeg(&self) -> usize {
         self.qdeg
+    }
+
+    /// Which lazy-reduction tiers this tower dispatches to
+    /// `(F_p2 layer, F_p4 layer)` — fixed at construction from the
+    /// non-residue shapes and the modulus headroom (see the module docs).
+    pub fn lazy_tiers(&self) -> (bool, bool) {
+        (self.lazy2, self.lazy4)
     }
 
     /// The quadratic non-residue `β` with `u² = β`.
@@ -400,15 +528,44 @@ impl TowerCtx {
     }
 
     fn fp2_mul(&self, a: &(Fp, Fp), b: &(Fp, Fp)) -> (Fp, Fp) {
-        // Karatsuba: 3 base multiplications.
+        if self.lazy2 {
+            return self.fp2_mul_lazy(a, b);
+        }
+        // Generic Karatsuba: 3 base multiplications plus a β scaling.
         let v0 = &a.0 * &b.0;
         let v1 = &a.1 * &b.1;
         let cross = &(&(&a.0 + &a.1) * &(&b.0 + &b.1)) - &(&v0 + &v1);
         (&v0 + &(&v1 * &self.beta), cross)
     }
 
+    /// Karatsuba with lazy reduction (`β = −1`, headroom ≥ 2): three
+    /// plain double-width products, cross terms accumulated unreduced,
+    /// one Montgomery reduction per output coefficient.
+    ///
+    /// Bounds: inputs `< p`, operand sums `< 2p`, accumulators `≤ 4p²`.
+    fn fp2_mul_lazy(&self, a: &(Fp, Fp), b: &(Fp, Fp)) -> (Fp, Fp) {
+        let f = self.fp.as_ref();
+        let pair = Self::fp2_mul_wide_k(
+            f,
+            (&a.0.as_unreduced(), &a.1.as_unreduced()),
+            (&b.0.as_unreduced(), &b.1.as_unreduced()),
+        );
+        (
+            Fp::from_mont_limbs(&self.fp, f.redc(&pair.c0)),
+            Fp::from_mont_limbs(&self.fp, f.redc(&pair.c1)),
+        )
+    }
+
     fn fp2_sqr(&self, a: &(Fp, Fp)) -> (Fp, Fp) {
-        // Complex squaring: 2 base multiplications.
+        if self.lazy2 {
+            let f = self.fp.as_ref();
+            let pair = Self::fp2_sqr_wide(f, (&a.0.as_unreduced(), &a.1.as_unreduced()));
+            return (
+                Fp::from_mont_limbs(&self.fp, f.redc(&pair.c0)),
+                Fp::from_mont_limbs(&self.fp, f.redc(&pair.c1)),
+            );
+        }
+        // Generic complex squaring: 2 base multiplications plus β scalings.
         let v0 = &a.0 * &a.1;
         let t = &(&a.0 + &a.1) * &(&a.0 + &(&a.1 * &self.beta));
         let c0 = &(&t - &v0) - &(&v0 * &self.beta);
@@ -436,6 +593,78 @@ impl TowerCtx {
         let mut c1 = a.1.clone();
         c1.mul_assign(&self.u_frob[j]);
         (a.0.clone(), c1)
+    }
+
+    // ------------------------------------------------------------------
+    // Lazy-reduction building blocks: unreduced F_p2 products held as
+    // pairs of double-width accumulators (β = −1 throughout; see the
+    // module docs for the bound analysis).
+    // ------------------------------------------------------------------
+
+    /// Karatsuba F_p2 product at double width, canonical (`< p`) inputs:
+    /// `c0 = a0·b0 + p² − a1·b1` (`≤ 2p²`), `c1 = a0·b1 + a1·b0`
+    /// (`< 2p²`). Three limb-level multiplications, zero reductions.
+    fn fp2_mul_wide_k(
+        f: &FpCtx,
+        a: (&Unreduced, &Unreduced),
+        b: (&Unreduced, &Unreduced),
+    ) -> WidePair {
+        let sa = f.add_noreduce(a.0, a.1);
+        let sb = f.add_noreduce(b.0, b.1);
+        let mut c1 = f.mul_wide(&sa, &sb);
+        let w0 = f.mul_wide(a.0, b.0);
+        let w1 = f.mul_wide(a.1, b.1);
+        f.wide_sub_assign(&mut c1, &w0);
+        f.wide_sub_assign(&mut c1, &w1);
+        // (a0+a1)(b0+b1) − a0b0 − a1b1 = a0b1 + a1b0 < 2p².
+        c1.assume_bound(2);
+        let mut c0 = w0;
+        f.wide_add_kp2(&mut c0, 1);
+        f.wide_sub_assign(&mut c0, &w1);
+        WidePair { c0, c1 }
+    }
+
+    /// Schoolbook F_p2 product at double width for *unreduced* (`< 2p`)
+    /// inputs — no internal operand sums, so every sub-product stays
+    /// `< 4p²` and the outputs `≤ 8p²` (hence the `h ≥ 3` gate on k = 24):
+    /// `c0 = a0·b0 + 4p² − a1·b1`, `c1 = a0·b1 + a1·b0`.
+    fn fp2_mul_wide_s(
+        f: &FpCtx,
+        a: (&Unreduced, &Unreduced),
+        b: (&Unreduced, &Unreduced),
+    ) -> WidePair {
+        let mut c0 = f.mul_wide(a.0, b.0);
+        f.wide_add_kp2(&mut c0, 4);
+        f.wide_sub_assign(&mut c0, &f.mul_wide(a.1, b.1));
+        let mut c1 = f.mul_wide(a.0, b.1);
+        f.wide_add_assign(&mut c1, &f.mul_wide(a.1, b.0));
+        WidePair { c0, c1 }
+    }
+
+    /// F_p2 square at double width, canonical inputs (`β = −1`):
+    /// `c0 = (a0+a1)(a0+p−a1) = a0² − a1² + p(a0+a1) < 3p²`,
+    /// `c1 = 2·a0·a1 < 2p²`. Two limb-level multiplications.
+    fn fp2_sqr_wide(f: &FpCtx, a: (&Unreduced, &Unreduced)) -> WidePair {
+        let s = f.add_noreduce(a.0, a.1);
+        let d = f.sub_with_kp(a.0, a.1, 1);
+        let mut c0 = f.mul_wide(&s, &d);
+        c0.assume_bound(3);
+        let w = f.mul_wide(a.0, a.1);
+        let mut c1 = w;
+        f.wide_add_assign(&mut c1, &w);
+        WidePair { c0, c1 }
+    }
+
+    /// Scales an unreduced wide pair by `ξ₂ = 1 + u` (`β = −1`):
+    /// `(c0 − c1 + k·p², c0 + c1)` with `k` covering `c1`'s bound —
+    /// additions only, the reduction-free analogue of an `fp2_mul` by ξ₂.
+    fn wide_pair_mul_xi2(f: &FpCtx, x: &WidePair) -> WidePair {
+        let mut c0 = x.c0;
+        f.wide_add_kp2(&mut c0, x.c1.bound());
+        f.wide_sub_assign(&mut c0, &x.c1);
+        let mut c1 = x.c0;
+        f.wide_add_assign(&mut c1, &x.c1);
+        WidePair { c0, c1 }
     }
 
     // ------------------------------------------------------------------
@@ -541,6 +770,7 @@ impl TowerCtx {
                 );
                 Fq::new2(c0, c1)
             }
+            4 if self.lazy4 => self.fq_mul_lazy4(a, b),
             4 => {
                 let (a0, a1) = Self::as_fp4(a);
                 let (b0, b1) = Self::as_fp4(b);
@@ -558,6 +788,52 @@ impl TowerCtx {
         }
     }
 
+    /// F_p4 Karatsuba over unreduced F_p2 wide pairs (`β = −1`,
+    /// `ξ₂ = 1 + u`, headroom ≥ 3): ten limb-level multiplications and
+    /// exactly four Montgomery reductions — one per output coefficient —
+    /// against sixteen interleaved multiplications on the generic path.
+    ///
+    /// Peak bounds: the Karatsuba cross pair uses the schoolbook wide
+    /// product on `< 2p` operand sums (`≤ 8p²`); the `v0 + ξ₂·v1`
+    /// recombination stays `≤ 6p²`.
+    fn fq_mul_lazy4(&self, a: &Fq, b: &Fq) -> Fq {
+        let f = self.fp.as_ref();
+        let au: [Unreduced; 4] = std::array::from_fn(|i| a.c[i].as_unreduced());
+        let bu: [Unreduced; 4] = std::array::from_fn(|i| b.c[i].as_unreduced());
+        let v0 = Self::fp2_mul_wide_k(f, (&au[0], &au[1]), (&bu[0], &bu[1]));
+        let v1 = Self::fp2_mul_wide_k(f, (&au[2], &au[3]), (&bu[2], &bu[3]));
+        // Cross pair: (a0+a1)(b0+b1) − v0 − v1 over F_p2, with the
+        // operand sums left unreduced (< 2p) and the product taken
+        // schoolbook so no internal sum exceeds the envelope. The p²
+        // offsets (4 − 1 − 1 = 2 surviving multiples) keep the c0
+        // component non-negative; c1 is exact.
+        let sa = (
+            f.add_noreduce(&au[0], &au[2]),
+            f.add_noreduce(&au[1], &au[3]),
+        );
+        let sb = (
+            f.add_noreduce(&bu[0], &bu[2]),
+            f.add_noreduce(&bu[1], &bu[3]),
+        );
+        let mut cross = Self::fp2_mul_wide_s(f, (&sa.0, &sa.1), (&sb.0, &sb.1));
+        f.wide_sub_assign(&mut cross.c0, &v0.c0);
+        f.wide_sub_assign(&mut cross.c0, &v1.c0);
+        f.wide_sub_assign(&mut cross.c1, &v0.c1);
+        f.wide_sub_assign(&mut cross.c1, &v1.c1);
+        // out0 = v0 + ξ₂·v1 (≤ 2p² + 4p²).
+        let xiv1 = Self::wide_pair_mul_xi2(f, &v1);
+        let mut o0 = v0.c0;
+        f.wide_add_assign(&mut o0, &xiv1.c0);
+        let mut o1 = v0.c1;
+        f.wide_add_assign(&mut o1, &xiv1.c1);
+        Fq::new4([
+            Fp::from_mont_limbs(&self.fp, f.redc(&o0)),
+            Fp::from_mont_limbs(&self.fp, f.redc(&o1)),
+            Fp::from_mont_limbs(&self.fp, f.redc(&cross.c0)),
+            Fp::from_mont_limbs(&self.fp, f.redc(&cross.c1)),
+        ])
+    }
+
     /// Squaring in F_q.
     pub fn fq_sqr(&self, a: &Fq) -> Fq {
         match self.qdeg {
@@ -565,6 +841,7 @@ impl TowerCtx {
                 let (c0, c1) = self.fp2_sqr(&(a.c[0].clone(), a.c[1].clone()));
                 Fq::new2(c0, c1)
             }
+            4 if self.lazy4 => self.fq_sqr_lazy4(a),
             4 => {
                 let (a0, a1) = Self::as_fp4(a);
                 let xi2 = self.xi2.clone().expect("qdeg 4");
@@ -580,6 +857,35 @@ impl TowerCtx {
             }
             _ => unreachable!("qdeg is 2 or 4"),
         }
+    }
+
+    /// F_p4 squaring over unreduced F_p2 wide pairs (`β = −1`,
+    /// `ξ₂ = 1 + u`, headroom ≥ 3): `(a0 + a1·v)² = (a0² + ξ₂·a1²) +
+    /// 2·a0·a1·v`, seven limb-level multiplications and four reductions.
+    ///
+    /// Peak bound is the `a0² + ξ₂·a1²` recombination: `3p² + 5p² = 8p²`.
+    fn fq_sqr_lazy4(&self, a: &Fq) -> Fq {
+        let f = self.fp.as_ref();
+        let au: [Unreduced; 4] = std::array::from_fn(|i| a.c[i].as_unreduced());
+        let s0 = Self::fp2_sqr_wide(f, (&au[0], &au[1]));
+        let s1 = Self::fp2_sqr_wide(f, (&au[2], &au[3]));
+        let xis1 = Self::wide_pair_mul_xi2(f, &s1);
+        let mut o0 = s0.c0;
+        f.wide_add_assign(&mut o0, &xis1.c0);
+        let mut o1 = s0.c1;
+        f.wide_add_assign(&mut o1, &xis1.c1);
+        // Odd coefficient: 2·a0·a1 over F_p2 (≤ 4p² componentwise).
+        let w = Self::fp2_mul_wide_k(f, (&au[0], &au[1]), (&au[2], &au[3]));
+        let mut d0 = w.c0;
+        f.wide_add_assign(&mut d0, &w.c0);
+        let mut d1 = w.c1;
+        f.wide_add_assign(&mut d1, &w.c1);
+        Fq::new4([
+            Fp::from_mont_limbs(&self.fp, f.redc(&o0)),
+            Fp::from_mont_limbs(&self.fp, f.redc(&o1)),
+            Fp::from_mont_limbs(&self.fp, f.redc(&d0)),
+            Fp::from_mont_limbs(&self.fp, f.redc(&d1)),
+        ])
     }
 
     /// Inversion in F_q.
@@ -629,8 +935,22 @@ impl TowerCtx {
 
     /// Multiplies by the sextic non-residue ξ (the IR `adj` operation at
     /// the F_q level).
+    ///
+    /// For the standard tower shapes (`ξ = 1 + u` at k = 12, `ξ = v` at
+    /// k = 24, both with `β = −1`) this is multiplication-free — a couple
+    /// of base-field additions instead of a full `fq_mul`, which matters
+    /// because the cubic Karatsuba layer invokes it twice per product.
     pub fn fq_mul_xi(&self, a: &Fq) -> Fq {
-        self.fq_mul(a, &self.xi)
+        match self.xi_kind {
+            XiKind::OnePlusU => Fq::new2(&a.c[0] - &a.c[1], &a.c[0] + &a.c[1]),
+            XiKind::V => Fq::new4([
+                &a.c[2] - &a.c[3],
+                &a.c[2] + &a.c[3],
+                a.c[0].clone(),
+                a.c[1].clone(),
+            ]),
+            XiKind::Generic => self.fq_mul(a, &self.xi),
+        }
     }
 
     /// `j`-fold Frobenius `a ↦ a^(p^j)` in F_q.
@@ -930,6 +1250,85 @@ impl TowerCtx {
         Self::from_parts(even, cross)
     }
 
+    /// Multiplies a dense element by a *sparse* one given as `w`-power
+    /// coefficients (`None` = 0) — the Miller-loop line shapes.
+    ///
+    /// The two line shapes the pairing emits (D twist: `w⁰,w¹,w³`;
+    /// M twist: `w⁰,w²,w³`) take a dedicated 13-`fq_mul` path instead of
+    /// densifying into the 18-`fq_mul` Karatsuba of [`TowerCtx::fpk_mul`];
+    /// any other shape falls back to the dense product. The result is
+    /// bit-identical to the dense path (same field value, canonical
+    /// coefficients).
+    pub fn fpk_mul_sparse(&self, a: &Fpk, coeffs: &[Option<Fq>; 6]) -> Fpk {
+        match coeffs {
+            [Some(c0), Some(c1), None, Some(c3), None, None] => {
+                // D-twist line: even part [c0, 0, 0], odd part [c1, c3, 0].
+                let (a0, a1) = (Self::even_part(a), Self::odd_part(a));
+                let t0 = self.c_mul_sparse0(&a0, c0);
+                let t1 = self.c_mul_sparse01(&a1, c1, c3);
+                let sum_a = self.c_add(&a0, &a1);
+                let l0 = self.fq_add(c0, c1);
+                let mut cross = self.c_mul_sparse01(&sum_a, &l0, c3);
+                cross = self.c_sub(&self.c_sub(&cross, &t0), &t1);
+                let even = self.c_add(&t0, &self.c_mul_by_s(&t1));
+                Self::from_parts(even, cross)
+            }
+            [Some(c0), None, Some(c2), Some(c3), None, None] => {
+                // M-twist line: even part [c0, c2, 0], odd part [0, c3, 0].
+                let (a0, a1) = (Self::even_part(a), Self::odd_part(a));
+                let t0 = self.c_mul_sparse01(&a0, c0, c2);
+                let t1 = self.c_mul_sparse1(&a1, c3);
+                let sum_a = self.c_add(&a0, &a1);
+                let l1 = self.fq_add(c2, c3);
+                let mut cross = self.c_mul_sparse01(&sum_a, c0, &l1);
+                cross = self.c_sub(&self.c_sub(&cross, &t0), &t1);
+                let even = self.c_add(&t0, &self.c_mul_by_s(&t1));
+                Self::from_parts(even, cross)
+            }
+            _ => {
+                let dense = self.fpk_from_sparse(coeffs.clone());
+                self.fpk_mul(a, &dense)
+            }
+        }
+    }
+
+    /// Cubic-layer product by `[b0, 0, 0]`: three `fq_mul`s.
+    fn c_mul_sparse0(&self, a: &[Fq; 3], b0: &Fq) -> [Fq; 3] {
+        [
+            self.fq_mul(&a[0], b0),
+            self.fq_mul(&a[1], b0),
+            self.fq_mul(&a[2], b0),
+        ]
+    }
+
+    /// Cubic-layer product by `[0, b1, 0]`: three `fq_mul`s
+    /// (`c0 = ξ·a2·b1`, `c1 = a0·b1`, `c2 = a1·b1`).
+    fn c_mul_sparse1(&self, a: &[Fq; 3], b1: &Fq) -> [Fq; 3] {
+        [
+            self.fq_mul_xi(&self.fq_mul(&a[2], b1)),
+            self.fq_mul(&a[0], b1),
+            self.fq_mul(&a[1], b1),
+        ]
+    }
+
+    /// Cubic-layer product by `[b0, b1, 0]`: five `fq_mul`s
+    /// (Karatsuba on the low two coefficients, direct `a2` terms).
+    fn c_mul_sparse01(&self, a: &[Fq; 3], b0: &Fq, b1: &Fq) -> [Fq; 3] {
+        let v0 = self.fq_mul(&a[0], b0);
+        let v1 = self.fq_mul(&a[1], b1);
+        let t01 = self.fq_sub(
+            &self.fq_mul(&self.fq_add(&a[0], &a[1]), &self.fq_add(b0, b1)),
+            &self.fq_add(&v0, &v1),
+        );
+        let t12 = self.fq_mul(&a[2], b1);
+        let t02 = self.fq_mul(&a[2], b0);
+        [
+            self.fq_add(&v0, &self.fq_mul_xi(&t12)),
+            t01,
+            self.fq_add(&t02, &v1),
+        ]
+    }
+
     /// Squaring (complex method over the cubic layer).
     pub fn fpk_sqr(&self, a: &Fpk) -> Fpk {
         let (a0, a1) = (Self::even_part(a), Self::odd_part(a));
@@ -1210,6 +1609,106 @@ mod tests {
             let r = t.fq_sqrt(&sq).expect("square has a root");
             assert!(r == a || r == t.fq_neg(&a));
         }
+    }
+
+    #[test]
+    fn lazy_fq_mul_matches_direct_fp_formula() {
+        // The BLS12-381 tower takes the lazy path (β = −1, headroom 3);
+        // cross-check against the schoolbook formula computed with the
+        // plain (interleaved-reduction) Fp kernels.
+        let t = bls12_tower();
+        assert!(t.lazy2, "test tower should dispatch lazily");
+        for seed in 0..12u64 {
+            let a = t.fq_sample(seed);
+            let b = t.fq_sample(seed + 201);
+            let (a0, a1) = (&a.coeffs()[0], &a.coeffs()[1]);
+            let (b0, b1) = (&b.coeffs()[0], &b.coeffs()[1]);
+            // β = −1: (a0 + a1u)(b0 + b1u) = (a0b0 − a1b1) + (a0b1 + a1b0)u
+            let c0 = &(a0 * b0) - &(a1 * b1);
+            let c1 = &(a0 * b1) + &(a1 * b0);
+            let got = t.fq_mul(&a, &b);
+            assert_eq!(got.coeffs(), &[c0, c1][..], "seed {seed}");
+            let sq = t.fq_sqr(&a);
+            assert_eq!(sq, t.fq_mul(&a, &a), "seed {seed} sqr");
+        }
+        // Edge coefficients (p − 1) maximise every carry chain.
+        let pm1 = t.fp().from_i64(-1);
+        let edge = Fq::new2(pm1.clone(), pm1.clone());
+        let e0 = &(&pm1 * &pm1) - &(&pm1 * &pm1);
+        let e1 = (&pm1 * &pm1).double();
+        assert_eq!(t.fq_mul(&edge, &edge).coeffs(), &[e0, e1][..]);
+        assert_eq!(t.fq_sqr(&edge), t.fq_mul(&edge, &edge));
+    }
+
+    #[test]
+    fn fq_mul_xi_fast_path_matches_full_mul() {
+        let t = bls12_tower();
+        for seed in 0..8u64 {
+            let a = t.fq_sample(seed);
+            assert_eq!(t.fq_mul_xi(&a), t.fq_mul(&a, t.xi()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sparse_line_mul_matches_dense_both_shapes() {
+        let t = bls12_tower();
+        for seed in 0..6u64 {
+            let f = t.fpk_sample(seed);
+            let (c0, c1, c3) = (
+                t.fq_sample(seed + 10),
+                t.fq_sample(seed + 20),
+                t.fq_sample(seed + 30),
+            );
+            // D-twist shape: w⁰, w¹, w³.
+            let d = [
+                Some(c0.clone()),
+                Some(c1.clone()),
+                None,
+                Some(c3.clone()),
+                None,
+                None,
+            ];
+            let dense = t.fpk_mul(&f, &t.fpk_from_sparse(d.clone()));
+            assert_eq!(t.fpk_mul_sparse(&f, &d), dense, "seed {seed} D");
+            // M-twist shape: w⁰, w², w³.
+            let m = [
+                Some(c0.clone()),
+                None,
+                Some(c1.clone()),
+                Some(c3.clone()),
+                None,
+                None,
+            ];
+            let dense = t.fpk_mul(&f, &t.fpk_from_sparse(m.clone()));
+            assert_eq!(t.fpk_mul_sparse(&f, &m), dense, "seed {seed} M");
+            // Unrecognised shape falls back to the dense product.
+            let other = [Some(c0.clone()), None, None, None, None, Some(c3.clone())];
+            let dense = t.fpk_mul(&f, &t.fpk_from_sparse(other.clone()));
+            assert_eq!(t.fpk_mul_sparse(&f, &other), dense, "seed {seed} other");
+        }
+    }
+
+    #[test]
+    fn from_coeffs_rejects_bad_counts() {
+        let t = bls12_tower();
+        let one = t.fp().one();
+        assert_eq!(
+            Fq::from_coeffs(vec![one.clone()]).unwrap_err(),
+            TowerError::CoeffCount {
+                expected: "2 or 4",
+                got: 1
+            }
+        );
+        assert!(Fq::from_coeffs(vec![one.clone(), one.clone()]).is_ok());
+        assert!(Fq::from_coeffs(vec![one.clone(); 4]).is_ok());
+        assert_eq!(
+            Fpk::from_coeffs(vec![t.fq_zero(); 5]).unwrap_err(),
+            TowerError::CoeffCount {
+                expected: "6",
+                got: 5
+            }
+        );
+        assert!(Fpk::from_coeffs(vec![t.fq_zero(); 6]).is_ok());
     }
 
     #[test]

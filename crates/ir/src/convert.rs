@@ -18,7 +18,7 @@ pub fn fq_to_fps(a: &Fq) -> Vec<Fp> {
 /// Rebuilds an F_q element from flat base-field elements.
 pub fn fps_to_fq(tower: &TowerCtx, fps: &[Fp]) -> Fq {
     assert_eq!(fps.len(), tower.qdeg(), "flat width must equal k/6");
-    Fq::from_coeffs(fps.to_vec())
+    Fq::from_coeffs(fps.to_vec()).expect("length checked above")
 }
 
 /// Flattens an F_p^k element into internal order (even `w`-powers first).
@@ -35,7 +35,8 @@ pub fn fpk_to_fps(a: &Fpk) -> Vec<Fp> {
 pub fn fps_to_fpk(tower: &TowerCtx, fps: &[Fp]) -> Fpk {
     let q = tower.qdeg();
     assert_eq!(fps.len(), 6 * q, "flat width must equal k");
-    let chunk = |i: usize| Fq::from_coeffs(fps[i * q..(i + 1) * q].to_vec());
+    let chunk =
+        |i: usize| Fq::from_coeffs(fps[i * q..(i + 1) * q].to_vec()).expect("chunks are k/6 wide");
     // internal [E0 E1 E2 O0 O1 O2] → w-powers [E0 O0 E1 O1 E2 O2].
     Fpk::from_coeffs(vec![
         chunk(0),
@@ -45,6 +46,7 @@ pub fn fps_to_fpk(tower: &TowerCtx, fps: &[Fp]) -> Fpk {
         chunk(2),
         chunk(5),
     ])
+    .expect("exactly six chunks")
 }
 
 /// Canonical (non-Montgomery) flat coefficients of an F_q element — the

@@ -76,6 +76,17 @@ pub trait PairingFlow {
     fn fpk_frob(&mut self, a: &Self::Fpk, j: usize) -> Self::Fpk;
     /// Assembles a sparse element from `w`-power coefficients.
     fn fpk_sparse(&mut self, coeffs: [Option<Self::Fq>; 6]) -> Self::Fpk;
+
+    /// Multiplies the accumulator by a sparse element (a Miller line).
+    ///
+    /// The default densifies and multiplies — recording flows keep their
+    /// program shape unchanged (the compiler's constant-zero propagation
+    /// recovers the sparsity, §4.3). Computing flows override this with a
+    /// dedicated sparse kernel that skips the zero coefficients outright.
+    fn fpk_mul_sparse(&mut self, a: &Self::Fpk, coeffs: [Option<Self::Fq>; 6]) -> Self::Fpk {
+        let l = self.fpk_sparse(coeffs);
+        self.fpk_mul(a, &l)
+    }
 }
 
 /// A G2 point in homogeneous projective twist coordinates inside a flow.
@@ -278,11 +289,14 @@ fn apply_line<F: PairingFlow>(
 ) -> F::Fpk {
     let cy = flow.fq_mul_fp(&line.ly, py);
     let cx = flow.fq_mul_fp(&line.lx, px);
-    let l = match curve.twist() {
-        TwistKind::D => flow.fpk_sparse([Some(cy), Some(cx), None, Some(line.lt), None, None]),
-        TwistKind::M => flow.fpk_sparse([Some(line.lt), None, Some(cx), Some(cy), None, None]),
-    };
-    flow.fpk_mul(f, &l)
+    match curve.twist() {
+        TwistKind::D => {
+            flow.fpk_mul_sparse(f, [Some(cy), Some(cx), None, Some(line.lt), None, None])
+        }
+        TwistKind::M => {
+            flow.fpk_mul_sparse(f, [Some(line.lt), None, Some(cx), Some(cy), None, None])
+        }
+    }
 }
 
 /// Cyclotomic exponentiation by a signed parameter (NAF digits, conjugate

@@ -110,6 +110,10 @@ impl PairingFlow for ValueFlow<'_> {
     fn fpk_sparse(&mut self, coeffs: [Option<Fq>; 6]) -> Fpk {
         self.curve.tower().fpk_from_sparse(coeffs)
     }
+    fn fpk_mul_sparse(&mut self, a: &Fpk, coeffs: [Option<Fq>; 6]) -> Fpk {
+        // Dedicated 13-mul line kernel (bit-identical to densify + mul).
+        self.curve.tower().fpk_mul_sparse(a, &coeffs)
+    }
 }
 
 /// The optimal-Ate pairing engine for a curve.

@@ -7,7 +7,7 @@
 //! cargo run --example bls_signature
 //! ```
 
-use finesse_curves::{Affine, Curve};
+use finesse_curves::{Affine, Curve, CurveError};
 use finesse_ff::{BigUint, Fp, Fq};
 use finesse_pairing::PairingEngine;
 use std::sync::Arc;
@@ -24,9 +24,9 @@ fn keygen(curve: &Arc<Curve>, seed: u64) -> KeyPair {
     KeyPair { sk, pk }
 }
 
-fn sign(curve: &Arc<Curve>, kp: &KeyPair, msg: &[u8]) -> Affine<Fp> {
-    let h = curve.hash_to_g1(msg);
-    curve.g1_mul(&h, &kp.sk)
+fn sign(curve: &Arc<Curve>, kp: &KeyPair, msg: &[u8]) -> Result<Affine<Fp>, CurveError> {
+    let h = curve.hash_to_g1(msg)?;
+    Ok(curve.g1_mul(&h, &kp.sk))
 }
 
 fn verify(
@@ -36,7 +36,10 @@ fn verify(
     msg: &[u8],
     sig: &Affine<Fp>,
 ) -> bool {
-    let h = curve.hash_to_g1(msg);
+    // A message that cannot be hashed cannot have a valid signature.
+    let Ok(h) = curve.hash_to_g1(msg) else {
+        return false;
+    };
     engine.pair(sig, curve.g2_generator()) == engine.pair(&h, pk)
 }
 
@@ -46,7 +49,7 @@ fn main() {
     let kp = keygen(&curve, 0xF00D_FACE);
 
     let msg = b"agile pairing accelerators";
-    let sig = sign(&curve, &kp, msg);
+    let sig = sign(&curve, &kp, msg).expect("hash-to-curve succeeds for real curves");
     println!("message   : {:?}", std::str::from_utf8(msg).unwrap());
     println!("signature : ({}, ...)", sig.x);
 
