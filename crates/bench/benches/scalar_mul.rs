@@ -1,0 +1,85 @@
+//! Benchmarks of the scalar-multiplication hot path: endomorphism-split
+//! `g1_mul`/`g2_mul` (2-GLV on G1; base-t, quartic, or 2-dim GLS on G2)
+//! against the plain wNAF ladder, and the Pippenger `msm` against
+//! independent multiplications.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use finesse_curves::{jac_mul, to_affine, Curve, FpOps, FqOps};
+use finesse_ff::BigUint;
+use std::sync::Arc;
+
+fn bench_scalar(curve: &Arc<Curve>) -> BigUint {
+    BigUint::from_hex("e4c91a3bf3a77d9f1a4b5c6d7e8f90123456789abcdef0fedcba98765432100f")
+        .expect("literal parses")
+        .rem(curve.r())
+}
+
+fn bench_g1_mul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("g1_mul");
+    for name in ["BN254N", "BLS12-381", "BLS24-509"] {
+        let curve = Curve::by_name(name);
+        let k = bench_scalar(&curve);
+        let p = curve.g1_generator().clone();
+        g.bench_with_input(BenchmarkId::new("glv", name), &(), |bench, ()| {
+            bench.iter(|| curve.g1_mul(&p, &k))
+        });
+        let ops = FpOps(Arc::clone(curve.fp()));
+        g.bench_with_input(BenchmarkId::new("wnaf", name), &(), |bench, ()| {
+            bench.iter(|| to_affine(&ops, &jac_mul(&ops, &p, &k)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_g2_mul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("g2_mul");
+    for name in ["BN254N", "BLS12-381", "BLS24-509"] {
+        let curve = Curve::by_name(name);
+        let k = bench_scalar(&curve);
+        let q = curve.g2_generator().clone();
+        g.bench_with_input(BenchmarkId::new("gls", name), &(), |bench, ()| {
+            bench.iter(|| curve.g2_mul(&q, &k))
+        });
+        let ops = FqOps(curve.tower());
+        g.bench_with_input(BenchmarkId::new("wnaf", name), &(), |bench, ()| {
+            bench.iter(|| to_affine(&ops, &jac_mul(&ops, &q, &k)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_g1_msm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("g1_msm");
+    let curve = Curve::by_name("BLS12-381");
+    for n in [16usize, 64, 256] {
+        let points: Vec<_> = (0..n)
+            .map(|i| curve.g1_mul(curve.g1_generator(), &BigUint::from_u64((i * i + 3) as u64)))
+            .collect();
+        let scalars: Vec<_> = (0..n as u64)
+            .map(|i| {
+                BigUint::from_u64(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+                    .modpow(&BigUint::from_u64(5), curve.r())
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("pippenger", n), &(), |bench, ()| {
+            bench.iter(|| curve.g1_msm(&points, &scalars))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n), &(), |bench, ()| {
+            bench.iter(|| {
+                let mut acc = curve.g1_mul(&points[0], &scalars[0]);
+                for (p, k) in points.iter().zip(&scalars).skip(1) {
+                    acc = curve.g1_add(&acc, &curve.g1_mul(p, k));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_g1_mul, bench_g2_mul, bench_g1_msm
+}
+criterion_main!(benches);

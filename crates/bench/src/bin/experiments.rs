@@ -51,14 +51,20 @@ fn main() {
         return;
     }
     if arg == "--bench-regress" {
-        let which = std::env::args()
-            .nth(2)
-            .unwrap_or_else(|| "BLS24-509".into());
-        let max_pct: f64 = std::env::args()
-            .nth(3)
+        // `--bench-regress [METRIC] CURVE [MAX_PCT]`; the metric defaults
+        // to fq_mul so the pre-existing CLI shape keeps working.
+        let mut rest: Vec<String> = std::env::args().skip(2).collect();
+        let metric = if rest.first().is_some_and(|a| a == "fq_mul" || a == "g1_mul") {
+            rest.remove(0)
+        } else {
+            "fq_mul".into()
+        };
+        let which = rest.first().cloned().unwrap_or_else(|| "BLS24-509".into());
+        let max_pct: f64 = rest
+            .get(1)
             .map(|s| s.parse().expect("max regression must be a number"))
             .unwrap_or(10.0);
-        std::process::exit(bench_regress(&which, max_pct));
+        std::process::exit(bench_regress(&metric, &which, max_pct));
     }
     let experiments: Vec<Experiment> = vec![
         ("table2", table2 as fn() -> String),
@@ -157,6 +163,34 @@ const PR2_FQ_MUL_NS: [(&str, f64); 7] = [
     ("BLS24-509", 2800.5),
 ];
 
+/// The plain width-4 wNAF (PR 3) scalar-multiplication medians, i.e. the
+/// state immediately before the GLV/GLS endomorphism split. Embedded as
+/// `pr3_baseline_ns` so the trajectory of the scalar-mul hot path stays
+/// visible; the `g1_mul` regression gate compares against the *committed*
+/// post-GLV `curves[]` row, not these floors.
+const PR3_G1_MUL_NS: [(&str, f64); 7] = [
+    ("BN254N", 262_518.0),
+    ("BN462", 891_905.0),
+    ("BN638", 1_604_839.0),
+    ("BLS12-381", 373_640.0),
+    ("BLS12-446", 525_128.0),
+    ("BLS12-638", 1_435_852.0),
+    ("BLS24-509", 815_399.0),
+];
+const PR3_G2_MUL_NS: [(&str, f64); 7] = [
+    ("BN254N", 1_188_448.0),
+    ("BN462", 3_050_875.0),
+    ("BN638", 5_085_468.0),
+    ("BLS12-381", 1_357_081.0),
+    ("BLS12-446", 1_920_065.0),
+    ("BLS12-638", 3_599_658.0),
+    ("BLS24-509", 6_740_015.0),
+];
+/// 64 independent wNAF g1_muls plus 63 additions (the pre-MSM batch
+/// path), for the headline curves.
+const PR3_NAIVE_MSM64_NS: [(&str, f64); 2] =
+    [("BN254N", 19_533_200.0), ("BLS12-381", 29_874_800.0)];
+
 /// Extracts `pr2_baseline_ns.fq_mul.<name>` from the committed
 /// `results/BENCH_fieldops.json` (the format this binary itself emits),
 /// so re-baselining means editing one file.
@@ -173,35 +207,88 @@ fn pr2_baseline_from_json(name: &str) -> Option<f64> {
     entry[..end].trim().parse().ok()
 }
 
-/// `--bench-regress CURVE [MAX_PCT]`: re-measures the curve's `fq_mul`
-/// median and fails (exit 1) if it regressed more than `MAX_PCT` percent
-/// against the PR 2 baseline embedded in `results/BENCH_fieldops.json`.
-fn bench_regress(which: &str, max_pct: f64) -> i32 {
+/// Extracts `<key>` from the committed per-curve `curves[]` row of
+/// `results/BENCH_fieldops.json` — the floor the `g1_mul` regression gate
+/// compares against (committed medians are the post-GLV state).
+fn curve_row_from_json(name: &str, key: &str) -> Option<f64> {
+    let text = fs::read_to_string("results/BENCH_fieldops.json").ok()?;
+    let rows = &text[text.find("\"curves\"")?..];
+    let row = &rows[rows.find(&format!("\"curve\": \"{name}\""))?..];
+    let row = &row[..row.find('}')? + 1];
+    let entry = &row[row.find(&format!("\"{key}\":"))? + key.len() + 3..];
+    let end = entry.find([',', '}'])?;
+    entry[..end].trim().parse().ok()
+}
+
+/// `--bench-regress [fq_mul|g1_mul] CURVE [MAX_PCT]`: re-measures the
+/// curve's metric median and fails (exit 1) if it regressed more than
+/// `MAX_PCT` percent against the committed baseline in
+/// `results/BENCH_fieldops.json` — the PR 2 floor for `fq_mul`, the
+/// committed post-GLV row for `g1_mul`.
+fn bench_regress(metric: &str, which: &str, max_pct: f64) -> i32 {
     use std::hint::black_box;
-    let Some(&(name, builtin)) = PR2_FQ_MUL_NS
-        .iter()
-        .find(|(n, _)| n.eq_ignore_ascii_case(which))
-    else {
+    let Some(name) = CURVES.iter().find(|c| c.eq_ignore_ascii_case(which)) else {
         eprintln!("unknown curve `{which}`; expected one of {CURVES:?}");
         return 2;
     };
-    let baseline = pr2_baseline_from_json(name).unwrap_or(builtin);
     let curve = Curve::by_name(name);
-    let tower = curve.tower().clone();
-    let (qa, qb) = (tower.fq_sample(1), tower.fq_sample(2));
-    let measured = bench_ns(|| {
-        black_box(tower.fq_mul(black_box(&qa), black_box(&qb)));
-    });
+    let (baseline, measured) = match metric {
+        "fq_mul" => {
+            let builtin = PR2_FQ_MUL_NS
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .expect("every curve has a PR2 fq_mul floor");
+            let baseline = pr2_baseline_from_json(name).unwrap_or(builtin);
+            let tower = curve.tower().clone();
+            let (qa, qb) = (tower.fq_sample(1), tower.fq_sample(2));
+            let measured = bench_ns(|| {
+                black_box(tower.fq_mul(black_box(&qa), black_box(&qb)));
+            });
+            (baseline, measured)
+        }
+        "g1_mul" => {
+            // Fall back to the pre-GLV PR 3 floor only when the committed
+            // JSON has no post-GLV row yet.
+            let builtin = PR3_G1_MUL_NS
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .expect("every curve has a PR3 g1_mul floor");
+            let baseline = curve_row_from_json(name, "g1_mul_ns").unwrap_or(builtin);
+            let k = bench_scalar(&curve);
+            let g1 = curve.g1_generator();
+            let measured = bench_ns(|| {
+                black_box(curve.g1_mul(black_box(g1), black_box(&k)));
+            });
+            (baseline, measured)
+        }
+        other => {
+            eprintln!("unknown metric `{other}`; expected fq_mul or g1_mul");
+            return 2;
+        }
+    };
     let delta_pct = 100.0 * (measured - baseline) / baseline;
     println!(
-        "fq_mul {name}: measured {measured:.1} ns vs PR2 baseline {baseline:.1} ns \
+        "{metric} {name}: measured {measured:.1} ns vs committed baseline {baseline:.1} ns \
          ({delta_pct:+.1}%, limit +{max_pct:.0}%)"
     );
     if delta_pct > max_pct {
-        eprintln!("REGRESSION: fq_mul {name} is {delta_pct:.1}% slower than the PR2 baseline");
+        eprintln!("REGRESSION: {metric} {name} is {delta_pct:.1}% slower than the baseline");
         return 1;
     }
     0
+}
+
+/// A full-width deterministic bench scalar in `[0, r)` (cubing mod r
+/// fills the full width of every Table 2 group order; the PR 3 floors
+/// were captured with the same scalar on the plain wNAF ladder).
+fn bench_scalar(curve: &Arc<Curve>) -> finesse_ff::BigUint {
+    finesse_ff::BigUint::from_hex(
+        "e4c91a3bf3a77d9f1a4b5c6d7e8f90123456789abcdef0fedcba98765432100f",
+    )
+    .expect("literal parses")
+    .modpow(&finesse_ff::BigUint::from_u64(3), curve.r())
 }
 
 /// `--bench-json`: field-substrate microbenchmarks as machine-readable
@@ -236,15 +323,38 @@ fn bench_fieldops_json(which: &str) -> String {
         let fq_mul = bench_ns(|| {
             black_box(tower.fq_mul(black_box(&qa), black_box(&qb)));
         });
-        let engine = PairingEngine::new(curve.clone());
+        let k = bench_scalar(&curve);
         let (g1, g2) = (curve.g1_generator(), curve.g2_generator());
+        let g1_mul = bench_ns(|| {
+            black_box(curve.g1_mul(black_box(g1), black_box(&k)));
+        });
+        let g2_mul = bench_ns(|| {
+            black_box(curve.g2_mul(black_box(g2), black_box(&k)));
+        });
+        // 64-point G1 MSM over distinct points and full-width scalars —
+        // the batch-verification workload (aggregate BLS, KZG openings).
+        let msm_points: Vec<_> = (0..64u64)
+            .map(|i| curve.g1_mul(g1, &finesse_ff::BigUint::from_u64(i * i + 3)))
+            .collect();
+        let msm_scalars: Vec<_> = (0..64u64)
+            .map(|i| {
+                finesse_ff::BigUint::from_u64(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+                    .modpow(&finesse_ff::BigUint::from_u64(5), curve.r())
+            })
+            .collect();
+        let msm64 = bench_ns(|| {
+            black_box(curve.g1_msm(black_box(&msm_points), black_box(&msm_scalars)));
+        });
+        let engine = PairingEngine::new(curve.clone());
         let pairing = bench_ns(|| {
             black_box(engine.pair(black_box(g1), black_box(g2)));
         });
         rows.push(format!(
             "    {{\"curve\": \"{name}\", \"p_bits\": {}, \"limbs\": {}, \
              \"fp_mul_ns\": {fp_mul:.1}, \"fp_sqr_ns\": {fp_sqr:.1}, \
-             \"fq_mul_ns\": {fq_mul:.1}, \"pairing_ns\": {pairing:.0}}}",
+             \"fq_mul_ns\": {fq_mul:.1}, \"g1_mul_ns\": {g1_mul:.0}, \
+             \"g2_mul_ns\": {g2_mul:.0}, \"msm64_g1_ns\": {msm64:.0}, \
+             \"pairing_ns\": {pairing:.0}}}",
             curve.p().bits(),
             fp.width(),
         ));
@@ -259,8 +369,11 @@ fn bench_fieldops_json(which: &str) -> String {
     };
     format!(
         "{{\n  \"schema\": \"finesse-bench-fieldops/v1\",\n  \"harness\": \"median of 5 batches, ns per op\",\n\
-         \n  \"curves\": [\n{}\n  ],\n  \"pr2_baseline_ns\": {{\n    \"note\": \"allocation-free Fp (PR 2) before the lazy-reduction rewrite; CI's --bench-regress floor\",\n    \"fq_mul\": {{{}}}\n  }},\n  \"pre_pr_baseline_ns\": {{\n    \"note\": \"Vec-limbed Fp before the inline-limb rewrite (criterion-shim medians, same machine)\",\n    \"fp_mul\": {{{}}},\n    \"fq_mul\": {{{}}},\n    \"pairing\": {{{}}}\n  }}\n}}\n",
+         \n  \"curves\": [\n{}\n  ],\n  \"pr3_baseline_ns\": {{\n    \"note\": \"plain width-4 wNAF ladders (PR 3) before the GLV/GLS endomorphism split; naive_msm64 = 64 independent g1_muls + adds\",\n    \"g1_mul\": {{{}}},\n    \"g2_mul\": {{{}}},\n    \"naive_msm64\": {{{}}}\n  }},\n  \"pr2_baseline_ns\": {{\n    \"note\": \"allocation-free Fp (PR 2) before the lazy-reduction rewrite; CI's --bench-regress floor\",\n    \"fq_mul\": {{{}}}\n  }},\n  \"pre_pr_baseline_ns\": {{\n    \"note\": \"Vec-limbed Fp before the inline-limb rewrite (criterion-shim medians, same machine)\",\n    \"fp_mul\": {{{}}},\n    \"fq_mul\": {{{}}},\n    \"pairing\": {{{}}}\n  }}\n}}\n",
         rows.join(",\n"),
+        baseline(&PR3_G1_MUL_NS),
+        baseline(&PR3_G2_MUL_NS),
+        baseline(&PR3_NAIVE_MSM64_NS),
         baseline(&PR2_FQ_MUL_NS),
         baseline(&PRE_PR_FP_MUL_NS),
         baseline(&PRE_PR_FQ_MUL_NS),

@@ -18,11 +18,14 @@
 //! ```
 
 pub mod curve;
+pub mod glv;
 pub mod point;
 pub mod spec;
 
-pub use curve::{Curve, CurveError, TwistKind};
+pub use curve::{Curve, CurveError, GlsG2, GlvG1, TwistKind};
+pub use glv::{Dim4Basis, GlvBasis};
 pub use point::{
-    batch_to_affine, jac_mul, scalar_mul, to_affine, Affine, FieldOps, FpOps, FqOps, Jacobian,
+    affine_neg, batch_to_affine, jac_add_affine, jac_mul, jac_multi_mul, msm, scalar_mul,
+    to_affine, Affine, EndoMap, FieldOps, FpOps, FqOps, Jacobian, MulTerm, TableMap, WnafScratch,
 };
 pub use spec::{all_specs, spec_by_name, CurveSpec, Family};

@@ -354,11 +354,30 @@ pub fn scalar_mul<O: FieldOps>(ops: &O, p: &Affine<O::El>, k: &BigUint) -> Jacob
 /// additions to roughly one per five doublings on pairing-sized scalars.
 const WNAF_WINDOW: u32 = 4;
 
-/// Recodes a scalar into width-`w` non-adjacent form: each digit is zero
-/// or odd in `±(1 .. 2^(w−1))`, and any two non-zero digits are at least
-/// `w` positions apart.
-fn wnaf_digits(k: &BigUint, w: u32) -> Vec<i64> {
-    let mut limbs: Vec<u64> = k.limbs().to_vec();
+/// Odd-multiples table size for the width-4 window: entries `(2i+1)·P`
+/// for `i < 4` cover every odd digit magnitude up to 7.
+const WNAF_TABLE: usize = 1 << (WNAF_WINDOW - 2);
+
+/// Reusable recoding scratch for [`wnaf_digits_into`], so interleaved
+/// multi-scalar recoding (one call per GLV/GLS sub-scalar) does not
+/// allocate a fresh limb buffer per sub-scalar.
+#[derive(Default)]
+pub struct WnafScratch {
+    limbs: Vec<u64>,
+}
+
+/// Recodes a scalar into width-`w` non-adjacent form, appending into
+/// `digits` (cleared first): each digit is zero or odd in
+/// `±(1 .. 2^(w−1))`, and any two non-zero digits are at least `w`
+/// positions apart.
+fn wnaf_digits_into(k: &BigUint, w: u32, scratch: &mut WnafScratch, digits: &mut Vec<i64>) {
+    digits.clear();
+    let limbs = &mut scratch.limbs;
+    limbs.clear();
+    limbs.extend_from_slice(k.limbs());
+    // One spare limb so the +|d| correction for negative digits cannot
+    // overflow the scratch.
+    limbs.push(0);
     let mask = (1u64 << w) - 1;
     let half = 1i64 << (w - 1);
     let is_zero = |l: &[u64]| l.iter().all(|&x| x == 0);
@@ -394,36 +413,53 @@ fn wnaf_digits(k: &BigUint, w: u32) -> Vec<i64> {
         }
         debug_assert_eq!(carry, 0, "wNAF scratch overflow");
     };
-    // One spare limb so the +|d| correction for negative digits cannot
-    // overflow the scratch.
-    limbs.push(0);
-    let mut digits = Vec::with_capacity(k.bits() + 1);
-    while !is_zero(&limbs) {
+    digits.reserve(k.bits() + 1);
+    while !is_zero(limbs) {
         if limbs[0] & 1 == 1 {
             let mut d = (limbs[0] & mask) as i64;
             if d >= half {
                 d -= 1 << w;
             }
             if d >= 0 {
-                sub_small(&mut limbs, d as u64);
+                sub_small(limbs, d as u64);
             } else {
-                add_small(&mut limbs, (-d) as u64);
+                add_small(limbs, (-d) as u64);
             }
             digits.push(d);
         } else {
             digits.push(0);
         }
-        shr1(&mut limbs);
+        shr1(limbs);
     }
+}
+
+/// One-shot wNAF recoding (allocating convenience wrapper around
+/// [`wnaf_digits_into`]).
+fn wnaf_digits(k: &BigUint, w: u32) -> Vec<i64> {
+    let mut scratch = WnafScratch::default();
+    let mut digits = Vec::new();
+    wnaf_digits_into(k, w, &mut scratch, &mut digits);
     digits
 }
 
+/// Builds the odd-multiples table `[P, 3P, 5P, 7P]` for one width-4 wNAF
+/// operand.
+fn odd_multiples<O: FieldOps>(ops: &O, base: Jacobian<O::El>) -> [Jacobian<O::El>; WNAF_TABLE] {
+    let two_p = jac_double(ops, &base);
+    let mut table: [Jacobian<O::El>; WNAF_TABLE] = std::array::from_fn(|_| base.clone());
+    for i in 1..WNAF_TABLE {
+        table[i] = jac_add(ops, &table[i - 1], &two_p);
+    }
+    table
+}
+
 /// Scalar multiplication by a non-negative big integer using a signed
-/// width-4 windowed NAF: one table of 8 odd multiples, then one doubling
-/// per scalar bit and one addition per non-zero digit (~bits/5).
+/// width-4 windowed NAF: one fixed table of 4 odd multiples, then one
+/// doubling per scalar bit and one addition per non-zero digit (~bits/5).
 ///
-/// This is the fast path used by the curve-level `g1_mul`/`g2_mul`;
-/// [`scalar_mul`] remains as the minimal double-and-add reference.
+/// This is the fast path used by the curve-level `g1_mul`/`g2_mul` when no
+/// endomorphism decomposition applies; [`scalar_mul`] remains as the
+/// minimal double-and-add reference.
 pub fn jac_mul<O: FieldOps>(ops: &O, p: &Affine<O::El>, k: &BigUint) -> Jacobian<O::El> {
     let identity = Jacobian {
         x: ops.one(),
@@ -433,15 +469,7 @@ pub fn jac_mul<O: FieldOps>(ops: &O, p: &Affine<O::El>, k: &BigUint) -> Jacobian
     if p.infinity || k.is_zero() {
         return identity;
     }
-    let base = to_jacobian(ops, p);
-    // Odd multiples table: table[i] = (2i+1)·P. Width-w digits reach
-    // ±(2^(w−1) − 1), so 2^(w−2) entries cover every odd magnitude.
-    let two_p = jac_double(ops, &base);
-    let mut table = Vec::with_capacity(1 << (WNAF_WINDOW - 2));
-    table.push(base);
-    for i in 1..1usize << (WNAF_WINDOW - 2) {
-        table.push(jac_add(ops, &table[i - 1], &two_p));
-    }
+    let table = odd_multiples(ops, to_jacobian(ops, p));
     let digits = wnaf_digits(k, WNAF_WINDOW);
     let mut acc = identity;
     for &d in digits.iter().rev() {
@@ -457,6 +485,373 @@ pub fn jac_mul<O: FieldOps>(ops: &O, p: &Affine<O::El>, k: &BigUint) -> Jacobian
             };
             acc = jac_add(ops, &acc, &neg);
         }
+    }
+    acc
+}
+
+/// Mixed addition `P + Q` with `Q` affine (`Z2 = 1`), the madd-2007-bl
+/// formulas: 7M + 4S instead of the 11M + 5S of the general
+/// [`jac_add`]. Handles identity and doubling edge cases.
+pub fn jac_add_affine<O: FieldOps>(
+    ops: &O,
+    p: &Jacobian<O::El>,
+    q: &Affine<O::El>,
+) -> Jacobian<O::El> {
+    if q.infinity {
+        return p.clone();
+    }
+    if ops.is_zero(&p.z) {
+        return to_jacobian(ops, q);
+    }
+    let z1z1 = ops.sqr(&p.z);
+    let u2 = ops.mul(&q.x, &z1z1);
+    let s2 = ops.mul(&ops.mul(&q.y, &p.z), &z1z1);
+    if u2 == p.x {
+        if s2 == p.y {
+            return jac_double(ops, p);
+        }
+        return Jacobian {
+            x: ops.one(),
+            y: ops.one(),
+            z: ops.zero(),
+        };
+    }
+    let h = ops.sub(&u2, &p.x);
+    let hh = ops.sqr(&h);
+    let i = ops.dbl(&ops.dbl(&hh));
+    let j = ops.mul(&h, &i);
+    let rr = ops.dbl(&ops.sub(&s2, &p.y));
+    let v = ops.mul(&p.x, &i);
+    let x3 = ops.sub(&ops.sub(&ops.sqr(&rr), &j), &ops.dbl(&v));
+    let y3 = ops.sub(
+        &ops.mul(&rr, &ops.sub(&v, &x3)),
+        &ops.dbl(&ops.mul(&p.y, &j)),
+    );
+    let z3 = ops.sub(&ops.sub(&ops.sqr(&ops.add(&p.z, &h)), &z1z1), &hh);
+    Jacobian {
+        x: x3,
+        y: y3,
+        z: z3,
+    }
+}
+
+/// One `(point, sub-scalar)` operand of an interleaved multi-scalar
+/// multiplication. `negate` subtracts instead of adds, which is how signed
+/// GLV/GLS sub-scalars are fed without touching the scalar itself.
+#[derive(Clone, Debug)]
+pub struct MulTerm<E> {
+    /// The base point.
+    pub point: Affine<E>,
+    /// The non-negative sub-scalar magnitude.
+    pub scalar: BigUint,
+    /// If true, the term contributes `−scalar·point`.
+    pub negate: bool,
+}
+
+/// Total table entries above which [`jac_multi_mul`] normalises its
+/// odd-multiple tables to affine (one batched inversion via
+/// [`batch_to_affine`]) so the main loop can use the cheaper
+/// [`jac_add_affine`]. Below the threshold the inversion does not
+/// amortise against Fermat-based field inversion.
+const AFFINE_TABLE_MIN_ENTRIES: usize = 3 * WNAF_TABLE;
+
+/// Both coordinate forms of an endomorphism, for table reuse in
+/// [`jac_multi_mul_mapped`]: the affine form maps normalised table
+/// entries, the Jacobian form maps un-normalised ones (φ is
+/// `X ↦ βX` and ψ is `(X, Y, Z) ↦ (γx·Xᵖ, γy·Yᵖ, Zᵖ)` in Jacobian
+/// coordinates, so both exist and cost a few field operations).
+pub struct EndoMap<'a, E> {
+    /// Affine image of an affine point under the endomorphism.
+    pub affine: &'a dyn Fn(&Affine<E>) -> Affine<E>,
+    /// Jacobian image of a Jacobian point under the same endomorphism.
+    pub jacobian: &'a dyn Fn(&Jacobian<E>) -> Jacobian<E>,
+}
+
+// Manual impls: `derive` would wrongly require `E: Copy`, but the fields
+// are references.
+impl<E> Clone for EndoMap<'_, E> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<E> Copy for EndoMap<'_, E> {}
+
+/// A table-reuse hint for [`jac_multi_mul_mapped`]: entry `i` says term
+/// `i`'s point is `f(terms[source].point)` for a *group homomorphism*
+/// `f`, so its odd-multiples table is the source's table mapped through
+/// `f` entry-by-entry (a few coordinate maps instead of one doubling
+/// plus three full additions).
+pub type TableMap<'a, E> = Option<(usize, EndoMap<'a, E>)>;
+
+/// Interleaved Straus/Shamir multi-scalar multiplication with width-4
+/// wNAF digits: computes `Σᵢ ±kᵢ·Pᵢ` sharing one doubling chain across
+/// all terms, so an m-way GLV/GLS split costs `max bits(kᵢ)` doublings
+/// instead of `Σ bits(kᵢ)`.
+///
+/// Each term gets its own odd-multiples table; with three or more terms
+/// the tables are batch-normalised to affine (one inversion total) and
+/// the additions become mixed additions.
+pub fn jac_multi_mul<O: FieldOps>(ops: &O, terms: &[MulTerm<O::El>]) -> Jacobian<O::El> {
+    jac_multi_mul_mapped(ops, terms, &[])
+}
+
+/// [`jac_multi_mul`] with endomorphism table reuse: `table_maps[i]`
+/// (parallel to `terms`, missing entries mean "build fresh") lets a
+/// GLV/GLS caller derive φ- and ψ-image tables from their source term's
+/// table instead of rebuilding them — in either the batch-normalised
+/// affine path (affine form of the map) or the small-term Jacobian path
+/// (Jacobian form). Sources may themselves be mapped (ψ-power chains),
+/// as long as every source is a live earlier term; a map whose source
+/// term was skipped (infinity point or zero scalar) falls back to a
+/// fresh table.
+///
+/// # Panics
+///
+/// Panics if a table map references itself or a later term.
+pub fn jac_multi_mul_mapped<O: FieldOps>(
+    ops: &O,
+    terms: &[MulTerm<O::El>],
+    table_maps: &[TableMap<O::El>],
+) -> Jacobian<O::El> {
+    let identity = Jacobian {
+        x: ops.one(),
+        y: ops.one(),
+        z: ops.zero(),
+    };
+    // Recode every live term, reusing one limb scratch across terms.
+    // Negation is handled by flipping digit signs at use, so tables are
+    // always of the original point (which keeps them shareable).
+    let mut scratch = WnafScratch::default();
+    let mut digit_sets: Vec<Vec<i64>> = Vec::with_capacity(terms.len());
+    let mut live: Vec<usize> = Vec::with_capacity(terms.len());
+    let mut signs: Vec<bool> = Vec::with_capacity(terms.len());
+    for (i, term) in terms.iter().enumerate() {
+        if term.point.infinity || term.scalar.is_zero() {
+            continue;
+        }
+        let mut digits = Vec::new();
+        wnaf_digits_into(&term.scalar, WNAF_WINDOW, &mut scratch, &mut digits);
+        digit_sets.push(digits);
+        signs.push(term.negate);
+        live.push(i);
+    }
+    if live.is_empty() {
+        return identity;
+    }
+    // A map is usable when its source term is live and strictly earlier;
+    // otherwise the term builds a fresh table.
+    let mut live_pos: Vec<Option<usize>> = vec![None; terms.len()];
+    for (pos, &i) in live.iter().enumerate() {
+        live_pos[i] = Some(pos);
+    }
+    let map_of = |i: usize| -> TableMap<O::El> {
+        table_maps.get(i).copied().flatten().filter(|&(src, _)| {
+            assert!(src != i, "table map must not reference itself");
+            assert!(src < i, "table map source must be an earlier term");
+            live_pos[src].is_some()
+        })
+    };
+    let max_len = digit_sets.iter().map(Vec::len).max().unwrap_or(0);
+    let mut acc = identity;
+    if live.len() * WNAF_TABLE >= AFFINE_TABLE_MIN_ENTRIES {
+        // Build fresh tables only, batch-normalise them with a single
+        // inversion, then derive mapped tables entry-by-entry in live
+        // order (so ψ-power chains can map from mapped tables).
+        let mut fresh: Vec<Jacobian<O::El>> = Vec::new();
+        let mut fresh_slot: Vec<Option<usize>> = vec![None; terms.len()];
+        for &i in &live {
+            if map_of(i).is_none() {
+                fresh_slot[i] = Some(fresh.len() / WNAF_TABLE);
+                fresh.extend(odd_multiples(ops, to_jacobian(ops, &terms[i].point)));
+            }
+        }
+        let affine_fresh = batch_to_affine(ops, &fresh);
+        let mut tables: Vec<Vec<Affine<O::El>>> = Vec::with_capacity(live.len());
+        for &i in &live {
+            let table = match map_of(i) {
+                None => {
+                    let slot = fresh_slot[i].expect("fresh term has a slot");
+                    affine_fresh[slot * WNAF_TABLE..(slot + 1) * WNAF_TABLE].to_vec()
+                }
+                Some((src, f)) => {
+                    let src_pos = live_pos[src].expect("usable map source is live");
+                    tables[src_pos].iter().map(f.affine).collect()
+                }
+            };
+            tables.push(table);
+        }
+        for pos in (0..max_len).rev() {
+            acc = jac_double(ops, &acc);
+            for ((digits, table), &neg) in digit_sets.iter().zip(&tables).zip(&signs) {
+                let mut d = digits.get(pos).copied().unwrap_or(0);
+                if neg {
+                    d = -d;
+                }
+                if d > 0 {
+                    acc = jac_add_affine(ops, &acc, &table[(d as usize - 1) / 2]);
+                } else if d < 0 {
+                    let flip = affine_neg(ops, &table[((-d) as usize - 1) / 2]);
+                    acc = jac_add_affine(ops, &acc, &flip);
+                }
+            }
+        }
+    } else {
+        // Small term counts stay in Jacobian coordinates (no inversion);
+        // mapped tables use the endomorphism's Jacobian form.
+        let mut tables: Vec<[Jacobian<O::El>; WNAF_TABLE]> = Vec::with_capacity(live.len());
+        for &i in &live {
+            let table = match map_of(i) {
+                None => odd_multiples(ops, to_jacobian(ops, &terms[i].point)),
+                Some((src, f)) => {
+                    let src_pos = live_pos[src].expect("usable map source is live");
+                    let src_table = &tables[src_pos];
+                    std::array::from_fn(|j| (f.jacobian)(&src_table[j]))
+                }
+            };
+            tables.push(table);
+        }
+        for pos in (0..max_len).rev() {
+            acc = jac_double(ops, &acc);
+            for ((digits, table), &neg) in digit_sets.iter().zip(&tables).zip(&signs) {
+                let mut d = digits.get(pos).copied().unwrap_or(0);
+                if neg {
+                    d = -d;
+                }
+                if d > 0 {
+                    acc = jac_add(ops, &acc, &table[(d as usize - 1) / 2]);
+                } else if d < 0 {
+                    let t = &table[((-d) as usize - 1) / 2];
+                    let flip = Jacobian {
+                        x: t.x.clone(),
+                        y: ops.neg(&t.y),
+                        z: t.z.clone(),
+                    };
+                    acc = jac_add(ops, &acc, &flip);
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Pippenger bucket window width for `n` points (the usual
+/// `~log n − log log n` heuristic, clamped to a sane range).
+fn pippenger_window(n: usize) -> usize {
+    if n < 32 {
+        3
+    } else {
+        ((usize::BITS - 1 - n.leading_zeros()) as usize * 69 / 100 + 2).min(16)
+    }
+}
+
+/// Extracts the `c`-bit window of `k` starting at bit `pos`.
+fn window_digit(k: &BigUint, pos: usize, c: usize) -> usize {
+    debug_assert!(c <= 32);
+    let limbs = k.limbs();
+    let (li, off) = (pos / 64, pos % 64);
+    let mut v = limbs.get(li).copied().unwrap_or(0) >> off;
+    if off + c > 64 {
+        if let Some(&hi) = limbs.get(li + 1) {
+            v |= hi << (64 - off);
+        }
+    }
+    (v as usize) & ((1 << c) - 1)
+}
+
+/// Number of points below which [`msm`] falls back to independent wNAF
+/// multiplications (bucket setup does not amortise).
+const MSM_PIPPENGER_MIN: usize = 4;
+
+/// Number of points below which [`msm`] uses the interleaved Straus
+/// kernel instead of Pippenger buckets: with `n` points and window `c`,
+/// the bucket collapse costs `~2·2^c` general additions per window, which
+/// dominates until `n` well exceeds the bucket count; the Straus kernel's
+/// batch-normalised affine tables keep every loop addition mixed.
+pub const MSM_STRAUS_MAX: usize = 256;
+
+/// Multi-scalar multiplication `Σ kᵢ·Pᵢ` via Pippenger's bucket method
+/// (interleaved Straus below [`MSM_STRAUS_MAX`] points).
+///
+/// The window width scales with the point count; per window, each point
+/// is dropped into the bucket of its window digit with a mixed addition
+/// (the inputs are already affine), then buckets collapse with the
+/// running-sum trick: `Σ d·B_d = Σ (suffix sums)`. Cost is roughly
+/// `bits/c · (n + 2^c)` additions plus `bits` doublings, against
+/// `n · bits/5` additions plus `n · bits` doublings for independent wNAF
+/// ladders.
+///
+/// Scalars are used as given (callers wanting reduction mod r should
+/// reduce first — the curve-level `g1_msm`/`g2_msm` do, and additionally
+/// split each scalar along the curve endomorphism before calling here).
+///
+/// # Panics
+///
+/// Panics if `points` and `scalars` have different lengths.
+pub fn msm<O: FieldOps>(ops: &O, points: &[Affine<O::El>], scalars: &[BigUint]) -> Jacobian<O::El> {
+    assert_eq!(
+        points.len(),
+        scalars.len(),
+        "msm needs one scalar per point"
+    );
+    let identity = Jacobian {
+        x: ops.one(),
+        y: ops.one(),
+        z: ops.zero(),
+    };
+    let live: Vec<(&Affine<O::El>, &BigUint)> = points
+        .iter()
+        .zip(scalars)
+        .filter(|(p, k)| !p.infinity && !k.is_zero())
+        .collect();
+    if live.is_empty() {
+        return identity;
+    }
+    if live.len() < MSM_PIPPENGER_MIN {
+        let mut acc = identity;
+        for (p, k) in live {
+            acc = jac_add(ops, &acc, &jac_mul(ops, p, k));
+        }
+        return acc;
+    }
+    if live.len() < MSM_STRAUS_MAX {
+        let terms: Vec<MulTerm<O::El>> = live
+            .iter()
+            .map(|(p, k)| MulTerm {
+                point: (*p).clone(),
+                scalar: (*k).clone(),
+                negate: false,
+            })
+            .collect();
+        return jac_multi_mul(ops, &terms);
+    }
+    let c = pippenger_window(live.len());
+    let max_bits = live.iter().map(|(_, k)| k.bits()).max().unwrap_or(0);
+    let windows = max_bits.div_ceil(c);
+    let mut buckets: Vec<Jacobian<O::El>> = vec![identity.clone(); (1 << c) - 1];
+    let mut acc = identity.clone();
+    for w in (0..windows).rev() {
+        if w + 1 != windows {
+            for _ in 0..c {
+                acc = jac_double(ops, &acc);
+            }
+        }
+        for b in buckets.iter_mut() {
+            *b = identity.clone();
+        }
+        for (p, k) in &live {
+            let d = window_digit(k, w * c, c);
+            if d != 0 {
+                buckets[d - 1] = jac_add_affine(ops, &buckets[d - 1], p);
+            }
+        }
+        // Running-sum collapse: Σ d·B_d as suffix sums of the buckets.
+        let mut suffix = identity.clone();
+        let mut window_sum = identity.clone();
+        for b in buckets.iter().rev() {
+            suffix = jac_add(ops, &suffix, b);
+            window_sum = jac_add(ops, &window_sum, &suffix);
+        }
+        acc = jac_add(ops, &acc, &window_sum);
     }
     acc
 }
@@ -635,5 +1030,153 @@ mod tests {
         };
         assert!(is_identity(&ops, &jac_double(&ops, &inf)));
         assert!(is_identity(&ops, &jac_add(&ops, &inf, &inf)));
+    }
+
+    #[test]
+    fn mixed_addition_matches_general() {
+        let (ops, b) = tiny();
+        let pts = points_on_tiny(&ops, &b);
+        // Unrelated points, the doubling case, inverse points, and both
+        // identity sides.
+        for (i, j) in [(0usize, 4usize), (2, 2), (1, 5), (3, 0)] {
+            let pj = jac_mul(&ops, &pts[i], &BigUint::from_u64(3));
+            let mixed = jac_add_affine(&ops, &pj, &pts[j]);
+            let general = jac_add(&ops, &pj, &to_jacobian(&ops, &pts[j]));
+            assert_eq!(
+                to_affine(&ops, &mixed),
+                to_affine(&ops, &general),
+                "i={i}, j={j}"
+            );
+        }
+        let p = &pts[1];
+        let pj = to_jacobian(&ops, p);
+        // P + P (doubling through the mixed path)
+        assert_eq!(
+            to_affine(&ops, &jac_add_affine(&ops, &pj, p)),
+            to_affine(&ops, &jac_double(&ops, &pj))
+        );
+        // P + (−P) = O
+        assert!(is_identity(
+            &ops,
+            &jac_add_affine(&ops, &pj, &affine_neg(&ops, p))
+        ));
+        // O + Q = Q, P + O = P
+        let inf_jac: Jacobian<Fp> = Jacobian {
+            x: ops.one(),
+            y: ops.one(),
+            z: ops.zero(),
+        };
+        assert_eq!(to_affine(&ops, &jac_add_affine(&ops, &inf_jac, p)), *p);
+        let inf_aff = Affine::infinity(ops.zero());
+        assert_eq!(to_affine(&ops, &jac_add_affine(&ops, &pj, &inf_aff)), *p);
+    }
+
+    #[test]
+    fn multi_mul_matches_term_sums() {
+        let (ops, b) = tiny();
+        let pts = points_on_tiny(&ops, &b);
+        // Terms with mixed signs, a zero scalar, and an infinity point;
+        // enough terms to trigger the batched affine-table path.
+        let cases: Vec<Vec<(usize, u64, bool)>> = vec![
+            vec![(0, 5, false)],
+            vec![(0, 5, false), (2, 7, true)],
+            vec![(0, 3, false), (1, 0, false), (2, 9, true), (3, 11, false)],
+            vec![(4, 1, true), (5, 2, false), (6, 13, true), (0, 8, false)],
+        ];
+        for case in cases {
+            let terms: Vec<MulTerm<Fp>> = case
+                .iter()
+                .map(|&(i, k, neg)| MulTerm {
+                    point: pts[i].clone(),
+                    scalar: BigUint::from_u64(k),
+                    negate: neg,
+                })
+                .collect();
+            let got = to_affine(&ops, &jac_multi_mul(&ops, &terms));
+            let mut want = Jacobian {
+                x: ops.one(),
+                y: ops.one(),
+                z: ops.zero(),
+            };
+            for &(i, k, neg) in &case {
+                let base = if neg {
+                    affine_neg(&ops, &pts[i])
+                } else {
+                    pts[i].clone()
+                };
+                want = jac_add(&ops, &want, &scalar_mul(&ops, &base, &BigUint::from_u64(k)));
+            }
+            assert_eq!(got, to_affine(&ops, &want), "case {case:?}");
+        }
+        // Infinity / empty inputs.
+        let inf = Affine::infinity(ops.zero());
+        assert!(is_identity(
+            &ops,
+            &jac_multi_mul(
+                &ops,
+                &[MulTerm {
+                    point: inf,
+                    scalar: BigUint::from_u64(3),
+                    negate: false
+                }]
+            )
+        ));
+        assert!(is_identity(&ops, &jac_multi_mul::<FpOps>(&ops, &[])));
+    }
+
+    #[test]
+    fn msm_matches_naive_on_tiny_curve() {
+        let (ops, b) = tiny();
+        let pts = points_on_tiny(&ops, &b);
+        for n in [0usize, 1, 2, 3, 4, 7, 12] {
+            let points: Vec<Affine<Fp>> = (0..n).map(|i| pts[i % pts.len()].clone()).collect();
+            let scalars: Vec<BigUint> = (0..n)
+                .map(|i| BigUint::from_u64((i as u64 * 7 + 3) % 61))
+                .collect();
+            let got = to_affine(&ops, &msm(&ops, &points, &scalars));
+            let mut want = Jacobian {
+                x: ops.one(),
+                y: ops.one(),
+                z: ops.zero(),
+            };
+            for (p, k) in points.iter().zip(&scalars) {
+                want = jac_add(&ops, &want, &scalar_mul(&ops, p, k));
+            }
+            assert_eq!(got, to_affine(&ops, &want), "n = {n}");
+        }
+        // Zero scalars and infinity points drop out.
+        let inf = Affine::infinity(ops.zero());
+        let points = vec![pts[0].clone(), inf, pts[1].clone(), pts[2].clone()];
+        let scalars = vec![
+            BigUint::from_u64(4),
+            BigUint::from_u64(9),
+            BigUint::zero(),
+            BigUint::from_u64(5),
+        ];
+        let got = to_affine(&ops, &msm(&ops, &points, &scalars));
+        let want = jac_add(
+            &ops,
+            &scalar_mul(&ops, &pts[0], &BigUint::from_u64(4)),
+            &scalar_mul(&ops, &pts[2], &BigUint::from_u64(5)),
+        );
+        assert_eq!(got, to_affine(&ops, &want));
+    }
+
+    #[test]
+    #[should_panic(expected = "one scalar per point")]
+    fn msm_length_mismatch_panics() {
+        let (ops, b) = tiny();
+        let pts = points_on_tiny(&ops, &b);
+        let _ = msm(&ops, &pts[..2], &[BigUint::from_u64(1)]);
+    }
+
+    #[test]
+    fn window_digit_extracts_bits() {
+        let k = BigUint::from_limbs(vec![0xFEDC_BA98_7654_3210, 0x0000_0000_0000_00AB]);
+        assert_eq!(window_digit(&k, 0, 4), 0x0);
+        assert_eq!(window_digit(&k, 4, 4), 0x1);
+        assert_eq!(window_digit(&k, 60, 8), 0xBF); // spans the limb boundary
+        assert_eq!(window_digit(&k, 64, 8), 0xAB);
+        assert_eq!(window_digit(&k, 128, 5), 0, "past the top");
     }
 }

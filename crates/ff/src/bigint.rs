@@ -142,6 +142,57 @@ impl BigInt {
         }
         acc
     }
+
+    /// Number of significant bits of the magnitude (`0` for zero).
+    pub fn bits(&self) -> usize {
+        self.magnitude.bits()
+    }
+
+    /// Truncated division: returns `(quotient, remainder)` with the
+    /// quotient rounded toward zero, so `self = q·d + rem` and `rem` has
+    /// the sign of `self` (or is zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn divrem(&self, d: &BigInt) -> (BigInt, BigInt) {
+        let (q, r) = self.magnitude.divrem(&d.magnitude);
+        (
+            BigInt::from_sign_magnitude(self.negative != d.negative, q),
+            BigInt::from_sign_magnitude(self.negative, r),
+        )
+    }
+
+    /// Exact division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the division is not exact or `d` is zero.
+    pub fn div_exact(&self, d: &BigInt) -> BigInt {
+        BigInt::from_sign_magnitude(
+            self.negative != d.negative,
+            self.magnitude.div_exact(&d.magnitude),
+        )
+    }
+
+    /// Division by a positive divisor, rounded to the *nearest* integer
+    /// (ties away from zero): `⌊self/d⌉`.
+    ///
+    /// This is the rounding the GLV lattice decomposition needs — using
+    /// floor instead would double the sub-scalar bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn div_round(&self, d: &BigUint) -> BigInt {
+        let (q, r) = self.magnitude.divrem(d);
+        let twice = &r + &r;
+        if twice >= *d {
+            BigInt::from_sign_magnitude(self.negative, &q + &BigUint::one())
+        } else {
+            BigInt::from_sign_magnitude(self.negative, q)
+        }
+    }
 }
 
 impl std::ops::Add for &BigInt {
@@ -248,5 +299,32 @@ mod tests {
     fn pow_signs() {
         assert_eq!(i(-2).pow(3), i(-8));
         assert_eq!(i(-2).pow(4), i(16));
+    }
+
+    #[test]
+    fn divrem_truncates_toward_zero() {
+        for (a, b) in [(7i64, 3i64), (-7, 3), (7, -3), (-7, -3), (6, 3), (0, 5)] {
+            let (q, r) = i(a).divrem(&i(b));
+            assert_eq!(q, i(a / b), "{a}/{b}");
+            assert_eq!(r, i(a % b), "{a}%{b}");
+        }
+    }
+
+    #[test]
+    fn div_exact_signed() {
+        assert_eq!(i(-36).div_exact(&i(12)), i(-3));
+        assert_eq!(i(-36).div_exact(&i(-12)), i(3));
+    }
+
+    #[test]
+    fn div_round_nearest() {
+        let d = BigUint::from_u64(10);
+        // 14/10 → 1, 15/10 → 2 (ties away from zero), -15/10 → -2, 16/10 → 2
+        assert_eq!(i(14).div_round(&d), i(1));
+        assert_eq!(i(15).div_round(&d), i(2));
+        assert_eq!(i(-15).div_round(&d), i(-2));
+        assert_eq!(i(-14).div_round(&d), i(-1));
+        assert_eq!(i(16).div_round(&d), i(2));
+        assert_eq!(i(0).div_round(&d), i(0));
     }
 }

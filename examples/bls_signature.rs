@@ -3,11 +3,18 @@
 //!
 //! Sign: sigma = [sk]H(m) in G1. Verify: e(sigma, G2) == e(H(m), pk).
 //!
+//! Batch verify (the throughput path a pairing accelerator serves): draw
+//! random 128-bit weights ρᵢ, aggregate signatures and per-signer message
+//! hashes with the Pippenger `g1_msm`, and check the whole batch with a
+//! single `multi_pair` product — `1 + #signers` Miller loops and one
+//! final exponentiation instead of `2n` full pairings, with the random
+//! weights preventing cross-message forgery cancellation.
+//!
 //! ```text
 //! cargo run --example bls_signature
 //! ```
 
-use finesse_curves::{Affine, Curve, CurveError};
+use finesse_curves::{affine_neg, Affine, Curve, CurveError, FpOps};
 use finesse_ff::{BigUint, Fp, Fq};
 use finesse_pairing::PairingEngine;
 use std::sync::Arc;
@@ -43,6 +50,71 @@ fn verify(
     engine.pair(sig, curve.g2_generator()) == engine.pair(&h, pk)
 }
 
+/// One `(public key, message, signature)` entry of a verification batch.
+struct BatchEntry<'a> {
+    pk: Affine<Fq>,
+    msg: &'a [u8],
+    sig: Affine<Fp>,
+}
+
+/// Deterministic 128-bit batch weights (a real verifier would use a CSPRNG;
+/// the weights only need to be unpredictable to the signer).
+fn batch_weights(n: usize, seed: u64) -> Vec<BigUint> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..n)
+        .map(|_| BigUint::from_limbs(vec![next(), next() | 1]))
+        .collect()
+}
+
+/// Verifies a whole batch with one pairing product: for random weights ρᵢ,
+/// `e(−Σᵢ ρᵢσᵢ, G2) · Π_signer e(Σ_{i∈signer} ρᵢH(mᵢ), pk) = 1`.
+///
+/// Both aggregations are Pippenger multi-scalar multiplications
+/// (`g1_msm`), and the product is a single `multi_pair` — one shared
+/// final exponentiation and `1 + #signers` Miller loops for the entire
+/// batch.
+fn batch_verify(curve: &Arc<Curve>, engine: &PairingEngine, batch: &[BatchEntry]) -> bool {
+    if batch.is_empty() {
+        return true;
+    }
+    let weights = batch_weights(batch.len(), 0x0B5E_55ED);
+    // Aggregate all weighted signatures in one MSM.
+    let sigs: Vec<Affine<Fp>> = batch.iter().map(|e| e.sig.clone()).collect();
+    let sig_agg = curve.g1_msm(&sigs, &weights);
+    let ops = FpOps(Arc::clone(curve.fp()));
+    let mut pairs: Vec<(Affine<Fp>, Affine<Fq>)> =
+        vec![(affine_neg(&ops, &sig_agg), curve.g2_generator().clone())];
+    // Group the weighted message hashes per signer: one MSM + one Miller
+    // loop per distinct public key.
+    let mut seen: Vec<&Affine<Fq>> = Vec::new();
+    for entry in batch {
+        if seen.iter().any(|pk| **pk == entry.pk) {
+            continue;
+        }
+        seen.push(&entry.pk);
+        let mut hashes = Vec::new();
+        let mut key_weights = Vec::new();
+        for (other, w) in batch.iter().zip(&weights) {
+            if other.pk == entry.pk {
+                let Ok(h) = curve.hash_to_g1(other.msg) else {
+                    return false;
+                };
+                hashes.push(h);
+                key_weights.push(w.clone());
+            }
+        }
+        pairs.push((curve.g1_msm(&hashes, &key_weights), entry.pk.clone()));
+    }
+    engine.gt_is_one(&engine.multi_pair(&pairs))
+}
+
 fn main() {
     let curve = Curve::by_name("BLS12-381");
     let engine = PairingEngine::new(curve.clone());
@@ -65,4 +137,47 @@ fn main() {
     let other = keygen(&curve, 0xBAD_5EED);
     assert!(!verify(&curve, &engine, &other.pk, msg, &sig));
     println!("wrong key : rejected");
+
+    // --- batch verification: 3 signers, 8 signatures, one pairing product
+    let signers = [kp, keygen(&curve, 0xBAD_5EED), keygen(&curve, 0xCAFE)];
+    let messages: [&[u8]; 8] = [
+        b"block 1001",
+        b"block 1002",
+        b"block 1003",
+        b"attestation a",
+        b"attestation b",
+        b"attestation c",
+        b"checkpoint x",
+        b"checkpoint y",
+    ];
+    let mut batch: Vec<BatchEntry> = messages
+        .iter()
+        .enumerate()
+        .map(|(i, msg)| {
+            let signer = &signers[i % signers.len()];
+            BatchEntry {
+                pk: signer.pk.clone(),
+                msg,
+                sig: sign(&curve, signer, msg).expect("hash-to-curve succeeds"),
+            }
+        })
+        .collect();
+    assert!(
+        batch_verify(&curve, &engine, &batch),
+        "honest batch verifies"
+    );
+    println!(
+        "batch     : {} sigs, {} signers verified with {} pairings",
+        batch.len(),
+        signers.len(),
+        1 + signers.len()
+    );
+
+    // A single tampered signature must sink the whole batch.
+    batch[5].sig = batch[4].sig.clone();
+    assert!(
+        !batch_verify(&curve, &engine, &batch),
+        "tampered batch rejected"
+    );
+    println!("bad batch : rejected");
 }
