@@ -1,7 +1,8 @@
-//! Benchmarks of the scalar-multiplication hot path: endomorphism-split
-//! `g1_mul`/`g2_mul` (2-GLV on G1; base-t, quartic, or 2-dim GLS on G2)
-//! against the plain wNAF ladder, and the Pippenger `msm` against
-//! independent multiplications.
+//! Benchmarks of the scalar-multiplication hot path: the fixed-base comb
+//! on the cached generator, endomorphism-split `g1_mul`/`g2_mul` (2-GLV
+//! with JSF pair recoding on G1; base-t, quartic, or 2-dim GLS on G2) on
+//! variable bases, the plain wNAF ladder, and the batch-affine Pippenger
+//! `msm` against independent multiplications.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use finesse_curves::{jac_mul, to_affine, Curve, FpOps, FqOps};
@@ -19,7 +20,13 @@ fn bench_g1_mul(c: &mut Criterion) {
     for name in ["BN254N", "BLS12-381", "BLS24-509"] {
         let curve = Curve::by_name(name);
         let k = bench_scalar(&curve);
-        let p = curve.g1_generator().clone();
+        // The generator rides the cached fixed-base comb; a non-generator
+        // base times the variable-base GLV/JSF split.
+        let gen = curve.g1_generator().clone();
+        let p = curve.g1_mul(&gen, &BigUint::from_u64(7));
+        g.bench_with_input(BenchmarkId::new("comb", name), &(), |bench, ()| {
+            bench.iter(|| curve.g1_mul(&gen, &k))
+        });
         g.bench_with_input(BenchmarkId::new("glv", name), &(), |bench, ()| {
             bench.iter(|| curve.g1_mul(&p, &k))
         });
@@ -36,7 +43,11 @@ fn bench_g2_mul(c: &mut Criterion) {
     for name in ["BN254N", "BLS12-381", "BLS24-509"] {
         let curve = Curve::by_name(name);
         let k = bench_scalar(&curve);
-        let q = curve.g2_generator().clone();
+        let gen = curve.g2_generator().clone();
+        let q = curve.g2_mul(&gen, &BigUint::from_u64(7));
+        g.bench_with_input(BenchmarkId::new("comb", name), &(), |bench, ()| {
+            bench.iter(|| curve.g2_mul(&gen, &k))
+        });
         g.bench_with_input(BenchmarkId::new("gls", name), &(), |bench, ()| {
             bench.iter(|| curve.g2_mul(&q, &k))
         });

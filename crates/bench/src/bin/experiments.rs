@@ -3,13 +3,23 @@
 //! ```text
 //! experiments [table2|table3|table6|table7|fig2|fig6|fig8|fig9|fig10|fig11|fig12|all]
 //! experiments --bench-json [CURVE|all]
+//! experiments --bench-regress all
+//! experiments --bench-regress [METRIC] CURVE [MAX_PCT]
 //! ```
 //!
 //! Output goes to stdout and to `results/<name>.txt`; the `--bench-json`
-//! mode times the field-arithmetic substrate (fp_mul/fp_sqr/fq_mul and the
-//! full pairing) per Table-2 curve and writes machine-readable
-//! `results/BENCH_fieldops.json`, the perf-trajectory artifact CI uploads
-//! on every PR.
+//! mode times the field-arithmetic substrate (fp_mul/fp_sqr/fq_mul), the
+//! group layer (variable- and fixed-base g1_mul/g2_mul, 64- and 256-point
+//! MSM) and the full pairing per Table-2 curve and writes machine-readable
+//! `results/BENCH_fieldops.json` — stamped with the git commit and ISO
+//! date, so the artifact trail CI uploads per PR is self-describing.
+//!
+//! `--bench-regress all` is the CI gate: it reads the per-metric
+//! `regression_gates` manifest (`metric`, `curve`, `baseline_ns`,
+//! `budget_pct`) from the *committed* `results/BENCH_fieldops.json`,
+//! re-measures every row, prints a pass/fail table, and exits non-zero on
+//! any breach — gating a new metric means committing one JSON row, not
+//! editing workflow YAML.
 
 use finesse_bench::{f, kfmt, TextTable};
 use finesse_compiler::{compile_pairing, tower_shape, CompileOptions};
@@ -51,20 +61,8 @@ fn main() {
         return;
     }
     if arg == "--bench-regress" {
-        // `--bench-regress [METRIC] CURVE [MAX_PCT]`; the metric defaults
-        // to fq_mul so the pre-existing CLI shape keeps working.
-        let mut rest: Vec<String> = std::env::args().skip(2).collect();
-        let metric = if rest.first().is_some_and(|a| a == "fq_mul" || a == "g1_mul") {
-            rest.remove(0)
-        } else {
-            "fq_mul".into()
-        };
-        let which = rest.first().cloned().unwrap_or_else(|| "BLS24-509".into());
-        let max_pct: f64 = rest
-            .get(1)
-            .map(|s| s.parse().expect("max regression must be a number"))
-            .unwrap_or(10.0);
-        std::process::exit(bench_regress(&metric, &which, max_pct));
+        let rest: Vec<String> = std::env::args().skip(2).collect();
+        std::process::exit(bench_regress_cli(&rest));
     }
     let experiments: Vec<Experiment> = vec![
         ("table2", table2 as fn() -> String),
@@ -191,89 +189,282 @@ const PR3_G2_MUL_NS: [(&str, f64); 7] = [
 const PR3_NAIVE_MSM64_NS: [(&str, f64); 2] =
     [("BN254N", 19_533_200.0), ("BLS12-381", 29_874_800.0)];
 
-/// Extracts `pr2_baseline_ns.fq_mul.<name>` from the committed
-/// `results/BENCH_fieldops.json` (the format this binary itself emits),
-/// so re-baselining means editing one file.
-fn pr2_baseline_from_json(name: &str) -> Option<f64> {
-    let text = fs::read_to_string("results/BENCH_fieldops.json").ok()?;
-    let block = &text[text.find("\"pr2_baseline_ns\"")?..];
-    // Bound the search to the pr2 block's own fq_mul object so a missing
-    // entry falls back to the builtin constant instead of silently
-    // matching the same curve name in a later baseline block.
-    let fq = &block[block.find("\"fq_mul\"")?..];
-    let fq = &fq[..fq.find('}')? + 1];
-    let entry = &fq[fq.find(&format!("\"{name}\":"))? + name.len() + 3..];
-    let end = entry.find([',', '}'])?;
-    entry[..end].trim().parse().ok()
+/// The GLV/GLS (PR 4) medians — the state immediately before the
+/// fixed-base comb / batch-affine Pippenger layer. Embedded as
+/// `pr4_baseline_ns` so the scalar-mul trajectory stays visible next to
+/// the PR 3 wNAF floors.
+const PR4_G1_MUL_NS: [(&str, f64); 7] = [
+    ("BN254N", 161_838.0),
+    ("BN462", 570_185.0),
+    ("BN638", 1_080_805.0),
+    ("BLS12-381", 262_341.0),
+    ("BLS12-446", 360_679.0),
+    ("BLS12-638", 860_100.0),
+    ("BLS24-509", 621_170.0),
+];
+const PR4_G2_MUL_NS: [(&str, f64); 7] = [
+    ("BN254N", 482_683.0),
+    ("BN462", 1_254_189.0),
+    ("BN638", 2_246_297.0),
+    ("BLS12-381", 615_752.0),
+    ("BLS12-446", 861_570.0),
+    ("BLS12-638", 1_778_618.0),
+    ("BLS24-509", 2_355_474.0),
+];
+const PR4_MSM64_NS: [(&str, f64); 7] = [
+    ("BN254N", 3_388_001.0),
+    ("BN462", 9_885_769.0),
+    ("BN638", 11_426_895.0),
+    ("BLS12-381", 5_111_457.0),
+    ("BLS12-446", 7_293_667.0),
+    ("BLS12-638", 12_508_997.0),
+    ("BLS24-509", 9_149_265.0),
+];
+
+/// The metrics [`measure_metric`] knows how to re-run; every manifest
+/// gate names one of these.
+const METRICS: [&str; 4] = ["fq_mul", "g1_mul", "g1_mul_fixed", "msm256"];
+
+/// One row of the regression-gate manifest.
+#[derive(Clone, Debug)]
+struct Gate {
+    metric: String,
+    curve: String,
+    baseline_ns: f64,
+    budget_pct: f64,
 }
 
-/// Extracts `<key>` from the committed per-curve `curves[]` row of
-/// `results/BENCH_fieldops.json` — the floor the `g1_mul` regression gate
-/// compares against (committed medians are the post-GLV state).
-fn curve_row_from_json(name: &str, key: &str) -> Option<f64> {
-    let text = fs::read_to_string("results/BENCH_fieldops.json").ok()?;
-    let rows = &text[text.find("\"curves\"")?..];
-    let row = &rows[rows.find(&format!("\"curve\": \"{name}\""))?..];
-    let row = &row[..row.find('}')? + 1];
-    let entry = &row[row.find(&format!("\"{key}\":"))? + key.len() + 3..];
-    let end = entry.find([',', '}'])?;
-    entry[..end].trim().parse().ok()
+/// Builtin copy of the gate manifest, written into every emitted JSON and
+/// used as the fallback when the committed file is missing or predates
+/// the manifest. `--bench-regress` itself always prefers the *committed*
+/// `results/BENCH_fieldops.json`, so re-baselining is a one-file edit.
+const DEFAULT_GATES: [(&str, &str, f64, f64); 6] = [
+    // The historical PR 2 floor contract on the deepest tower.
+    ("fq_mul", "BLS24-509", 2800.5, 10.0),
+    // Variable-base GLV/JSF path vs the committed PR 4 median.
+    ("g1_mul", "BN254N", 161_838.0, 25.0),
+    // PR 5 fixed-base comb and batch-affine Pippenger medians (dev
+    // container); generous budgets absorb shared-runner jitter.
+    ("g1_mul_fixed", "BN254N", 62_208.0, 30.0),
+    ("g1_mul_fixed", "BLS12-381", 110_993.0, 30.0),
+    ("msm256", "BN254N", 9_168_355.0, 30.0),
+    ("msm256", "BLS12-381", 12_075_645.0, 30.0),
+];
+
+fn default_gates() -> Vec<Gate> {
+    DEFAULT_GATES
+        .iter()
+        .map(|&(metric, curve, baseline_ns, budget_pct)| Gate {
+            metric: metric.into(),
+            curve: curve.into(),
+            baseline_ns,
+            budget_pct,
+        })
+        .collect()
 }
 
-/// `--bench-regress [fq_mul|g1_mul] CURVE [MAX_PCT]`: re-measures the
-/// curve's metric median and fails (exit 1) if it regressed more than
-/// `MAX_PCT` percent against the committed baseline in
-/// `results/BENCH_fieldops.json` — the PR 2 floor for `fq_mul`, the
-/// committed post-GLV row for `g1_mul`.
-fn bench_regress(metric: &str, which: &str, max_pct: f64) -> i32 {
+/// Extracts the string value of `"key": "…"` from a flat JSON object
+/// body.
+fn json_str_field(obj: &str, key: &str) -> Option<String> {
+    let after = &obj[obj.find(&format!("\"{key}\":"))? + key.len() + 3..];
+    let start = after.find('"')? + 1;
+    let end = start + after[start..].find('"')?;
+    Some(after[start..end].to_owned())
+}
+
+/// Extracts the numeric value of `"key": …` from a flat JSON object body.
+fn json_num_field(obj: &str, key: &str) -> Option<f64> {
+    let after = &obj[obj.find(&format!("\"{key}\":"))? + key.len() + 3..];
+    let end = after.find([',', '}', ']']).unwrap_or(after.len());
+    after[..end].trim().parse().ok()
+}
+
+/// Parses the `regression_gates` manifest out of the committed
+/// `results/BENCH_fieldops.json` (the format this binary itself emits).
+fn gates_from_json() -> Option<Vec<Gate>> {
+    let text = fs::read_to_string("results/BENCH_fieldops.json").ok()?;
+    let arr = &text[text.find("\"regression_gates\"")?..];
+    let arr = &arr[arr.find('[')? + 1..];
+    let arr = &arr[..arr.find(']')?];
+    let mut gates = Vec::new();
+    for obj in arr.split('{').skip(1) {
+        let obj = &obj[..obj.find('}')?];
+        gates.push(Gate {
+            metric: json_str_field(obj, "metric")?,
+            curve: json_str_field(obj, "curve")?,
+            baseline_ns: json_num_field(obj, "baseline_ns")?,
+            budget_pct: json_num_field(obj, "budget_pct")?,
+        });
+    }
+    (!gates.is_empty()).then_some(gates)
+}
+
+/// The gate manifest: committed JSON first, builtin defaults otherwise.
+fn load_gates() -> Vec<Gate> {
+    gates_from_json().unwrap_or_else(default_gates)
+}
+
+/// Distinct 256-point/full-width-scalar MSM inputs — the batch
+/// verification workload shape (aggregate BLS, KZG openings).
+fn msm_inputs(
+    curve: &Arc<Curve>,
+    n: u64,
+) -> (
+    Vec<finesse_curves::Affine<finesse_ff::Fp>>,
+    Vec<finesse_ff::BigUint>,
+) {
+    let g1 = curve.g1_generator();
+    let points = (0..n)
+        .map(|i| curve.g1_mul(g1, &finesse_ff::BigUint::from_u64(i * i + 3)))
+        .collect();
+    let scalars = (0..n)
+        .map(|i| {
+            finesse_ff::BigUint::from_u64(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+                .modpow(&finesse_ff::BigUint::from_u64(5), curve.r())
+        })
+        .collect();
+    (points, scalars)
+}
+
+/// Re-measures one gateable metric's median on a curve. The `g1_mul`
+/// metric uses a non-generator base so it times the variable-base
+/// GLV/JSF path (the generator routes through the comb, which is what
+/// `g1_mul_fixed` times).
+fn measure_metric(metric: &str, curve: &Arc<Curve>) -> f64 {
     use std::hint::black_box;
-    let Some(name) = CURVES.iter().find(|c| c.eq_ignore_ascii_case(which)) else {
+    match metric {
+        "fq_mul" => {
+            let tower = curve.tower().clone();
+            let (qa, qb) = (tower.fq_sample(1), tower.fq_sample(2));
+            bench_ns(|| {
+                black_box(tower.fq_mul(black_box(&qa), black_box(&qb)));
+            })
+        }
+        "g1_mul" => {
+            let k = bench_scalar(curve);
+            let base = curve.g1_mul(curve.g1_generator(), &finesse_ff::BigUint::from_u64(7));
+            bench_ns(|| {
+                black_box(curve.g1_mul(black_box(&base), black_box(&k)));
+            })
+        }
+        "g1_mul_fixed" => {
+            let k = bench_scalar(curve);
+            let g1 = curve.g1_generator();
+            // First call builds the lazy comb; the measurement then times
+            // steady-state fixed-base multiplications.
+            black_box(curve.g1_mul(g1, &k));
+            bench_ns(|| {
+                black_box(curve.g1_mul(black_box(g1), black_box(&k)));
+            })
+        }
+        "msm256" => {
+            let (points, scalars) = msm_inputs(curve, 256);
+            bench_ns(|| {
+                black_box(curve.g1_msm(black_box(&points), black_box(&scalars)));
+            })
+        }
+        other => unreachable!("unvalidated metric `{other}`"),
+    }
+}
+
+/// Runs one gate; returns `(measured_ns, delta_pct, pass)`.
+fn run_gate(gate: &Gate) -> (f64, f64, bool) {
+    let curve = Curve::by_name(&gate.curve);
+    let measured = measure_metric(&gate.metric, &curve);
+    let delta_pct = 100.0 * (measured - gate.baseline_ns) / gate.baseline_ns;
+    (measured, delta_pct, delta_pct <= gate.budget_pct)
+}
+
+/// `--bench-regress all`: the manifest-driven CI gate. Prints one
+/// pass/fail row per manifest entry and exits non-zero on any breach.
+fn bench_regress_all() -> i32 {
+    let parsed = gates_from_json();
+    let source = if parsed.is_some() {
+        "results/BENCH_fieldops.json"
+    } else {
+        "builtin defaults (no committed manifest)"
+    };
+    let gates = parsed.unwrap_or_else(default_gates);
+    println!("regression gates from {source}:");
+    let mut t = TextTable::new(&[
+        "metric",
+        "curve",
+        "baseline ns",
+        "measured ns",
+        "delta",
+        "budget",
+        "status",
+    ]);
+    let mut failures = 0;
+    for gate in &gates {
+        if !METRICS.contains(&gate.metric.as_str()) {
+            eprintln!("unknown metric `{}` in gate manifest", gate.metric);
+            return 2;
+        }
+        let (measured, delta_pct, pass) = run_gate(gate);
+        if !pass {
+            failures += 1;
+        }
+        t.row(vec![
+            gate.metric.clone(),
+            gate.curve.clone(),
+            format!("{:.1}", gate.baseline_ns),
+            format!("{measured:.1}"),
+            format!("{delta_pct:+.1}%"),
+            format!("+{:.0}%", gate.budget_pct),
+            if pass { "PASS".into() } else { "FAIL".into() },
+        ]);
+    }
+    print!("{}", t.render());
+    if failures > 0 {
+        eprintln!("REGRESSION: {failures} gate(s) breached their budget");
+        return 1;
+    }
+    println!("all {} gates passed", gates.len());
+    0
+}
+
+/// `--bench-regress` CLI: `all` runs the whole manifest; the one-off form
+/// `[METRIC] CURVE [MAX_PCT]` re-measures a single metric against its
+/// manifest baseline (metric defaults to `fq_mul`, keeping the historic
+/// CLI shape working; `MAX_PCT` overrides the manifest budget).
+fn bench_regress_cli(rest: &[String]) -> i32 {
+    if rest.first().map(String::as_str) == Some("all") {
+        return bench_regress_all();
+    }
+    let mut rest = rest.to_vec();
+    let metric = if rest.first().is_some_and(|a| METRICS.contains(&a.as_str())) {
+        rest.remove(0)
+    } else {
+        "fq_mul".to_owned()
+    };
+    let which = rest.first().cloned().unwrap_or_else(|| "BLS24-509".into());
+    let Some(name) = CURVES.iter().find(|c| c.eq_ignore_ascii_case(&which)) else {
         eprintln!("unknown curve `{which}`; expected one of {CURVES:?}");
         return 2;
     };
-    let curve = Curve::by_name(name);
-    let (baseline, measured) = match metric {
-        "fq_mul" => {
-            let builtin = PR2_FQ_MUL_NS
-                .iter()
-                .find(|(n, _)| n == name)
-                .map(|&(_, v)| v)
-                .expect("every curve has a PR2 fq_mul floor");
-            let baseline = pr2_baseline_from_json(name).unwrap_or(builtin);
-            let tower = curve.tower().clone();
-            let (qa, qb) = (tower.fq_sample(1), tower.fq_sample(2));
-            let measured = bench_ns(|| {
-                black_box(tower.fq_mul(black_box(&qa), black_box(&qb)));
-            });
-            (baseline, measured)
-        }
-        "g1_mul" => {
-            // Fall back to the pre-GLV PR 3 floor only when the committed
-            // JSON has no post-GLV row yet.
-            let builtin = PR3_G1_MUL_NS
-                .iter()
-                .find(|(n, _)| n == name)
-                .map(|&(_, v)| v)
-                .expect("every curve has a PR3 g1_mul floor");
-            let baseline = curve_row_from_json(name, "g1_mul_ns").unwrap_or(builtin);
-            let k = bench_scalar(&curve);
-            let g1 = curve.g1_generator();
-            let measured = bench_ns(|| {
-                black_box(curve.g1_mul(black_box(g1), black_box(&k)));
-            });
-            (baseline, measured)
-        }
-        other => {
-            eprintln!("unknown metric `{other}`; expected fq_mul or g1_mul");
-            return 2;
-        }
+    let manifest = load_gates();
+    let Some(gate) = manifest
+        .iter()
+        .find(|g| g.metric == metric && g.curve == *name)
+    else {
+        eprintln!(
+            "no gate for ({metric}, {name}) in the manifest; add a row to \
+             results/BENCH_fieldops.json `regression_gates`"
+        );
+        return 2;
     };
-    let delta_pct = 100.0 * (measured - baseline) / baseline;
+    let mut gate = gate.clone();
+    if let Some(pct) = rest.get(1) {
+        gate.budget_pct = pct.parse().expect("max regression must be a number");
+    }
+    let (measured, delta_pct, pass) = run_gate(&gate);
     println!(
-        "{metric} {name}: measured {measured:.1} ns vs committed baseline {baseline:.1} ns \
-         ({delta_pct:+.1}%, limit +{max_pct:.0}%)"
+        "{metric} {name}: measured {measured:.1} ns vs committed baseline {:.1} ns \
+         ({delta_pct:+.1}%, limit +{:.0}%)",
+        gate.baseline_ns, gate.budget_pct
     );
-    if delta_pct > max_pct {
+    if !pass {
         eprintln!("REGRESSION: {metric} {name} is {delta_pct:.1}% slower than the baseline");
         return 1;
     }
@@ -291,8 +482,40 @@ fn bench_scalar(curve: &Arc<Curve>) -> finesse_ff::BigUint {
     .modpow(&finesse_ff::BigUint::from_u64(3), curve.r())
 }
 
-/// `--bench-json`: field-substrate microbenchmarks as machine-readable
-/// JSON (one row per requested Table-2 curve).
+/// The current git commit (short hash), or `unknown` outside a work tree.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days, no clock crates).
+fn iso_date_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// `--bench-json`: field-substrate and group-layer microbenchmarks as
+/// machine-readable JSON (one row per requested Table-2 curve), stamped
+/// with the emitting commit and date.
 fn bench_fieldops_json(which: &str) -> String {
     use finesse_pairing::PairingEngine;
     use std::hint::black_box;
@@ -325,24 +548,31 @@ fn bench_fieldops_json(which: &str) -> String {
         });
         let k = bench_scalar(&curve);
         let (g1, g2) = (curve.g1_generator(), curve.g2_generator());
+        // Variable-base rows use non-generator bases (the GLV/GLS split
+        // paths); the `_fixed` rows time the cached-generator comb.
+        let h1 = curve.g1_mul(g1, &finesse_ff::BigUint::from_u64(7));
+        let h2 = curve.g2_mul(g2, &finesse_ff::BigUint::from_u64(7));
         let g1_mul = bench_ns(|| {
+            black_box(curve.g1_mul(black_box(&h1), black_box(&k)));
+        });
+        let g1_mul_fixed = bench_ns(|| {
             black_box(curve.g1_mul(black_box(g1), black_box(&k)));
         });
         let g2_mul = bench_ns(|| {
+            black_box(curve.g2_mul(black_box(&h2), black_box(&k)));
+        });
+        let g2_mul_fixed = bench_ns(|| {
             black_box(curve.g2_mul(black_box(g2), black_box(&k)));
         });
-        // 64-point G1 MSM over distinct points and full-width scalars —
-        // the batch-verification workload (aggregate BLS, KZG openings).
-        let msm_points: Vec<_> = (0..64u64)
-            .map(|i| curve.g1_mul(g1, &finesse_ff::BigUint::from_u64(i * i + 3)))
-            .collect();
-        let msm_scalars: Vec<_> = (0..64u64)
-            .map(|i| {
-                finesse_ff::BigUint::from_u64(i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
-                    .modpow(&finesse_ff::BigUint::from_u64(5), curve.r())
-            })
-            .collect();
+        // 64- and 256-point G1 MSMs over distinct points and full-width
+        // scalars — the batch-verification workload (aggregate BLS, KZG
+        // openings); 256 points exercise the batch-affine Pippenger path.
+        let (msm_points, msm_scalars) = msm_inputs(&curve, 64);
         let msm64 = bench_ns(|| {
+            black_box(curve.g1_msm(black_box(&msm_points), black_box(&msm_scalars)));
+        });
+        let (msm_points, msm_scalars) = msm_inputs(&curve, 256);
+        let msm256 = bench_ns(|| {
             black_box(curve.g1_msm(black_box(&msm_points), black_box(&msm_scalars)));
         });
         let engine = PairingEngine::new(curve.clone());
@@ -353,7 +583,9 @@ fn bench_fieldops_json(which: &str) -> String {
             "    {{\"curve\": \"{name}\", \"p_bits\": {}, \"limbs\": {}, \
              \"fp_mul_ns\": {fp_mul:.1}, \"fp_sqr_ns\": {fp_sqr:.1}, \
              \"fq_mul_ns\": {fq_mul:.1}, \"g1_mul_ns\": {g1_mul:.0}, \
-             \"g2_mul_ns\": {g2_mul:.0}, \"msm64_g1_ns\": {msm64:.0}, \
+             \"g1_mul_fixed_ns\": {g1_mul_fixed:.0}, \
+             \"g2_mul_ns\": {g2_mul:.0}, \"g2_mul_fixed_ns\": {g2_mul_fixed:.0}, \
+             \"msm64_g1_ns\": {msm64:.0}, \"msm256_g1_ns\": {msm256:.0}, \
              \"pairing_ns\": {pairing:.0}}}",
             curve.p().bits(),
             fp.width(),
@@ -367,10 +599,26 @@ fn bench_fieldops_json(which: &str) -> String {
             .collect::<Vec<_>>()
             .join(", ")
     };
+    let gates = default_gates()
+        .iter()
+        .map(|g| {
+            format!(
+                "    {{\"metric\": \"{}\", \"curve\": \"{}\", \"baseline_ns\": {:.1}, \"budget_pct\": {:.0}}}",
+                g.metric, g.curve, g.baseline_ns, g.budget_pct
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     format!(
-        "{{\n  \"schema\": \"finesse-bench-fieldops/v1\",\n  \"harness\": \"median of 5 batches, ns per op\",\n\
-         \n  \"curves\": [\n{}\n  ],\n  \"pr3_baseline_ns\": {{\n    \"note\": \"plain width-4 wNAF ladders (PR 3) before the GLV/GLS endomorphism split; naive_msm64 = 64 independent g1_muls + adds\",\n    \"g1_mul\": {{{}}},\n    \"g2_mul\": {{{}}},\n    \"naive_msm64\": {{{}}}\n  }},\n  \"pr2_baseline_ns\": {{\n    \"note\": \"allocation-free Fp (PR 2) before the lazy-reduction rewrite; CI's --bench-regress floor\",\n    \"fq_mul\": {{{}}}\n  }},\n  \"pre_pr_baseline_ns\": {{\n    \"note\": \"Vec-limbed Fp before the inline-limb rewrite (criterion-shim medians, same machine)\",\n    \"fp_mul\": {{{}}},\n    \"fq_mul\": {{{}}},\n    \"pairing\": {{{}}}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"finesse-bench-fieldops/v2\",\n  \"harness\": \"median of 5 batches, ns per op\",\n  \"commit\": \"{}\",\n  \"date\": \"{}\",\n\
+         \n  \"regression_gates\": [\n{gates}\n  ],\n\
+         \n  \"curves\": [\n{}\n  ],\n  \"pr4_baseline_ns\": {{\n    \"note\": \"GLV/GLS split with per-term wNAF tables (PR 4) before the fixed-base comb, JSF pair recoding, and batch-affine Pippenger buckets\",\n    \"g1_mul\": {{{}}},\n    \"g2_mul\": {{{}}},\n    \"msm64_g1\": {{{}}}\n  }},\n  \"pr3_baseline_ns\": {{\n    \"note\": \"plain width-4 wNAF ladders (PR 3) before the GLV/GLS endomorphism split; naive_msm64 = 64 independent g1_muls + adds\",\n    \"g1_mul\": {{{}}},\n    \"g2_mul\": {{{}}},\n    \"naive_msm64\": {{{}}}\n  }},\n  \"pr2_baseline_ns\": {{\n    \"note\": \"allocation-free Fp (PR 2) before the lazy-reduction rewrite; the fq_mul gate floor\",\n    \"fq_mul\": {{{}}}\n  }},\n  \"pre_pr_baseline_ns\": {{\n    \"note\": \"Vec-limbed Fp before the inline-limb rewrite (criterion-shim medians, same machine)\",\n    \"fp_mul\": {{{}}},\n    \"fq_mul\": {{{}}},\n    \"pairing\": {{{}}}\n  }}\n}}\n",
+        git_commit(),
+        iso_date_utc(),
         rows.join(",\n"),
+        baseline(&PR4_G1_MUL_NS),
+        baseline(&PR4_G2_MUL_NS),
+        baseline(&PR4_MSM64_NS),
         baseline(&PR3_G1_MUL_NS),
         baseline(&PR3_G2_MUL_NS),
         baseline(&PR3_NAIVE_MSM64_NS),

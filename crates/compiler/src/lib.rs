@@ -2,11 +2,12 @@
 //!
 //! The Finesse compilation pipeline (paper §3.5): CodeGen records the
 //! optimal-Ate algorithm as hierarchical IR by driving the shared pairing
-//! skeleton ([`irflow`]); [`finesse_ir::lower`] maps it to F_p code under
-//! an operator-variant selection; [`opt`] runs SSA data-flow optimisation
-//! (automatic dense×sparse recovery, GVN with field commutativity, DCE);
-//! [`schedule`] implements Algorithm 2's affinity-driven packing;
-//! [`regalloc`] and [`link`] produce the binary image.
+//! skeleton ([`irflow`]); [`finesse_ir::lower()`](fn@finesse_ir::lower)
+//! maps it to F_p code under an operator-variant selection; [`opt`] runs
+//! SSA data-flow optimisation (automatic dense×sparse recovery, GVN with
+//! field commutativity, DCE); [`schedule()`](fn@schedule) implements
+//! Algorithm 2's affinity-driven packing; [`regalloc`] and
+//! [`link()`](fn@link) produce the binary image.
 
 pub mod irflow;
 pub mod link;

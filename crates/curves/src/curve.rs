@@ -12,7 +12,8 @@
 use crate::glv::{self, GlvBasis};
 use crate::point::{
     affine_neg, is_identity, is_on_curve, jac_add, jac_mul, jac_multi_mul_mapped, msm as point_msm,
-    to_affine, to_jacobian, Affine, EndoMap, FieldOps, FpOps, FqOps, Jacobian, MulTerm, TableMap,
+    to_affine, to_jacobian, Affine, CombTable, EndoMap, FieldOps, FpOps, FqOps, Jacobian, MulTerm,
+    TableMap,
 };
 use crate::spec::{CurveSpec, Family};
 use finesse_ff::{BigInt, BigUint, FieldCtxError, Fp, FpCtx, Fq, TowerCtx, TowerError};
@@ -196,6 +197,12 @@ pub struct Curve {
     psi_y: Fq,
     glv_g1: Option<GlvG1>,
     gls_g2: GlsG2,
+    /// Fixed-base comb for the G1 generator, built lazily on its first
+    /// generator multiplication; [`Curve::g1_mul`] routes through it only
+    /// when the base is exactly [`Curve::g1_generator`].
+    g1_comb: OnceLock<CombTable<Fp>>,
+    /// Fixed-base comb for the G2 generator (same lazy contract).
+    g2_comb: OnceLock<CombTable<Fq>>,
     table2_security: u32,
 }
 
@@ -384,6 +391,8 @@ impl Curve {
             psi_y,
             glv_g1,
             gls_g2,
+            g1_comb: OnceLock::new(),
+            g2_comb: OnceLock::new(),
             table2_security,
         })
     }
@@ -896,14 +905,24 @@ impl Curve {
     /// point.
     ///
     /// The scalar is reduced mod r up front (identical on the r-torsion,
-    /// and oversized scalars would otherwise pay full-length ladders),
-    /// then split 2-GLV along φ so two `√r`-length wNAF ladders share one
-    /// doubling chain. Points outside the r-torsion should use the
+    /// and oversized scalars would otherwise pay full-length ladders).
+    /// A multiplication of the cached generator routes through the lazily
+    /// built fixed-base comb ([`CombTable`], `⌈bits/w⌉` doublings and
+    /// mixed additions); any other base is split 2-GLV along φ so two
+    /// `√r`-length ladders share one doubling chain (JSF joint recoding
+    /// for the pair). Points outside the r-torsion should use the
     /// point-level [`jac_mul`]/[`crate::point::scalar_mul`], where no
     /// reduction or decomposition applies.
     pub fn g1_mul(&self, p: &Affine<Fp>, k: &BigUint) -> Affine<Fp> {
         let ops = FpOps(Arc::clone(&self.fp));
         let k = self.reduce_mod_r(k);
+        if !p.infinity && !k.is_zero() && *p == self.g1 {
+            let comb = self
+                .g1_comb
+                .get_or_init(|| CombTable::build(&ops, &self.g1, self.r.bits()));
+            debug_assert!(comb.matches_base(p), "comb cache is generator-only");
+            return to_affine(&ops, &comb.mul(&ops, &k));
+        }
         let acc = match self.glv_g1.as_ref() {
             Some(glv) if !p.infinity && !k.is_zero() => {
                 let mut terms = Vec::with_capacity(2);
@@ -914,6 +933,17 @@ impl Curve {
             _ => jac_mul(&ops, p, &k),
         };
         to_affine(&ops, &acc)
+    }
+
+    /// The lazily built fixed-base comb for the G1 generator, if a
+    /// generator multiplication has warmed it yet.
+    pub fn g1_comb(&self) -> Option<&CombTable<Fp>> {
+        self.g1_comb.get()
+    }
+
+    /// The lazily built fixed-base comb for the G2 generator, if warmed.
+    pub fn g2_comb(&self) -> Option<&CombTable<Fq>> {
+        self.g2_comb.get()
     }
 
     /// G1 point addition.
@@ -1043,6 +1073,13 @@ impl Curve {
         let k = self.reduce_mod_r(k);
         if p.infinity || k.is_zero() {
             return to_affine(&ops, &jac_mul(&ops, p, &k));
+        }
+        if *p == self.g2 {
+            let comb = self
+                .g2_comb
+                .get_or_init(|| CombTable::build(&ops, &self.g2, self.r.bits()));
+            debug_assert!(comb.matches_base(p), "comb cache is generator-only");
+            return to_affine(&ops, &comb.mul(&ops, &k));
         }
         let digits = self.gls_digits_reduced(&k);
         let mut terms = Vec::with_capacity(digits.len());

@@ -148,6 +148,9 @@ impl FieldOps for FqOps<'_> {
     fn is_zero(&self, a: &Fq) -> bool {
         self.0.fq_is_zero(a)
     }
+    fn batch_inv(&self, elems: &mut [Fq]) {
+        self.0.fq_batch_inv(elems);
+    }
 }
 
 /// An affine point, with an explicit point at infinity.
@@ -358,7 +361,7 @@ const WNAF_WINDOW: u32 = 4;
 /// for `i < 4` cover every odd digit magnitude up to 7.
 const WNAF_TABLE: usize = 1 << (WNAF_WINDOW - 2);
 
-/// Reusable recoding scratch for [`wnaf_digits_into`], so interleaved
+/// Reusable recoding scratch for the wNAF recoder, so interleaved
 /// multi-scalar recoding (one call per GLV/GLS sub-scalar) does not
 /// allocate a fresh limb buffer per sub-scalar.
 #[derive(Default)]
@@ -535,6 +538,134 @@ pub fn jac_add_affine<O: FieldOps>(
     }
 }
 
+/// Comb window width (rows) for a fixed-base table serving scalars of the
+/// given bit length: the evaluation loop costs `⌈bits/w⌉` doublings plus
+/// at most as many mixed additions, while the table holds `2^w − 1` affine
+/// points, so widening pays off as long as the table stays cache-friendly.
+/// Width 8 (255 entries, ≈24 KiB of G1 coordinates on a 381-bit curve)
+/// covers every Table 2 group order; the 638-bit curves take one more row
+/// to keep the column count down, and tiny test curves shrink the table
+/// instead of building 255 entries for a handful of bits.
+pub fn comb_window(bits: usize) -> usize {
+    match bits {
+        0..=96 => 4,
+        97..=512 => 8,
+        _ => 9,
+    }
+}
+
+/// A fixed-base comb (Lim–Lee) precomputation for one base point.
+///
+/// The scalar's bits are viewed as a `w × d` matrix (`w` rows of
+/// `d = ⌈bits/w⌉` columns, row `i` holding bits `i·d .. (i+1)·d`); entry
+/// `j` of the table is `Σ_{i ∈ bits(j)} [2^{i·d}]P`, so one column of the
+/// matrix is resolved per iteration with a single mixed addition:
+/// `d` doublings and at most `d` additions per multiplication, against
+/// `bits` doublings for a ladder. The table is batch-normalised to affine
+/// (one inversion via [`batch_to_affine`]) at construction, which is what
+/// makes the evaluation loop all-mixed-additions.
+///
+/// Build cost is `(w−1)·d` doublings plus `2^w − w − 1` additions plus one
+/// batched inversion — amortised after a handful of multiplications, which
+/// is why the curve layer caches one comb per generator and only routes
+/// exact generator hits through it.
+pub struct CombTable<E> {
+    base: Affine<E>,
+    window: usize,
+    cols: usize,
+    table: Vec<Affine<E>>,
+}
+
+impl<E: Clone + PartialEq + Debug> CombTable<E> {
+    /// Precomputes the comb for `base`, sized for scalars up to
+    /// `scalar_bits` bits (callers pass the group-order bit length and
+    /// reduce scalars first).
+    pub fn build<O: FieldOps<El = E>>(ops: &O, base: &Affine<E>, scalar_bits: usize) -> Self {
+        let window = comb_window(scalar_bits.max(1));
+        let cols = scalar_bits.max(1).div_ceil(window);
+        // strides[i] = [2^(i·cols)]·base
+        let mut strides: Vec<Jacobian<E>> = Vec::with_capacity(window);
+        strides.push(to_jacobian(ops, base));
+        for i in 1..window {
+            let mut b = strides[i - 1].clone();
+            for _ in 0..cols {
+                b = jac_double(ops, &b);
+            }
+            strides.push(b);
+        }
+        // Entry j (1-indexed) = entry of j minus its top bit, plus that
+        // bit's stride — every entry is one addition on an earlier one.
+        let mut table: Vec<Jacobian<E>> = Vec::with_capacity((1 << window) - 1);
+        for j in 1usize..1 << window {
+            let top = usize::BITS as usize - 1 - j.leading_zeros() as usize;
+            if j == 1 << top {
+                table.push(strides[top].clone());
+            } else {
+                let rest = table[j - (1 << top) - 1].clone();
+                table.push(jac_add(ops, &rest, &strides[top]));
+            }
+        }
+        CombTable {
+            base: base.clone(),
+            window,
+            cols,
+            table: batch_to_affine(ops, &table),
+        }
+    }
+
+    /// True iff this table was built for exactly `base` (infinity never
+    /// matches: a comb for the point at infinity is meaningless and the
+    /// curve layer must fall through to the generic path).
+    pub fn matches_base(&self, base: &Affine<E>) -> bool {
+        !base.infinity && !self.base.infinity && self.base == *base
+    }
+
+    /// Scalar capacity in bits (`window · cols`).
+    pub fn capacity_bits(&self) -> usize {
+        self.window * self.cols
+    }
+
+    /// Number of precomputed affine points held by the table.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `[k]·base` for `k` within [`CombTable::capacity_bits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` has more bits than the table was sized for (the
+    /// curve layer reduces scalars mod r before routing here).
+    pub fn mul<O: FieldOps<El = E>>(&self, ops: &O, k: &BigUint) -> Jacobian<E> {
+        assert!(
+            k.bits() <= self.capacity_bits(),
+            "comb table sized for {} bits, got {}",
+            self.capacity_bits(),
+            k.bits()
+        );
+        let mut acc = Jacobian {
+            x: ops.one(),
+            y: ops.one(),
+            z: ops.zero(),
+        };
+        for col in (0..self.cols).rev() {
+            if col + 1 != self.cols {
+                acc = jac_double(ops, &acc);
+            }
+            let mut digit = 0usize;
+            for row in 0..self.window {
+                if k.bit(row * self.cols + col) {
+                    digit |= 1 << row;
+                }
+            }
+            if digit != 0 {
+                acc = jac_add_affine(ops, &acc, &self.table[digit - 1]);
+            }
+        }
+        acc
+    }
+}
+
 /// One `(point, sub-scalar)` operand of an interleaved multi-scalar
 /// multiplication. `negate` subtracts instead of adds, which is how signed
 /// GLV/GLS sub-scalars are fed without touching the scalar itself.
@@ -583,6 +714,63 @@ impl<E> Copy for EndoMap<'_, E> {}
 /// plus three full additions).
 pub type TableMap<'a, E> = Option<(usize, EndoMap<'a, E>)>;
 
+/// Shamir double multiplication `±k₀·P₀ ± k₁·P₁` via joint-sparse-form
+/// recoding ([`crate::glv::jsf`]): one shared doubling chain, roughly one
+/// addition every other column, and only the `{P₀, P₁, P₀ + P₁, P₀ − P₁}`
+/// table — the single-column entries stay affine (mixed additions), the
+/// two combined entries are built with two mixed additions and kept
+/// Jacobian, so the kernel never pays a field inversion. Negated terms
+/// flip their digit row's signs, exactly like the wNAF kernel.
+///
+/// Both points must be finite and both scalars non-zero (the caller,
+/// [`jac_multi_mul_mapped`], filters dead terms first).
+fn jsf_double_mul<O: FieldOps>(
+    ops: &O,
+    t0: &MulTerm<O::El>,
+    t1: &MulTerm<O::El>,
+) -> Jacobian<O::El> {
+    let columns = crate::glv::jsf(&t0.scalar, &t1.scalar);
+    let (s0, s1) = (
+        if t0.negate { -1i8 } else { 1 },
+        if t1.negate { -1i8 } else { 1 },
+    );
+    let p0 = &t0.point;
+    let p1 = &t1.point;
+    let neg0 = affine_neg(ops, p0);
+    let neg1 = affine_neg(ops, p1);
+    let sum = jac_add_affine(ops, &to_jacobian(ops, p0), p1);
+    let diff = jac_add_affine(ops, &to_jacobian(ops, p0), &neg1);
+    let jac_neg = |p: &Jacobian<O::El>| Jacobian {
+        x: p.x.clone(),
+        y: ops.neg(&p.y),
+        z: p.z.clone(),
+    };
+    let (neg_sum, neg_diff) = (jac_neg(&sum), jac_neg(&diff));
+    let mut acc = Jacobian {
+        x: ops.one(),
+        y: ops.one(),
+        z: ops.zero(),
+    };
+    for (j, &(u0, u1)) in columns.iter().enumerate().rev() {
+        if j + 1 != columns.len() {
+            acc = jac_double(ops, &acc);
+        }
+        match (u0 * s0, u1 * s1) {
+            (0, 0) => {}
+            (1, 0) => acc = jac_add_affine(ops, &acc, p0),
+            (-1, 0) => acc = jac_add_affine(ops, &acc, &neg0),
+            (0, 1) => acc = jac_add_affine(ops, &acc, p1),
+            (0, -1) => acc = jac_add_affine(ops, &acc, &neg1),
+            (1, 1) => acc = jac_add(ops, &acc, &sum),
+            (-1, -1) => acc = jac_add(ops, &acc, &neg_sum),
+            (1, -1) => acc = jac_add(ops, &acc, &diff),
+            (-1, 1) => acc = jac_add(ops, &acc, &neg_diff),
+            _ => unreachable!("JSF digits are in {{-1, 0, 1}}"),
+        }
+    }
+    acc
+}
+
 /// Interleaved Straus/Shamir multi-scalar multiplication with width-4
 /// wNAF digits: computes `Σᵢ ±kᵢ·Pᵢ` sharing one doubling chain across
 /// all terms, so an m-way GLV/GLS split costs `max bits(kᵢ)` doublings
@@ -605,9 +793,14 @@ pub fn jac_multi_mul<O: FieldOps>(ops: &O, terms: &[MulTerm<O::El>]) -> Jacobian
 /// term was skipped (infinity point or zero scalar) falls back to a
 /// fresh table.
 ///
+/// With exactly two live terms the call routes to the JSF pair kernel,
+/// which builds its own four-entry table and ignores `table_maps`
+/// entirely.
+///
 /// # Panics
 ///
-/// Panics if a table map references itself or a later term.
+/// Panics if a table map references itself or a later term (three or
+/// more live terms; the two-term JSF route never reads the maps).
 pub fn jac_multi_mul_mapped<O: FieldOps>(
     ops: &O,
     terms: &[MulTerm<O::El>],
@@ -618,25 +811,33 @@ pub fn jac_multi_mul_mapped<O: FieldOps>(
         y: ops.one(),
         z: ops.zero(),
     };
+    let live: Vec<usize> = terms
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.point.infinity && !t.scalar.is_zero())
+        .map(|(i, _)| i)
+        .collect();
+    if live.is_empty() {
+        return identity;
+    }
+    // Exactly two live terms — the 2-GLV pair from `g1_mul`, the 2-dim GLS
+    // fallback, or a plain two-point call — take the JSF kernel instead:
+    // joint recoding needs only the tiny `{P₀, P₁, P₀ ± P₁}` table, so the
+    // per-term odd-multiples windows (and any table map) are skipped.
+    if live.len() == 2 {
+        return jsf_double_mul(ops, &terms[live[0]], &terms[live[1]]);
+    }
     // Recode every live term, reusing one limb scratch across terms.
     // Negation is handled by flipping digit signs at use, so tables are
     // always of the original point (which keeps them shareable).
     let mut scratch = WnafScratch::default();
-    let mut digit_sets: Vec<Vec<i64>> = Vec::with_capacity(terms.len());
-    let mut live: Vec<usize> = Vec::with_capacity(terms.len());
-    let mut signs: Vec<bool> = Vec::with_capacity(terms.len());
-    for (i, term) in terms.iter().enumerate() {
-        if term.point.infinity || term.scalar.is_zero() {
-            continue;
-        }
+    let mut digit_sets: Vec<Vec<i64>> = Vec::with_capacity(live.len());
+    let mut signs: Vec<bool> = Vec::with_capacity(live.len());
+    for &i in &live {
         let mut digits = Vec::new();
-        wnaf_digits_into(&term.scalar, WNAF_WINDOW, &mut scratch, &mut digits);
+        wnaf_digits_into(&terms[i].scalar, WNAF_WINDOW, &mut scratch, &mut digits);
         digit_sets.push(digits);
-        signs.push(term.negate);
-        live.push(i);
-    }
-    if live.is_empty() {
-        return identity;
+        signs.push(terms[i].negate);
     }
     // A map is usable when its source term is live and strictly earlier;
     // otherwise the term builds a fresh table.
@@ -827,7 +1028,30 @@ pub fn msm<O: FieldOps>(ops: &O, points: &[Affine<O::El>], scalars: &[BigUint]) 
     let c = pippenger_window(live.len());
     let max_bits = live.iter().map(|(_, k)| k.bits()).max().unwrap_or(0);
     let windows = max_bits.div_ceil(c);
-    let mut buckets: Vec<Jacobian<O::El>> = vec![identity.clone(); (1 << c) - 1];
+    let slots = (1 << c) - 1;
+    // Every window's buckets are independent of the doubling chain, so the
+    // whole windows × buckets matrix is accumulated in one batch-affine
+    // pass: the number of shared inversions is the maximum multiplicity of
+    // any single (window, bucket) slot (~log n for random scalars), not
+    // rounds-per-window times windows.
+    let inf = Affine::infinity(ops.zero());
+    let mut buckets: Vec<Affine<O::El>> = vec![inf; windows * slots];
+    let mut batcher = AffineAddBatcher::new(live.len() * windows);
+    for (p, k) in &live {
+        // One arena entry per point; the per-window queue entries are
+        // 8-byte index pairs, so round scheduling never moves coordinates.
+        let idx = batcher.intern((*p).clone());
+        for w in 0..windows {
+            let d = window_digit(k, w * c, c);
+            if d != 0 {
+                batcher.enqueue(w * slots + d - 1, idx);
+            }
+        }
+    }
+    batcher.accumulate(ops, &mut buckets);
+    // Per window: running-sum collapse (Σ d·B_d as suffix sums — all
+    // mixed adds now that buckets are affine), then c doublings to shift
+    // into the next window.
     let mut acc = identity.clone();
     for w in (0..windows).rev() {
         if w + 1 != windows {
@@ -835,25 +1059,212 @@ pub fn msm<O: FieldOps>(ops: &O, points: &[Affine<O::El>], scalars: &[BigUint]) 
                 acc = jac_double(ops, &acc);
             }
         }
-        for b in buckets.iter_mut() {
-            *b = identity.clone();
-        }
-        for (p, k) in &live {
-            let d = window_digit(k, w * c, c);
-            if d != 0 {
-                buckets[d - 1] = jac_add_affine(ops, &buckets[d - 1], p);
-            }
-        }
-        // Running-sum collapse: Σ d·B_d as suffix sums of the buckets.
         let mut suffix = identity.clone();
         let mut window_sum = identity.clone();
-        for b in buckets.iter().rev() {
-            suffix = jac_add(ops, &suffix, b);
+        for b in buckets[w * slots..(w + 1) * slots].iter().rev() {
+            suffix = jac_add_affine(ops, &suffix, b);
             window_sum = jac_add(ops, &window_sum, &suffix);
         }
         acc = jac_add(ops, &acc, &window_sum);
     }
     acc
+}
+
+/// One affine addition scheduled against a round's shared inversion.
+/// Operand `a` is either the target bucket itself (`a_bucket`) or an
+/// arena entry; operand `b` is always an arena entry. The result
+/// `(x₃, y₃)` overwrites the bucket (`write_bucket`) or re-enters the
+/// queue as a fresh arena entry for slot `target`.
+struct AffineAddJob<E> {
+    target: u32,
+    write_bucket: bool,
+    a_bucket: bool,
+    a_idx: u32,
+    b_idx: u32,
+    /// Slope numerator (`y₂ − y₁`, or `3x²` for a doubling), captured at
+    /// schedule time alongside the denominator.
+    num: E,
+}
+
+/// Schedules the affine chord-and-tangent addition
+/// (`λ = (y₂ − y₁)/(x₂ − x₁)`, or `3x²/2y` for a doubling) of two finite
+/// points against a round's shared inversion: the denominator joins
+/// `dens`, the rest of the job joins `jobs`. A cancelling pair (`P − P`,
+/// or a doubling with `y = 0`) returns `false` — the sum is the identity
+/// and nothing is scheduled. `meta` is the job routing
+/// `(target, write_bucket, a_bucket, a_idx, b_idx)`.
+fn schedule_affine_add<O: FieldOps>(
+    ops: &O,
+    dens: &mut Vec<O::El>,
+    jobs: &mut Vec<AffineAddJob<O::El>>,
+    a: &Affine<O::El>,
+    b: &Affine<O::El>,
+    meta: (u32, bool, bool, u32, u32),
+) -> bool {
+    debug_assert!(!a.infinity && !b.infinity);
+    let (target, write_bucket, a_bucket, a_idx, b_idx) = meta;
+    let num = if a.x == b.x {
+        if a.y != b.y || ops.is_zero(&a.y) {
+            return false;
+        }
+        let xx = ops.sqr(&a.x);
+        dens.push(ops.dbl(&a.y));
+        ops.add(&ops.dbl(&xx), &xx)
+    } else {
+        dens.push(ops.sub(&b.x, &a.x));
+        ops.sub(&b.y, &a.y)
+    };
+    jobs.push(AffineAddJob {
+        target,
+        write_bucket,
+        a_bucket,
+        a_idx,
+        b_idx,
+        num,
+    });
+    true
+}
+
+/// Scratch state for batch-affine bucket accumulation.
+///
+/// Points live in an append-only arena; the pending queue holds 8-byte
+/// `(slot, arena index)` pairs, so the per-round sort-and-group never
+/// moves coordinates. Per round, each slot group schedules one
+/// `bucket + entry` addition plus a binary-tree layer of independent
+/// `entry + entry` pair additions, so a slot with `m` entries resolves
+/// in `O(log m)` rounds instead of serialising `m` bucket additions
+/// (structured scalar sets — e.g. hundreds of equal-length sub-scalars
+/// sharing their top-window digit — make such hot slots common, not
+/// pathological). Every scheduled addition contributes one slope
+/// denominator to a single [`FieldOps::batch_inv`] (Montgomery's trick)
+/// and then finishes in affine coordinates for ~`2M + 1S` plus the 3
+/// shared-inversion multiplications — in place of a `7M + 4S` Jacobian
+/// mixed add, with the buckets staying affine for the final collapse.
+/// Identity, negation, and `y = 0` edge cases resolve immediately and
+/// never reach the inversion.
+struct AffineAddBatcher<E> {
+    arena: Vec<Affine<E>>,
+    /// `(slot, arena index)` additions still owed to the buckets.
+    pending: Vec<(u32, u32)>,
+    /// Entries produced for the next round (pair-add results and odd
+    /// leftovers).
+    deferred: Vec<(u32, u32)>,
+    /// Slope denominators for the shared batch inversion.
+    dens: Vec<E>,
+    jobs: Vec<AffineAddJob<E>>,
+}
+
+impl<E: Clone + PartialEq + Debug> AffineAddBatcher<E> {
+    fn new(capacity: usize) -> Self {
+        AffineAddBatcher {
+            arena: Vec::new(),
+            pending: Vec::with_capacity(capacity),
+            deferred: Vec::new(),
+            dens: Vec::new(),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Stores a point in the arena, returning its index for
+    /// [`AffineAddBatcher::enqueue`] (one interned point can back many
+    /// queue entries — e.g. one per Pippenger window).
+    fn intern(&mut self, p: Affine<E>) -> u32 {
+        self.arena.push(p);
+        (self.arena.len() - 1) as u32
+    }
+
+    /// Queues `buckets[slot] += arena[idx]` for the next
+    /// [`AffineAddBatcher::accumulate`] run.
+    fn enqueue(&mut self, slot: usize, idx: u32) {
+        self.pending.push((slot as u32, idx));
+    }
+
+    /// Drains the queue, summing each slot's entries into `buckets`.
+    fn accumulate<O: FieldOps<El = E>>(&mut self, ops: &O, buckets: &mut [Affine<E>]) {
+        let mut pending = std::mem::take(&mut self.pending);
+        let mut deferred = std::mem::take(&mut self.deferred);
+        while !pending.is_empty() {
+            self.dens.clear();
+            deferred.clear();
+            pending.sort_unstable();
+            let mut i = 0;
+            while i < pending.len() {
+                let slot = pending[i].0;
+                let mut j = i;
+                while j < pending.len() && pending[j].0 == slot {
+                    j += 1;
+                }
+                // The bucket absorbs the first entry; the rest pair up
+                // among themselves (independent additions, same shared
+                // inversion), halving the group every round.
+                let first = pending[i].1;
+                let bucket = &buckets[slot as usize];
+                if self.arena[first as usize].infinity {
+                    // Identity entry: nothing owed.
+                } else if bucket.infinity {
+                    buckets[slot as usize] = self.arena[first as usize].clone();
+                } else if !schedule_affine_add(
+                    ops,
+                    &mut self.dens,
+                    &mut self.jobs,
+                    bucket,
+                    &self.arena[first as usize],
+                    (slot, true, true, slot, first),
+                ) {
+                    buckets[slot as usize] = Affine::infinity(ops.zero());
+                }
+                let mut k = i + 1;
+                while k + 1 < j {
+                    let (ai, bi) = (pending[k].1, pending[k + 1].1);
+                    if self.arena[ai as usize].infinity {
+                        deferred.push((slot, bi));
+                    } else if self.arena[bi as usize].infinity {
+                        deferred.push((slot, ai));
+                    } else {
+                        // A cancelling pair sums to the identity and
+                        // simply drops out of the tree.
+                        let _ = schedule_affine_add(
+                            ops,
+                            &mut self.dens,
+                            &mut self.jobs,
+                            &self.arena[ai as usize],
+                            &self.arena[bi as usize],
+                            (slot, false, false, ai, bi),
+                        );
+                    }
+                    k += 2;
+                }
+                if k < j {
+                    deferred.push((slot, pending[k].1));
+                }
+                i = j;
+            }
+            ops.batch_inv(&mut self.dens);
+            let mut jobs = std::mem::take(&mut self.jobs);
+            for (job, dinv) in jobs.drain(..).zip(&self.dens) {
+                let a = if job.a_bucket {
+                    &buckets[job.a_idx as usize]
+                } else {
+                    &self.arena[job.a_idx as usize]
+                };
+                let b = &self.arena[job.b_idx as usize];
+                let lambda = ops.mul(&job.num, dinv);
+                let x3 = ops.sub(&ops.sub(&ops.sqr(&lambda), &a.x), &b.x);
+                let y3 = ops.sub(&ops.mul(&lambda, &ops.sub(&a.x, &x3)), &a.y);
+                let out = Affine::new(x3, y3);
+                if job.write_bucket {
+                    buckets[job.target as usize] = out;
+                } else {
+                    let idx = self.arena.len() as u32;
+                    self.arena.push(out);
+                    deferred.push((job.target, idx));
+                }
+            }
+            self.jobs = jobs;
+            std::mem::swap(&mut pending, &mut deferred);
+        }
+        self.deferred = deferred;
+    }
 }
 
 /// Affine negation.
@@ -1159,6 +1570,72 @@ mod tests {
             &scalar_mul(&ops, &pts[0], &BigUint::from_u64(4)),
             &scalar_mul(&ops, &pts[2], &BigUint::from_u64(5)),
         );
+        assert_eq!(got, to_affine(&ops, &want));
+    }
+
+    #[test]
+    fn comb_table_matches_scalar_mul() {
+        let (ops, b) = tiny();
+        let pts = points_on_tiny(&ops, &b);
+        let p = &pts[1];
+        let comb = CombTable::build(&ops, p, 12);
+        assert!(comb.capacity_bits() >= 12);
+        assert!(comb.entries() > 0);
+        for k in (0..70u64).chain([255, 256, 1023, 4095]) {
+            let k = BigUint::from_u64(k);
+            assert_eq!(
+                to_affine(&ops, &comb.mul(&ops, &k)),
+                to_affine(&ops, &scalar_mul(&ops, p, &k)),
+                "k = {k:?}"
+            );
+        }
+        // Base matching is exact: a different point or infinity never
+        // matches, which is what keeps a cached comb generator-only.
+        assert!(comb.matches_base(p));
+        assert!(!comb.matches_base(&pts[2]));
+        assert!(!comb.matches_base(&Affine::infinity(ops.zero())));
+    }
+
+    #[test]
+    #[should_panic(expected = "comb table sized for")]
+    fn comb_table_rejects_oversized_scalars() {
+        let (ops, b) = tiny();
+        let pts = points_on_tiny(&ops, &b);
+        let comb = CombTable::build(&ops, &pts[0], 8);
+        let _ = comb.mul(&ops, &BigUint::from_u64(1 << 20));
+    }
+
+    #[test]
+    fn msm_pippenger_batch_affine_matches_naive() {
+        let (ops, b) = tiny();
+        let pts = points_on_tiny(&ops, &b);
+        // ≥ MSM_STRAUS_MAX live points forces the batch-affine Pippenger
+        // path; wrap-around duplicates and negated copies land in shared
+        // buckets and exercise the batcher's doubling and cancellation
+        // scheduling edges, zero scalars its dead-entry filtering.
+        let n = MSM_STRAUS_MAX + 44;
+        let points: Vec<Affine<Fp>> = (0..n)
+            .map(|i| {
+                let p = pts[i % pts.len()].clone();
+                if i % 5 == 0 {
+                    affine_neg(&ops, &p)
+                } else {
+                    p
+                }
+            })
+            .collect();
+        let scalars: Vec<BigUint> = (0..n)
+            .map(|i| BigUint::from_u64((i as u64).wrapping_mul(0x9E37_79B9) % 2048))
+            .collect();
+        let got = to_affine(&ops, &msm(&ops, &points, &scalars));
+        let mut want = Jacobian {
+            x: ops.one(),
+            y: ops.one(),
+            z: ops.zero(),
+        };
+        for (p, k) in points.iter().zip(&scalars) {
+            want = jac_add(&ops, &want, &scalar_mul(&ops, p, k));
+        }
         assert_eq!(got, to_affine(&ops, &want));
     }
 

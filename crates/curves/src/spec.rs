@@ -105,7 +105,7 @@ pub struct CurveSpec {
     pub t_terms: &'static [(i8, u32)],
     /// Known G1 curve coefficient b (verified, not trusted); `None` scans.
     pub b_hint: Option<u64>,
-    /// Quadratic non-residue β for F_p2 = F_p[u]/(u² − β).
+    /// Quadratic non-residue β for `F_p2 = F_p[u]/(u² − β)`.
     pub beta: i64,
     /// ξ₂ = c0 + c1·u for F_p4 (k = 24 towers only).
     pub xi2: Option<(i64, i64)>,

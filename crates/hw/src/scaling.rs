@@ -1,7 +1,7 @@
 //! Technology-node scaling in the style of Stillmaker & Baas
 //! ("Scaling equations for the accurate prediction of CMOS device
 //! performance from 180 nm to 7 nm", Integration 2017) — the paper's
-//! reference [30] for normalising its 40nm results to competitors' nodes.
+//! reference \[30\] for normalising its 40nm results to competitors' nodes.
 //!
 //! Factors are expressed relative to the 40nm LP anchor and calibrated so
 //! the paper's own Table 6 conversion reproduces exactly: 40nm → 65nm

@@ -4,7 +4,7 @@
 //! hierarchical SSA [IR](hir) over algebraic values, [tower
 //! shapes](shape) describing each curve's extension lattice, [operator
 //! variants](variants) (Karatsuba/schoolbook/Chung–Hasan/Granger–Scott),
-//! and the variant-driven [lowering](lower) that turns high-level
+//! and the variant-driven [lowering](mod@lower) that turns high-level
 //! programs into F_p-level SSA ([`FpProgram`]) ready for scheduling.
 
 pub mod convert;

@@ -47,6 +47,8 @@ struct Setup {
 
 fn trusted_setup(curve: &Arc<Curve>, degree: usize) -> Setup {
     // Toy ceremony: tau is a fixed secret (a real setup discards it).
+    // Every [tau^i]G1 is a multiplication of the *generator*, so the whole
+    // powers-of-tau table rides the curve's cached fixed-base comb.
     let tau = BigUint::from_u64(0x5EED_CAFE).rem(curve.r());
     let mut g1_powers = Vec::with_capacity(degree + 1);
     let mut t_pow = BigUint::one();
@@ -58,12 +60,10 @@ fn trusted_setup(curve: &Arc<Curve>, degree: usize) -> Setup {
     Setup { g1_powers, g2_tau }
 }
 
+/// `C = [p(tau)]G1 = Σ cᵢ·[tauⁱ]G1` — one multi-scalar multiplication
+/// over the setup powers instead of a loop of independent ladders.
 fn commit(curve: &Arc<Curve>, setup: &Setup, p: &Poly) -> Affine<Fp> {
-    let mut acc = Affine::infinity(curve.fp().zero());
-    for (c, base) in p.0.iter().zip(&setup.g1_powers) {
-        acc = curve.g1_add(&acc, &curve.g1_mul(base, c));
-    }
-    acc
+    curve.g1_msm(&setup.g1_powers[..p.0.len()], &p.0)
 }
 
 fn main() {

@@ -1,0 +1,155 @@
+//! Differential tests for the precomputation-aware scalar-mul paths:
+//! fixed-base comb multiplication on the cached generators, the JSF
+//! two-term Straus kernel on non-generator bases, and the batch-affine
+//! Pippenger MSM — all bit-identical to the double-and-add [`scalar_mul`]
+//! reference across the seven Table 2 curves.
+
+use finesse_curves::{all_specs, scalar_mul, to_affine, CombTable, Curve, FpOps, FqOps};
+use finesse_ff::BigUint;
+use std::sync::Arc;
+
+/// The issue's edge-scalar list: identity-adjacent, r-adjacent (the
+/// reduction cases), and full-width.
+fn edge_scalars(c: &Arc<Curve>) -> Vec<BigUint> {
+    let r = c.r();
+    let one = BigUint::one();
+    let full_width =
+        BigUint::from_hex("e4c91a3bf3a77d9f1a4b5c6d7e8f90123456789abcdef0fedcba98765432100f")
+            .expect("literal parses")
+            .modpow(&BigUint::from_u64(3), r);
+    vec![
+        BigUint::zero(),
+        one.clone(),
+        r.checked_sub(&one).unwrap(),
+        r.clone(),
+        &r.clone() + &one,
+        &(&r.clone() + &r.clone()) + &BigUint::from_u64(3), // 2r + 3
+        full_width,
+    ]
+}
+
+#[test]
+fn comb_fixed_base_matches_reference_on_all_curves() {
+    for spec in all_specs() {
+        let c = Curve::by_name(spec.name);
+        let fp_ops = FpOps(Arc::clone(c.fp()));
+        let fq_ops = FqOps(c.tower());
+        let g = c.g1_generator();
+        let q = c.g2_generator();
+        for k in edge_scalars(&c) {
+            let reduced = k.rem(c.r());
+            let fast = c.g1_mul(g, &k);
+            let reference = to_affine(&fp_ops, &scalar_mul(&fp_ops, g, &reduced));
+            assert_eq!(fast, reference, "{}: G1 comb, k = {k:?}", spec.name);
+            let fast = c.g2_mul(q, &k);
+            let reference = to_affine(&fq_ops, &scalar_mul(&fq_ops, q, &reduced));
+            assert_eq!(fast, reference, "{}: G2 comb, k = {k:?}", spec.name);
+        }
+        // The generator multiplications above must have warmed the lazy
+        // per-generator caches.
+        assert!(c.g1_comb().is_some(), "{}: G1 comb cached", spec.name);
+        assert!(c.g2_comb().is_some(), "{}: G2 comb cached", spec.name);
+    }
+}
+
+#[test]
+fn jsf_straus_matches_reference_on_non_generator_bases() {
+    // Non-generator bases route through the GLV split and its JSF
+    // two-term kernel (G1) / the GLS split (G2), never the comb.
+    for spec in all_specs() {
+        let c = Curve::by_name(spec.name);
+        let fp_ops = FpOps(Arc::clone(c.fp()));
+        let fq_ops = FqOps(c.tower());
+        let h = c.g1_mul(c.g1_generator(), &BigUint::from_u64(5));
+        let hq = c.g2_mul(c.g2_generator(), &BigUint::from_u64(5));
+        for k in edge_scalars(&c) {
+            let reduced = k.rem(c.r());
+            let fast = c.g1_mul(&h, &k);
+            let reference = to_affine(&fp_ops, &scalar_mul(&fp_ops, &h, &reduced));
+            assert_eq!(fast, reference, "{}: G1 JSF, k = {k:?}", spec.name);
+            let fast = c.g2_mul(&hq, &k);
+            let reference = to_affine(&fq_ops, &scalar_mul(&fq_ops, &hq, &reduced));
+            assert_eq!(fast, reference, "{}: G2 GLS, k = {k:?}", spec.name);
+        }
+    }
+}
+
+#[test]
+fn comb_cache_never_used_for_non_generator_base() {
+    let c = Curve::by_name("BN254N");
+    let k = edge_scalars(&c).pop().unwrap();
+    // Warm the generator comb, then check every non-generator base both
+    // fails the cache's base match and still multiplies correctly.
+    let _ = c.g1_mul(c.g1_generator(), &k);
+    let comb = c.g1_comb().expect("generator mul warms the comb");
+    let fp_ops = FpOps(Arc::clone(c.fp()));
+    for i in [2u64, 3, 7, 1009] {
+        let h = c.g1_mul(c.g1_generator(), &BigUint::from_u64(i));
+        assert!(!comb.matches_base(&h), "comb for G must not match [{i}]G");
+        let reference = to_affine(&fp_ops, &scalar_mul(&fp_ops, &h, &k.rem(c.r())));
+        assert_eq!(c.g1_mul(&h, &k), reference, "[{i}]G stays on the GLV path");
+    }
+    // Hash-derived points (the signature path's variable bases) likewise.
+    let h = c.hash_to_g1(b"not the generator").unwrap();
+    assert!(!comb.matches_base(&h));
+    let reference = to_affine(&fp_ops, &scalar_mul(&fp_ops, &h, &k.rem(c.r())));
+    assert_eq!(c.g1_mul(&h, &k), reference);
+}
+
+#[test]
+fn comb_table_is_per_base() {
+    // Direct CombTable check: a table built for one base never matches
+    // another, so a stale cache cannot be consulted for the wrong point.
+    let c = Curve::by_name("BLS12-381");
+    let ops = FpOps(Arc::clone(c.fp()));
+    let g = c.g1_generator();
+    let h = c.g1_mul(g, &BigUint::from_u64(2));
+    let comb_g = CombTable::build(&ops, g, c.r().bits());
+    let comb_h = CombTable::build(&ops, &h, c.r().bits());
+    assert!(comb_g.matches_base(g) && !comb_g.matches_base(&h));
+    assert!(comb_h.matches_base(&h) && !comb_h.matches_base(g));
+    let k = BigUint::from_u64(0xDEAD_BEEF_CAFE);
+    assert_eq!(to_affine(&ops, &comb_g.mul(&ops, &k)), c.g1_mul(g, &k));
+    assert_eq!(to_affine(&ops, &comb_h.mul(&ops, &k)), c.g1_mul(&h, &k));
+}
+
+/// Deterministic full-width scalar stream (splitmix64-filled limbs).
+fn scalar_stream(seed: u64, width_bits: usize) -> impl FnMut() -> BigUint {
+    let mut state = seed;
+    move || {
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        BigUint::from_limbs((0..width_bits.div_ceil(64)).map(|_| next()).collect())
+    }
+}
+
+#[test]
+fn batch_affine_pippenger_matches_naive_msm() {
+    // The full size sweep of the issue — 257 and 512 split into ≥ 514
+    // GLV terms, forcing the batch-affine Pippenger path; the small
+    // sizes cover the fallback and Straus routes.
+    let c = Curve::by_name("BN254N");
+    let g = c.g1_generator();
+    for n in [0usize, 1, 2, 33, 257, 512] {
+        let mut stream = scalar_stream(0xF1DE ^ n as u64, c.r().bits());
+        let points: Vec<_> = (0..n)
+            .map(|i| c.g1_mul(g, &BigUint::from_u64((i * i + 3) as u64)))
+            .collect();
+        let mut scalars: Vec<_> = (0..n).map(|_| stream()).collect();
+        if n > 2 {
+            // Degenerate entries inside a real batch.
+            scalars[1] = BigUint::zero();
+            scalars[2] = c.r().clone(); // reduces to zero
+        }
+        let mut want = finesse_curves::Affine::infinity(c.fp().zero());
+        for (p, k) in points.iter().zip(&scalars) {
+            want = c.g1_add(&want, &c.g1_mul(p, k));
+        }
+        assert_eq!(c.g1_msm(&points, &scalars), want, "n = {n}");
+    }
+}
