@@ -73,7 +73,7 @@ fn bench_g1_msm(c: &mut Criterion) {
             })
             .collect();
         g.bench_with_input(BenchmarkId::new("pippenger", n), &(), |bench, ()| {
-            bench.iter(|| curve.g1_msm(&points, &scalars))
+            bench.iter(|| curve.g1_msm(&points, &scalars).expect("lengths match"))
         });
         g.bench_with_input(BenchmarkId::new("naive", n), &(), |bench, ()| {
             bench.iter(|| {

@@ -9,8 +9,10 @@
 //!
 //! Output goes to stdout and to `results/<name>.txt`; the `--bench-json`
 //! mode times the field-arithmetic substrate (fp_mul/fp_sqr/fq_mul), the
-//! group layer (variable- and fixed-base g1_mul/g2_mul, 64- and 256-point
-//! MSM) and the full pairing per Table-2 curve and writes machine-readable
+//! group layer (variable- and fixed-base g1_mul/g2_mul, MSM at 64, 256,
+//! 1024, and 4096 points) and the full pairing per Table-2 curve, plus a
+//! `parallel_scaling` block re-timing msm4096 on the headline curves at
+//! 1/2/4/hardware thread budgets, and writes machine-readable
 //! `results/BENCH_fieldops.json` — stamped with the git commit and ISO
 //! date, so the artifact trail CI uploads per PR is self-describing.
 //!
@@ -223,7 +225,14 @@ const PR4_MSM64_NS: [(&str, f64); 7] = [
 
 /// The metrics [`measure_metric`] knows how to re-run; every manifest
 /// gate names one of these.
-const METRICS: [&str; 4] = ["fq_mul", "g1_mul", "g1_mul_fixed", "msm256"];
+const METRICS: [&str; 6] = [
+    "fq_mul",
+    "g1_mul",
+    "g1_mul_fixed",
+    "msm256",
+    "msm1024",
+    "msm4096",
+];
 
 /// One row of the regression-gate manifest.
 #[derive(Clone, Debug)]
@@ -238,7 +247,7 @@ struct Gate {
 /// used as the fallback when the committed file is missing or predates
 /// the manifest. `--bench-regress` itself always prefers the *committed*
 /// `results/BENCH_fieldops.json`, so re-baselining is a one-file edit.
-const DEFAULT_GATES: [(&str, &str, f64, f64); 6] = [
+const DEFAULT_GATES: [(&str, &str, f64, f64); 8] = [
     // The historical PR 2 floor contract on the deepest tower.
     ("fq_mul", "BLS24-509", 2800.5, 10.0),
     // Variable-base GLV/JSF path vs the committed PR 4 median.
@@ -249,6 +258,11 @@ const DEFAULT_GATES: [(&str, &str, f64, f64); 6] = [
     ("g1_mul_fixed", "BLS12-381", 110_993.0, 30.0),
     ("msm256", "BN254N", 9_168_355.0, 30.0),
     ("msm256", "BLS12-381", 12_075_645.0, 30.0),
+    // PR 6 signed-digit sharded-Pippenger medians on the batch sizes
+    // that cross the parallel threshold (single-core container, so
+    // these baselines time the serial fallback of the sharded path).
+    ("msm4096", "BN254N", 108_344_515.0, 30.0),
+    ("msm4096", "BLS12-381", 137_514_073.0, 30.0),
 ];
 
 fn default_gates() -> Vec<Gate> {
@@ -357,10 +371,15 @@ fn measure_metric(metric: &str, curve: &Arc<Curve>) -> f64 {
                 black_box(curve.g1_mul(black_box(g1), black_box(&k)));
             })
         }
-        "msm256" => {
-            let (points, scalars) = msm_inputs(curve, 256);
+        "msm256" | "msm1024" | "msm4096" => {
+            let n: u64 = metric[3..].parse().expect("msmN metric names its size");
+            let (points, scalars) = msm_inputs(curve, n);
             bench_ns(|| {
-                black_box(curve.g1_msm(black_box(&points), black_box(&scalars)));
+                black_box(
+                    curve
+                        .g1_msm(black_box(&points), black_box(&scalars))
+                        .expect("msm inputs are same-length"),
+                );
             })
         }
         other => unreachable!("unvalidated metric `{other}`"),
@@ -564,17 +583,24 @@ fn bench_fieldops_json(which: &str) -> String {
         let g2_mul_fixed = bench_ns(|| {
             black_box(curve.g2_mul(black_box(g2), black_box(&k)));
         });
-        // 64- and 256-point G1 MSMs over distinct points and full-width
+        // 64- to 4096-point G1 MSMs over distinct points and full-width
         // scalars — the batch-verification workload (aggregate BLS, KZG
-        // openings); 256 points exercise the batch-affine Pippenger path.
-        let (msm_points, msm_scalars) = msm_inputs(&curve, 64);
-        let msm64 = bench_ns(|| {
-            black_box(curve.g1_msm(black_box(&msm_points), black_box(&msm_scalars)));
-        });
-        let (msm_points, msm_scalars) = msm_inputs(&curve, 256);
-        let msm256 = bench_ns(|| {
-            black_box(curve.g1_msm(black_box(&msm_points), black_box(&msm_scalars)));
-        });
+        // openings); 256 points exercise the batch-affine Pippenger path
+        // and 1024/4096 the thread-sharded bucket pass.
+        let msm_ns = |n: u64| {
+            let (msm_points, msm_scalars) = msm_inputs(&curve, n);
+            bench_ns(|| {
+                black_box(
+                    curve
+                        .g1_msm(black_box(&msm_points), black_box(&msm_scalars))
+                        .expect("msm inputs are same-length"),
+                );
+            })
+        };
+        let msm64 = msm_ns(64);
+        let msm256 = msm_ns(256);
+        let msm1024 = msm_ns(1024);
+        let msm4096 = msm_ns(4096);
         let engine = PairingEngine::new(curve.clone());
         let pairing = bench_ns(|| {
             black_box(engine.pair(black_box(g1), black_box(g2)));
@@ -586,11 +612,52 @@ fn bench_fieldops_json(which: &str) -> String {
              \"g1_mul_fixed_ns\": {g1_mul_fixed:.0}, \
              \"g2_mul_ns\": {g2_mul:.0}, \"g2_mul_fixed_ns\": {g2_mul_fixed:.0}, \
              \"msm64_g1_ns\": {msm64:.0}, \"msm256_g1_ns\": {msm256:.0}, \
+             \"msm1024_g1_ns\": {msm1024:.0}, \"msm4096_g1_ns\": {msm4096:.0}, \
              \"pairing_ns\": {pairing:.0}}}",
             curve.p().bits(),
             fp.width(),
         ));
     }
+
+    // Scaling-vs-cores report on the headline curves: the same msm4096
+    // workload re-timed with the thread budget pinned to 1, 2, 4, and
+    // the hardware count. On a single-core runner every row degenerates
+    // to the serial path — the emitted `hardware_threads` makes that
+    // visible instead of implying a failed speedup.
+    let scaling_rows = {
+        let threads_axis = {
+            let hw = finesse_parallel::hardware_threads();
+            let mut axis = vec![1usize, 2, 4];
+            if !axis.contains(&hw) {
+                axis.push(hw);
+            }
+            axis
+        };
+        let mut entries = Vec::new();
+        for name in ["BN254N", "BLS12-381"] {
+            if which != "all" && !name.eq_ignore_ascii_case(which) {
+                continue;
+            }
+            let curve = Curve::by_name(name);
+            let (points, scalars) = msm_inputs(&curve, 4096);
+            for &t in &threads_axis {
+                let ns = finesse_parallel::with_threads(t, || {
+                    bench_ns(|| {
+                        black_box(
+                            curve
+                                .g1_msm(black_box(&points), black_box(&scalars))
+                                .expect("msm inputs are same-length"),
+                        );
+                    })
+                });
+                entries.push(format!(
+                    "    {{\"curve\": \"{name}\", \"metric\": \"msm4096\", \
+                     \"threads\": {t}, \"ns\": {ns:.0}}}"
+                ));
+            }
+        }
+        entries.join(",\n")
+    };
 
     let baseline = |pairs: &[(&str, f64)]| -> String {
         pairs
@@ -610,12 +677,14 @@ fn bench_fieldops_json(which: &str) -> String {
         .collect::<Vec<_>>()
         .join(",\n");
     format!(
-        "{{\n  \"schema\": \"finesse-bench-fieldops/v2\",\n  \"harness\": \"median of 5 batches, ns per op\",\n  \"commit\": \"{}\",\n  \"date\": \"{}\",\n\
+        "{{\n  \"schema\": \"finesse-bench-fieldops/v3\",\n  \"harness\": \"median of 5 batches, ns per op\",\n  \"commit\": \"{}\",\n  \"date\": \"{}\",\n\
          \n  \"regression_gates\": [\n{gates}\n  ],\n\
-         \n  \"curves\": [\n{}\n  ],\n  \"pr4_baseline_ns\": {{\n    \"note\": \"GLV/GLS split with per-term wNAF tables (PR 4) before the fixed-base comb, JSF pair recoding, and batch-affine Pippenger buckets\",\n    \"g1_mul\": {{{}}},\n    \"g2_mul\": {{{}}},\n    \"msm64_g1\": {{{}}}\n  }},\n  \"pr3_baseline_ns\": {{\n    \"note\": \"plain width-4 wNAF ladders (PR 3) before the GLV/GLS endomorphism split; naive_msm64 = 64 independent g1_muls + adds\",\n    \"g1_mul\": {{{}}},\n    \"g2_mul\": {{{}}},\n    \"naive_msm64\": {{{}}}\n  }},\n  \"pr2_baseline_ns\": {{\n    \"note\": \"allocation-free Fp (PR 2) before the lazy-reduction rewrite; the fq_mul gate floor\",\n    \"fq_mul\": {{{}}}\n  }},\n  \"pre_pr_baseline_ns\": {{\n    \"note\": \"Vec-limbed Fp before the inline-limb rewrite (criterion-shim medians, same machine)\",\n    \"fp_mul\": {{{}}},\n    \"fq_mul\": {{{}}},\n    \"pairing\": {{{}}}\n  }}\n}}\n",
+         \n  \"curves\": [\n{}\n  ],\n\
+         \n  \"parallel_scaling\": {{\n    \"note\": \"msm4096 re-timed with the FINESSE_THREADS budget pinned per row; hardware_threads is the emitting machine's available parallelism — rows at or above it cannot speed up further\",\n    \"hardware_threads\": {},\n    \"rows\": [\n{scaling_rows}\n    ]\n  }},\n  \"pr4_baseline_ns\": {{\n    \"note\": \"GLV/GLS split with per-term wNAF tables (PR 4) before the fixed-base comb, JSF pair recoding, and batch-affine Pippenger buckets\",\n    \"g1_mul\": {{{}}},\n    \"g2_mul\": {{{}}},\n    \"msm64_g1\": {{{}}}\n  }},\n  \"pr3_baseline_ns\": {{\n    \"note\": \"plain width-4 wNAF ladders (PR 3) before the GLV/GLS endomorphism split; naive_msm64 = 64 independent g1_muls + adds\",\n    \"g1_mul\": {{{}}},\n    \"g2_mul\": {{{}}},\n    \"naive_msm64\": {{{}}}\n  }},\n  \"pr2_baseline_ns\": {{\n    \"note\": \"allocation-free Fp (PR 2) before the lazy-reduction rewrite; the fq_mul gate floor\",\n    \"fq_mul\": {{{}}}\n  }},\n  \"pre_pr_baseline_ns\": {{\n    \"note\": \"Vec-limbed Fp before the inline-limb rewrite (criterion-shim medians, same machine)\",\n    \"fp_mul\": {{{}}},\n    \"fq_mul\": {{{}}},\n    \"pairing\": {{{}}}\n  }}\n}}\n",
         git_commit(),
         iso_date_utc(),
         rows.join(",\n"),
+        finesse_parallel::hardware_threads(),
         baseline(&PR4_G1_MUL_NS),
         baseline(&PR4_G2_MUL_NS),
         baseline(&PR4_MSM64_NS),

@@ -65,6 +65,16 @@ pub enum CurveError {
     /// An exponent derivation hit an arithmetic impossibility (reported
     /// instead of aborting; indicates corrupted curve parameters).
     ExponentDerivation(&'static str),
+    /// An MSM was called with differing numbers of points and scalars.
+    MsmLengthMismatch {
+        /// Which group-level entry point caught it ("g1_msm" or
+        /// "g2_msm").
+        what: &'static str,
+        /// Number of points supplied.
+        points: usize,
+        /// Number of scalars supplied.
+        scalars: usize,
+    },
 }
 
 impl fmt::Display for CurveError {
@@ -96,6 +106,16 @@ impl fmt::Display for CurveError {
             }
             CurveError::ExponentDerivation(what) => {
                 write!(f, "exponent derivation failed: {what}")
+            }
+            CurveError::MsmLengthMismatch {
+                what,
+                points,
+                scalars,
+            } => {
+                write!(
+                    f,
+                    "{what} needs one scalar per point, got {points} points and {scalars} scalars"
+                )
             }
         }
     }
@@ -1096,15 +1116,30 @@ impl Curve {
     /// verifiers (BLS aggregate verification, KZG openings) this replaces
     /// a loop of [`Curve::g1_mul`] calls at a fraction of the cost.
     ///
-    /// # Panics
+    /// From [`crate::point::MSM_PARALLEL_MIN`] bucketed terms the
+    /// underlying Pippenger pass shards across threads (see the
+    /// `finesse-parallel` crate); the result is identical at every
+    /// thread count.
     ///
-    /// Panics if `points` and `scalars` have different lengths.
-    pub fn g1_msm(&self, points: &[Affine<Fp>], scalars: &[BigUint]) -> Affine<Fp> {
-        assert_eq!(
-            points.len(),
-            scalars.len(),
-            "g1_msm needs one scalar per point"
-        );
+    /// # Errors
+    ///
+    /// Returns [`CurveError::MsmLengthMismatch`] if `points` and
+    /// `scalars` have different lengths — batch verifiers feed these
+    /// slices from untrusted transcripts, so the library reports the
+    /// mismatch instead of aborting the process (the point-level
+    /// [`crate::point::msm`] kernel keeps its documented assert).
+    pub fn g1_msm(
+        &self,
+        points: &[Affine<Fp>],
+        scalars: &[BigUint],
+    ) -> Result<Affine<Fp>, CurveError> {
+        if points.len() != scalars.len() {
+            return Err(CurveError::MsmLengthMismatch {
+                what: "g1_msm",
+                points: points.len(),
+                scalars: scalars.len(),
+            });
+        }
         let ops = FpOps(Arc::clone(&self.fp));
         let Some(glv) = self.glv_g1.as_ref() else {
             let mut pts = Vec::with_capacity(points.len());
@@ -1116,7 +1151,7 @@ impl Curve {
                 pts.push(p.clone());
                 ks.push(self.reduce_mod_r(k));
             }
-            return to_affine(&ops, &point_msm(&ops, &pts, &ks));
+            return Ok(to_affine(&ops, &point_msm(&ops, &pts, &ks)));
         };
         let mut terms = Vec::with_capacity(points.len() * 2);
         let mut phi_source = Vec::with_capacity(points.len() * 2);
@@ -1130,22 +1165,31 @@ impl Curve {
         let acc = straus_or_pippenger(&ops, &terms, |t| {
             self.glv_multi_mul(glv, &ops, t, &phi_source)
         });
-        to_affine(&ops, &acc)
+        Ok(to_affine(&ops, &acc))
     }
 
     /// Multi-scalar multiplication `Σ kᵢ·Qᵢ` over G2 (Pippenger buckets),
     /// with each term GLS-split along ψ before bucketing (up to 8
-    /// sub-scalars of `|t|` bits each on BLS24).
+    /// sub-scalars of `|t|` bits each on BLS24). Shards across threads
+    /// from [`crate::point::MSM_PARALLEL_MIN`] bucketed terms, like
+    /// [`Curve::g1_msm`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `points` and `scalars` have different lengths.
-    pub fn g2_msm(&self, points: &[Affine<Fq>], scalars: &[BigUint]) -> Affine<Fq> {
-        assert_eq!(
-            points.len(),
-            scalars.len(),
-            "g2_msm needs one scalar per point"
-        );
+    /// Returns [`CurveError::MsmLengthMismatch`] if `points` and
+    /// `scalars` have different lengths.
+    pub fn g2_msm(
+        &self,
+        points: &[Affine<Fq>],
+        scalars: &[BigUint],
+    ) -> Result<Affine<Fq>, CurveError> {
+        if points.len() != scalars.len() {
+            return Err(CurveError::MsmLengthMismatch {
+                what: "g2_msm",
+                points: points.len(),
+                scalars: scalars.len(),
+            });
+        }
         let ops = FqOps(&self.tower);
         let mut terms = Vec::with_capacity(points.len() * 2);
         let mut psi_source = Vec::with_capacity(points.len() * 2);
@@ -1158,7 +1202,7 @@ impl Curve {
             self.gls_terms(q, &digits, &mut terms, &mut psi_source);
         }
         let acc = straus_or_pippenger(&ops, &terms, |t| self.gls_multi_mul(&ops, t, &psi_source));
-        to_affine(&ops, &acc)
+        Ok(to_affine(&ops, &acc))
     }
 
     /// G2 point addition.
@@ -1251,11 +1295,15 @@ impl Curve {
 /// (mapped tables, below [`crate::point::MSM_STRAUS_MAX`] terms) or to
 /// Pippenger buckets (negation folded into the points, since buckets
 /// carry no per-term sign).
-fn straus_or_pippenger<O: FieldOps>(
+fn straus_or_pippenger<O>(
     ops: &O,
     terms: &[MulTerm<O::El>],
     straus: impl FnOnce(&[MulTerm<O::El>]) -> Jacobian<O::El>,
-) -> Jacobian<O::El> {
+) -> Jacobian<O::El>
+where
+    O: FieldOps + Sync,
+    O::El: Send + Sync,
+{
     if terms.len() < crate::point::MSM_STRAUS_MAX {
         return straus(terms);
     }

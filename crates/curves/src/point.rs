@@ -959,6 +959,26 @@ fn window_digit(k: &BigUint, pos: usize, c: usize) -> usize {
     (v as usize) & ((1 << c) - 1)
 }
 
+/// Window `w` of `k` recoded to a signed base-2^`c` digit in
+/// `[−2^(c−1) + 1, 2^(c−1)]`, threading the borrow through `carry`: a raw
+/// digit above `2^(c−1)` becomes `digit − 2^c` and lends 1 to the next
+/// window, so `Σ dᵂ·2^(wc) = k` while every window needs only
+/// `2^(c−1)` buckets (negative digits subtract the point instead) — half
+/// the bucket count, and so half the running-sum collapse cost, of the
+/// unsigned form. The caller iterates one window past the top bit so the
+/// final carry resolves to a plain `+1` digit.
+fn signed_window_digit(k: &BigUint, w: usize, c: usize, carry: &mut usize) -> i64 {
+    let half = 1i64 << (c - 1);
+    let d = window_digit(k, w * c, c) as i64 + *carry as i64;
+    if d > half {
+        *carry = 1;
+        d - (1i64 << c)
+    } else {
+        *carry = 0;
+        d
+    }
+}
+
 /// Number of points below which [`msm`] falls back to independent wNAF
 /// multiplications (bucket setup does not amortise).
 const MSM_PIPPENGER_MIN: usize = 4;
@@ -970,16 +990,92 @@ const MSM_PIPPENGER_MIN: usize = 4;
 /// batch-normalised affine tables keep every loop addition mixed.
 pub const MSM_STRAUS_MAX: usize = 256;
 
+/// Number of live terms at or above which [`msm`] shards its Pippenger
+/// bucket pass across threads (when [`finesse_parallel::current_threads`]
+/// allows more than one). Below this the per-shard window collapse — which
+/// every shard repeats — does not amortise against the divided bucket
+/// accumulation.
+pub const MSM_PARALLEL_MIN: usize = 512;
+
+/// One Pippenger shard: accumulates `chunk`'s points into a private
+/// windows × buckets matrix (own arena, own [`AffineAddBatcher`], one
+/// shared batch inversion per conflict round) using signed
+/// 2^(c−1)-bucket digits ([`signed_window_digit`]; negative digits
+/// enqueue the negated point, interned lazily so a point whose digits
+/// are all one sign costs a single arena entry), then collapses each
+/// window with the running-sum trick. Returns the per-window sums — the
+/// doubling chain between windows is the caller's, so shard results
+/// combine with plain per-window additions.
+fn pippenger_window_sums<O: FieldOps>(
+    ops: &O,
+    chunk: &[(&Affine<O::El>, &BigUint)],
+    c: usize,
+    windows: usize,
+) -> Vec<Jacobian<O::El>> {
+    let slots = 1usize << (c - 1);
+    let inf = Affine::infinity(ops.zero());
+    let mut buckets: Vec<Affine<O::El>> = vec![inf; windows * slots];
+    let mut batcher = AffineAddBatcher::new(chunk.len() * windows);
+    for &(p, k) in chunk {
+        // At most one arena entry per point per sign; the per-window
+        // queue entries are 8-byte index pairs, so round scheduling
+        // never moves coordinates.
+        let mut pos_idx: Option<u32> = None;
+        let mut neg_idx: Option<u32> = None;
+        let mut carry = 0usize;
+        for w in 0..windows {
+            let d = signed_window_digit(k, w, c, &mut carry);
+            if d == 0 {
+                continue;
+            }
+            let idx = if d > 0 {
+                *pos_idx.get_or_insert_with(|| batcher.intern(p.clone()))
+            } else {
+                *neg_idx.get_or_insert_with(|| batcher.intern(affine_neg(ops, p)))
+            };
+            batcher.enqueue(w * slots + d.unsigned_abs() as usize - 1, idx);
+        }
+        debug_assert_eq!(carry, 0, "the extra top window absorbs the carry");
+    }
+    batcher.accumulate(ops, &mut buckets);
+    // Per window: running-sum collapse (Σ d·B_d as suffix sums — all
+    // mixed adds now that buckets are affine).
+    let identity = Jacobian {
+        x: ops.one(),
+        y: ops.one(),
+        z: ops.zero(),
+    };
+    (0..windows)
+        .map(|w| {
+            let mut suffix = identity.clone();
+            let mut window_sum = identity.clone();
+            for b in buckets[w * slots..(w + 1) * slots].iter().rev() {
+                suffix = jac_add_affine(ops, &suffix, b);
+                window_sum = jac_add(ops, &window_sum, &suffix);
+            }
+            window_sum
+        })
+        .collect()
+}
+
 /// Multi-scalar multiplication `Σ kᵢ·Pᵢ` via Pippenger's bucket method
 /// (interleaved Straus below [`MSM_STRAUS_MAX`] points).
 ///
 /// The window width scales with the point count; per window, each point
-/// is dropped into the bucket of its window digit with a mixed addition
-/// (the inputs are already affine), then buckets collapse with the
-/// running-sum trick: `Σ d·B_d = Σ (suffix sums)`. Cost is roughly
-/// `bits/c · (n + 2^c)` additions plus `bits` doublings, against
-/// `n · bits/5` additions plus `n · bits` doublings for independent wNAF
-/// ladders.
+/// is dropped into the signed-digit bucket of its window digit with a
+/// mixed addition (the inputs are already affine), then buckets collapse
+/// with the running-sum trick: `Σ d·B_d = Σ (suffix sums)`. Cost is
+/// roughly `bits/c · (n + 2^(c−1))` additions plus `bits` doublings,
+/// against `n · bits/5` additions plus `n · bits` doublings for
+/// independent wNAF ladders.
+///
+/// From [`MSM_PARALLEL_MIN`] live terms the bucket pass is sharded over
+/// point-chunks across [`finesse_parallel::current_threads`] scoped
+/// threads — each shard owns its bucket matrix and batch-affine state —
+/// and the per-window partial sums combine in a pairwise tree before one
+/// serial doubling chain. The group value is identical at every thread
+/// count (shards only re-associate the bucket sums); only the Jacobian
+/// representative may differ, so compare results through [`to_affine`].
 ///
 /// Scalars are used as given (callers wanting reduction mod r should
 /// reduce first — the curve-level `g1_msm`/`g2_msm` do, and additionally
@@ -987,8 +1083,15 @@ pub const MSM_STRAUS_MAX: usize = 256;
 ///
 /// # Panics
 ///
-/// Panics if `points` and `scalars` have different lengths.
-pub fn msm<O: FieldOps>(ops: &O, points: &[Affine<O::El>], scalars: &[BigUint]) -> Jacobian<O::El> {
+/// Panics if `points` and `scalars` have different lengths (the
+/// curve-level `g1_msm`/`g2_msm` wrappers report this as a
+/// `CurveError` instead; this point-level kernel keeps the assert as a
+/// programmer-error contract).
+pub fn msm<O>(ops: &O, points: &[Affine<O::El>], scalars: &[BigUint]) -> Jacobian<O::El>
+where
+    O: FieldOps + Sync,
+    O::El: Send + Sync,
+{
     assert_eq!(
         points.len(),
         scalars.len(),
@@ -1027,45 +1130,33 @@ pub fn msm<O: FieldOps>(ops: &O, points: &[Affine<O::El>], scalars: &[BigUint]) 
     }
     let c = pippenger_window(live.len());
     let max_bits = live.iter().map(|(_, k)| k.bits()).max().unwrap_or(0);
-    let windows = max_bits.div_ceil(c);
-    let slots = (1 << c) - 1;
-    // Every window's buckets are independent of the doubling chain, so the
-    // whole windows × buckets matrix is accumulated in one batch-affine
-    // pass: the number of shared inversions is the maximum multiplicity of
-    // any single (window, bucket) slot (~log n for random scalars), not
-    // rounds-per-window times windows.
-    let inf = Affine::infinity(ops.zero());
-    let mut buckets: Vec<Affine<O::El>> = vec![inf; windows * slots];
-    let mut batcher = AffineAddBatcher::new(live.len() * windows);
-    for (p, k) in &live {
-        // One arena entry per point; the per-window queue entries are
-        // 8-byte index pairs, so round scheduling never moves coordinates.
-        let idx = batcher.intern((*p).clone());
-        for w in 0..windows {
-            let d = window_digit(k, w * c, c);
-            if d != 0 {
-                batcher.enqueue(w * slots + d - 1, idx);
-            }
-        }
-    }
-    batcher.accumulate(ops, &mut buckets);
-    // Per window: running-sum collapse (Σ d·B_d as suffix sums — all
-    // mixed adds now that buckets are affine), then c doublings to shift
-    // into the next window.
-    let mut acc = identity.clone();
+    // One window past the top bit so the signed-digit carry always
+    // resolves inside the matrix.
+    let windows = max_bits.div_ceil(c) + 1;
+    // The window geometry is fixed from the full live set before
+    // sharding, so every shard fills the same matrix shape and partial
+    // sums align window-by-window.
+    let partials: Vec<Vec<Jacobian<O::El>>> =
+        if live.len() >= MSM_PARALLEL_MIN && finesse_parallel::current_threads() > 1 {
+            finesse_parallel::par_map_chunks(&live, MSM_PARALLEL_MIN / 2, |chunk| {
+                pippenger_window_sums(ops, chunk, c, windows)
+            })
+        } else {
+            vec![pippenger_window_sums(ops, &live, c, windows)]
+        };
+    let window_sums = finesse_parallel::tree_reduce(partials, |a, b| {
+        a.iter().zip(&b).map(|(x, y)| jac_add(ops, x, y)).collect()
+    })
+    .expect("at least one shard");
+    // Serial doubling chain over the combined per-window sums.
+    let mut acc = identity;
     for w in (0..windows).rev() {
         if w + 1 != windows {
             for _ in 0..c {
                 acc = jac_double(ops, &acc);
             }
         }
-        let mut suffix = identity.clone();
-        let mut window_sum = identity.clone();
-        for b in buckets[w * slots..(w + 1) * slots].iter().rev() {
-            suffix = jac_add_affine(ops, &suffix, b);
-            window_sum = jac_add(ops, &window_sum, &suffix);
-        }
-        acc = jac_add(ops, &acc, &window_sum);
+        acc = jac_add(ops, &acc, &window_sums[w]);
     }
     acc
 }
@@ -1655,5 +1746,41 @@ mod tests {
         assert_eq!(window_digit(&k, 60, 8), 0xBF); // spans the limb boundary
         assert_eq!(window_digit(&k, 64, 8), 0xAB);
         assert_eq!(window_digit(&k, 128, 5), 0, "past the top");
+    }
+
+    #[test]
+    fn signed_window_digits_reconstruct_the_scalar() {
+        // Σ d_w·2^(w·c) over the signed digits must equal k, with every
+        // |d| ≤ 2^(c−1) and the final carry absorbed by the extra
+        // window. Scalars stay below 2^100 so even the carry window's
+        // shift (bits rounded up to c, plus one window) fits i128.
+        let scalars = [
+            BigUint::from_u64(0),
+            BigUint::from_u64(1),
+            BigUint::from_u64(0xFFFF_FFFF_FFFF_FFFF),
+            BigUint::from_limbs(vec![0xDEAD_BEEF_0123_4567, 0xF_FFFF_FFFF]),
+            BigUint::from_limbs(vec![u64::MAX, (1u64 << 36) - 1]),
+        ];
+        for c in 1..=13usize {
+            let half = 1i64 << (c - 1);
+            for k in &scalars {
+                let expected = k
+                    .limbs()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &l)| (l as i128) << (64 * i))
+                    .sum::<i128>();
+                let windows = k.bits().max(1).div_ceil(c) + 1;
+                let mut carry = 0usize;
+                let mut acc = 0i128;
+                for w in 0..windows {
+                    let d = signed_window_digit(k, w, c, &mut carry);
+                    assert!(d.abs() <= half, "c={c} w={w}: digit {d} out of range");
+                    acc += (d as i128) << (w * c);
+                }
+                assert_eq!(carry, 0, "c={c}: carry must resolve in the top window");
+                assert_eq!(acc, expected, "c={c} k={k:?}");
+            }
+        }
     }
 }

@@ -5,8 +5,9 @@
 //! selection with a hardware model; evaluation compiles the pairing,
 //! simulates it cycle-accurately, and reads area/timing feedback from the
 //! analytical EDA models. Exploration is exhaustive over the requested
-//! point set (parallelised with crossbeam), matching the paper's "basic
-//! exploration strategy".
+//! point set (parallelised over `finesse-parallel` scoped threads, the
+//! workspace-wide thread pool idiom honouring `FINESSE_THREADS`),
+//! matching the paper's "basic exploration strategy".
 
 use finesse_compiler::{compile_pairing, tower_shape, CompileError, CompileOptions};
 use finesse_curves::Curve;
@@ -137,42 +138,27 @@ pub fn evaluate_point(
 }
 
 /// Exhaustively evaluates a set of points in parallel, returning
-/// `(point, evaluation)` pairs (points that fail to compile carry their
-/// error string).
+/// `(point, evaluation)` pairs in input order (points that fail to
+/// compile carry their error string). Worker count follows
+/// [`finesse_parallel::current_threads`] — i.e. the `FINESSE_THREADS`
+/// environment knob, or a [`finesse_parallel::with_threads`] override.
 pub fn explore(
     curve: &Arc<Curve>,
     points: Vec<DesignPoint>,
     cores: u32,
 ) -> Vec<(DesignPoint, Result<Evaluation, String>)> {
-    if points.is_empty() {
-        return Vec::new();
-    }
-    let n_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(points.len());
-    let chunk_size = points.len().div_ceil(n_workers);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = points
-            .chunks(chunk_size)
-            .map(|chunk| {
-                let curve = Arc::clone(curve);
-                s.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|p| {
-                            let r = evaluate_point(&curve, p, cores).map_err(|e| e.to_string());
-                            (p.clone(), r)
-                        })
-                        .collect::<Vec<_>>()
-                })
+    finesse_parallel::par_map_chunks(&points, 1, |chunk| {
+        chunk
+            .iter()
+            .map(|p| {
+                let r = evaluate_point(curve, p, cores).map_err(|e| e.to_string());
+                (p.clone(), r)
             })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
-            .collect()
+            .collect::<Vec<_>>()
     })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Picks the best successful point under an objective.

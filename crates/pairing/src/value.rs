@@ -167,21 +167,41 @@ impl PairingEngine {
     /// Product of pairings `Π e(P_i, Q_i)` with a single shared final
     /// exponentiation — the standard optimisation for verifiers that
     /// check pairing-product equations (BLS verify, Groth16, KZG).
+    ///
+    /// The Miller loops are independent, so with more than one pair and
+    /// [`finesse_parallel::current_threads`] above 1 they run on scoped
+    /// threads; the Fpk loop values are then folded **in input order**
+    /// and the single final exponentiation stays serial. Field
+    /// multiplication in Fpk is commutative and associative, so the
+    /// result is bit-identical to the serial pass at any thread count.
     pub fn multi_pair(&self, pairs: &[(Affine<Fp>, Affine<Fq>)]) -> Fpk {
         let tower = self.curve.tower();
-        let mut acc = tower.fpk_one();
-        let mut any = false;
-        for (p, q) in pairs {
-            if p.infinity || q.infinity {
-                continue;
-            }
-            acc = tower.fpk_mul(&acc, &self.miller_loop(p, q));
-            any = true;
-        }
-        if !any {
+        let live: Vec<&(Affine<Fp>, Affine<Fq>)> = pairs
+            .iter()
+            .filter(|(p, q)| !p.infinity && !q.infinity)
+            .collect();
+        if live.is_empty() {
             return tower.fpk_one();
         }
-        self.final_exponentiation(&acc)
+        // One Miller loop per chunk element; chunks of one pair keep the
+        // schedule maximally balanced (a Miller loop is ~ms-scale, far
+        // above spawn cost).
+        let partials = finesse_parallel::par_map_chunks(&live, 1, |chunk| {
+            let mut acc: Option<Fpk> = None;
+            for (p, q) in chunk.iter().copied() {
+                let m = self.miller_loop(p, q);
+                acc = Some(match acc {
+                    Some(a) => tower.fpk_mul(&a, &m),
+                    None => m,
+                });
+            }
+            acc.expect("par_map_chunks never passes an empty chunk")
+        });
+        let product = partials
+            .into_iter()
+            .reduce(|a, b| tower.fpk_mul(&a, &b))
+            .expect("at least one live pair");
+        self.final_exponentiation(&product)
     }
 
     /// Checks a two-term pairing equation `e(P1, Q1) == e(P2, Q2)` via

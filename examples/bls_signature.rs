@@ -87,7 +87,9 @@ fn batch_verify(curve: &Arc<Curve>, engine: &PairingEngine, batch: &[BatchEntry]
     let weights = batch_weights(batch.len(), 0x0B5E_55ED);
     // Aggregate all weighted signatures in one MSM.
     let sigs: Vec<Affine<Fp>> = batch.iter().map(|e| e.sig.clone()).collect();
-    let sig_agg = curve.g1_msm(&sigs, &weights);
+    let Ok(sig_agg) = curve.g1_msm(&sigs, &weights) else {
+        return false;
+    };
     let ops = FpOps(Arc::clone(curve.fp()));
     let mut pairs: Vec<(Affine<Fp>, Affine<Fq>)> =
         vec![(affine_neg(&ops, &sig_agg), curve.g2_generator().clone())];
@@ -110,7 +112,10 @@ fn batch_verify(curve: &Arc<Curve>, engine: &PairingEngine, batch: &[BatchEntry]
                 key_weights.push(w.clone());
             }
         }
-        pairs.push((curve.g1_msm(&hashes, &key_weights), entry.pk.clone()));
+        let Ok(agg) = curve.g1_msm(&hashes, &key_weights) else {
+            return false;
+        };
+        pairs.push((agg, entry.pk.clone()));
     }
     engine.gt_is_one(&engine.multi_pair(&pairs))
 }

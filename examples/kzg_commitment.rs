@@ -63,7 +63,9 @@ fn trusted_setup(curve: &Arc<Curve>, degree: usize) -> Setup {
 /// `C = [p(tau)]G1 = Σ cᵢ·[tauⁱ]G1` — one multi-scalar multiplication
 /// over the setup powers instead of a loop of independent ladders.
 fn commit(curve: &Arc<Curve>, setup: &Setup, p: &Poly) -> Affine<Fp> {
-    curve.g1_msm(&setup.g1_powers[..p.0.len()], &p.0)
+    curve
+        .g1_msm(&setup.g1_powers[..p.0.len()], &p.0)
+        .expect("one coefficient per setup power")
 }
 
 fn main() {

@@ -23,4 +23,5 @@ pub use finesse_hw as hw;
 pub use finesse_ir as ir;
 pub use finesse_isa as isa;
 pub use finesse_pairing as pairing;
+pub use finesse_parallel as parallel;
 pub use finesse_sim as sim;

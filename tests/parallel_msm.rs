@@ -1,0 +1,179 @@
+//! Determinism tests for the thread-parallel backend: the sharded
+//! Pippenger MSM and the parallel Miller loops must produce results
+//! bit-identical to the serial path at every thread count, across all
+//! seven Table 2 curves and the size ladder that crosses both the
+//! Pippenger and the sharding thresholds.
+//!
+//! Thread counts are pinned with `finesse_parallel::with_threads`, the
+//! scoped override of the `FINESSE_THREADS` environment knob — CI
+//! additionally runs this whole suite once with `FINESSE_THREADS=1` and
+//! once unconstrained, covering the env-var path end to end.
+
+use finesse_curves::{all_specs, batch_to_affine, jac_add_affine, Affine, Curve, FpOps, FqOps};
+use finesse_ff::BigUint;
+use finesse_parallel::with_threads;
+use std::sync::Arc;
+
+/// Deterministic scalar stream (splitmix64-filled limbs).
+fn scalar_stream(seed: u64, width_bits: usize) -> impl FnMut() -> BigUint {
+    let mut state = seed;
+    move || {
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        BigUint::from_limbs((0..width_bits.div_ceil(64)).map(|_| next()).collect())
+    }
+}
+
+/// `n` distinct G1 points `G, 2G, …, nG` via one Jacobian add chain and a
+/// single shared batch inversion — fast enough to build 4096 points in a
+/// debug-profile test run.
+fn g1_points(c: &Arc<Curve>, n: usize) -> Vec<Affine<finesse_ff::Fp>> {
+    let ops = FpOps(Arc::clone(c.fp()));
+    let g = c.g1_generator();
+    let mut jacs = Vec::with_capacity(n);
+    let mut acc = finesse_curves::point::to_jacobian(&ops, g);
+    for _ in 0..n {
+        jacs.push(acc.clone());
+        acc = jac_add_affine(&ops, &acc, g);
+    }
+    batch_to_affine(&ops, &jacs)
+}
+
+/// Scalars for a batch of `n` terms: edge cases up front (zero, one,
+/// r−1, r, r+1 — the reduction and carry boundaries), one full-width
+/// scalar, then a 64-bit stream so the debug-profile runtime of the big
+/// sizes stays bounded (small scalars shrink the window count, not the
+/// sharding behaviour — the per-point bucket traffic is identical).
+fn batch_scalars(c: &Arc<Curve>, n: usize, seed: u64) -> Vec<BigUint> {
+    let r = c.r();
+    let one = BigUint::one();
+    let mut edges = vec![
+        BigUint::zero(),
+        one.clone(),
+        r.checked_sub(&one).unwrap(),
+        r.clone(),
+        &r.clone() + &one,
+    ];
+    edges.truncate(n);
+    let mut full = scalar_stream(seed ^ 0xF0F0, r.bits() + 64);
+    let mut small = scalar_stream(seed, 64);
+    let mut out = edges;
+    if out.len() < n {
+        out.push(full());
+    }
+    while out.len() < n {
+        out.push(small());
+    }
+    out
+}
+
+#[test]
+fn g1_msm_is_bit_identical_at_every_thread_count() {
+    // 257 GLV-splits to 514 bucketed terms — past the sharding
+    // threshold; 1024 and 4096 shard into several chunks per thread.
+    for spec in all_specs() {
+        let c = Curve::by_name(spec.name);
+        for n in [0usize, 1, 2, 33, 257, 1024, 4096] {
+            let points = g1_points(&c, n);
+            let scalars = batch_scalars(&c, n, 0xA11CE ^ n as u64);
+            let serial = with_threads(1, || c.g1_msm(&points, &scalars).unwrap());
+            if n <= 33 {
+                // Naive oracle on the small sizes (independent muls +
+                // adds, already verified against double-and-add).
+                let mut want = Affine::infinity(c.fp().zero());
+                for (p, k) in points.iter().zip(&scalars) {
+                    want = c.g1_add(&want, &c.g1_mul(p, k));
+                }
+                assert_eq!(serial, want, "{}: n = {n} naive oracle", spec.name);
+            }
+            for threads in [2usize, 4] {
+                let parallel = with_threads(threads, || c.g1_msm(&points, &scalars).unwrap());
+                assert_eq!(
+                    serial, parallel,
+                    "{}: n = {n}, threads = {threads}",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn g2_msm_is_bit_identical_at_every_thread_count() {
+    // GLS splits every G2 scalar into ≥4 sub-scalars, so 300 points
+    // cross the sharding threshold; G2 arithmetic is several times the
+    // G1 cost, so two representative curves keep the debug runtime sane.
+    for name in ["BN254N", "BLS24-509"] {
+        let c = Curve::by_name(name);
+        let ops = FqOps(c.tower());
+        let q = c.g2_generator();
+        for n in [5usize, 300] {
+            let mut jacs = Vec::with_capacity(n);
+            let mut acc = finesse_curves::point::to_jacobian(&ops, q);
+            for _ in 0..n {
+                jacs.push(acc.clone());
+                acc = jac_add_affine(&ops, &acc, q);
+            }
+            let points = batch_to_affine(&ops, &jacs);
+            let scalars = batch_scalars(&c, n, 0xB0B ^ n as u64);
+            let serial = with_threads(1, || c.g2_msm(&points, &scalars).unwrap());
+            for threads in [2usize, 4] {
+                let parallel = with_threads(threads, || c.g2_msm(&points, &scalars).unwrap());
+                assert_eq!(serial, parallel, "{name}: n = {n}, threads = {threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_pair_parallel_matches_serial_and_pair_product() {
+    use finesse_pairing::PairingEngine;
+    for name in ["BN254N", "BLS12-381"] {
+        let c = Curve::by_name(name);
+        let engine = PairingEngine::new(c.clone());
+        let g1 = c.g1_generator();
+        let g2 = c.g2_generator();
+        let mut pairs = Vec::new();
+        for i in 1u64..=4 {
+            pairs.push((
+                c.g1_mul(g1, &BigUint::from_u64(2 * i + 1)),
+                c.g2_mul(g2, &BigUint::from_u64(3 * i)),
+            ));
+        }
+        // Degenerate entries must be skipped identically on every path.
+        pairs.push((Affine::infinity(c.fp().zero()), g2.clone()));
+        let serial = with_threads(1, || engine.multi_pair(&pairs));
+        for threads in [2usize, 4] {
+            let parallel = with_threads(threads, || engine.multi_pair(&pairs));
+            assert_eq!(serial, parallel, "{name}: threads = {threads}");
+        }
+        // Π e(Pᵢ, Qᵢ) computed with per-pair final exponentiations must
+        // agree as a GT value: (ab)^e = a^e·b^e.
+        let tower = c.tower();
+        let product = pairs
+            .iter()
+            .map(|(p, q)| engine.pair(p, q))
+            .fold(tower.fpk_one(), |acc, e| tower.fpk_mul(&acc, &e));
+        assert_eq!(serial, product, "{name}: shared vs per-pair final exp");
+    }
+}
+
+#[test]
+fn pinned_thread_counts_are_deterministic() {
+    // Same inputs, same thread budget → byte-identical output, run to
+    // run; and the serial pin agrees with an odd thread count that
+    // forces uneven chunking.
+    let c = Curve::by_name("BN254N");
+    let points = g1_points(&c, 700);
+    let scalars = batch_scalars(&c, 700, 0xD5);
+    let first = with_threads(3, || c.g1_msm(&points, &scalars).unwrap());
+    let second = with_threads(3, || c.g1_msm(&points, &scalars).unwrap());
+    assert_eq!(first, second, "same budget, same bytes");
+    let serial = with_threads(1, || c.g1_msm(&points, &scalars).unwrap());
+    assert_eq!(serial, first, "uneven chunking still folds identically");
+}

@@ -219,7 +219,7 @@ fn g1_msm_matches_naive_sum() {
                 scalars[2] = c.r().clone(); // reduces to zero
             }
             assert_eq!(
-                c.g1_msm(&points, &scalars),
+                c.g1_msm(&points, &scalars).unwrap(),
                 naive_g1_msm(&c, &points, &scalars),
                 "{}: n = {n}",
                 spec.name
@@ -247,14 +247,18 @@ fn g2_msm_matches_naive_sum() {
         for (p, k) in points.iter().zip(&scalars) {
             want = c.g2_add(&want, &c.g2_mul(p, k));
         }
-        assert_eq!(c.g2_msm(&points, &scalars), want, "{name}: n = {n}");
+        assert_eq!(
+            c.g2_msm(&points, &scalars).unwrap(),
+            want,
+            "{name}: n = {n}"
+        );
     }
 }
 
 #[test]
 fn msm_empty_and_degenerate_inputs() {
     let c = Curve::by_name("BN254N");
-    assert!(c.g1_msm(&[], &[]).infinity);
+    assert!(c.g1_msm(&[], &[]).unwrap().infinity);
     let g = c.g1_generator().clone();
     let inf = finesse_curves::Affine::infinity(c.fp().zero());
     // All entries degenerate → identity.
@@ -263,6 +267,7 @@ fn msm_empty_and_degenerate_inputs() {
             &[inf.clone(), g.clone()],
             &[BigUint::from_u64(7), BigUint::zero()]
         )
+        .unwrap()
         .infinity
     );
     // Single live term → plain multiple.
@@ -270,7 +275,31 @@ fn msm_empty_and_degenerate_inputs() {
         c.g1_msm(
             &[g.clone(), inf],
             &[BigUint::from_u64(7), BigUint::from_u64(9)]
-        ),
+        )
+        .unwrap(),
         c.g1_mul(&g, &BigUint::from_u64(7))
     );
+}
+
+#[test]
+fn msm_length_mismatch_is_reported_not_fatal() {
+    let c = Curve::by_name("BN254N");
+    let g = c.g1_generator().clone();
+    let err = c.g1_msm(&[g], &[]).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            finesse_curves::CurveError::MsmLengthMismatch {
+                what: "g1_msm",
+                points: 1,
+                scalars: 0,
+            }
+        ),
+        "unexpected error: {err}"
+    );
+    let q = c.g2_generator().clone();
+    let err = c
+        .g2_msm(&[q], &[BigUint::from_u64(1), BigUint::from_u64(2)])
+        .unwrap_err();
+    assert!(err.to_string().contains("g2_msm"), "display names the API");
 }
