@@ -10,7 +10,9 @@
 //! Output goes to stdout and to `results/<name>.txt`; the `--bench-json`
 //! mode times the field-arithmetic substrate (fp_mul/fp_sqr/fq_mul), the
 //! group layer (variable- and fixed-base g1_mul/g2_mul, MSM at 64, 256,
-//! 1024, and 4096 points) and the full pairing per Table-2 curve, plus a
+//! 1024, and 4096 points) and the full pairing per Table-2 curve, a
+//! `batch_verify` block comparing deferred accumulator settles against
+//! sequential 2-pairing verification on the headline curves, plus a
 //! `parallel_scaling` block re-timing msm4096 on the headline curves at
 //! 1/2/4/hardware thread budgets, and writes machine-readable
 //! `results/BENCH_fieldops.json` — stamped with the git commit and ISO
@@ -225,13 +227,14 @@ const PR4_MSM64_NS: [(&str, f64); 7] = [
 
 /// The metrics [`measure_metric`] knows how to re-run; every manifest
 /// gate names one of these.
-const METRICS: [&str; 6] = [
+const METRICS: [&str; 7] = [
     "fq_mul",
     "g1_mul",
     "g1_mul_fixed",
     "msm256",
     "msm1024",
     "msm4096",
+    "batch_verify_32",
 ];
 
 /// One row of the regression-gate manifest.
@@ -247,7 +250,7 @@ struct Gate {
 /// used as the fallback when the committed file is missing or predates
 /// the manifest. `--bench-regress` itself always prefers the *committed*
 /// `results/BENCH_fieldops.json`, so re-baselining is a one-file edit.
-const DEFAULT_GATES: [(&str, &str, f64, f64); 8] = [
+const DEFAULT_GATES: [(&str, &str, f64, f64); 10] = [
     // The historical PR 2 floor contract on the deepest tower.
     ("fq_mul", "BLS24-509", 2800.5, 10.0),
     // Variable-base GLV/JSF path vs the committed PR 4 median.
@@ -263,6 +266,11 @@ const DEFAULT_GATES: [(&str, &str, f64, f64); 8] = [
     // these baselines time the serial fallback of the sharded path).
     ("msm4096", "BN254N", 108_344_515.0, 30.0),
     ("msm4096", "BLS12-381", 137_514_073.0, 30.0),
+    // PR 7 deferred-accumulator medians: 32 BLS-shaped checks against 4
+    // signers, settled with 5 prepared Miller loops + one final
+    // exponentiation + short-scalar MSMs (warm prepared-G2 cache).
+    ("batch_verify_32", "BN254N", 10_969_805.0, 30.0),
+    ("batch_verify_32", "BLS12-381", 12_903_026.0, 30.0),
 ];
 
 fn default_gates() -> Vec<Gate> {
@@ -340,6 +348,45 @@ fn msm_inputs(
     (points, scalars)
 }
 
+/// One BLS-shaped synthetic check `e(sig, G2) =? e(h, pk)`.
+type BatchCheck = (
+    finesse_curves::Affine<finesse_ff::Fp>,
+    finesse_curves::Affine<finesse_ff::Fq>,
+    finesse_curves::Affine<finesse_ff::Fp>,
+    finesse_curves::Affine<finesse_ff::Fq>,
+);
+
+/// `n` synthetic signature checks across `signers` distinct public keys
+/// — the deferred-accumulator serving workload. Message "hashes" are
+/// scalar multiples of the generator (hash-to-curve is not what the
+/// batch-verify metrics time).
+fn batch_checks(curve: &Arc<Curve>, n: u64, signers: u64) -> Vec<BatchCheck> {
+    use finesse_ff::BigUint;
+    let g1 = curve.g1_generator();
+    let g2 = curve.g2_generator();
+    let sks: Vec<BigUint> = (0..signers)
+        .map(|j| BigUint::from_u64(0xA5A5_0013 + j * 97).modpow(&BigUint::from_u64(3), curve.r()))
+        .collect();
+    let pks: Vec<_> = sks.iter().map(|sk| curve.g2_mul(g2, sk)).collect();
+    (0..n)
+        .map(|i| {
+            let j = (i % signers) as usize;
+            let h = curve.g1_mul(g1, &BigUint::from_u64(i * i + 0x5EED));
+            let sig = curve.g1_mul(&h, &sks[j]);
+            (sig, g2.clone(), h, pks[j].clone())
+        })
+        .collect()
+}
+
+/// Settles one accumulator batch over `checks`; returns the verdict.
+fn settle_batch(engine: &finesse_pairing::PairingEngine, checks: &[BatchCheck]) -> bool {
+    let mut acc = finesse_pairing::PairingAccumulator::new(engine);
+    for (a, b, c, d) in checks {
+        acc.push_check(a, b, c, d);
+    }
+    acc.settle()
+}
+
 /// Re-measures one gateable metric's median on a curve. The `g1_mul`
 /// metric uses a non-generator base so it times the variable-base
 /// GLV/JSF path (the generator routes through the comb, which is what
@@ -380,6 +427,17 @@ fn measure_metric(metric: &str, curve: &Arc<Curve>) -> f64 {
                         .g1_msm(black_box(&points), black_box(&scalars))
                         .expect("msm inputs are same-length"),
                 );
+            })
+        }
+        "batch_verify_32" => {
+            let engine = finesse_pairing::PairingEngine::new(Arc::clone(curve));
+            let checks = batch_checks(curve, 32, 4);
+            // First settle warms the prepared-G2 cache: the gate times
+            // the steady-state serving path, where the generator's and
+            // the signers' line schedules are already cached.
+            assert!(settle_batch(&engine, &checks), "synthetic batch verifies");
+            bench_ns(|| {
+                black_box(settle_batch(&engine, black_box(&checks)));
             })
         }
         other => unreachable!("unvalidated metric `{other}`"),
@@ -659,6 +717,44 @@ fn bench_fieldops_json(which: &str) -> String {
         entries.join(",\n")
     };
 
+    // Deferred batch verification vs the sequential baseline: n
+    // BLS-shaped checks against 4 signers, settled with one accumulator
+    // (5 prepared Miller loops + 1 final exponentiation + short-scalar
+    // MSMs) vs n independent 2-pairing verifications.
+    let batch_verify_rows = {
+        let mut entries = Vec::new();
+        for name in ["BN254N", "BLS12-381"] {
+            if which != "all" && !name.eq_ignore_ascii_case(which) {
+                continue;
+            }
+            let curve = Curve::by_name(name);
+            let engine = PairingEngine::new(curve.clone());
+            for n in [8u64, 32] {
+                let checks = batch_checks(&curve, n, 4);
+                assert!(settle_batch(&engine, &checks), "synthetic batch verifies");
+                let batched = bench_ns(|| {
+                    black_box(settle_batch(&engine, black_box(&checks)));
+                });
+                let sequential = bench_ns(|| {
+                    for (sig, g2, h, pk) in &checks {
+                        black_box(
+                            engine.pair(black_box(sig), black_box(g2))
+                                == engine.pair(black_box(h), black_box(pk)),
+                        );
+                    }
+                });
+                entries.push(format!(
+                    "    {{\"curve\": \"{name}\", \"n\": {n}, \"signers\": 4, \
+                     \"batched_ns\": {batched:.0}, \"sequential_ns\": {sequential:.0}, \
+                     \"amortized_ns_per_check\": {:.0}, \"speedup\": {:.1}}}",
+                    batched / n as f64,
+                    sequential / batched,
+                ));
+            }
+        }
+        entries.join(",\n")
+    };
+
     let baseline = |pairs: &[(&str, f64)]| -> String {
         pairs
             .iter()
@@ -677,9 +773,10 @@ fn bench_fieldops_json(which: &str) -> String {
         .collect::<Vec<_>>()
         .join(",\n");
     format!(
-        "{{\n  \"schema\": \"finesse-bench-fieldops/v3\",\n  \"harness\": \"median of 5 batches, ns per op\",\n  \"commit\": \"{}\",\n  \"date\": \"{}\",\n\
+        "{{\n  \"schema\": \"finesse-bench-fieldops/v4\",\n  \"harness\": \"median of 5 batches, ns per op\",\n  \"commit\": \"{}\",\n  \"date\": \"{}\",\n\
          \n  \"regression_gates\": [\n{gates}\n  ],\n\
          \n  \"curves\": [\n{}\n  ],\n\
+         \n  \"batch_verify\": {{\n    \"note\": \"n BLS-shaped checks e(sig,G2)=?e(h,pk) against 4 signers: one PairingAccumulator settle (prepared-G2 Miller loops, 128-bit RLC weights, short-scalar MSMs, one final exponentiation) vs n sequential 2-pairing verifications\",\n    \"rows\": [\n{batch_verify_rows}\n    ]\n  }},\n\
          \n  \"parallel_scaling\": {{\n    \"note\": \"msm4096 re-timed with the FINESSE_THREADS budget pinned per row; hardware_threads is the emitting machine's available parallelism — rows at or above it cannot speed up further\",\n    \"hardware_threads\": {},\n    \"rows\": [\n{scaling_rows}\n    ]\n  }},\n  \"pr4_baseline_ns\": {{\n    \"note\": \"GLV/GLS split with per-term wNAF tables (PR 4) before the fixed-base comb, JSF pair recoding, and batch-affine Pippenger buckets\",\n    \"g1_mul\": {{{}}},\n    \"g2_mul\": {{{}}},\n    \"msm64_g1\": {{{}}}\n  }},\n  \"pr3_baseline_ns\": {{\n    \"note\": \"plain width-4 wNAF ladders (PR 3) before the GLV/GLS endomorphism split; naive_msm64 = 64 independent g1_muls + adds\",\n    \"g1_mul\": {{{}}},\n    \"g2_mul\": {{{}}},\n    \"naive_msm64\": {{{}}}\n  }},\n  \"pr2_baseline_ns\": {{\n    \"note\": \"allocation-free Fp (PR 2) before the lazy-reduction rewrite; the fq_mul gate floor\",\n    \"fq_mul\": {{{}}}\n  }},\n  \"pre_pr_baseline_ns\": {{\n    \"note\": \"Vec-limbed Fp before the inline-limb rewrite (criterion-shim medians, same machine)\",\n    \"fp_mul\": {{{}}},\n    \"fq_mul\": {{{}}},\n    \"pairing\": {{{}}}\n  }}\n}}\n",
         git_commit(),
         iso_date_utc(),

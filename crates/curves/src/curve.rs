@@ -11,9 +11,9 @@
 
 use crate::glv::{self, GlvBasis};
 use crate::point::{
-    affine_neg, is_identity, is_on_curve, jac_add, jac_mul, jac_multi_mul_mapped, msm as point_msm,
-    to_affine, to_jacobian, Affine, CombTable, EndoMap, FieldOps, FpOps, FqOps, Jacobian, MulTerm,
-    TableMap,
+    affine_neg, batch_to_affine, is_identity, is_on_curve, jac_add, jac_mul, jac_multi_mul_mapped,
+    msm as point_msm, to_affine, to_jacobian, Affine, CombTable, EndoMap, FieldOps, FpOps, FqOps,
+    Jacobian, MulTerm, TableMap,
 };
 use crate::spec::{CurveSpec, Family};
 use finesse_ff::{BigInt, BigUint, FieldCtxError, Fp, FpCtx, Fq, TowerCtx, TowerError};
@@ -1166,6 +1166,82 @@ impl Curve {
             self.glv_multi_mul(glv, &ops, t, &phi_source)
         });
         Ok(to_affine(&ops, &acc))
+    }
+
+    /// [`Curve::g1_msm_short`] with the normalisation deferred: the
+    /// Jacobian accumulator, so grouped callers can batch-normalise many
+    /// aggregates with one shared inversion.
+    fn g1_msm_short_jac(
+        &self,
+        points: &[Affine<Fp>],
+        scalars: &[BigUint],
+    ) -> Result<Jacobian<Fp>, CurveError> {
+        if points.len() != scalars.len() {
+            return Err(CurveError::MsmLengthMismatch {
+                what: "g1_msm_short",
+                points: points.len(),
+                scalars: scalars.len(),
+            });
+        }
+        let ops = FpOps(Arc::clone(&self.fp));
+        // The GLV split rewrites a full-width scalar as two half-width
+        // sub-scalars; a scalar already at most half-width gains nothing
+        // from the split (the Pippenger window count is set by the widest
+        // scalar), so the short path feeds the bucket pass directly. Any
+        // wide scalar sends the whole call down the reducing/splitting
+        // path — the short path must never widen the window geometry.
+        let half_bits = self.r.bits().div_ceil(2);
+        if scalars.iter().any(|k| k.bits() > half_bits) {
+            return Ok(to_jacobian(&ops, &self.g1_msm(points, scalars)?));
+        }
+        Ok(point_msm(&ops, points, scalars))
+    }
+
+    /// Multi-scalar multiplication `Σ kᵢ·Pᵢ` over G1 for **short**
+    /// scalars — the batch-verification randomizer path (~128-bit
+    /// random-linear-combination coefficients).
+    ///
+    /// Scalars at most `⌈bits(r)/2⌉` bits skip both the mod-r reduction
+    /// and the GLV endomorphism split and go straight to the Pippenger /
+    /// Straus kernel: the window count follows the actual scalar width,
+    /// so a 128-bit batch runs half the window iterations of a full-width
+    /// MSM on a 255-bit group order. Scalars wider than that fall back to
+    /// [`Curve::g1_msm`] (reduce + split), so the call is correct for any
+    /// input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::MsmLengthMismatch`] if `points` and
+    /// `scalars` have different lengths.
+    pub fn g1_msm_short(
+        &self,
+        points: &[Affine<Fp>],
+        scalars: &[BigUint],
+    ) -> Result<Affine<Fp>, CurveError> {
+        let ops = FpOps(Arc::clone(&self.fp));
+        Ok(to_affine(&ops, &self.g1_msm_short_jac(points, scalars)?))
+    }
+
+    /// Runs one short-scalar MSM per `(points, scalars)` group and
+    /// normalises **all** aggregates with a single shared inversion
+    /// ([`batch_to_affine`]) — the deferred-pairing-accumulator shape,
+    /// where each distinct G2 point owns one aggregated G1 side and every
+    /// aggregate is needed in affine form for the Miller loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::MsmLengthMismatch`] if any group's points
+    /// and scalars have different lengths.
+    pub fn g1_msm_short_groups(
+        &self,
+        groups: &[(Vec<Affine<Fp>>, Vec<BigUint>)],
+    ) -> Result<Vec<Affine<Fp>>, CurveError> {
+        let ops = FpOps(Arc::clone(&self.fp));
+        let jacs = groups
+            .iter()
+            .map(|(points, scalars)| self.g1_msm_short_jac(points, scalars))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(batch_to_affine(&ops, &jacs))
     }
 
     /// Multi-scalar multiplication `Σ kᵢ·Qᵢ` over G2 (Pippenger buckets),

@@ -17,11 +17,13 @@
 //! assert!(curve.g1_on_curve(curve.g1_generator()));
 //! ```
 
+pub mod cache;
 pub mod curve;
 pub mod glv;
 pub mod point;
 pub mod spec;
 
+pub use cache::{g1_point_key, g2_point_key, PointKey, PointKeyedCache};
 pub use curve::{Curve, CurveError, GlsG2, GlvG1, TwistKind};
 pub use glv::{jsf, Dim4Basis, GlvBasis};
 pub use point::{

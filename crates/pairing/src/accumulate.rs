@@ -1,0 +1,249 @@
+//! Deferred pairing accumulation: randomized batch verification.
+//!
+//! A verifier that checks n pairing equations one at a time pays 2n
+//! Miller loops and n final exponentiations. [`PairingAccumulator`]
+//! defers them all: callers push checks `e(Aᵢ, Bᵢ) =? e(Cᵢ, Dᵢ)` and a
+//! single [`PairingAccumulator::settle`] folds the batch with
+//! random-linear-combination coefficients ρᵢ — the equation
+//!
+//! ```text
+//! Π e(ρᵢ·Aᵢ, Bᵢ) · e(−ρᵢ·Cᵢ, Dᵢ) = 1
+//! ```
+//!
+//! holds for every honest batch, and a batch containing any false check
+//! only survives if the ρᵢ land on the cheating element's discrete-log
+//! relation — probability ≤ 2⁻¹²⁷ per settle for the 128-bit randomizers
+//! drawn here. The G1 scalings collapse into short-scalar MSMs (one per
+//! distinct G2 point, normalised together with one shared inversion), so
+//! the whole batch costs one Miller loop per *distinct* G2 point plus
+//! one final exponentiation — for n BLS verifications against s signers
+//! that is `1 + s` loops instead of `2n` pairings.
+//!
+//! Randomizers come from a [`Transcript`] seeded over every pushed point
+//! (Fiat–Shamir shape: nothing is drawn until the batch is closed, so
+//! each ρᵢ depends on all checks). The splitmix64 permutation underneath
+//! is a deterministic stand-in for an extensible-output hash — it makes
+//! the batch reproducible for tests and benches; a deployment against
+//! adversarial provers swaps [`Transcript`] for a cryptographic sponge
+//! with the same absorb/squeeze surface.
+
+use crate::prepared::G2Prepared;
+use crate::value::PairingEngine;
+use finesse_curves::cache::{g1_point_key, g2_point_key};
+use finesse_curves::{affine_neg, Affine, FpOps};
+use finesse_ff::{BigUint, Fp, Fq};
+use std::sync::Arc;
+
+/// splitmix64's odd increment (Weyl constant).
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// splitmix64's finalizer: a bijective 64-bit mixer.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A Fiat–Shamir transcript over curve points: absorb the statement,
+/// then squeeze short randomizers that depend on everything absorbed.
+///
+/// Points are absorbed through their canonical-coordinate keys
+/// ([`g1_point_key`]/[`g2_point_key`]), so the challenge stream is a
+/// function of the group elements themselves, not of any internal
+/// (Montgomery/projective) representation.
+pub struct Transcript {
+    state: u64,
+}
+
+impl Transcript {
+    /// A transcript bound to a domain-separation label.
+    pub fn new(label: &[u8]) -> Self {
+        let mut t = Transcript {
+            state: 0x746E_7363_7269_7074, // "tnscript"
+        };
+        t.absorb_bytes(label);
+        t
+    }
+
+    /// Absorbs one word.
+    pub fn absorb_u64(&mut self, w: u64) {
+        self.state = mix(self.state.wrapping_add(GOLDEN) ^ w);
+    }
+
+    /// Absorbs arbitrary bytes (little-endian words, length-terminated).
+    pub fn absorb_bytes(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.absorb_u64(u64::from_le_bytes(w));
+        }
+        self.absorb_u64(bytes.len() as u64);
+    }
+
+    /// Absorbs a G1 point by canonical coordinates.
+    pub fn absorb_g1(&mut self, p: &Affine<Fp>) {
+        for w in g1_point_key(p) {
+            self.absorb_u64(w);
+        }
+    }
+
+    /// Absorbs a G2 point by canonical coordinates.
+    pub fn absorb_g2(&mut self, q: &Affine<Fq>) {
+        for w in g2_point_key(q) {
+            self.absorb_u64(w);
+        }
+    }
+
+    /// Squeezes one word (advances the state).
+    pub fn challenge_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN);
+        mix(self.state)
+    }
+
+    /// Squeezes a short (~128-bit, never zero) batch randomizer.
+    ///
+    /// 128 bits is the standard batch-verification width: the cheating
+    /// probability is bounded by the inverse challenge-space size
+    /// (≤ 2⁻¹²⁷ here), while the MSM scaling the G1 sides runs half the
+    /// window iterations a full-width (≥254-bit) scalar would cost.
+    pub fn challenge_short(&mut self) -> BigUint {
+        // Low bit pinned so the randomizer can never be zero (a zero
+        // weight would drop its check from the batch entirely).
+        let lo = self.challenge_u64() | 1;
+        let hi = self.challenge_u64();
+        BigUint::from_limbs(vec![lo, hi])
+    }
+}
+
+/// One deferred check `e(a, b) =? e(c, d)`.
+struct Check {
+    a: Affine<Fp>,
+    b: Affine<Fq>,
+    c: Affine<Fp>,
+    d: Affine<Fq>,
+}
+
+/// Accumulates pairing-equation checks and settles them all with one
+/// multi-Miller loop and one final exponentiation.
+///
+/// ```no_run
+/// use finesse_curves::Curve;
+/// use finesse_pairing::{PairingAccumulator, PairingEngine};
+/// use finesse_ff::BigUint;
+///
+/// let curve = Curve::by_name("BLS12-381");
+/// let engine = PairingEngine::new(curve.clone());
+/// let g1 = curve.g1_generator();
+/// let g2 = curve.g2_generator();
+/// let two = BigUint::from_u64(2);
+/// let mut acc = PairingAccumulator::new(&engine);
+/// // e([2]G1, G2) =? e(G1, [2]G2) — and as many more checks as you like.
+/// acc.push_check(&curve.g1_mul(g1, &two), g2, g1, &curve.g2_mul(g2, &two));
+/// assert!(acc.settle());
+/// ```
+pub struct PairingAccumulator<'e> {
+    engine: &'e PairingEngine,
+    transcript: Transcript,
+    checks: Vec<Check>,
+}
+
+impl<'e> PairingAccumulator<'e> {
+    /// An empty accumulator with the default domain label.
+    pub fn new(engine: &'e PairingEngine) -> Self {
+        Self::with_label(engine, b"finesse-pairing-batch-v1")
+    }
+
+    /// An empty accumulator under a caller-chosen domain label
+    /// (different protocols on one engine should not share a challenge
+    /// stream).
+    pub fn with_label(engine: &'e PairingEngine, label: &[u8]) -> Self {
+        let mut transcript = Transcript::new(label);
+        transcript.absorb_bytes(engine.curve().name().as_bytes());
+        PairingAccumulator {
+            engine,
+            transcript,
+            checks: Vec::new(),
+        }
+    }
+
+    /// Defers the check `e(a, b) =? e(c, d)`, absorbing all four points
+    /// into the transcript.
+    pub fn push_check(&mut self, a: &Affine<Fp>, b: &Affine<Fq>, c: &Affine<Fp>, d: &Affine<Fq>) {
+        self.transcript.absorb_g1(a);
+        self.transcript.absorb_g2(b);
+        self.transcript.absorb_g1(c);
+        self.transcript.absorb_g2(d);
+        self.checks.push(Check {
+            a: a.clone(),
+            b: b.clone(),
+            c: c.clone(),
+            d: d.clone(),
+        });
+    }
+
+    /// Checks pushed so far.
+    pub fn len(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// True iff nothing was pushed (an empty batch settles as `true`).
+    pub fn is_empty(&self) -> bool {
+        self.checks.is_empty()
+    }
+
+    /// Settles the batch: draws one ~128-bit randomizer per check from
+    /// the transcript, aggregates the G1 sides with one short-scalar MSM
+    /// per distinct G2 point (normalised together with a single shared
+    /// inversion), and verifies the folded product with one multi-Miller
+    /// loop over prepared G2 points plus one final exponentiation.
+    ///
+    /// Returns `true` iff every pushed check holds (up to the ≤ 2⁻¹²⁷
+    /// random-linear-combination soundness error). An empty batch is
+    /// vacuously `true`.
+    pub fn settle(mut self) -> bool {
+        if self.checks.is_empty() {
+            return true;
+        }
+        let curve = Arc::clone(self.engine.curve());
+        let ops = FpOps(Arc::clone(curve.fp()));
+
+        // One G1 aggregation group per distinct G2 point: ρ·A joins B's
+        // group, −ρ·C joins D's. A pairing whose G1 or G2 side is the
+        // identity contributes the GT identity and drops out here.
+        let mut g2s: Vec<Affine<Fq>> = Vec::new();
+        let mut groups: Vec<(Vec<Affine<Fp>>, Vec<BigUint>)> = Vec::new();
+        let mut push_term = |q: &Affine<Fq>, p: Affine<Fp>, rho: BigUint| {
+            if q.infinity || p.infinity {
+                return;
+            }
+            let idx = match g2s.iter().position(|seen| seen == q) {
+                Some(idx) => idx,
+                None => {
+                    g2s.push(q.clone());
+                    groups.push((Vec::new(), Vec::new()));
+                    g2s.len() - 1
+                }
+            };
+            groups[idx].0.push(p);
+            groups[idx].1.push(rho);
+        };
+        let checks = std::mem::take(&mut self.checks);
+        for check in &checks {
+            let rho = self.transcript.challenge_short();
+            push_term(&check.b, check.a.clone(), rho.clone());
+            push_term(&check.d, affine_neg(&ops, &check.c), rho);
+        }
+
+        let aggs = curve
+            .g1_msm_short_groups(&groups)
+            .expect("groups pair one scalar per point by construction");
+        let pairs: Vec<(Affine<Fp>, Arc<G2Prepared>)> = g2s
+            .iter()
+            .zip(aggs)
+            .filter(|(_, agg)| !agg.infinity)
+            .map(|(q, agg)| (agg, self.engine.prepare_g2(q)))
+            .collect();
+        self.engine
+            .gt_is_one(&self.engine.multi_pair_prepared(&pairs))
+    }
+}

@@ -185,6 +185,120 @@ pub fn emit_miller_loop<F: PairingFlow>(
     f
 }
 
+/// Runs the Q-side of one Miller loop and records each line's
+/// `(ly, lx, lt)` coefficients **in consumption order** — the
+/// `G2Prepared` precomputation. The schedule (NAF digits, BN ψ-tail) is
+/// static per curve, so the recorded sequence replays against any G1
+/// point via [`emit_miller_loop_with_lines`], skipping every
+/// `dbl_step`/`add_step` of the ordinary loop. The coefficients are
+/// exactly the values the interleaved loop would produce, so the replayed
+/// accumulator is bit-identical to [`emit_miller_loop`].
+pub fn emit_g2_line_schedule<F: PairingFlow>(
+    curve: &Curve,
+    flow: &mut F,
+    qx: &F::Fq,
+    qy: &F::Fq,
+) -> Vec<[F::Fq; 3]> {
+    let tower = curve.tower();
+    let bt = flow.fq_constant(curve.b_twist(), "b_twist");
+    let one = flow.fq_constant(&tower.fq_one(), "fq_one");
+
+    let param = curve.miller_param();
+    let negative = param.is_negative();
+    let naf = param.magnitude().naf();
+
+    let q = (qx.clone(), qy.clone());
+    let q_neg = (qx.clone(), flow.fq_neg(qy));
+
+    let mut t = ProjPoint::<F> {
+        x: qx.clone(),
+        y: qy.clone(),
+        z: one,
+    };
+    let mut lines = Vec::with_capacity(naf.len() * 2);
+    for i in (0..naf.len().saturating_sub(1)).rev() {
+        let line = dbl_step(flow, &mut t, &bt);
+        lines.push([line.ly, line.lx, line.lt]);
+        let digit = naf[i];
+        if digit != 0 {
+            let (ax, ay) = if digit == 1 { &q } else { &q_neg };
+            let line = add_step(flow, &mut t, ax, ay);
+            lines.push([line.ly, line.lx, line.lt]);
+        }
+    }
+
+    if negative {
+        // The conjugation lives on the accumulator (replay side); only
+        // the point accumulator's sign flip matters for the tail lines.
+        t.y = flow.fq_neg(&t.y);
+    }
+
+    if curve.family() == Family::Bn {
+        let (q1x, q1y) = emit_psi(curve, flow, qx, qy);
+        let (q2x, q2y_pos) = emit_psi(curve, flow, &q1x, &q1y);
+        let q2y = flow.fq_neg(&q2y_pos);
+        let line = add_step(flow, &mut t, &q1x, &q1y);
+        lines.push([line.ly, line.lx, line.lt]);
+        let line = add_step(flow, &mut t, &q2x, &q2y);
+        lines.push([line.ly, line.lx, line.lt]);
+    }
+
+    lines
+}
+
+/// Replays a recorded line schedule (see [`emit_g2_line_schedule`])
+/// against a G1 point: the squaring chain, sparse line multiplications,
+/// and negative-parameter conjugation of [`emit_miller_loop`], with every
+/// Q-side doubling/addition replaced by a recorded coefficient triple.
+/// Bit-identical to the interleaved loop on the same inputs.
+///
+/// # Panics
+///
+/// Panics if `lines` does not hold exactly the curve's schedule length —
+/// a schedule recorded for a different curve is a programmer error, never
+/// a data-dependent condition.
+pub fn emit_miller_loop_with_lines<F: PairingFlow>(
+    curve: &Curve,
+    flow: &mut F,
+    px: &F::Fp,
+    py: &F::Fp,
+    lines: &[[F::Fq; 3]],
+) -> F::Fpk {
+    let param = curve.miller_param();
+    let negative = param.is_negative();
+    let naf = param.magnitude().naf();
+
+    let mut next = 0usize;
+    let mut f = flow.fpk_one();
+    for i in (0..naf.len().saturating_sub(1)).rev() {
+        f = flow.fpk_sqr(&f);
+        f = apply_line_coeffs(curve, flow, &f, &lines[next], px, py);
+        next += 1;
+        if naf[i] != 0 {
+            f = apply_line_coeffs(curve, flow, &f, &lines[next], px, py);
+            next += 1;
+        }
+    }
+
+    if negative {
+        f = flow.fpk_conj(&f);
+    }
+
+    if curve.family() == Family::Bn {
+        f = apply_line_coeffs(curve, flow, &f, &lines[next], px, py);
+        next += 1;
+        f = apply_line_coeffs(curve, flow, &f, &lines[next], px, py);
+        next += 1;
+    }
+
+    assert_eq!(
+        next,
+        lines.len(),
+        "line schedule length matches the curve's Miller schedule"
+    );
+    f
+}
+
 /// Applies the untwist–Frobenius endomorphism ψ inside a flow.
 fn emit_psi<F: PairingFlow>(curve: &Curve, flow: &mut F, qx: &F::Fq, qy: &F::Fq) -> (F::Fq, F::Fq) {
     let (cx, cy) = curve.psi_constants();
@@ -287,14 +401,29 @@ fn apply_line<F: PairingFlow>(
     px: &F::Fp,
     py: &F::Fp,
 ) -> F::Fpk {
-    let cy = flow.fq_mul_fp(&line.ly, py);
-    let cx = flow.fq_mul_fp(&line.lx, px);
+    apply_line_coeffs(curve, flow, f, &[line.ly, line.lx, line.lt], px, py)
+}
+
+/// [`apply_line`] on a recorded `[ly, lx, lt]` triple — shared by the
+/// interleaved loop and the prepared-line replay so both paths mix P in
+/// with the identical operations.
+fn apply_line_coeffs<F: PairingFlow>(
+    curve: &Curve,
+    flow: &mut F,
+    f: &F::Fpk,
+    line: &[F::Fq; 3],
+    px: &F::Fp,
+    py: &F::Fp,
+) -> F::Fpk {
+    let [ly, lx, lt] = line;
+    let cy = flow.fq_mul_fp(ly, py);
+    let cx = flow.fq_mul_fp(lx, px);
     match curve.twist() {
         TwistKind::D => {
-            flow.fpk_mul_sparse(f, [Some(cy), Some(cx), None, Some(line.lt), None, None])
+            flow.fpk_mul_sparse(f, [Some(cy), Some(cx), None, Some(lt.clone()), None, None])
         }
         TwistKind::M => {
-            flow.fpk_mul_sparse(f, [Some(line.lt), None, Some(cx), Some(cy), None, None])
+            flow.fpk_mul_sparse(f, [Some(lt.clone()), None, Some(cx), Some(cy), None, None])
         }
     }
 }

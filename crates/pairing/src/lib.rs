@@ -10,12 +10,19 @@
 //! fully independent textbook implementation ([`oracle`]) cross-validates
 //! everything.
 
+pub mod accumulate;
 pub mod flow;
 pub mod oracle;
+pub mod prepared;
 pub mod value;
 
-pub use flow::{emit_final_exponentiation, emit_miller_loop, emit_pairing, PairingFlow};
+pub use accumulate::{PairingAccumulator, Transcript};
+pub use flow::{
+    emit_final_exponentiation, emit_g2_line_schedule, emit_miller_loop,
+    emit_miller_loop_with_lines, emit_pairing, PairingFlow,
+};
 pub use oracle::oracle_pair;
+pub use prepared::G2Prepared;
 pub use value::{PairingEngine, ValueFlow};
 
 #[cfg(test)]

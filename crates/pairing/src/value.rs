@@ -6,10 +6,15 @@
 //! accelerator programs are cross-checked against (here additionally
 //! backed by the fully independent [`crate::oracle`] implementation).
 
-use crate::flow::{emit_final_exponentiation, emit_miller_loop, emit_pairing, PairingFlow};
+use crate::flow::{
+    emit_final_exponentiation, emit_miller_loop, emit_miller_loop_with_lines, emit_pairing,
+    PairingFlow,
+};
+use crate::prepared::G2Prepared;
+use finesse_curves::cache::{g2_point_key, PointKeyedCache};
 use finesse_curves::{Affine, Curve};
 use finesse_ff::{BigUint, Fp, Fpk, Fq};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A [`PairingFlow`] that computes on real field elements.
 pub struct ValueFlow<'c> {
@@ -137,17 +142,51 @@ impl PairingFlow for ValueFlow<'_> {
 /// ```
 pub struct PairingEngine {
     curve: Arc<Curve>,
+    /// Bounded LRU cache of prepared G2 points, keyed by canonical
+    /// coordinates. Serving workloads pair against a handful of
+    /// long-lived G2 points (public keys, the generator, a KZG `[τ]₂`);
+    /// caching their line schedules drops the Q-side of every repeat
+    /// Miller loop.
+    prepared: Mutex<PointKeyedCache<G2Prepared>>,
 }
+
+/// Prepared-point cache bound: generous for real verifier key sets (a
+/// few long-lived G2 points) while keeping worst-case memory at
+/// `capacity × schedule length × |F_q|` even if an adversarial workload
+/// cycles through unbounded distinct points.
+const G2_PREPARED_CACHE_CAPACITY: usize = 32;
 
 impl PairingEngine {
     /// Creates an engine for a curve.
     pub fn new(curve: Arc<Curve>) -> Self {
-        PairingEngine { curve }
+        PairingEngine {
+            curve,
+            prepared: Mutex::new(PointKeyedCache::new(G2_PREPARED_CACHE_CAPACITY)),
+        }
     }
 
     /// The engine's curve.
     pub fn curve(&self) -> &Arc<Curve> {
         &self.curve
+    }
+
+    /// The prepared G2 point for `q`, served from the engine's bounded
+    /// cache (built on first use, `Arc`-shared afterwards; least-recently
+    /// used entries are evicted at capacity). Both
+    /// [`PairingEngine::multi_pair`] and the
+    /// [`crate::PairingAccumulator`] route through this, so a repeat
+    /// verifier's Miller loops skip all per-call line computation.
+    pub fn prepare_g2(&self, q: &Affine<Fq>) -> Arc<G2Prepared> {
+        let key = g2_point_key(q);
+        let mut cache = self.prepared.lock().expect("prepared-point cache lock");
+        cache.get_or_insert_with(key, || G2Prepared::new(&self.curve, q))
+    }
+
+    /// `(len, capacity)` of the prepared-point cache — observability for
+    /// tests and capacity planning, not a stability guarantee.
+    pub fn prepared_cache_stats(&self) -> (usize, usize) {
+        let cache = self.prepared.lock().expect("prepared-point cache lock");
+        (cache.len(), cache.capacity())
     }
 
     /// Computes the optimal-Ate pairing `e(P, Q)`.
@@ -168,6 +207,13 @@ impl PairingEngine {
     /// exponentiation — the standard optimisation for verifiers that
     /// check pairing-product equations (BLS verify, Groth16, KZG).
     ///
+    /// Repeated G2 inputs are deduplicated: each *distinct* Q gets one
+    /// prepared line schedule (served from the engine's bounded cache,
+    /// see [`PairingEngine::prepare_g2`]), and every Miller loop replays
+    /// the schedule against its P — identical Q points share all Q-side
+    /// work even without an explicit [`G2Prepared`] handle, and the
+    /// replayed loops are bit-identical to the interleaved ones.
+    ///
     /// The Miller loops are independent, so with more than one pair and
     /// [`finesse_parallel::current_threads`] above 1 they run on scoped
     /// threads; the Fpk loop values are then folded **in input order**
@@ -183,13 +229,63 @@ impl PairingEngine {
         if live.is_empty() {
             return tower.fpk_one();
         }
+        // Dedupe the Q sides serially up front (the cache lock never
+        // crosses into the parallel region), then replay per pair.
+        let mut distinct: Vec<(&Affine<Fq>, Arc<G2Prepared>)> = Vec::new();
+        let tasks: Vec<(&Affine<Fp>, Arc<G2Prepared>)> = live
+            .iter()
+            .map(|(p, q)| {
+                let prep = match distinct.iter().find(|(seen, _)| *seen == q) {
+                    Some((_, prep)) => Arc::clone(prep),
+                    None => {
+                        let prep = self.prepare_g2(q);
+                        distinct.push((q, Arc::clone(&prep)));
+                        prep
+                    }
+                };
+                (p, prep)
+            })
+            .collect();
         // One Miller loop per chunk element; chunks of one pair keep the
         // schedule maximally balanced (a Miller loop is ~ms-scale, far
         // above spawn cost).
+        let partials = finesse_parallel::par_map_chunks(&tasks, 1, |chunk| {
+            let mut acc: Option<Fpk> = None;
+            for (p, prep) in chunk {
+                let m = self.miller_loop_prepared(p, prep);
+                acc = Some(match acc {
+                    Some(a) => tower.fpk_mul(&a, &m),
+                    None => m,
+                });
+            }
+            acc.expect("par_map_chunks never passes an empty chunk")
+        });
+        let product = partials
+            .into_iter()
+            .reduce(|a, b| tower.fpk_mul(&a, &b))
+            .expect("at least one live pair");
+        self.final_exponentiation(&product)
+    }
+
+    /// [`PairingEngine::multi_pair`] over caller-held prepared points —
+    /// the deferred-accumulator hot path, where the Q-side schedules are
+    /// already in hand and only the replay loops remain. Identity inputs
+    /// (either side) contribute the GT identity; thread-count
+    /// determinism matches `multi_pair`.
+    pub fn multi_pair_prepared(&self, pairs: &[(Affine<Fp>, Arc<G2Prepared>)]) -> Fpk {
+        let tower = self.curve.tower();
+        let live: Vec<(&Affine<Fp>, &Arc<G2Prepared>)> = pairs
+            .iter()
+            .filter(|(p, prep)| !p.infinity && !prep.is_infinity())
+            .map(|(p, prep)| (p, prep))
+            .collect();
+        if live.is_empty() {
+            return tower.fpk_one();
+        }
         let partials = finesse_parallel::par_map_chunks(&live, 1, |chunk| {
             let mut acc: Option<Fpk> = None;
-            for (p, q) in chunk.iter().copied() {
-                let m = self.miller_loop(p, q);
+            for (p, prep) in chunk {
+                let m = self.miller_loop_prepared(p, prep);
                 acc = Some(match acc {
                     Some(a) => tower.fpk_mul(&a, &m),
                     None => m,
@@ -229,6 +325,18 @@ impl PairingEngine {
         let (px, py) = flow.input_p();
         let (qx, qy) = flow.input_q();
         emit_miller_loop(&self.curve, &mut flow, &px, &py, &qx, &qy)
+    }
+
+    /// The Miller loop against a prepared G2 point: replays the recorded
+    /// line schedule against `p`, bit-identical to
+    /// [`PairingEngine::miller_loop`] on the same inputs.
+    pub fn miller_loop_prepared(&self, p: &Affine<Fp>, prep: &G2Prepared) -> Fpk {
+        if p.infinity || prep.is_infinity() {
+            return self.curve.tower().fpk_one();
+        }
+        let mut flow = ValueFlow::new(&self.curve, p, prep.point());
+        let (px, py) = flow.input_p();
+        emit_miller_loop_with_lines(&self.curve, &mut flow, &px, &py, prep.lines())
     }
 
     /// The final exponentiation alone.

@@ -2,17 +2,28 @@
 //! SNARK building block cited in the paper's introduction.
 //!
 //! Trusted setup: powers [tau^i]G1 and [tau]G2. Commit C = [p(tau)]G1.
-//! Open at z with witness W = [(p(tau) - p(z))/(tau - z)]G1. Verify with
-//! one pairing equation: e(C - [p(z)]G1, G2) == e(W, [tau]G2 - [z]G2).
+//! Open at z with witness W = [(p(tau) - p(z))/(tau - z)]G1. Verify the
+//! equation in its *fixed-G2* rearrangement,
+//!
+//! ```text
+//! e(C - [y]G1 + [z]W, G2) == e(W, [tau]G2)
+//! ```
+//!
+//! so both G2 inputs — the generator and the SRS element [tau]G2 — are
+//! independent of the opening being checked. That is exactly the shape
+//! the engine's prepared-G2 cache serves: every opening in a batch rides
+//! the same two precomputed line schedules, and a [`PairingAccumulator`]
+//! settles any number of openings with two Miller loops and one final
+//! exponentiation.
 //!
 //! ```text
 //! cargo run --example kzg_commitment
 //! ```
 
 use finesse_curves::point::affine_neg;
-use finesse_curves::{Affine, Curve, FpOps, FqOps};
+use finesse_curves::{Affine, Curve, FpOps};
 use finesse_ff::{BigUint, Fp, Fq};
-use finesse_pairing::PairingEngine;
+use finesse_pairing::{PairingAccumulator, PairingEngine};
 use std::sync::Arc;
 
 /// Polynomial with coefficients mod r (little-endian).
@@ -68,6 +79,47 @@ fn commit(curve: &Arc<Curve>, setup: &Setup, p: &Poly) -> Affine<Fp> {
         .expect("one coefficient per setup power")
 }
 
+/// One claimed opening `p(z) = y` with its witness `W`.
+struct Opening {
+    commitment: Affine<Fp>,
+    z: BigUint,
+    y: BigUint,
+    witness: Affine<Fp>,
+}
+
+/// Opens `p` at `z`: evaluates and commits to the quotient polynomial.
+fn open(curve: &Arc<Curve>, setup: &Setup, p: &Poly, z: u64) -> Opening {
+    let z = BigUint::from_u64(z);
+    let y = p.eval(&z, curve.r());
+    let q = p.divide_by_linear(&z, curve.r());
+    Opening {
+        commitment: commit(curve, setup, p),
+        z,
+        y,
+        witness: commit(curve, setup, &q),
+    }
+}
+
+/// Pushes the fixed-G2 verification check of one opening,
+/// `e(C - [y]G1 + [z]W, G2) =? e(W, [tau]G2)`, onto the accumulator.
+/// Every opening references the same two G2 points, so the batch settles
+/// with exactly two (cached, prepared) Miller loops.
+fn push_opening(
+    curve: &Arc<Curve>,
+    setup: &Setup,
+    acc: &mut PairingAccumulator<'_>,
+    opening: &Opening,
+) {
+    let fp_ops = FpOps(curve.fp().clone());
+    let y_g1 = curve.g1_mul(curve.g1_generator(), &opening.y);
+    let z_w = curve.g1_mul(&opening.witness, &opening.z);
+    let lhs = curve.g1_add(
+        &curve.g1_add(&opening.commitment, &affine_neg(&fp_ops, &y_g1)),
+        &z_w,
+    );
+    acc.push_check(&lhs, curve.g2_generator(), &opening.witness, &setup.g2_tau);
+}
+
 fn main() {
     let curve = Curve::by_name("BN254N");
     let engine = PairingEngine::new(curve.clone());
@@ -81,40 +133,33 @@ fn main() {
         BigUint::from_u64(1),
     ]);
     let setup = trusted_setup(&curve, 3);
-    let commitment = commit(&curve, &setup, &p);
     println!("commitment C = [p(tau)]G1 computed");
 
-    // Open at z = 11.
-    let z = BigUint::from_u64(11);
-    let y = p.eval(&z, &r);
-    println!("claimed evaluation: p(11) = {y}");
+    // Open the same commitment at several points and verify all openings
+    // in one settle: two Miller loops total, not two per opening.
+    let openings: Vec<Opening> = [11u64, 42, 1_000_003]
+        .iter()
+        .map(|z| open(&curve, &setup, &p, *z))
+        .collect();
+    for opening in &openings {
+        println!("claimed evaluation: p({}) = {}", opening.z, opening.y);
+    }
+    let mut acc = PairingAccumulator::with_label(&engine, b"finesse-kzg-batch-v1");
+    for opening in &openings {
+        push_opening(&curve, &setup, &mut acc, opening);
+    }
+    let n = acc.len();
+    assert!(acc.settle(), "KZG verification equation holds");
+    println!("{n} openings verified: e(C - [y]G1 + [z]W, G2) == e(W, [tau]G2)");
 
-    // Witness polynomial q(X) = (p(X) - y)/(X - z).
-    let q = p.divide_by_linear(&z, &r);
-    let witness = commit(&curve, &setup, &q);
-
-    // Verify: e(C - [y]G1, G2) == e(W, [tau - z]G2).
-    let fp_ops = FpOps(curve.fp().clone());
-    let c_minus_y = {
-        let y_g1 = curve.g1_mul(curve.g1_generator(), &y);
-        curve.g1_add(&commitment, &affine_neg(&fp_ops, &y_g1))
-    };
-    let tau_minus_z = {
-        let z_g2 = curve.g2_mul(curve.g2_generator(), &z);
-        let ops = FqOps(curve.tower());
-        curve.g2_add(&setup.g2_tau, &affine_neg(&ops, &z_g2))
-    };
-    let lhs = engine.pair(&c_minus_y, curve.g2_generator());
-    let rhs = engine.pair(&witness, &tau_minus_z);
-    assert_eq!(lhs, rhs, "KZG verification equation holds");
-    println!("opening verified: e(C - [y]G1, G2) == e(W, [tau - z]G2)");
-
-    // A wrong claimed value must fail.
-    let bad = (&y + &BigUint::one()).rem(&r);
-    let bad_c_minus_y = {
-        let y_g1 = curve.g1_mul(curve.g1_generator(), &bad);
-        curve.g1_add(&commitment, &affine_neg(&fp_ops, &y_g1))
-    };
-    assert_ne!(engine.pair(&bad_c_minus_y, curve.g2_generator()), rhs);
+    // A forged claimed value must sink the batch it rides in.
+    let mut forged = open(&curve, &setup, &p, 11);
+    forged.y = (&forged.y + &BigUint::one()).rem(&r);
+    let mut acc = PairingAccumulator::with_label(&engine, b"finesse-kzg-batch-v1");
+    for opening in &openings {
+        push_opening(&curve, &setup, &mut acc, opening);
+    }
+    push_opening(&curve, &setup, &mut acc, &forged);
+    assert!(!acc.settle(), "forged evaluation must be rejected");
     println!("forged evaluation rejected");
 }
