@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments [table2|table3|table6|table7|fig2|fig6|fig8|fig9|fig10|fig11|fig12|all]
+//! experiments --codesign-report
 //! experiments --bench-json [CURVE|all]
 //! experiments --bench-regress all
 //! experiments --bench-regress [METRIC] CURVE [MAX_PCT]
@@ -29,14 +30,14 @@ use finesse_bench::{f, kfmt, TextTable};
 use finesse_compiler::{compile_pairing, tower_shape, CompileOptions};
 use finesse_curves::Curve;
 use finesse_dse::{
-    best_point, codesign_alu_sweep, evaluate_point, explore, figure10_points, variant_sweep_points,
-    DesignPoint, Objective,
+    best_point, codesign_alu_sweep, compare_with_software, evaluate_point, explore,
+    figure10_points, variant_sweep_points, DesignPoint, Objective,
 };
 use finesse_hw::{
     area_breakdown, fpga_utilization, scale, security_bits, AreaInputs, HwModel, NodeMetrics,
     TechNode, FLEXIPAIR, IKEDA_ASSCC19,
 };
-use finesse_ir::{lower, FpProgram, HirOp, HirProgram, VariantConfig};
+use finesse_ir::{lower, CostModel, FpProgram, HirOp, HirProgram, Kernel, VariantConfig};
 use finesse_sim::simulate;
 use std::fs;
 use std::io::Write as _;
@@ -68,6 +69,15 @@ fn main() {
         let rest: Vec<String> = std::env::args().skip(2).collect();
         std::process::exit(bench_regress_cli(&rest));
     }
+    if arg == "--codesign-report" {
+        // The one-command co-design artifact path: regenerate the two
+        // paper exhibits whose software column is priced by the shared
+        // CostModel (measured medians from results/BENCH_fieldops.json
+        // when present, analytic defaults otherwise). CI diffs the
+        // regenerated files against the committed ones.
+        run_experiments(vec![("table2", table2 as fn() -> String), ("fig2", fig2)]);
+        return;
+    }
     let experiments: Vec<Experiment> = vec![
         ("table2", table2 as fn() -> String),
         ("table3", table3),
@@ -87,17 +97,35 @@ fn main() {
         experiments.into_iter().filter(|(n, _)| *n == arg).collect()
     };
     if selected.is_empty() {
-        eprintln!("unknown experiment `{arg}`; use table2|table3|table6|table7|fig2|fig6|fig8|fig9|fig10|fig11|fig12|all");
+        eprintln!("unknown experiment `{arg}`; use table2|table3|table6|table7|fig2|fig6|fig8|fig9|fig10|fig11|fig12|all, or --codesign-report");
         std::process::exit(2);
     }
+    run_experiments(selected);
+}
+
+/// Runs the selected experiments, writing `results/<name>.txt`.
+///
+/// The written text is byte-for-byte deterministic (wall-clock timing
+/// goes to stderr only) so CI can `git diff` regenerated artifacts
+/// against the committed ones and fail on drift.
+fn run_experiments(selected: Vec<Experiment>) {
     for (name, run) in selected {
         let started = std::time::Instant::now();
         let body = run();
-        let text = format!("==== {name} ({:?}) ====\n{body}\n", started.elapsed());
+        let text = format!("==== {name} ====\n{body}\n");
+        eprintln!("[{name}: {:?}]", started.elapsed());
         print!("{text}");
         let mut file = fs::File::create(format!("results/{name}.txt")).expect("write result");
         file.write_all(text.as_bytes()).expect("write result");
     }
+}
+
+/// The software baseline every co-design report prices against:
+/// measured medians from the committed bench JSON when available,
+/// analytic defaults otherwise.
+fn sw_cost_model() -> CostModel {
+    CostModel::load(std::path::Path::new("results/BENCH_fieldops.json"))
+        .unwrap_or_else(|_| CostModel::analytic())
 }
 
 fn default_variants(curve: &Arc<Curve>) -> VariantConfig {
@@ -773,7 +801,8 @@ fn bench_fieldops_json(which: &str) -> String {
         .collect::<Vec<_>>()
         .join(",\n");
     format!(
-        "{{\n  \"schema\": \"finesse-bench-fieldops/v4\",\n  \"harness\": \"median of 5 batches, ns per op\",\n  \"commit\": \"{}\",\n  \"date\": \"{}\",\n\
+        "{{\n  \"schema\": \"finesse-bench-fieldops/v5\",\n  \"harness\": \"median of 5 batches, ns per op\",\n  \"commit\": \"{}\",\n  \"date\": \"{}\",\n\
+         \n  \"cost_model\": {{\n    \"consumer\": \"finesse_ir::cost::CostModel::from_bench_json\",\n    \"provenance\": \"measured medians; dse/sim/experiments price the software column of table2/fig2 from these rows\",\n    \"consumed_fields\": [\"fq_mul_ns\", \"g1_mul_ns\", \"g1_mul_fixed_ns\", \"g2_mul_ns\", \"g2_mul_fixed_ns\", \"msm256_g1_ns\", \"msm1024_g1_ns\", \"msm4096_g1_ns\", \"pairing_ns\", \"batch_verify (n=32 amortized)\"]\n  }},\n\
          \n  \"regression_gates\": [\n{gates}\n  ],\n\
          \n  \"curves\": [\n{}\n  ],\n\
          \n  \"batch_verify\": {{\n    \"note\": \"n BLS-shaped checks e(sig,G2)=?e(h,pk) against 4 signers: one PairingAccumulator settle (prepared-G2 Miller loops, 128-bit RLC weights, short-scalar MSMs, one final exponentiation) vs n sequential 2-pairing verifications\",\n    \"rows\": [\n{batch_verify_rows}\n    ]\n  }},\n\
@@ -795,8 +824,12 @@ fn bench_fieldops_json(which: &str) -> String {
     )
 }
 
-/// Table 2: curve parameters and security levels.
+/// Table 2: curve parameters and security levels, extended with the
+/// co-design headline — the software pairing baseline priced by the
+/// shared [`CostModel`] against the simulated paper-default accelerator.
 fn table2() -> String {
+    let model = sw_cost_model();
+    let hw = HwModel::paper_default();
     let mut t = TextTable::new(&[
         "curve",
         "log|t|",
@@ -806,11 +839,29 @@ fn table2() -> String {
         "k·log p",
         "sec (model)",
         "sec (paper)",
+        "SW pairing",
+        "HW pairing",
+        "speedup",
     ]);
     for name in CURVES {
         let c = Curve::by_name(name);
         let klogp = (c.k() * c.p().bits()) as f64;
         let sec = security_bits(c.family(), klogp);
+        let point = DesignPoint {
+            label: name.into(),
+            variants: default_variants(&c),
+            hw: hw.clone(),
+        };
+        let (sw, hw_col, speedup) = match evaluate_point(&c, &point, 1)
+            .and_then(|e| compare_with_software(name, &e, &model))
+        {
+            Ok(cmp) => (
+                format!("{} ms", f(cmp.sw_pairing_ns / 1e6, 2)),
+                format!("{} us", f(cmp.hw_pairing_ns / 1e3, 1)),
+                format!("x{}", f(cmp.speedup, 1)),
+            ),
+            Err(e) => (format!("failed: {e}"), "-".into(), "-".into()),
+        };
         t.row(vec![
             name.into(),
             c.t().magnitude().bits().to_string(),
@@ -820,9 +871,17 @@ fn table2() -> String {
             format!("{}", klogp as u64),
             f(sec, 1),
             c.table2_security().to_string(),
+            sw,
+            hw_col,
+            speedup,
         ]);
     }
-    t.render()
+    format!(
+        "{}SW pairing: software baseline from the shared CostModel ({}).\n\
+         HW pairing: cycle-accurate simulation, paper-default hardware, 1 core.\n",
+        t.render(),
+        model.describe()
+    )
 }
 
 /// Cost of one op at one level under one variant config, in F_p
@@ -1066,8 +1125,12 @@ fn table7() -> String {
     )
 }
 
-/// Figure 2: Karatsuba on/off per level, BLS24-509 on single issue.
+/// Figure 2: Karatsuba on/off per level, BLS24-509 on single issue,
+/// with each point's simulated latency compared against the shared
+/// [`CostModel`] software baseline.
 fn fig2() -> String {
+    let model = sw_cost_model();
+    let sw_ns = model.cost_ns("BLS24-509", Kernel::Pairing);
     let curve = Curve::by_name("BLS24-509");
     let shape = tower_shape(&curve);
     let hw = HwModel::paper_default();
@@ -1102,7 +1165,7 @@ fn fig2() -> String {
                 format!(
                     "{}: {}",
                     p.label,
-                    r.as_ref().err().cloned().unwrap_or_default()
+                    r.as_ref().err().map(|e| e.to_string()).unwrap_or_default()
                 )
             })
             .collect();
@@ -1114,16 +1177,29 @@ fn fig2() -> String {
     let sweep = explore(&curve, variant_sweep_points(&curve, &hw), 1);
     let best = best_point(&sweep, Objective::Cycles);
 
+    let vs_sw = |latency_us: f64| -> String {
+        sw_ns
+            .map(|s| format!("x{}", f(s / (latency_us * 1e3), 1)))
+            .unwrap_or_else(|| "-".into())
+    };
     let norm_header = format!("norm. vs {base_label}");
-    let mut t = TextTable::new(&["combination", "cycles", &norm_header]);
+    let mut t = TextTable::new(&["combination", "cycles", &norm_header, "HW latency", "vs SW"]);
     for (p, r) in &results {
         match r {
             Ok(e) => t.row(vec![
                 p.label.clone(),
                 e.cycles.to_string(),
                 f(e.cycles as f64 / base, 3),
+                format!("{} us", f(e.latency_us, 1)),
+                vs_sw(e.latency_us),
             ]),
-            Err(e) => t.row(vec![p.label.clone(), format!("failed: {e}"), "-".into()]),
+            Err(e) => t.row(vec![
+                p.label.clone(),
+                format!("failed: {e}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
         };
     }
     match best {
@@ -1131,15 +1207,30 @@ fn fig2() -> String {
             format!("optimal ({})", bp.variants.tag()),
             be.cycles.to_string(),
             f(be.cycles as f64 / base, 3),
+            format!("{} us", f(be.latency_us, 1)),
+            vs_sw(be.latency_us),
         ]),
         None => t.row(vec![
             "optimal".into(),
             "failed: every sweep point failed".into(),
             "-".into(),
+            "-".into(),
+            "-".into(),
         ]),
     };
+    let sw_line = match sw_ns {
+        Some(s) => format!(
+            "SW baseline: BLS24-509 pairing {} ms from the shared CostModel ({}).\n",
+            f(s / 1e6, 2),
+            model.describe()
+        ),
+        None => format!(
+            "SW baseline: BLS24-509 pairing unavailable in the CostModel ({}).\n",
+            model.describe()
+        ),
+    };
     format!(
-        "{}(paper: disabling Karatsuba at p2/p4 reduces cycles on single-issue; optimal < all-karatsuba)\n",
+        "{}(paper: disabling Karatsuba at p2/p4 reduces cycles on single-issue; optimal < all-karatsuba)\n{sw_line}",
         t.render()
     )
 }

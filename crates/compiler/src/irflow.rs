@@ -158,6 +158,19 @@ impl PairingFlow for IrFlow<'_> {
         let parts = coeffs.into_iter().map(|c| c.unwrap_or(zero)).collect();
         self.prog.push(HirOp::Pack { parts }, self.k)
     }
+
+    fn fpk_mul_sparse(&mut self, a: &ValueId, coeffs: [Option<ValueId>; 6]) -> ValueId {
+        // Record the line multiplication sparsity-aware (PR 3's 13-mul
+        // kernel shape) instead of densifying: the explored design space
+        // then prices the Miller loop the shipped software actually runs.
+        self.prog.push(
+            HirOp::MulSparse {
+                a: *a,
+                parts: coeffs.to_vec(),
+            },
+            self.k,
+        )
+    }
 }
 
 #[cfg(test)]

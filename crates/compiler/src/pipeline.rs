@@ -82,7 +82,7 @@ impl CompiledPairing {
 }
 
 /// Compilation error.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompileError {
     /// The hardware model violates an architectural constraint.
     Hw(HwModelError),

@@ -8,11 +8,9 @@
 //! (the paper's simulator-versus-library validation stage).
 
 use crate::config::FlowConfig;
-use finesse_compiler::{
-    compile_pairing, tower_shape, CompileError, CompileOptions, CompiledPairing,
-};
+use finesse_compiler::{compile_pairing, tower_shape, CompileOptions, CompiledPairing};
 use finesse_curves::Curve;
-use finesse_dse::{evaluate_point, DesignPoint, Evaluation};
+use finesse_dse::{evaluate_point, DesignPoint, DseError, Evaluation};
 use finesse_ff::BigUint;
 use finesse_hw::HwModel;
 use finesse_ir::convert::{fps_to_fpk, fq_to_fps};
@@ -85,8 +83,8 @@ impl DesignFlow {
     ///
     /// # Errors
     ///
-    /// Propagates compilation failures.
-    pub fn build(self) -> Result<Accelerator, CompileError> {
+    /// Propagates compilation and evaluation failures as [`DseError`].
+    pub fn build(self) -> Result<Accelerator, DseError> {
         let compiled = compile_pairing(
             &self.curve,
             &self.variants,

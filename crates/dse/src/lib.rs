@@ -12,11 +12,55 @@
 use finesse_compiler::{compile_pairing, tower_shape, CompileError, CompileOptions};
 use finesse_curves::Curve;
 use finesse_hw::{
-    area_breakdown, critical_path_ns, frequency_mhz, AreaBreakdown, AreaInputs, HwModel,
+    area_breakdown, critical_path_ns, frequency_mhz, latency_us, throughput_ops, AreaBreakdown,
+    AreaInputs, HwModel,
 };
-use finesse_ir::VariantConfig;
+use finesse_ir::{CostModel, Kernel, VariantConfig};
 use finesse_sim::{simulate, SimReport};
+use std::fmt;
 use std::sync::Arc;
+
+/// Error from evaluating or exploring design points.
+///
+/// All nanosecond pricing lives in `finesse_hw`'s timing model (HW side)
+/// and [`CostModel`] (SW side); this crate carries no per-kernel cost
+/// constants of its own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DseError {
+    /// The point failed to compile.
+    Compile(CompileError),
+    /// The software cost model does not price this curve.
+    UnknownCurveCost {
+        /// The curve whose row was missing.
+        curve: String,
+    },
+}
+
+impl fmt::Display for DseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DseError::Compile(e) => write!(f, "{e}"),
+            DseError::UnknownCurveCost { curve } => {
+                write!(f, "cost model has no row for curve {curve:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DseError::Compile(e) => Some(e),
+            DseError::UnknownCurveCost { .. } => None,
+        }
+    }
+}
+
+impl From<CompileError> for DseError {
+    fn from(e: CompileError) -> Self {
+        DseError::Compile(e)
+    }
+}
 
 /// One point in the co-design space.
 #[derive(Clone, Debug)]
@@ -94,7 +138,7 @@ pub fn evaluate_point(
     curve: &Arc<Curve>,
     point: &DesignPoint,
     cores: u32,
-) -> Result<Evaluation, CompileError> {
+) -> Result<Evaluation, DseError> {
     let compiled = compile_pairing(
         curve,
         &point.variants,
@@ -116,10 +160,6 @@ pub fn evaluate_point(
         cores,
     };
     let area = area_breakdown(&compiled.hw, &inputs);
-    let cp = critical_path_ns(compiled.hw.long_lat, bits);
-    let fmhz = frequency_mhz(compiled.hw.long_lat, bits);
-    let latency_us = report.cycles as f64 * cp / 1000.0;
-    let throughput = cores as f64 * fmhz * 1.0e6 / report.cycles as f64;
 
     Ok(Evaluation {
         instructions: compiled.instruction_count(),
@@ -129,31 +169,65 @@ pub fn evaluate_point(
         imem_bytes: compiled.image.imem_bytes(),
         peak_regs: compiled.regs.peak_live,
         area,
-        critical_path_ns: cp,
-        frequency_mhz: fmhz,
-        latency_us,
-        throughput_ops: throughput,
+        critical_path_ns: critical_path_ns(compiled.hw.long_lat, bits),
+        frequency_mhz: frequency_mhz(compiled.hw.long_lat, bits),
+        latency_us: latency_us(report.cycles, compiled.hw.long_lat, bits),
+        throughput_ops: throughput_ops(report.cycles, compiled.hw.long_lat, bits, cores),
         compile_ms: compiled.compile_time.as_secs_f64() * 1000.0,
+    })
+}
+
+/// A simulated hardware point set against the software baseline from a
+/// [`CostModel`] (the headline comparison of the paper's Table 2/Figure 2).
+#[derive(Clone, Debug)]
+pub struct SwComparison {
+    /// Measured (or analytic) software pairing latency, ns.
+    pub sw_pairing_ns: f64,
+    /// Simulated hardware pairing latency, ns.
+    pub hw_pairing_ns: f64,
+    /// Software over hardware latency ratio.
+    pub speedup: f64,
+}
+
+/// Prices an evaluated point against the software baseline for a curve.
+///
+/// # Errors
+///
+/// Returns [`DseError::UnknownCurveCost`] when `model` has no row for the
+/// curve.
+pub fn compare_with_software(
+    curve_name: &str,
+    eval: &Evaluation,
+    model: &CostModel,
+) -> Result<SwComparison, DseError> {
+    let sw_pairing_ns =
+        model
+            .cost_ns(curve_name, Kernel::Pairing)
+            .ok_or_else(|| DseError::UnknownCurveCost {
+                curve: curve_name.to_string(),
+            })?;
+    let hw_pairing_ns = eval.latency_us * 1000.0;
+    Ok(SwComparison {
+        sw_pairing_ns,
+        hw_pairing_ns,
+        speedup: sw_pairing_ns / hw_pairing_ns,
     })
 }
 
 /// Exhaustively evaluates a set of points in parallel, returning
 /// `(point, evaluation)` pairs in input order (points that fail to
-/// compile carry their error string). Worker count follows
+/// compile carry their typed [`DseError`]). Worker count follows
 /// [`finesse_parallel::current_threads`] — i.e. the `FINESSE_THREADS`
 /// environment knob, or a [`finesse_parallel::with_threads`] override.
 pub fn explore(
     curve: &Arc<Curve>,
     points: Vec<DesignPoint>,
     cores: u32,
-) -> Vec<(DesignPoint, Result<Evaluation, String>)> {
+) -> Vec<(DesignPoint, Result<Evaluation, DseError>)> {
     finesse_parallel::par_map_chunks(&points, 1, |chunk| {
         chunk
             .iter()
-            .map(|p| {
-                let r = evaluate_point(curve, p, cores).map_err(|e| e.to_string());
-                (p.clone(), r)
-            })
+            .map(|p| (p.clone(), evaluate_point(curve, p, cores)))
             .collect::<Vec<_>>()
     })
     .into_iter()
@@ -163,7 +237,7 @@ pub fn explore(
 
 /// Picks the best successful point under an objective.
 pub fn best_point(
-    results: &[(DesignPoint, Result<Evaluation, String>)],
+    results: &[(DesignPoint, Result<Evaluation, DseError>)],
     obj: Objective,
 ) -> Option<(&DesignPoint, &Evaluation)> {
     results
@@ -241,7 +315,7 @@ pub fn codesign_alu_sweep(
     curve: &Arc<Curve>,
     depths: &[u32],
     variants: &VariantConfig,
-) -> Result<Vec<AluFamilyPoint>, CompileError> {
+) -> Result<Vec<AluFamilyPoint>, DseError> {
     let mut out = Vec::with_capacity(depths.len());
     for &d in depths {
         let hw = HwModel::paper_default().with_long_latency(d);
@@ -281,6 +355,42 @@ mod tests {
         assert!(e.area.total() > 0.5 && e.area.total() < 5.0);
         assert!(e.frequency_mhz > 700.0);
         assert!(e.throughput_ops > 1000.0);
+    }
+
+    #[test]
+    fn evaluation_timing_comes_from_the_hw_owner() {
+        // dse carries no timing math of its own: latency/throughput must be
+        // exactly what finesse_hw's model (the single owner) computes.
+        let curve = Curve::by_name("BN254N");
+        let shape = tower_shape(&curve);
+        let point = DesignPoint {
+            label: "default".into(),
+            variants: VariantConfig::all_karatsuba(&shape),
+            hw: HwModel::paper_default(),
+        };
+        let e = evaluate_point(&curve, &point, 2).unwrap();
+        let bits = curve.p().bits() as u32;
+        let depth = point.hw.long_lat;
+        assert_eq!(e.latency_us, latency_us(e.cycles, depth, bits));
+        assert_eq!(e.throughput_ops, throughput_ops(e.cycles, depth, bits, 2));
+    }
+
+    #[test]
+    fn sw_comparison_against_analytic_model() {
+        let curve = Curve::by_name("BN254N");
+        let shape = tower_shape(&curve);
+        let point = DesignPoint {
+            label: "default".into(),
+            variants: VariantConfig::all_karatsuba(&shape),
+            hw: HwModel::paper_default(),
+        };
+        let e = evaluate_point(&curve, &point, 1).unwrap();
+        let model = CostModel::analytic();
+        let cmp = compare_with_software("BN254N", &e, &model).unwrap();
+        assert!(cmp.speedup > 1.0, "the accelerator beats software");
+        assert_eq!(cmp.hw_pairing_ns, e.latency_us * 1000.0);
+        let err = compare_with_software("NOT-A-CURVE", &e, &model).unwrap_err();
+        assert!(matches!(err, DseError::UnknownCurveCost { .. }));
     }
 
     #[test]

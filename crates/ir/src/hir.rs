@@ -58,6 +58,18 @@ pub enum HirOp {
     /// divides the other (Table 4's divisibility rule); the result level
     /// is the larger one.
     Mul(ValueId, ValueId),
+    /// Multiplication of a dense level-k value by a *sparse* level-k value
+    /// given as its `k/6` optional `w`-power coefficients (`None` =
+    /// structurally zero, present entries are level-`k/6` values). This is
+    /// the Miller-loop line multiplication: lowering emits the dedicated
+    /// 13-`fq_mul` schedule for the two twist sparsity patterns (§4.3)
+    /// instead of packing zeros into a dense 54-mul product.
+    MulSparse {
+        /// The dense operand.
+        a: ValueId,
+        /// Sparse `w`-power coefficients of the other operand.
+        parts: Vec<Option<ValueId>>,
+    },
     /// Field squaring.
     Sqr(ValueId),
     /// Cyclotomic squaring (top level only, cyclotomic-subgroup values).
@@ -78,6 +90,11 @@ impl HirOp {
         match self {
             HirOp::Input { .. } | HirOp::Const { .. } => Vec::new(),
             HirOp::Pack { parts } => parts.clone(),
+            HirOp::MulSparse { a, parts } => {
+                let mut ops = vec![*a];
+                ops.extend(parts.iter().flatten().copied());
+                ops
+            }
             HirOp::Add(a, b) | HirOp::Sub(a, b) | HirOp::Mul(a, b) => vec![*a, *b],
             HirOp::Neg(a)
             | HirOp::MulI(a, _)
@@ -274,6 +291,16 @@ impl HirProgram {
                         }
                     }
                 }
+                HirOp::MulSparse { a, parts } => {
+                    if self.level_of(*a) != inst.level || parts.len() != 6 {
+                        return Err(HirError::LevelMismatch { at });
+                    }
+                    for p in parts.iter().flatten() {
+                        if self.level_of(*p) != inst.level / 6 {
+                            return Err(HirError::LevelMismatch { at });
+                        }
+                    }
+                }
                 HirOp::Neg(a)
                 | HirOp::MulI(a, _)
                 | HirOp::Sqr(a)
@@ -329,6 +356,35 @@ mod tests {
         let a = q.declare_input("a", 4);
         let b = q.declare_input("b", 3);
         q.push(HirOp::Mul(a, b), 4);
+        assert!(matches!(q.validate(), Err(HirError::LevelMismatch { .. })));
+    }
+
+    #[test]
+    fn mul_sparse_validates_levels() {
+        let mut p = HirProgram::new();
+        let a = p.declare_input("a", 12);
+        let c0 = p.declare_input("c0", 2);
+        let c1 = p.declare_input("c1", 2);
+        let c3 = p.declare_input("c3", 2);
+        p.push(
+            HirOp::MulSparse {
+                a,
+                parts: vec![Some(c0), Some(c1), None, Some(c3), None, None],
+            },
+            12,
+        );
+        assert!(p.validate().is_ok());
+        // A present coefficient at the wrong level is rejected.
+        let mut q = HirProgram::new();
+        let a = q.declare_input("a", 12);
+        let bad = q.declare_input("c", 4);
+        q.push(
+            HirOp::MulSparse {
+                a,
+                parts: vec![Some(bad), None, None, None, None, None],
+            },
+            12,
+        );
         assert!(matches!(q.validate(), Err(HirError::LevelMismatch { .. })));
     }
 

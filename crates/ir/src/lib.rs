@@ -8,12 +8,14 @@
 //! programs into F_p-level SSA ([`FpProgram`]) ready for scheduling.
 
 pub mod convert;
+pub mod cost;
 pub mod fpir;
 pub mod hir;
 pub mod lower;
 pub mod shape;
 pub mod variants;
 
+pub use cost::{CostModel, CostModelError, CurveCostRow, Kernel, KernelCosts, Provenance};
 pub use fpir::{FpId, FpOp, FpProgram, FpStats, OpClass};
 pub use hir::{HirConst, HirError, HirInput, HirInst, HirOp, HirProgram, ValueId};
 pub use lower::lower;
@@ -250,6 +252,91 @@ mod tests {
         let fp = lower(&hir, &shape, &cfg).unwrap();
         let out = fp.evaluate(curve.fp(), &inputs);
         assert_eq!(fps_to_fpk(tower, &out), expected);
+    }
+
+    /// Lowers `MulSparse` for a given sparsity pattern and compares against
+    /// the tower's dense product with the same structural zeros.
+    fn check_mul_sparse(name: &str, positions: &[usize]) {
+        let curve = Curve::by_name(name);
+        let tower = curve.tower();
+        let shape = TowerShape::for_curve(&curve);
+        let k = shape.k;
+        let q = shape.qdeg();
+        let mut hir = HirProgram::new();
+        let a = hir.declare_input("a", k);
+        let coeffs: Vec<ValueId> = (0..positions.len())
+            .map(|i| hir.declare_input(&format!("c{i}"), q))
+            .collect();
+        let mut parts: Vec<Option<ValueId>> = vec![None; 6];
+        for (i, &pos) in positions.iter().enumerate() {
+            parts[pos] = Some(coeffs[i]);
+        }
+        let r = hir.push(HirOp::MulSparse { a, parts }, k);
+        hir.outputs.push(r);
+
+        let va = tower.fpk_sample(9);
+        let vc: Vec<_> = (0..positions.len() as u64)
+            .map(|i| tower.fq_sample(50 + i))
+            .collect();
+        let mut sparse = [None, None, None, None, None, None];
+        for (i, &pos) in positions.iter().enumerate() {
+            sparse[pos] = Some(vc[i].clone());
+        }
+        let expected = tower.fpk_mul(&va, &tower.fpk_from_sparse(sparse));
+        let inputs: Vec<_> = fpk_to_fps(&va)
+            .into_iter()
+            .chain(vc.iter().flat_map(fq_to_fps))
+            .collect();
+        for cfg in configs(&shape) {
+            let fp = lower(&hir, &shape, &cfg).expect("lowering succeeds");
+            fp.validate().unwrap();
+            let out = fp.evaluate(curve.fp(), &inputs);
+            assert_eq!(
+                fps_to_fpk(tower, &out),
+                expected,
+                "{name} {positions:?} variant {cfg}"
+            );
+        }
+    }
+
+    #[test]
+    fn lowered_mul_sparse_matches_tower_both_twists() {
+        for name in ["BN254N", "BLS12-381", "BLS24-509"] {
+            // D-twist line shape (w⁰, w¹, w³) and M-twist shape (w⁰, w², w³).
+            check_mul_sparse(name, &[0, 1, 3]);
+            check_mul_sparse(name, &[0, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn lowered_mul_sparse_dense_fallback_matches_tower() {
+        // Not a Miller-line pattern: exercises the densifying fallback.
+        check_mul_sparse("BLS12-381", &[1, 4, 5]);
+    }
+
+    #[test]
+    fn mul_sparse_line_costs_13_fq_muls() {
+        // The point of the dedicated schedule: a D-twist line multiplication
+        // costs 13 level-q muls, not the dense 18 (3×6 Karatsuba).
+        let curve = Curve::by_name("BLS12-381");
+        let shape = TowerShape::for_curve(&curve);
+        let q = shape.qdeg();
+        let mut hir = HirProgram::new();
+        let a = hir.declare_input("a", 12);
+        let c0 = hir.declare_input("c0", q);
+        let c1 = hir.declare_input("c1", q);
+        let c3 = hir.declare_input("c3", q);
+        let r = hir.push(
+            HirOp::MulSparse {
+                a,
+                parts: vec![Some(c0), Some(c1), None, Some(c3), None, None],
+            },
+            12,
+        );
+        hir.outputs.push(r);
+        let sparse = lower(&hir, &shape, &VariantConfig::all_karatsuba(&shape)).unwrap();
+        // 13 Fq muls × 3 base muls each (Karatsuba Fp2) = 39 < 54 dense.
+        assert_eq!(sparse.stats().mul, 39);
     }
 
     #[test]

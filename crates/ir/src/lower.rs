@@ -103,6 +103,14 @@ pub fn lower(
                         .collect()
                 }
             }
+            HirOp::MulSparse { a, parts } => {
+                let av = map[a.0 as usize].clone();
+                let pv: Vec<Option<Vec<FpId>>> = parts
+                    .iter()
+                    .map(|p| p.map(|v| map[v.0 as usize].clone()))
+                    .collect();
+                ex.mul_sparse(d, &av, &pv)
+            }
             HirOp::Sqr(a) => ex.sqr(d, &map[a.0 as usize].clone()),
             HirOp::CycloSqr(a) => ex.cyclo_sqr(d, &map[a.0 as usize].clone())?,
             HirOp::Adj(a) => ex.adj(d, &map[a.0 as usize].clone()),
@@ -382,6 +390,126 @@ impl Expander<'_> {
             }
             _ => unreachable!("arity is 2 or 3"),
         }
+    }
+
+    // -- sparse line multiplication (§4.3) --------------------------------
+
+    /// Multiplies a dense level-d value by a sparse one given as optional
+    /// `w`-power coefficients of width d/6.
+    ///
+    /// For the two Miller-line sparsity patterns (D-twist `c0,c1,_,c3,_,_`
+    /// and M-twist `c0,_,c2,c3,_,_`) this emits the dedicated 13-mul
+    /// schedule mirrored from `TowerCtx::fpk_mul_sparse`; any other pattern
+    /// densifies with structural zeros and multiplies normally.
+    fn mul_sparse(&mut self, d: u8, a: &[FpId], parts: &[Option<Vec<FpId>>]) -> Vec<FpId> {
+        let qd = d / 6;
+        let qw = qd as usize;
+        let ld = self.shape.level(d).clone();
+        let fast = d == self.shape.k
+            && ld.arity == 2
+            && ld.parent == 3 * qd
+            && self.shape.level(3 * qd).arity == 3;
+        let present: Vec<bool> = parts.iter().map(|p| p.is_some()).collect();
+        if fast && present == [true, true, false, true, false, false] {
+            // D-twist line c0 + c1·w + c3·w³: even = (c0,0,0), odd = (c1,c3,0).
+            let cubic = self.shape.level(3 * qd).clone();
+            let (c0, c1, c3) = (
+                parts[0].clone().expect("c0"),
+                parts[1].clone().expect("c1"),
+                parts[3].clone().expect("c3"),
+            );
+            let (a0, a1) = split2(a);
+            let t0 = self.c_mul_sparse0(qd, &a0, &c0);
+            let t1 = self.c_mul_sparse01(qd, &cubic, &a1, &c1, &c3);
+            let sum_a = self.add(&a0, &a1);
+            let l0 = self.add(&c0, &c1);
+            let m = self.c_mul_sparse01(qd, &cubic, &sum_a, &l0, &c3);
+            let t01 = self.add(&t0, &t1);
+            let cross = self.sub(&m, &t01);
+            let s_t1 = self.adj(3 * qd, &t1);
+            let even = self.add(&t0, &s_t1);
+            [even, cross].concat()
+        } else if fast && present == [true, false, true, true, false, false] {
+            // M-twist line c0 + c2·w² + c3·w³: even = (c0,c2,0), odd = (0,c3,0).
+            let cubic = self.shape.level(3 * qd).clone();
+            let (c0, c2, c3) = (
+                parts[0].clone().expect("c0"),
+                parts[2].clone().expect("c2"),
+                parts[3].clone().expect("c3"),
+            );
+            let (a0, a1) = split2(a);
+            let t0 = self.c_mul_sparse01(qd, &cubic, &a0, &c0, &c2);
+            let t1 = self.c_mul_sparse1(qd, &cubic, &a1, &c3);
+            let sum_a = self.add(&a0, &a1);
+            let l1 = self.add(&c2, &c3);
+            let m = self.c_mul_sparse01(qd, &cubic, &sum_a, &c0, &l1);
+            let t01 = self.add(&t0, &t1);
+            let cross = self.sub(&m, &t01);
+            let s_t1 = self.adj(3 * qd, &t1);
+            let even = self.add(&t0, &s_t1);
+            [even, cross].concat()
+        } else {
+            // Densify: w-power order → internal (even ‖ odd) order, then a
+            // dense top-level multiplication.
+            let mut flat: Vec<Vec<FpId>> = Vec::with_capacity(6);
+            for p in parts {
+                flat.push(match p {
+                    Some(v) => v.clone(),
+                    None => (0..qw).map(|_| self.zero()).collect(),
+                });
+            }
+            let mut b = Vec::with_capacity(d as usize);
+            for m in [0usize, 2, 4, 1, 3, 5] {
+                b.extend_from_slice(&flat[m]);
+            }
+            self.mul(d, a, &b)
+        }
+    }
+
+    /// `a · (b0, 0, 0)` at the cubic level: 3 width-q multiplications.
+    fn c_mul_sparse0(&mut self, qd: u8, a: &[FpId], b0: &[FpId]) -> Vec<FpId> {
+        let (a0, a1, a2) = split3(a);
+        let r0 = self.mul(qd, &a0, b0);
+        let r1 = self.mul(qd, &a1, b0);
+        let r2 = self.mul(qd, &a2, b0);
+        [r0, r1, r2].concat()
+    }
+
+    /// `a · (0, b1, 0)` at the cubic level: 3 width-q multiplications
+    /// plus one ξ reduction.
+    fn c_mul_sparse1(&mut self, qd: u8, cubic: &LevelDesc, a: &[FpId], b1: &[FpId]) -> Vec<FpId> {
+        let (a0, a1, a2) = split3(a);
+        let m2 = self.mul(qd, &a2, b1);
+        let r0 = self.mul_nonres(cubic, &m2);
+        let r1 = self.mul(qd, &a0, b1);
+        let r2 = self.mul(qd, &a1, b1);
+        [r0, r1, r2].concat()
+    }
+
+    /// `a · (b0, b1, 0)` at the cubic level: 5 width-q multiplications
+    /// (Karatsuba on the 0/1 pair).
+    fn c_mul_sparse01(
+        &mut self,
+        qd: u8,
+        cubic: &LevelDesc,
+        a: &[FpId],
+        b0: &[FpId],
+        b1: &[FpId],
+    ) -> Vec<FpId> {
+        let (a0, a1, a2) = split3(a);
+        let v0 = self.mul(qd, &a0, b0);
+        let v1 = self.mul(qd, &a1, b1);
+        let sa = self.add(&a0, &a1);
+        let sb = self.add(b0, b1);
+        let m = self.mul(qd, &sa, &sb);
+        let t = self.sub(&m, &v0);
+        let t01 = self.sub(&t, &v1);
+        let t12 = self.mul(qd, &a2, b1);
+        let t02 = self.mul(qd, &a2, b0);
+        let n12 = self.mul_nonres(cubic, &t12);
+        let c0 = self.add(&v0, &n12);
+        let c2 = self.add(&t02, &v1);
+        [c0, t01, c2].concat()
     }
 
     // -- squaring ----------------------------------------------------------

@@ -132,12 +132,9 @@ pub fn run_image(
         }
     }
 
-    let mut ports: Vec<u16> = outputs.keys().copied().collect();
-    ports.sort_unstable();
-    Ok(ports
-        .into_iter()
-        .map(|p| outputs.remove(&p).unwrap())
-        .collect())
+    let mut ports: Vec<(u16, _)> = outputs.into_iter().collect();
+    ports.sort_unstable_by_key(|(p, _)| *p);
+    Ok(ports.into_iter().map(|(_, v)| v).collect())
 }
 
 #[cfg(test)]

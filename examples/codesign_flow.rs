@@ -4,8 +4,17 @@
 //! ```text
 //! cargo run --example codesign_flow
 //! ```
+//!
+//! The closing step prices the simulated accelerator against the
+//! *measured* software baseline: `CostModel::load` reads the medians
+//! CI commits to `results/BENCH_fieldops.json` (falling back to the
+//! analytic model when the file is absent, e.g. when running from a
+//! different working directory), and `compare_with_software` turns the
+//! simulated latency into the paper's headline speedup. The same model
+//! drives `experiments -- --codesign-report` (table2/fig2).
 
-use finesse_core::{DesignFlow, FlowConfig};
+use finesse_core::{compare_with_software, CostModel, DesignFlow, FlowConfig};
+use std::path::Path;
 
 fn main() {
     // A design described in the plain-text configuration format (the
@@ -24,6 +33,23 @@ fn main() {
 
     let accelerator = DesignFlow::from_config(&cfg).build().expect("compiles");
     println!("{}", accelerator.report());
+
+    // Price the design against the current software floor: measured
+    // medians when the committed bench JSON is on disk, analytic
+    // defaults otherwise. This is the co-design loop closing — the same
+    // CostModel the DSE and the paper artifacts (table2/fig2) use.
+    let model = CostModel::load(Path::new("results/BENCH_fieldops.json"))
+        .unwrap_or_else(|_| CostModel::analytic());
+    match compare_with_software("BN254N", accelerator.evaluation(), &model) {
+        Ok(cmp) => println!(
+            "\nvs software ({}): {:.2} ms SW pairing -> {:.1} us simulated = x{:.0}",
+            model.describe(),
+            cmp.sw_pairing_ns / 1e6,
+            cmp.hw_pairing_ns / 1e3,
+            cmp.speedup
+        ),
+        Err(e) => println!("\nvs software: unavailable ({e})"),
+    }
 
     // The validation stage: run the compiled binary on test vectors and
     // compare against the reference pairing library.

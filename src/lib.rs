@@ -8,7 +8,7 @@
 //!
 //! let acc = DesignFlow::for_curve("BN254N").build()?;
 //! println!("{}", acc.report());
-//! # Ok::<(), finesse::compiler::CompileError>(())
+//! # Ok::<(), finesse::dse::DseError>(())
 //! ```
 //!
 //! See README.md for the architecture overview and the per-crate map of

@@ -1,0 +1,156 @@
+//! CostModel loader tests: fixture round-trip, schema rejection, and a
+//! differential check that the analytic defaults and the committed
+//! measured medians rank a candidate set the same way — so swapping
+//! dse/sim from embedded constants to the shared model cannot silently
+//! reorder design decisions.
+
+use finesse::core::{CostModel, CostModelError, Kernel, Provenance};
+use std::path::Path;
+
+/// A minimal but complete v5 emission: one curve row plus a
+/// `batch_verify` block with the 32-check amortized cost.
+const FIXTURE: &str = r#"{
+  "schema": "finesse-bench-fieldops/v5",
+  "harness": "median of 5 batches, ns per op",
+  "commit": "abc123def456",
+  "date": "2026-08-08",
+
+  "cost_model": {
+    "consumer": "finesse_ir::cost::CostModel::from_bench_json",
+    "provenance": "fixture",
+    "consumed_fields": ["fq_mul_ns", "pairing_ns"]
+  },
+
+  "curves": [
+    {"curve": "BN254N", "p_bits": 254, "limbs": 4,
+     "fp_mul_ns": 41.6, "fp_sqr_ns": 40.0, "fq_mul_ns": 820.0,
+     "g1_mul_ns": 161838.0, "g1_mul_fixed_ns": 62208.0,
+     "g2_mul_ns": 485000.0, "g2_mul_fixed_ns": 242000.0,
+     "msm64_g1_ns": 3000000.0, "msm256_g1_ns": 9168355.0,
+     "msm1024_g1_ns": 29000000.0, "msm4096_g1_ns": 108344515.0,
+     "pairing_ns": 3140000.0}
+  ],
+
+  "batch_verify": {
+    "note": "fixture",
+    "rows": [
+      {"curve": "BN254N", "n": 8, "amortized_ns_per_check": 900000.0},
+      {"curve": "BN254N", "n": 32, "amortized_ns_per_check": 700000.0}
+    ]
+  }
+}
+"#;
+
+#[test]
+fn fixture_round_trip() {
+    let model = CostModel::from_bench_json(FIXTURE).expect("fixture parses");
+    match model.provenance() {
+        Provenance::Measured {
+            schema,
+            commit,
+            date,
+        } => {
+            assert_eq!(schema, "finesse-bench-fieldops/v5");
+            assert_eq!(commit, "abc123def456");
+            assert_eq!(date, "2026-08-08");
+        }
+        other => panic!("expected measured provenance, got {other:?}"),
+    }
+    let row = model.curve("BN254N").expect("row present");
+    assert_eq!(row.p_bits, 254);
+    assert_eq!(row.limbs, 4);
+    assert_eq!(model.cost_ns("BN254N", Kernel::FqMul), Some(820.0));
+    assert_eq!(model.cost_ns("BN254N", Kernel::Pairing), Some(3_140_000.0));
+    assert_eq!(
+        model.cost_ns("BN254N", Kernel::Msm4096),
+        Some(108_344_515.0)
+    );
+    // The n=32 batch_verify row (not the n=8 one) is the amortized cost.
+    assert_eq!(
+        model.cost_ns("BN254N", Kernel::BatchVerifyCheck),
+        Some(700_000.0)
+    );
+    assert_eq!(model.cost_ns("NOT-A-CURVE", Kernel::Pairing), None);
+}
+
+#[test]
+fn schema_version_mismatch_is_rejected() {
+    let old = FIXTURE.replace("finesse-bench-fieldops/v5", "finesse-bench-fieldops/v3");
+    match CostModel::from_bench_json(&old) {
+        Err(CostModelError::SchemaVersion { found }) => {
+            assert_eq!(found, "finesse-bench-fieldops/v3");
+        }
+        other => panic!("expected SchemaVersion error, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_curves_is_rejected() {
+    let err =
+        CostModel::from_bench_json("{\"schema\": \"finesse-bench-fieldops/v5\", \"curves\": []}")
+            .unwrap_err();
+    assert!(matches!(err, CostModelError::NoCurves), "{err:?}");
+}
+
+#[test]
+fn committed_bench_json_loads_as_measured() {
+    let model =
+        CostModel::load(Path::new("results/BENCH_fieldops.json")).expect("committed JSON loads");
+    assert!(matches!(model.provenance(), Provenance::Measured { .. }));
+    // Every Table-2 curve must be priced for every scalar kernel.
+    for name in [
+        "BN254N",
+        "BN462",
+        "BN638",
+        "BLS12-381",
+        "BLS12-446",
+        "BLS12-638",
+        "BLS24-509",
+    ] {
+        for k in [
+            Kernel::FqMul,
+            Kernel::G1Mul,
+            Kernel::G1MulFixed,
+            Kernel::Msm256,
+            Kernel::Pairing,
+        ] {
+            assert!(
+                model.cost_ns(name, k).is_some_and(|c| c > 0.0),
+                "{name}/{k:?} missing"
+            );
+        }
+    }
+}
+
+/// The differential gate: analytic defaults and measured medians must
+/// rank the candidate set identically per kernel — the ordering dse's
+/// previously-embedded constants encoded (cheaper field → cheaper
+/// kernel, BLS24's k=24 tower dominating everything).
+#[test]
+fn analytic_and_measured_rank_candidates_consistently() {
+    let analytic = CostModel::analytic();
+    let measured =
+        CostModel::load(Path::new("results/BENCH_fieldops.json")).expect("committed JSON loads");
+    let candidates = ["BN254N", "BLS12-381", "BLS24-509"];
+    for kernel in [
+        Kernel::FqMul,
+        Kernel::G1Mul,
+        Kernel::G1MulFixed,
+        Kernel::Msm256,
+        Kernel::Pairing,
+    ] {
+        let order = |m: &CostModel| -> Vec<&str> {
+            let mut v: Vec<(&str, f64)> = candidates
+                .iter()
+                .map(|c| (*c, m.cost_ns(c, kernel).expect("candidate priced")))
+                .collect();
+            v.sort_by(|a, b| a.1.total_cmp(&b.1));
+            v.into_iter().map(|(c, _)| c).collect()
+        };
+        assert_eq!(
+            order(&analytic),
+            order(&measured),
+            "analytic and measured models disagree on {kernel:?} ranking"
+        );
+    }
+}
