@@ -1,0 +1,134 @@
+//! The workspace-level error type.
+//!
+//! Every fallible layer of the stack defines its own narrow error enum —
+//! [`FieldCtxError`]/[`FieldBytesError`] in `finesse-ff`, [`TowerError`]
+//! for the extension tower, [`CurveError`] for curve construction and
+//! group arithmetic, [`DecodeError`] for the untrusted wire format, and
+//! [`DseError`] for the design-space flow. [`FinesseError`] unifies them
+//! so applications that drive the whole framework can use one `?`-able
+//! type without erasing which layer rejected the input.
+
+use std::fmt;
+
+pub use finesse_curves::{CurveError, DecodeError};
+pub use finesse_dse::DseError;
+pub use finesse_ff::{FieldBytesError, FieldCtxError, TowerError};
+
+/// Any error the Finesse workspace can produce, tagged by origin layer.
+///
+/// Obtained via `From` on each layer's error type, so application code
+/// can `?` across layers:
+///
+/// ```
+/// use finesse_core::FinesseError;
+/// use finesse_curves::Curve;
+///
+/// fn parse_point(bytes: &[u8]) -> Result<(), FinesseError> {
+///     let curve = Curve::try_by_name("BN254N")?; // CurveError -> FinesseError
+///     let _p = curve.decode_g1(bytes)?; // DecodeError -> FinesseError
+///     Ok(())
+/// }
+/// assert!(parse_point(&[0x07]).is_err());
+/// ```
+#[derive(Debug)]
+pub enum FinesseError {
+    /// Base-field context construction failed (`finesse-ff`).
+    FieldCtx(FieldCtxError),
+    /// A canonical field-element encoding was rejected (`finesse-ff`).
+    FieldBytes(FieldBytesError),
+    /// Tower construction or element assembly failed (`finesse-ff`).
+    Tower(TowerError),
+    /// Curve construction or group arithmetic failed (`finesse-curves`).
+    Curve(CurveError),
+    /// An untrusted point encoding was rejected (`finesse-curves`).
+    Decode(DecodeError),
+    /// The design flow or cost model failed (`finesse-dse`).
+    Dse(DseError),
+}
+
+impl fmt::Display for FinesseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FinesseError::FieldCtx(e) => write!(f, "field context: {e}"),
+            FinesseError::FieldBytes(e) => write!(f, "field encoding: {e}"),
+            FinesseError::Tower(e) => write!(f, "tower: {e}"),
+            FinesseError::Curve(e) => write!(f, "curve: {e}"),
+            FinesseError::Decode(e) => write!(f, "point encoding: {e}"),
+            FinesseError::Dse(e) => write!(f, "design flow: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FinesseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FinesseError::FieldCtx(e) => Some(e),
+            FinesseError::FieldBytes(e) => Some(e),
+            FinesseError::Tower(e) => Some(e),
+            FinesseError::Curve(e) => Some(e),
+            FinesseError::Decode(e) => Some(e),
+            FinesseError::Dse(e) => Some(e),
+        }
+    }
+}
+
+impl From<FieldCtxError> for FinesseError {
+    fn from(e: FieldCtxError) -> Self {
+        FinesseError::FieldCtx(e)
+    }
+}
+
+impl From<FieldBytesError> for FinesseError {
+    fn from(e: FieldBytesError) -> Self {
+        FinesseError::FieldBytes(e)
+    }
+}
+
+impl From<TowerError> for FinesseError {
+    fn from(e: TowerError) -> Self {
+        FinesseError::Tower(e)
+    }
+}
+
+impl From<CurveError> for FinesseError {
+    fn from(e: CurveError) -> Self {
+        FinesseError::Curve(e)
+    }
+}
+
+impl From<DecodeError> for FinesseError {
+    fn from(e: DecodeError) -> Self {
+        FinesseError::Decode(e)
+    }
+}
+
+impl From<DseError> for FinesseError {
+    fn from(e: DseError) -> Self {
+        FinesseError::Dse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_tags_layer_and_chains_source() {
+        let e: FinesseError = DecodeError::InvalidTag(0x07).into();
+        let msg = format!("{e}");
+        assert!(msg.starts_with("point encoding:"), "{msg}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn question_mark_crosses_layers() {
+        fn inner() -> Result<(), FinesseError> {
+            Err(FieldBytesError::NonCanonical)?;
+            Ok(())
+        }
+        assert!(matches!(
+            inner(),
+            Err(FinesseError::FieldBytes(FieldBytesError::NonCanonical))
+        ));
+    }
+}

@@ -104,8 +104,11 @@ impl<V> PointKeyedCache<V> {
     /// Marks `key` most-recently-used.
     fn touch(&mut self, key: &[u64]) {
         if let Some(pos) = self.order.iter().position(|k| k == key) {
-            let k = self.order.remove(pos).expect("position is in range");
-            self.order.push_back(k);
+            // `pos` came from `position` on the same deque, so remove
+            // always yields the entry.
+            if let Some(k) = self.order.remove(pos) {
+                self.order.push_back(k);
+            }
         }
     }
 

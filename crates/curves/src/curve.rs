@@ -75,6 +75,12 @@ pub enum CurveError {
         /// Number of scalars supplied.
         scalars: usize,
     },
+    /// A curve name not present in the built-in Table 2 registry
+    /// (reported by [`Curve::try_by_name`] for untrusted names).
+    UnknownCurve {
+        /// The name that failed to resolve.
+        name: String,
+    },
 }
 
 impl fmt::Display for CurveError {
@@ -116,6 +122,9 @@ impl fmt::Display for CurveError {
                     f,
                     "{what} needs one scalar per point, got {points} points and {scalars} scalars"
                 )
+            }
+            CurveError::UnknownCurve { name } => {
+                write!(f, "unknown curve name: {name}")
             }
         }
     }
@@ -223,6 +232,11 @@ pub struct Curve {
     g1_comb: OnceLock<CombTable<Fp>>,
     /// Fixed-base comb for the G2 generator (same lazy contract).
     g2_comb: OnceLock<CombTable<Fq>>,
+    /// Lazily derived and gcd-certified fast G1 subgroup-check data
+    /// (see the [`crate::subgroup`] module).
+    g1_subgroup: OnceLock<crate::subgroup::G1Check>,
+    /// Same for G2.
+    g2_subgroup: OnceLock<crate::subgroup::G2Check>,
     table2_security: u32,
 }
 
@@ -350,7 +364,9 @@ impl Curve {
             }
             24 => {
                 assert_eq!(xi.len(), 4, "k=24 xi needs 4 coefficients");
-                let (c0, c1) = xi2.expect("k=24 spec must provide xi2");
+                // A k=24 tower cannot be built without the quartic
+                // non-residue; a spec missing it is reported, not fatal.
+                let (c0, c1) = xi2.ok_or(CurveError::Tower(TowerError::UnsupportedDegree))?;
                 TowerCtx::sextic_over_fp4(
                     &fp,
                     beta_fp,
@@ -413,6 +429,8 @@ impl Curve {
             gls_g2,
             g1_comb: OnceLock::new(),
             g2_comb: OnceLock::new(),
+            g1_subgroup: OnceLock::new(),
+            g2_subgroup: OnceLock::new(),
             table2_security,
         })
     }
@@ -437,10 +455,8 @@ impl Curve {
     /// down the matching (β, λ) pair empirically via `φ(G) = [λ]G`.
     fn derive_glv_g1(fp: &Arc<FpCtx>, ops: &FpOps, g1: &Affine<Fp>, r: &BigUint) -> Option<GlvG1> {
         let lambda0 = Self::cube_root_of_unity(r)?;
-        let lambda1 = r
-            .checked_sub(&BigUint::one())?
-            .checked_sub(&lambda0)
-            .expect("lambda < r");
+        // lambda0 is a residue mod r, so r - 1 - lambda0 cannot underflow.
+        let lambda1 = r.checked_sub(&BigUint::one())?.checked_sub(&lambda0)?;
         let beta0 = fp.from_biguint(&Self::cube_root_of_unity(fp.modulus())?);
         // The other root: β² = −1 − β.
         let beta1 = -&(&beta0 + &fp.one());
@@ -822,6 +838,16 @@ impl Curve {
         &self.gls_g2
     }
 
+    /// The lazy cell holding the certified G1 subgroup-check data.
+    pub(crate) fn g1_subgroup_cache(&self) -> &OnceLock<crate::subgroup::G1Check> {
+        &self.g1_subgroup
+    }
+
+    /// The lazy cell holding the certified G2 subgroup-check data.
+    pub(crate) fn g2_subgroup_cache(&self) -> &OnceLock<crate::subgroup::G2Check> {
+        &self.g2_subgroup
+    }
+
     /// ψ's eigenvalue `p mod r` on the r-torsion.
     pub fn gls_eigenvalue(&self) -> BigUint {
         self.p.rem(&self.r)
@@ -1064,16 +1090,19 @@ impl Curve {
             .iter()
             .zip(&closures)
             .map(|(m, c)| {
-                m.map(|(src, _)| {
-                    let (aff, jac) = c.as_ref().expect("closure exists for mapped term");
-                    (
-                        src,
+                // closures[i] is Some exactly when psi_source[i] is Some
+                // (both map over the same source entries), so zipping a
+                // mapped term with its closure pair never misses.
+                match (m, c) {
+                    (Some((src, _)), Some((aff, jac))) => Some((
+                        *src,
                         EndoMap {
                             affine: aff.as_ref(),
                             jacobian: jac.as_ref(),
                         },
-                    )
-                })
+                    )),
+                    _ => None,
+                }
             })
             .collect();
         jac_multi_mul_mapped(ops, terms, &table_maps)
@@ -1151,7 +1180,7 @@ impl Curve {
                 pts.push(p.clone());
                 ks.push(self.reduce_mod_r(k));
             }
-            return Ok(to_affine(&ops, &point_msm(&ops, &pts, &ks)));
+            return Ok(to_affine(&ops, &point_msm(&ops, &pts, &ks)?));
         };
         let mut terms = Vec::with_capacity(points.len() * 2);
         let mut phi_source = Vec::with_capacity(points.len() * 2);
@@ -1194,7 +1223,7 @@ impl Curve {
         if scalars.iter().any(|k| k.bits() > half_bits) {
             return Ok(to_jacobian(&ops, &self.g1_msm(points, scalars)?));
         }
-        Ok(point_msm(&ops, points, scalars))
+        point_msm(&ops, points, scalars)
     }
 
     /// Multi-scalar multiplication `Σ kᵢ·Pᵢ` over G1 for **short**
@@ -1394,7 +1423,13 @@ where
         })
         .collect();
     let ks: Vec<BigUint> = terms.iter().map(|t| t.scalar.clone()).collect();
-    point_msm(ops, &pts, &ks)
+    // pts and ks come from the same term list, so the kernel's length
+    // check cannot fail; map the impossible error to the identity.
+    point_msm(ops, &pts, &ks).unwrap_or(Jacobian {
+        x: ops.one(),
+        y: ops.one(),
+        z: ops.zero(),
+    })
 }
 
 /// Global cache of constructed curves (construction costs tens of ms to
@@ -1412,19 +1447,43 @@ impl Curve {
     ///
     /// Panics if the name is unknown or construction fails — both indicate
     /// corrupted built-in parameters, which is a build-breaking bug.
+    /// Code that takes the curve name from untrusted input (config files,
+    /// RPC) should use [`Curve::try_by_name`] instead.
+    // This is the one documented programmer-error panic exempt from the
+    // workspace panic-free lint gate; everything else goes through
+    // try_by_name.
+    #[allow(clippy::panic)]
     pub fn by_name(name: &str) -> Arc<Curve> {
-        let spec =
-            crate::spec::spec_by_name(name).unwrap_or_else(|| panic!("unknown curve name: {name}"));
-        let mut reg = registry().lock().expect("curve registry poisoned");
-        if let Some(c) = reg.get(spec.name) {
-            return Arc::clone(c);
+        match Self::try_by_name(name) {
+            Ok(c) => c,
+            Err(e) => panic!("built-in curve {name} unavailable: {e}"),
         }
-        let curve =
-            Arc::new(Curve::from_spec(spec).unwrap_or_else(|e| {
-                panic!("built-in curve {} failed to construct: {e}", spec.name)
-            }));
+    }
+
+    /// Fallible variant of [`Curve::by_name`] for untrusted curve names:
+    /// returns [`CurveError::UnknownCurve`] instead of panicking when the
+    /// name is not in Table 2, and surfaces construction errors.
+    ///
+    /// # Errors
+    ///
+    /// [`CurveError::UnknownCurve`] for an unrecognised name, or any
+    /// construction error from [`Curve::from_spec`].
+    pub fn try_by_name(name: &str) -> Result<Arc<Curve>, CurveError> {
+        let spec = crate::spec::spec_by_name(name).ok_or_else(|| CurveError::UnknownCurve {
+            name: name.to_owned(),
+        })?;
+        // Recover from a poisoned lock: the registry holds only fully
+        // constructed curves, so the map is valid even if another thread
+        // panicked while holding it.
+        let mut reg = registry()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(c) = reg.get(spec.name) {
+            return Ok(Arc::clone(c));
+        }
+        let curve = Arc::new(Curve::from_spec(spec)?);
         reg.insert(spec.name.to_owned(), Arc::clone(&curve));
-        curve
+        Ok(curve)
     }
 }
 

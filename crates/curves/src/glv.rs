@@ -203,8 +203,10 @@ pub fn bn_psi_basis(t: &BigInt, zeta: &BigUint, r: &BigUint) -> Option<Dim4Basis
     // Validate lattice membership of every row.
     let zeta_pows = {
         let mut pows = vec![BigUint::one()];
+        let mut prev = BigUint::one();
         for _ in 1..4 {
-            pows.push((pows.last().unwrap() * zeta).rem(r));
+            prev = (&prev * zeta).rem(r);
+            pows.push(prev.clone());
         }
         pows
     };
@@ -297,7 +299,8 @@ pub fn balanced_digits(k: &BigUint, t: &BigInt) -> Vec<BigInt> {
         let r0 = acc.rem_euclid(t_abs);
         // Balance the remainder into (−|t|/2, |t|/2].
         let d = if r0 > half {
-            BigInt::from_sign_magnitude(true, t_abs.checked_sub(&r0).expect("r0 < |t|"))
+            // r0 = acc mod |t| < |t|, so the subtraction cannot underflow.
+            BigInt::from_sign_magnitude(true, t_abs.checked_sub(&r0).unwrap_or_default())
         } else {
             BigInt::from_biguint(r0)
         };

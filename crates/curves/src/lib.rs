@@ -22,6 +22,8 @@ pub mod curve;
 pub mod glv;
 pub mod point;
 pub mod spec;
+pub mod subgroup;
+pub mod wire;
 
 pub use cache::{g1_point_key, g2_point_key, PointKey, PointKeyedCache};
 pub use curve::{Curve, CurveError, GlsG2, GlvG1, TwistKind};
@@ -32,3 +34,4 @@ pub use point::{
     TableMap, WnafScratch,
 };
 pub use spec::{all_specs, spec_by_name, CurveSpec, Family};
+pub use wire::{Compression, DecodeError};

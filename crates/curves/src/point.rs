@@ -6,6 +6,7 @@
 //! codebase. The pairing crate layers its own fused line/point formulas on
 //! top of the same trait.
 
+use crate::curve::CurveError;
 use finesse_ff::{BigUint, Fp, FpCtx, Fq, TowerCtx};
 use std::fmt::Debug;
 use std::sync::Arc;
@@ -252,7 +253,12 @@ pub fn batch_to_affine<O: FieldOps>(ops: &O, pts: &[Jacobian<O::El>]) -> Vec<Aff
             if ops.is_zero(&p.z) {
                 return Affine::infinity(ops.zero());
             }
-            let zinv = inv_iter.next().expect("one inverse per finite point");
+            // The zs vector holds exactly one inverse per finite point,
+            // consumed in the same filter order; fall back to the
+            // identity if the iterator is somehow exhausted.
+            let Some(zinv) = inv_iter.next() else {
+                return Affine::infinity(ops.zero());
+            };
             let zinv2 = ops.sqr(&zinv);
             let zinv3 = ops.mul(&zinv2, &zinv);
             Affine::new(ops.mul(&p.x, &zinv2), ops.mul(&p.y, &zinv3))
@@ -871,11 +877,14 @@ pub fn jac_multi_mul_mapped<O: FieldOps>(
         for &i in &live {
             let table = match map_of(i) {
                 None => {
-                    let slot = fresh_slot[i].expect("fresh term has a slot");
+                    // Filled by the fresh-table pass above for every
+                    // unmapped live term.
+                    let slot = fresh_slot[i].unwrap_or(0);
                     affine_fresh[slot * WNAF_TABLE..(slot + 1) * WNAF_TABLE].to_vec()
                 }
                 Some((src, f)) => {
-                    let src_pos = live_pos[src].expect("usable map source is live");
+                    // map_of only yields sources whose live_pos is set.
+                    let src_pos = live_pos[src].unwrap_or(0);
                     tables[src_pos].iter().map(f.affine).collect()
                 }
             };
@@ -904,7 +913,8 @@ pub fn jac_multi_mul_mapped<O: FieldOps>(
             let table = match map_of(i) {
                 None => odd_multiples(ops, to_jacobian(ops, &terms[i].point)),
                 Some((src, f)) => {
-                    let src_pos = live_pos[src].expect("usable map source is live");
+                    // map_of only yields sources whose live_pos is set.
+                    let src_pos = live_pos[src].unwrap_or(0);
                     let src_table = &tables[src_pos];
                     std::array::from_fn(|j| (f.jacobian)(&src_table[j]))
                 }
@@ -1081,22 +1091,28 @@ fn pippenger_window_sums<O: FieldOps>(
 /// reduce first — the curve-level `g1_msm`/`g2_msm` do, and additionally
 /// split each scalar along the curve endomorphism before calling here).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `points` and `scalars` have different lengths (the
-/// curve-level `g1_msm`/`g2_msm` wrappers report this as a
-/// `CurveError` instead; this point-level kernel keeps the assert as a
-/// programmer-error contract).
-pub fn msm<O>(ops: &O, points: &[Affine<O::El>], scalars: &[BigUint]) -> Jacobian<O::El>
+/// Returns [`CurveError::MsmLengthMismatch`] if `points` and `scalars`
+/// have different lengths — batch verifiers feed these slices from
+/// untrusted transcripts, so every MSM layer (this kernel included)
+/// reports the mismatch instead of aborting the process.
+pub fn msm<O>(
+    ops: &O,
+    points: &[Affine<O::El>],
+    scalars: &[BigUint],
+) -> Result<Jacobian<O::El>, CurveError>
 where
     O: FieldOps + Sync,
     O::El: Send + Sync,
 {
-    assert_eq!(
-        points.len(),
-        scalars.len(),
-        "msm needs one scalar per point"
-    );
+    if points.len() != scalars.len() {
+        return Err(CurveError::MsmLengthMismatch {
+            what: "msm",
+            points: points.len(),
+            scalars: scalars.len(),
+        });
+    }
     let identity = Jacobian {
         x: ops.one(),
         y: ops.one(),
@@ -1108,14 +1124,14 @@ where
         .filter(|(p, k)| !p.infinity && !k.is_zero())
         .collect();
     if live.is_empty() {
-        return identity;
+        return Ok(identity);
     }
     if live.len() < MSM_PIPPENGER_MIN {
         let mut acc = identity;
         for (p, k) in live {
             acc = jac_add(ops, &acc, &jac_mul(ops, p, k));
         }
-        return acc;
+        return Ok(acc);
     }
     if live.len() < MSM_STRAUS_MAX {
         let terms: Vec<MulTerm<O::El>> = live
@@ -1126,7 +1142,7 @@ where
                 negate: false,
             })
             .collect();
-        return jac_multi_mul(ops, &terms);
+        return Ok(jac_multi_mul(ops, &terms));
     }
     let c = pippenger_window(live.len());
     let max_bits = live.iter().map(|(_, k)| k.bits()).max().unwrap_or(0);
@@ -1144,10 +1160,13 @@ where
         } else {
             vec![pippenger_window_sums(ops, &live, c, windows)]
         };
-    let window_sums = finesse_parallel::tree_reduce(partials, |a, b| {
+    // tree_reduce returns None only for an empty input; the live set is
+    // non-empty here, so there is always at least one shard.
+    let Some(window_sums) = finesse_parallel::tree_reduce(partials, |a, b| {
         a.iter().zip(&b).map(|(x, y)| jac_add(ops, x, y)).collect()
-    })
-    .expect("at least one shard");
+    }) else {
+        return Ok(identity);
+    };
     // Serial doubling chain over the combined per-window sums.
     let mut acc = identity;
     for w in (0..windows).rev() {
@@ -1158,7 +1177,7 @@ where
         }
         acc = jac_add(ops, &acc, &window_sums[w]);
     }
-    acc
+    Ok(acc)
 }
 
 /// One affine addition scheduled against a round's shared inversion.
@@ -1635,7 +1654,7 @@ mod tests {
             let scalars: Vec<BigUint> = (0..n)
                 .map(|i| BigUint::from_u64((i as u64 * 7 + 3) % 61))
                 .collect();
-            let got = to_affine(&ops, &msm(&ops, &points, &scalars));
+            let got = to_affine(&ops, &msm(&ops, &points, &scalars).unwrap());
             let mut want = Jacobian {
                 x: ops.one(),
                 y: ops.one(),
@@ -1655,7 +1674,7 @@ mod tests {
             BigUint::zero(),
             BigUint::from_u64(5),
         ];
-        let got = to_affine(&ops, &msm(&ops, &points, &scalars));
+        let got = to_affine(&ops, &msm(&ops, &points, &scalars).unwrap());
         let want = jac_add(
             &ops,
             &scalar_mul(&ops, &pts[0], &BigUint::from_u64(4)),
@@ -1718,7 +1737,7 @@ mod tests {
         let scalars: Vec<BigUint> = (0..n)
             .map(|i| BigUint::from_u64((i as u64).wrapping_mul(0x9E37_79B9) % 2048))
             .collect();
-        let got = to_affine(&ops, &msm(&ops, &points, &scalars));
+        let got = to_affine(&ops, &msm(&ops, &points, &scalars).unwrap());
         let mut want = Jacobian {
             x: ops.one(),
             y: ops.one(),
@@ -1731,11 +1750,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one scalar per point")]
-    fn msm_length_mismatch_panics() {
+    fn msm_length_mismatch_is_typed_error() {
         let (ops, b) = tiny();
         let pts = points_on_tiny(&ops, &b);
-        let _ = msm(&ops, &pts[..2], &[BigUint::from_u64(1)]);
+        let err = msm(&ops, &pts[..2], &[BigUint::from_u64(1)]).unwrap_err();
+        match err {
+            CurveError::MsmLengthMismatch {
+                what,
+                points,
+                scalars,
+            } => {
+                assert_eq!(what, "msm");
+                assert_eq!(points, 2);
+                assert_eq!(scalars, 1);
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
     }
 
     #[test]

@@ -38,9 +38,11 @@ impl Family {
                 let tm1 = t - &BigInt::one();
                 let r = self.order(t);
                 let num = &(&tm1 * &tm1) * &r;
+                // num = (t-1)^2 * r is a product of a square and the
+                // (positive) group order, so it is never negative.
                 let third = BigInt::from_biguint(
                     num.to_biguint()
-                        .expect("positive")
+                        .unwrap_or_default()
                         .div_exact(&BigUint::from_u64(3)),
                 );
                 &third + t
@@ -49,9 +51,11 @@ impl Family {
                 let tm1 = t - &BigInt::one();
                 let r = self.order(t);
                 let num = &(&tm1 * &tm1) * &r;
+                // num = (t-1)^2 * r is a product of a square and the
+                // (positive) group order, so it is never negative.
                 let third = BigInt::from_biguint(
                     num.to_biguint()
-                        .expect("positive")
+                        .unwrap_or_default()
                         .div_exact(&BigUint::from_u64(3)),
                 );
                 &third + t

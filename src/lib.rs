@@ -25,3 +25,5 @@ pub use finesse_isa as isa;
 pub use finesse_pairing as pairing;
 pub use finesse_parallel as parallel;
 pub use finesse_sim as sim;
+
+pub use finesse_core::FinesseError;

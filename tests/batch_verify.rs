@@ -247,3 +247,68 @@ fn transcript_is_deterministic_and_order_sensitive() {
         assert!(rho.bits() <= 128);
     }
 }
+
+/// A check that does *not* hold: `e([a]G1, G2) =? e(G1, [a+1]G2)`.
+fn tampered_check(c: &Arc<Curve>, a: u64) -> (Affine<Fp>, Affine<Fq>, Affine<Fp>, Affine<Fq>) {
+    let (p1, q1, p2, _) = valid_check(c, a);
+    (
+        p1,
+        q1,
+        p2,
+        c.g2_mul(c.g2_generator(), &BigUint::from_u64(a + 1)),
+    )
+}
+
+/// Builds a 32-check batch with the checks at `bad` tampered, settles it
+/// with the isolating path, and asserts the bisection names exactly the
+/// tampered indices. Scalars repeat mod 4 so the batch exercises the
+/// few-distinct-G2 grouping the accumulator is optimised for.
+fn assert_isolates(c: &Arc<Curve>, bad: &[usize]) {
+    let e = PairingEngine::new(c.clone());
+    let mut acc = PairingAccumulator::new(&e);
+    for i in 0..32u64 {
+        let a = 3 + (i % 4);
+        let (p1, q1, p2, q2) = if bad.contains(&(i as usize)) {
+            tampered_check(c, a)
+        } else {
+            valid_check(c, a)
+        };
+        acc.push_check(&p1, &q1, &p2, &q2);
+    }
+    assert_eq!(
+        acc.settle_isolating(),
+        Err(bad.to_vec()),
+        "isolating settle must name exactly the tampered checks"
+    );
+}
+
+#[test]
+fn settle_isolating_accepts_honest_batches() {
+    let c = Curve::by_name("BN254N");
+    let e = PairingEngine::new(c.clone());
+    let mut acc = PairingAccumulator::new(&e);
+    for a in [3u64, 17, 0x5eed] {
+        let (p1, q1, p2, q2) = valid_check(&c, a);
+        acc.push_check(&p1, &q1, &p2, &q2);
+    }
+    assert_eq!(acc.settle_isolating(), Ok(()));
+    // The empty batch is vacuously honest.
+    let acc = PairingAccumulator::new(&e);
+    assert_eq!(acc.settle_isolating(), Ok(()));
+}
+
+#[test]
+fn settle_isolating_pinpoints_faults_bn254n() {
+    let c = Curve::by_name("BN254N");
+    for bad in [vec![7usize], vec![0, 31], vec![2, 3, 11, 19, 30]] {
+        assert_isolates(&c, &bad);
+    }
+}
+
+#[test]
+fn settle_isolating_pinpoints_faults_bls12_381() {
+    let c = Curve::by_name("BLS12-381");
+    for bad in [vec![13usize], vec![5, 21], vec![0, 1, 15, 16, 31]] {
+        assert_isolates(&c, &bad);
+    }
+}
