@@ -255,7 +255,7 @@ const PR4_MSM64_NS: [(&str, f64); 7] = [
 
 /// The metrics [`measure_metric`] knows how to re-run; every manifest
 /// gate names one of these.
-const METRICS: [&str; 7] = [
+const METRICS: [&str; 10] = [
     "fq_mul",
     "g1_mul",
     "g1_mul_fixed",
@@ -263,6 +263,9 @@ const METRICS: [&str; 7] = [
     "msm1024",
     "msm4096",
     "batch_verify_32",
+    "kzg_commit_256",
+    "kzg_open_batch_8",
+    "kzg_verify_batch_8",
 ];
 
 /// One row of the regression-gate manifest.
@@ -278,7 +281,7 @@ struct Gate {
 /// used as the fallback when the committed file is missing or predates
 /// the manifest. `--bench-regress` itself always prefers the *committed*
 /// `results/BENCH_fieldops.json`, so re-baselining is a one-file edit.
-const DEFAULT_GATES: [(&str, &str, f64, f64); 10] = [
+const DEFAULT_GATES: [(&str, &str, f64, f64); 12] = [
     // The historical PR 2 floor contract on the deepest tower.
     ("fq_mul", "BLS24-509", 2800.5, 10.0),
     // Variable-base GLV/JSF path vs the committed PR 4 median.
@@ -299,6 +302,10 @@ const DEFAULT_GATES: [(&str, &str, f64, f64); 10] = [
     // exponentiation + short-scalar MSMs (warm prepared-G2 cache).
     ("batch_verify_32", "BN254N", 10_969_805.0, 30.0),
     ("batch_verify_32", "BLS12-381", 12_903_026.0, 30.0),
+    // PR 10 KZG serving path: 8 single openings of one commitment
+    // settled through the accumulator in two prepared Miller loops.
+    ("kzg_verify_batch_8", "BN254N", 5_753_566.0, 30.0),
+    ("kzg_verify_batch_8", "BLS12-381", 8_993_052.0, 30.0),
 ];
 
 fn default_gates() -> Vec<Gate> {
@@ -406,6 +413,32 @@ fn batch_checks(curve: &Arc<Curve>, n: u64, signers: u64) -> Vec<BatchCheck> {
         .collect()
 }
 
+/// Deterministic KZG bench fixture: a degree-255 SRS (riding the
+/// fixed-base comb) and a full 256-coefficient polynomial whose
+/// coefficients are successive powers of the bench scalar — every limb
+/// of every coefficient is live, so commit/open medians time the real
+/// MSM and synthetic-division work, not sparse shortcuts.
+fn kzg_fixture(curve: &Arc<Curve>) -> (finesse_poly::Srs, finesse_poly::Polynomial) {
+    let srs = finesse_poly::Srs::generate(curve, 255, b"finesse-bench-kzg");
+    let base = bench_scalar(curve);
+    let mut coeffs = Vec::with_capacity(256);
+    let mut c = finesse_ff::BigUint::from_u64(1);
+    for _ in 0..256 {
+        coeffs.push(c.clone());
+        c = (&c * &base).rem(curve.r());
+    }
+    let poly = finesse_poly::Polynomial::new(coeffs, curve.r());
+    (srs, poly)
+}
+
+/// The 8 opening points shared by the `kzg_open_batch_8` and
+/// `kzg_verify_batch_8` metrics.
+fn kzg_bench_points() -> Vec<finesse_ff::BigUint> {
+    (0..8u64)
+        .map(|i| finesse_ff::BigUint::from_u64(0x0BE2_0000 + i * 101))
+        .collect()
+}
+
 /// Settles one accumulator batch over `checks`; returns the verdict.
 fn settle_batch(engine: &finesse_pairing::PairingEngine, checks: &[BatchCheck]) -> bool {
     let mut acc = finesse_pairing::PairingAccumulator::new(engine);
@@ -466,6 +499,50 @@ fn measure_metric(metric: &str, curve: &Arc<Curve>) -> f64 {
             assert!(settle_batch(&engine, &checks), "synthetic batch verifies");
             bench_ns(|| {
                 black_box(settle_batch(&engine, black_box(&checks)));
+            })
+        }
+        "kzg_commit_256" => {
+            let engine = finesse_pairing::PairingEngine::new(Arc::clone(curve));
+            let (srs, poly) = kzg_fixture(curve);
+            let kzg = finesse_poly::Kzg::new(&engine, &srs).expect("fixture SRS matches engine");
+            bench_ns(|| {
+                black_box(kzg.commit(black_box(&poly)).expect("fixture poly fits SRS"));
+            })
+        }
+        "kzg_open_batch_8" => {
+            let engine = finesse_pairing::PairingEngine::new(Arc::clone(curve));
+            let (srs, poly) = kzg_fixture(curve);
+            let kzg = finesse_poly::Kzg::new(&engine, &srs).expect("fixture SRS matches engine");
+            let commitment = kzg.commit(&poly).expect("fixture poly fits SRS");
+            let zs = kzg_bench_points();
+            bench_ns(|| {
+                black_box(
+                    kzg.open_batch(black_box(&poly), black_box(&commitment), black_box(&zs))
+                        .expect("fixture openings succeed"),
+                );
+            })
+        }
+        "kzg_verify_batch_8" => {
+            let engine = finesse_pairing::PairingEngine::new(Arc::clone(curve));
+            let (srs, poly) = kzg_fixture(curve);
+            let kzg = finesse_poly::Kzg::new(&engine, &srs).expect("fixture SRS matches engine");
+            let commitment = kzg.commit(&poly).expect("fixture poly fits SRS");
+            let claims: Vec<finesse_poly::Claim> = kzg_bench_points()
+                .iter()
+                .map(|z| {
+                    Ok(finesse_poly::Claim::Single {
+                        commitment: commitment.clone(),
+                        opening: kzg.open(&poly, z)?,
+                    })
+                })
+                .collect::<Result<_, finesse_poly::PolyError>>()
+                .expect("fixture openings succeed");
+            // First settle warms the prepared-G2 cache (G2 generator and
+            // [tau]G2 line schedules); the gate times the steady-state
+            // serving path of two cached Miller loops per batch.
+            kzg.verify_batch(&claims).expect("honest batch verifies");
+            bench_ns(|| {
+                black_box(kzg.verify_batch(black_box(&claims)).is_ok());
             })
         }
         other => unreachable!("unvalidated metric `{other}`"),
@@ -783,6 +860,28 @@ fn bench_fieldops_json(which: &str) -> String {
         entries.join(",\n")
     };
 
+    // KZG polynomial-commitment serving metrics on the headline curves:
+    // commit to a full 256-coefficient polynomial, produce one batched
+    // proof for 8 points, and settle 8 single-opening claims through the
+    // accumulator (two prepared Miller loops + one final exponentiation).
+    let kzg_rows = {
+        let mut entries = Vec::new();
+        for name in ["BN254N", "BLS12-381"] {
+            if which != "all" && !name.eq_ignore_ascii_case(which) {
+                continue;
+            }
+            let curve = Curve::by_name(name);
+            let commit = measure_metric("kzg_commit_256", &curve);
+            let open_batch = measure_metric("kzg_open_batch_8", &curve);
+            let verify_batch = measure_metric("kzg_verify_batch_8", &curve);
+            entries.push(format!(
+                "    {{\"curve\": \"{name}\", \"commit_256_ns\": {commit:.0}, \
+                 \"open_batch_8_ns\": {open_batch:.0}, \"verify_batch_8_ns\": {verify_batch:.0}}}"
+            ));
+        }
+        entries.join(",\n")
+    };
+
     let baseline = |pairs: &[(&str, f64)]| -> String {
         pairs
             .iter()
@@ -801,11 +900,12 @@ fn bench_fieldops_json(which: &str) -> String {
         .collect::<Vec<_>>()
         .join(",\n");
     format!(
-        "{{\n  \"schema\": \"finesse-bench-fieldops/v5\",\n  \"harness\": \"median of 5 batches, ns per op\",\n  \"commit\": \"{}\",\n  \"date\": \"{}\",\n\
+        "{{\n  \"schema\": \"finesse-bench-fieldops/v6\",\n  \"harness\": \"median of 5 batches, ns per op\",\n  \"commit\": \"{}\",\n  \"date\": \"{}\",\n\
          \n  \"cost_model\": {{\n    \"consumer\": \"finesse_ir::cost::CostModel::from_bench_json\",\n    \"provenance\": \"measured medians; dse/sim/experiments price the software column of table2/fig2 from these rows\",\n    \"consumed_fields\": [\"fq_mul_ns\", \"g1_mul_ns\", \"g1_mul_fixed_ns\", \"g2_mul_ns\", \"g2_mul_fixed_ns\", \"msm256_g1_ns\", \"msm1024_g1_ns\", \"msm4096_g1_ns\", \"pairing_ns\", \"batch_verify (n=32 amortized)\"]\n  }},\n\
          \n  \"regression_gates\": [\n{gates}\n  ],\n\
          \n  \"curves\": [\n{}\n  ],\n\
          \n  \"batch_verify\": {{\n    \"note\": \"n BLS-shaped checks e(sig,G2)=?e(h,pk) against 4 signers: one PairingAccumulator settle (prepared-G2 Miller loops, 128-bit RLC weights, short-scalar MSMs, one final exponentiation) vs n sequential 2-pairing verifications\",\n    \"rows\": [\n{batch_verify_rows}\n    ]\n  }},\n\
+         \n  \"kzg\": {{\n    \"note\": \"finesse-poly serving path: commit = [p(tau)]G1 over a 256-coefficient polynomial (msm256 on the SRS powers); open_batch = one BDFG20 proof pair for 8 points; verify_batch = 8 single-opening claims settled in two cached Miller loops (fixed-G2 form, warm prepared cache)\",\n    \"rows\": [\n{kzg_rows}\n    ]\n  }},\n\
          \n  \"parallel_scaling\": {{\n    \"note\": \"msm4096 re-timed with the FINESSE_THREADS budget pinned per row; hardware_threads is the emitting machine's available parallelism — rows at or above it cannot speed up further\",\n    \"hardware_threads\": {},\n    \"rows\": [\n{scaling_rows}\n    ]\n  }},\n  \"pr4_baseline_ns\": {{\n    \"note\": \"GLV/GLS split with per-term wNAF tables (PR 4) before the fixed-base comb, JSF pair recoding, and batch-affine Pippenger buckets\",\n    \"g1_mul\": {{{}}},\n    \"g2_mul\": {{{}}},\n    \"msm64_g1\": {{{}}}\n  }},\n  \"pr3_baseline_ns\": {{\n    \"note\": \"plain width-4 wNAF ladders (PR 3) before the GLV/GLS endomorphism split; naive_msm64 = 64 independent g1_muls + adds\",\n    \"g1_mul\": {{{}}},\n    \"g2_mul\": {{{}}},\n    \"naive_msm64\": {{{}}}\n  }},\n  \"pr2_baseline_ns\": {{\n    \"note\": \"allocation-free Fp (PR 2) before the lazy-reduction rewrite; the fq_mul gate floor\",\n    \"fq_mul\": {{{}}}\n  }},\n  \"pre_pr_baseline_ns\": {{\n    \"note\": \"Vec-limbed Fp before the inline-limb rewrite (criterion-shim medians, same machine)\",\n    \"fp_mul\": {{{}}},\n    \"fq_mul\": {{{}}},\n    \"pairing\": {{{}}}\n  }}\n}}\n",
         git_commit(),
         iso_date_utc(),

@@ -26,7 +26,7 @@ pub mod error;
 pub mod flow;
 
 pub use config::{FlowConfig, ParseConfigError};
-pub use error::FinesseError;
+pub use error::{FinesseError, PolyError, SrsError};
 pub use finesse_dse::{compare_with_software, DseError, SwComparison};
 pub use finesse_ir::{CostModel, CostModelError, CurveCostRow, Kernel, KernelCosts, Provenance};
 pub use flow::{Accelerator, DesignFlow, ValidationReport};

@@ -9,17 +9,25 @@
 //! quantity is checked, so a typo in a literature constant fails loudly at
 //! construction instead of corrupting pairings downstream.
 
+use crate::cache::{g1_point_key, g2_point_key, PointKeyedCache};
 use crate::glv::{self, GlvBasis};
 use crate::point::{
     affine_neg, batch_to_affine, is_identity, is_on_curve, jac_add, jac_mul, jac_multi_mul_mapped,
-    msm as point_msm, to_affine, to_jacobian, Affine, CombTable, EndoMap, FieldOps, FpOps, FqOps,
-    Jacobian, MulTerm, TableMap,
+    msm as point_msm, to_affine, to_jacobian, Affine, EndoMap, FieldOps, FpOps, FqOps, Jacobian,
+    MulTerm, TableMap,
 };
+use crate::precompute::{G1Precomputed, G2Precomputed, Precomputed};
 use crate::spec::{CurveSpec, Family};
 use finesse_ff::{BigInt, BigUint, FieldCtxError, Fp, FpCtx, Fq, TowerCtx, TowerError};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Entry bound for each per-curve fixed-base table cache: LRU eviction
+/// above this many distinct registered bases. A comb table is a few
+/// hundred affine points, so 32 long-lived bases (public keys, SRS
+/// elements) stay warm within ~1 MiB per group even on 638-bit curves.
+const PRECOMPUTED_CACHE_CAPACITY: usize = 32;
 
 /// Which sextic twist the curve uses (affects line-evaluation sparsity).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -31,7 +39,7 @@ pub enum TwistKind {
 }
 
 /// Error constructing a [`Curve`].
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CurveError {
     /// p or r had the wrong bit length vs the spec.
     BitLengthMismatch {
@@ -226,12 +234,12 @@ pub struct Curve {
     psi_y: Fq,
     glv_g1: Option<GlvG1>,
     gls_g2: GlsG2,
-    /// Fixed-base comb for the G1 generator, built lazily on its first
-    /// generator multiplication; [`Curve::g1_mul`] routes through it only
-    /// when the base is exactly [`Curve::g1_generator`].
-    g1_comb: OnceLock<CombTable<Fp>>,
-    /// Fixed-base comb for the G2 generator (same lazy contract).
-    g2_comb: OnceLock<CombTable<Fq>>,
+    /// Fixed-base tables for caller-registered G1 bases (and, lazily,
+    /// the generator), keyed by canonical coordinates; [`Curve::g1_mul`]
+    /// routes through the table on a cache hit.
+    g1_precomp: Mutex<PointKeyedCache<G1Precomputed>>,
+    /// Fixed-base tables for registered G2 bases (same contract).
+    g2_precomp: Mutex<PointKeyedCache<G2Precomputed>>,
     /// Lazily derived and gcd-certified fast G1 subgroup-check data
     /// (see the [`crate::subgroup`] module).
     g1_subgroup: OnceLock<crate::subgroup::G1Check>,
@@ -427,8 +435,8 @@ impl Curve {
             psi_y,
             glv_g1,
             gls_g2,
-            g1_comb: OnceLock::new(),
-            g2_comb: OnceLock::new(),
+            g1_precomp: Mutex::new(PointKeyedCache::new(PRECOMPUTED_CACHE_CAPACITY)),
+            g2_precomp: Mutex::new(PointKeyedCache::new(PRECOMPUTED_CACHE_CAPACITY)),
             g1_subgroup: OnceLock::new(),
             g2_subgroup: OnceLock::new(),
             table2_security,
@@ -952,22 +960,26 @@ impl Curve {
     ///
     /// The scalar is reduced mod r up front (identical on the r-torsion,
     /// and oversized scalars would otherwise pay full-length ladders).
-    /// A multiplication of the cached generator routes through the lazily
-    /// built fixed-base comb ([`CombTable`], `⌈bits/w⌉` doublings and
-    /// mixed additions); any other base is split 2-GLV along φ so two
-    /// `√r`-length ladders share one doubling chain (JSF joint recoding
-    /// for the pair). Points outside the r-torsion should use the
-    /// point-level [`jac_mul`]/[`crate::point::scalar_mul`], where no
-    /// reduction or decomposition applies.
+    /// A multiplication of a *registered* base — anything built by
+    /// [`Curve::precompute_g1`], with the generator registered lazily on
+    /// its first multiplication — routes through its fixed-base comb
+    /// (`⌈bits/w⌉` doublings and mixed additions); any other base is
+    /// split 2-GLV along φ so two `√r`-length ladders share one doubling
+    /// chain (JSF joint recoding for the pair). Points outside the
+    /// r-torsion should use the point-level
+    /// [`jac_mul`]/[`crate::point::scalar_mul`], where no reduction or
+    /// decomposition applies.
     pub fn g1_mul(&self, p: &Affine<Fp>, k: &BigUint) -> Affine<Fp> {
         let ops = FpOps(Arc::clone(&self.fp));
         let k = self.reduce_mod_r(k);
-        if !p.infinity && !k.is_zero() && *p == self.g1 {
-            let comb = self
-                .g1_comb
-                .get_or_init(|| CombTable::build(&ops, &self.g1, self.r.bits()));
-            debug_assert!(comb.matches_base(p), "comb cache is generator-only");
-            return to_affine(&ops, &comb.mul(&ops, &k));
+        if !p.infinity && !k.is_zero() {
+            if let Some(pre) = self.g1_precomputed(p) {
+                debug_assert!(pre.matches_base(p), "precompute cache is keyed per base");
+                return pre.inner.mul(&ops, &k);
+            }
+            if *p == self.g1 {
+                return self.precompute_g1(p).inner.mul(&ops, &k);
+            }
         }
         let acc = match self.glv_g1.as_ref() {
             Some(glv) if !p.infinity && !k.is_zero() => {
@@ -981,15 +993,43 @@ impl Curve {
         to_affine(&ops, &acc)
     }
 
-    /// The lazily built fixed-base comb for the G1 generator, if a
-    /// generator multiplication has warmed it yet.
-    pub fn g1_comb(&self) -> Option<&CombTable<Fp>> {
-        self.g1_comb.get()
+    /// Builds (or fetches) the `Arc`-shared fixed-base table for `base`
+    /// and registers it in the curve's bounded point-keyed cache, so
+    /// every later [`Curve::g1_mul`] on `base` — from any holder of this
+    /// curve — routes through the comb instead of the variable-base
+    /// path. Registering the identity yields a degenerate table whose
+    /// every multiple is the identity.
+    pub fn precompute_g1(&self, base: &Affine<Fp>) -> Arc<G1Precomputed> {
+        let ops = FpOps(Arc::clone(&self.fp));
+        let key = g1_point_key(base);
+        // Recover from a poisoned lock: the cache only holds fully built
+        // tables, so its state is valid even after a panic elsewhere.
+        let mut cache = self
+            .g1_precomp
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        cache.get_or_insert_with(key, || G1Precomputed {
+            inner: Precomputed::build(&ops, base, self.r.bits()),
+        })
     }
 
-    /// The lazily built fixed-base comb for the G2 generator, if warmed.
-    pub fn g2_comb(&self) -> Option<&CombTable<Fq>> {
-        self.g2_comb.get()
+    /// The registered fixed-base table for `base`, if one is cached
+    /// (never builds; refreshes LRU recency on a hit).
+    pub fn g1_precomputed(&self, base: &Affine<Fp>) -> Option<Arc<G1Precomputed>> {
+        let key = g1_point_key(base);
+        self.g1_precomp
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+    }
+
+    /// `[k]·base` through an explicit fixed-base table (the scalar is
+    /// reduced mod r first, as in [`Curve::g1_mul`]). Useful when the
+    /// caller holds the `Arc` and wants to skip the cache lookup, or
+    /// multiplies a base it deliberately did not register.
+    pub fn g1_mul_precomputed(&self, pre: &G1Precomputed, k: &BigUint) -> Affine<Fp> {
+        let ops = FpOps(Arc::clone(&self.fp));
+        pre.inner.mul(&ops, &self.reduce_mod_r(k))
     }
 
     /// G1 point addition.
@@ -1123,18 +1163,50 @@ impl Curve {
         if p.infinity || k.is_zero() {
             return to_affine(&ops, &jac_mul(&ops, p, &k));
         }
+        if let Some(pre) = self.g2_precomputed(p) {
+            debug_assert!(pre.matches_base(p), "precompute cache is keyed per base");
+            return pre.inner.mul(&ops, &k);
+        }
         if *p == self.g2 {
-            let comb = self
-                .g2_comb
-                .get_or_init(|| CombTable::build(&ops, &self.g2, self.r.bits()));
-            debug_assert!(comb.matches_base(p), "comb cache is generator-only");
-            return to_affine(&ops, &comb.mul(&ops, &k));
+            return self.precompute_g2(p).inner.mul(&ops, &k);
         }
         let digits = self.gls_digits_reduced(&k);
         let mut terms = Vec::with_capacity(digits.len());
         let mut psi_source = Vec::with_capacity(digits.len());
         self.gls_terms(p, &digits, &mut terms, &mut psi_source);
         to_affine(&ops, &self.gls_multi_mul(&ops, &terms, &psi_source))
+    }
+
+    /// Builds (or fetches) the fixed-base table for a G2 `base` and
+    /// registers it for [`Curve::g2_mul`] routing — the G2 counterpart
+    /// of [`Curve::precompute_g1`], serving long-lived points like BLS
+    /// public keys.
+    pub fn precompute_g2(&self, base: &Affine<Fq>) -> Arc<G2Precomputed> {
+        let ops = FqOps(&self.tower);
+        let key = g2_point_key(base);
+        let mut cache = self
+            .g2_precomp
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        cache.get_or_insert_with(key, || G2Precomputed {
+            inner: Precomputed::build(&ops, base, self.r.bits()),
+        })
+    }
+
+    /// The registered G2 fixed-base table for `base`, if one is cached.
+    pub fn g2_precomputed(&self, base: &Affine<Fq>) -> Option<Arc<G2Precomputed>> {
+        let key = g2_point_key(base);
+        self.g2_precomp
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+    }
+
+    /// `[k]·base` through an explicit G2 fixed-base table (scalar
+    /// reduced mod r first).
+    pub fn g2_mul_precomputed(&self, pre: &G2Precomputed, k: &BigUint) -> Affine<Fq> {
+        let ops = FqOps(&self.tower);
+        pre.inner.mul(&ops, &self.reduce_mod_r(k))
     }
 
     /// Multi-scalar multiplication `Σ kᵢ·Pᵢ` over G1 (Pippenger buckets).

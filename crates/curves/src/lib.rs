@@ -21,6 +21,7 @@ pub mod cache;
 pub mod curve;
 pub mod glv;
 pub mod point;
+pub mod precompute;
 pub mod spec;
 pub mod subgroup;
 pub mod wire;
@@ -33,5 +34,6 @@ pub use point::{
     scalar_mul, to_affine, Affine, CombTable, EndoMap, FieldOps, FpOps, FqOps, Jacobian, MulTerm,
     TableMap, WnafScratch,
 };
+pub use precompute::{G1Precomputed, G2Precomputed};
 pub use spec::{all_specs, spec_by_name, CurveSpec, Family};
 pub use wire::{Compression, DecodeError};

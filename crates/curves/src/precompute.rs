@@ -1,0 +1,132 @@
+//! Caller-supplied fixed-base precomputation for scalar multiplication.
+//!
+//! PR 5's Lim–Lee combs fired on *exact generator* hits only: the curve
+//! kept one lazily built table per generator, and every other base paid
+//! the variable-base GLV/GLS path. Production verifiers, however, meet
+//! the same non-generator points over and over — long-lived BLS public
+//! keys, SRS elements, aggregation keys. [`G1Precomputed`] and
+//! [`G2Precomputed`] extend the fixed-base win to *any* base: build the
+//! comb once with [`crate::Curve::precompute_g1`]/[`crate::Curve::precompute_g2`],
+//! share it as an `Arc` through the same bounded
+//! [`PointKeyedCache`](crate::cache::PointKeyedCache) that serves the
+//! prepared-G2 pairing schedules, and every later
+//! [`crate::Curve::g1_mul`]/[`crate::Curve::g2_mul`] on
+//! that base routes through the table automatically — the gate is now a
+//! cache *hit*, not generator equality (the generators themselves are
+//! registered lazily on first use, preserving PR 5's contract).
+//!
+//! ```no_run
+//! use finesse_curves::Curve;
+//! use finesse_ff::BigUint;
+//!
+//! let curve = Curve::by_name("BLS12-381");
+//! let pk = curve.g1_mul(curve.g1_generator(), &BigUint::from_u64(5));
+//! let pre = curve.precompute_g1(&pk); // table built once
+//! let k = BigUint::from_u64(0xC0FFEE);
+//! // Either call the table explicitly…
+//! let a = curve.g1_mul_precomputed(&pre, &k);
+//! // …or let `g1_mul` route through the cache hit.
+//! assert_eq!(a, curve.g1_mul(&pk, &k));
+//! ```
+
+use crate::point::{to_affine, Affine, CombTable, FieldOps};
+use finesse_ff::BigUint;
+use std::fmt::Debug;
+
+/// The shared implementation behind [`G1Precomputed`]/[`G2Precomputed`]:
+/// a per-base comb table, or nothing when the base is the identity (a
+/// comb for the point at infinity is meaningless — every multiple *is*
+/// the identity, which [`Precomputed::mul`] returns directly).
+pub(crate) struct Precomputed<E> {
+    base: Affine<E>,
+    comb: Option<CombTable<E>>,
+}
+
+impl<E: Clone + PartialEq + Debug> Precomputed<E> {
+    /// Builds the table for `base`, sized for reduced scalars of up to
+    /// `scalar_bits` bits (the group-order bit length).
+    pub(crate) fn build<O: FieldOps<El = E>>(
+        ops: &O,
+        base: &Affine<E>,
+        scalar_bits: usize,
+    ) -> Self {
+        Precomputed {
+            base: base.clone(),
+            comb: (!base.infinity).then(|| CombTable::build(ops, base, scalar_bits)),
+        }
+    }
+
+    /// The base point the table was built for.
+    pub(crate) fn base(&self) -> &Affine<E> {
+        &self.base
+    }
+
+    /// True iff the table serves exactly `base` (never the identity).
+    pub(crate) fn matches_base(&self, base: &Affine<E>) -> bool {
+        self.comb
+            .as_ref()
+            .is_some_and(|comb| comb.matches_base(base))
+    }
+
+    /// Precomputed points held (0 for an identity base).
+    pub(crate) fn entries(&self) -> usize {
+        self.comb.as_ref().map_or(0, CombTable::entries)
+    }
+
+    /// `[k]·base` for a scalar already reduced mod the group order.
+    pub(crate) fn mul<O: FieldOps<El = E>>(&self, ops: &O, k: &BigUint) -> Affine<E> {
+        match self.comb.as_ref() {
+            Some(comb) if !k.is_zero() => to_affine(ops, &comb.mul(ops, k)),
+            _ => Affine::infinity(ops.zero()),
+        }
+    }
+}
+
+/// An `Arc`-shareable fixed-base table for one G1 point, built by
+/// [`crate::Curve::precompute_g1`] and consumed by
+/// [`crate::Curve::g1_mul_precomputed`] (or implicitly by
+/// [`crate::Curve::g1_mul`] on a cache hit).
+pub struct G1Precomputed {
+    pub(crate) inner: Precomputed<finesse_ff::Fp>,
+}
+
+impl G1Precomputed {
+    /// The base point the table was built for.
+    pub fn base(&self) -> &Affine<finesse_ff::Fp> {
+        self.inner.base()
+    }
+
+    /// True iff this table was built for exactly `base` (an identity
+    /// base never matches: its multiples are computed directly).
+    pub fn matches_base(&self, base: &Affine<finesse_ff::Fp>) -> bool {
+        self.inner.matches_base(base)
+    }
+
+    /// Number of precomputed affine points held by the table.
+    pub fn entries(&self) -> usize {
+        self.inner.entries()
+    }
+}
+
+/// The G2 counterpart of [`G1Precomputed`], built by
+/// [`crate::Curve::precompute_g2`].
+pub struct G2Precomputed {
+    pub(crate) inner: Precomputed<finesse_ff::Fq>,
+}
+
+impl G2Precomputed {
+    /// The base point the table was built for.
+    pub fn base(&self) -> &Affine<finesse_ff::Fq> {
+        self.inner.base()
+    }
+
+    /// True iff this table was built for exactly `base`.
+    pub fn matches_base(&self, base: &Affine<finesse_ff::Fq>) -> bool {
+        self.inner.matches_base(base)
+    }
+
+    /// Number of precomputed affine points held by the table.
+    pub fn entries(&self) -> usize {
+        self.inner.entries()
+    }
+}

@@ -29,6 +29,7 @@ pub mod bigint;
 pub mod biguint;
 pub mod fp;
 pub mod limbs;
+pub mod scalar;
 pub mod tower;
 
 pub use bigint::BigInt;

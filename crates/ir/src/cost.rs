@@ -18,7 +18,7 @@
 //!   constants in the workspace.
 //! * [`CostModel::from_bench_json`] / [`CostModel::load`] — the measured
 //!   medians committed in `results/BENCH_fieldops.json` (schema
-//!   `finesse-bench-fieldops/v4` or `/v5`), which is the preferred baseline:
+//!   `finesse-bench-fieldops/v4` through `/v6`), which is the preferred baseline:
 //!   HW/SW comparisons are only meaningful against the current software.
 
 use std::fmt;
@@ -163,7 +163,7 @@ impl fmt::Display for CostModelError {
             CostModelError::SchemaVersion { found } => write!(
                 f,
                 "cost model: unsupported bench schema {found:?} (expected \
-                 finesse-bench-fieldops/v4 or /v5)"
+                 finesse-bench-fieldops/v4, /v5, or /v6)"
             ),
             CostModelError::MissingField { curve, field } => {
                 write!(
@@ -205,14 +205,19 @@ impl CostModel {
         }
     }
 
-    /// Parse a `finesse-bench-fieldops/v4` or `/v5` JSON emission.
+    /// Parse a `finesse-bench-fieldops/v4`, `/v5`, or `/v6` JSON emission.
     ///
     /// Consumes the per-curve median rows (`fq_mul_ns`, `g1_mul_ns`,
     /// `g1_mul_fixed_ns`, `msm*_g1_ns`, `pairing_ns`, …) plus the
     /// `batch_verify` block's 32-check amortized cost where present.
     pub fn from_bench_json(text: &str) -> Result<CostModel, CostModelError> {
         let schema = json_str_field(text, "schema").unwrap_or_default();
-        if schema != "finesse-bench-fieldops/v4" && schema != "finesse-bench-fieldops/v5" {
+        const SUPPORTED: [&str; 3] = [
+            "finesse-bench-fieldops/v4",
+            "finesse-bench-fieldops/v5",
+            "finesse-bench-fieldops/v6",
+        ];
+        if !SUPPORTED.contains(&schema.as_str()) {
             return Err(CostModelError::SchemaVersion { found: schema });
         }
         let commit = json_str_field(text, "commit").unwrap_or_default();
@@ -660,11 +665,14 @@ mod tests {
 
     #[test]
     fn loader_requires_curve_rows() {
-        let err = CostModel::from_bench_json(
-            "{\"schema\": \"finesse-bench-fieldops/v5\", \"curves\": []}",
-        )
-        .unwrap_err();
-        assert_eq!(err, CostModelError::NoCurves);
+        // Every supported schema version shares the curve-row contract.
+        for schema in ["v4", "v5", "v6"] {
+            let err = CostModel::from_bench_json(&format!(
+                "{{\"schema\": \"finesse-bench-fieldops/{schema}\", \"curves\": []}}"
+            ))
+            .unwrap_err();
+            assert_eq!(err, CostModelError::NoCurves);
+        }
     }
 
     #[test]

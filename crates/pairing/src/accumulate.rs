@@ -21,99 +21,18 @@
 //!
 //! Randomizers come from a [`Transcript`] seeded over every pushed point
 //! (Fiat–Shamir shape: nothing is drawn until the batch is closed, so
-//! each ρᵢ depends on all checks). The splitmix64 permutation underneath
-//! is a deterministic stand-in for an extensible-output hash — it makes
-//! the batch reproducible for tests and benches; a deployment against
-//! adversarial provers swaps [`Transcript`] for a cryptographic sponge
-//! with the same absorb/squeeze surface.
+//! each ρᵢ depends on all checks). The concrete instantiation is the
+//! crate's [`SplitMix64Transcript`] — a deterministic stand-in for an
+//! extensible-output hash that makes batches reproducible for tests and
+//! benches; a deployment against adversarial provers swaps in a
+//! cryptographic sponge behind the same [`Transcript`] trait.
 
 use crate::prepared::G2Prepared;
+use crate::transcript::{SplitMix64Transcript, Transcript};
 use crate::value::PairingEngine;
-use finesse_curves::cache::{g1_point_key, g2_point_key};
 use finesse_curves::{affine_neg, Affine, FpOps};
 use finesse_ff::{BigUint, Fp, Fq};
 use std::sync::Arc;
-
-/// splitmix64's odd increment (Weyl constant).
-const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
-
-/// splitmix64's finalizer: a bijective 64-bit mixer.
-fn mix(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// A Fiat–Shamir transcript over curve points: absorb the statement,
-/// then squeeze short randomizers that depend on everything absorbed.
-///
-/// Points are absorbed through their canonical-coordinate keys
-/// ([`g1_point_key`]/[`g2_point_key`]), so the challenge stream is a
-/// function of the group elements themselves, not of any internal
-/// (Montgomery/projective) representation.
-pub struct Transcript {
-    state: u64,
-}
-
-impl Transcript {
-    /// A transcript bound to a domain-separation label.
-    pub fn new(label: &[u8]) -> Self {
-        let mut t = Transcript {
-            state: 0x746E_7363_7269_7074, // "tnscript"
-        };
-        t.absorb_bytes(label);
-        t
-    }
-
-    /// Absorbs one word.
-    pub fn absorb_u64(&mut self, w: u64) {
-        self.state = mix(self.state.wrapping_add(GOLDEN) ^ w);
-    }
-
-    /// Absorbs arbitrary bytes (little-endian words, length-terminated).
-    pub fn absorb_bytes(&mut self, bytes: &[u8]) {
-        for chunk in bytes.chunks(8) {
-            let mut w = [0u8; 8];
-            w[..chunk.len()].copy_from_slice(chunk);
-            self.absorb_u64(u64::from_le_bytes(w));
-        }
-        self.absorb_u64(bytes.len() as u64);
-    }
-
-    /// Absorbs a G1 point by canonical coordinates.
-    pub fn absorb_g1(&mut self, p: &Affine<Fp>) {
-        for w in g1_point_key(p) {
-            self.absorb_u64(w);
-        }
-    }
-
-    /// Absorbs a G2 point by canonical coordinates.
-    pub fn absorb_g2(&mut self, q: &Affine<Fq>) {
-        for w in g2_point_key(q) {
-            self.absorb_u64(w);
-        }
-    }
-
-    /// Squeezes one word (advances the state).
-    pub fn challenge_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(GOLDEN);
-        mix(self.state)
-    }
-
-    /// Squeezes a short (~128-bit, never zero) batch randomizer.
-    ///
-    /// 128 bits is the standard batch-verification width: the cheating
-    /// probability is bounded by the inverse challenge-space size
-    /// (≤ 2⁻¹²⁷ here), while the MSM scaling the G1 sides runs half the
-    /// window iterations a full-width (≥254-bit) scalar would cost.
-    pub fn challenge_short(&mut self) -> BigUint {
-        // Low bit pinned so the randomizer can never be zero (a zero
-        // weight would drop its check from the batch entirely).
-        let lo = self.challenge_u64() | 1;
-        let hi = self.challenge_u64();
-        BigUint::from_limbs(vec![lo, hi])
-    }
-}
 
 /// One deferred check `e(a, b) =? e(c, d)`.
 struct Check {
@@ -143,7 +62,7 @@ struct Check {
 /// ```
 pub struct PairingAccumulator<'e> {
     engine: &'e PairingEngine,
-    transcript: Transcript,
+    transcript: SplitMix64Transcript,
     checks: Vec<Check>,
 }
 
@@ -157,7 +76,7 @@ impl<'e> PairingAccumulator<'e> {
     /// (different protocols on one engine should not share a challenge
     /// stream).
     pub fn with_label(engine: &'e PairingEngine, label: &[u8]) -> Self {
-        let mut transcript = Transcript::new(label);
+        let mut transcript = SplitMix64Transcript::new(label);
         transcript.absorb_bytes(engine.curve().name().as_bytes());
         PairingAccumulator {
             engine,

@@ -14,15 +14,17 @@ pub mod accumulate;
 pub mod flow;
 pub mod oracle;
 pub mod prepared;
+pub mod transcript;
 pub mod value;
 
-pub use accumulate::{PairingAccumulator, Transcript};
+pub use accumulate::PairingAccumulator;
 pub use flow::{
     emit_final_exponentiation, emit_g2_line_schedule, emit_miller_loop,
     emit_miller_loop_with_lines, emit_pairing, PairingFlow,
 };
 pub use oracle::oracle_pair;
 pub use prepared::G2Prepared;
+pub use transcript::{SplitMix64Transcript, Transcript};
 pub use value::{PairingEngine, ValueFlow};
 
 #[cfg(test)]

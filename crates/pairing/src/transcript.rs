@@ -1,0 +1,191 @@
+//! Fiat–Shamir transcripts over curve points and scalars.
+//!
+//! The [`Transcript`] trait is the absorb/squeeze surface every
+//! challenge-drawing layer in the workspace programs against: the
+//! [`PairingAccumulator`](crate::PairingAccumulator) seeds its batch
+//! randomizers from one, and `finesse-poly` derives batched-opening
+//! challenges through the same interface. Implementors provide only the
+//! word-level [`Transcript::absorb_u64`]/[`Transcript::challenge_u64`]
+//! pair; bytes, points, scalars, and wide challenges are provided
+//! methods built on top, so every implementation absorbs group elements
+//! by the same canonical-coordinate keys
+//! ([`g1_point_key`]/[`g2_point_key`]) — the challenge stream is a
+//! function of the group elements themselves, never of an internal
+//! (Montgomery/projective) representation.
+//!
+//! [`SplitMix64Transcript`] is the workspace's deterministic
+//! instantiation: a splitmix64 permutation standing in for an
+//! extensible-output hash. It makes batches reproducible for tests and
+//! benches; a deployment against adversarial provers substitutes a
+//! cryptographic sponge behind the same trait.
+
+use finesse_curves::cache::{g1_point_key, g2_point_key};
+use finesse_curves::Affine;
+use finesse_ff::{BigUint, Fp, Fq};
+
+/// splitmix64's odd increment (Weyl constant).
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// splitmix64's finalizer: a bijective 64-bit mixer.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A Fiat–Shamir transcript: absorb the statement, then squeeze
+/// challenges that depend on everything absorbed so far.
+///
+/// Absorbing and squeezing interleave freely; a squeeze advances the
+/// state, so two challenges drawn in a row differ. Two transcripts fed
+/// the same absorb/squeeze sequence produce the same challenge stream —
+/// that is the contract provers and verifiers rely on to re-derive one
+/// another's challenges.
+pub trait Transcript {
+    /// Absorbs one word into the state.
+    fn absorb_u64(&mut self, w: u64);
+
+    /// Squeezes one word (advances the state).
+    fn challenge_u64(&mut self) -> u64;
+
+    /// Absorbs arbitrary bytes (little-endian words, length-terminated
+    /// so `"ab" ‖ "c"` and `"a" ‖ "bc"` absorb differently).
+    fn absorb_bytes(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.absorb_u64(u64::from_le_bytes(w));
+        }
+        self.absorb_u64(bytes.len() as u64);
+    }
+
+    /// Absorbs a scalar by its canonical little-endian limbs
+    /// (length-terminated like [`Transcript::absorb_bytes`]).
+    fn absorb_scalar(&mut self, s: &BigUint) {
+        let limbs = s.limbs();
+        for w in limbs {
+            self.absorb_u64(*w);
+        }
+        self.absorb_u64(limbs.len() as u64);
+    }
+
+    /// Absorbs a G1 point by canonical coordinates.
+    fn absorb_g1(&mut self, p: &Affine<Fp>) {
+        for w in g1_point_key(p) {
+            self.absorb_u64(w);
+        }
+    }
+
+    /// Absorbs a G2 point by canonical coordinates.
+    fn absorb_g2(&mut self, q: &Affine<Fq>) {
+        for w in g2_point_key(q) {
+            self.absorb_u64(w);
+        }
+    }
+
+    /// Squeezes a short (~128-bit, never zero) batch randomizer.
+    ///
+    /// 128 bits is the standard batch-verification width: the cheating
+    /// probability is bounded by the inverse challenge-space size
+    /// (≤ 2⁻¹²⁷ here), while the MSM scaling the G1 sides runs half the
+    /// window iterations a full-width (≥254-bit) scalar would cost.
+    fn challenge_short(&mut self) -> BigUint {
+        // Low bit pinned so the randomizer can never be zero (a zero
+        // weight would drop its check from the batch entirely).
+        let lo = self.challenge_u64() | 1;
+        let hi = self.challenge_u64();
+        BigUint::from_limbs(vec![lo, hi])
+    }
+
+    /// Squeezes a full-width challenge in `[0, modulus)`.
+    ///
+    /// Draws 128 bits beyond the modulus width before reducing, so the
+    /// statistical distance from uniform is ≤ 2⁻¹²⁸. A zero modulus (no
+    /// residues to draw from) yields zero.
+    fn challenge_scalar(&mut self, modulus: &BigUint) -> BigUint {
+        if modulus.is_zero() {
+            return BigUint::zero();
+        }
+        let words = (modulus.bits() + 128).div_ceil(64);
+        let wide = BigUint::from_limbs((0..words).map(|_| self.challenge_u64()).collect());
+        wide.rem(modulus)
+    }
+}
+
+/// The workspace's deterministic [`Transcript`]: a splitmix64
+/// absorb/squeeze permutation over one 64-bit state word.
+pub struct SplitMix64Transcript {
+    state: u64,
+}
+
+impl SplitMix64Transcript {
+    /// A transcript bound to a domain-separation label (different
+    /// protocols must not share a challenge stream).
+    pub fn new(label: &[u8]) -> Self {
+        let mut t = SplitMix64Transcript {
+            state: 0x746E_7363_7269_7074, // "tnscript"
+        };
+        t.absorb_bytes(label);
+        t
+    }
+}
+
+impl Transcript for SplitMix64Transcript {
+    fn absorb_u64(&mut self, w: u64) {
+        self.state = mix(self.state.wrapping_add(GOLDEN) ^ w);
+    }
+
+    fn challenge_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN);
+        mix(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_absorptions_same_challenges() {
+        let mut a = SplitMix64Transcript::new(b"label");
+        let mut b = SplitMix64Transcript::new(b"label");
+        a.absorb_bytes(b"statement");
+        b.absorb_bytes(b"statement");
+        assert_eq!(a.challenge_u64(), b.challenge_u64());
+        assert_eq!(a.challenge_short(), b.challenge_short());
+    }
+
+    #[test]
+    fn labels_and_framing_separate_streams() {
+        let mut a = SplitMix64Transcript::new(b"proto-a");
+        let mut b = SplitMix64Transcript::new(b"proto-b");
+        assert_ne!(a.challenge_u64(), b.challenge_u64());
+        // Length framing: "ab"||"c" != "a"||"bc".
+        let mut x = SplitMix64Transcript::new(b"l");
+        let mut y = SplitMix64Transcript::new(b"l");
+        x.absorb_bytes(b"ab");
+        x.absorb_bytes(b"c");
+        y.absorb_bytes(b"a");
+        y.absorb_bytes(b"bc");
+        assert_ne!(x.challenge_u64(), y.challenge_u64());
+    }
+
+    #[test]
+    fn challenge_scalar_is_reduced_and_state_advances() {
+        let m = BigUint::from_u64(1_000_003);
+        let mut t = SplitMix64Transcript::new(b"scalars");
+        let c1 = t.challenge_scalar(&m);
+        let c2 = t.challenge_scalar(&m);
+        assert!(c1.checked_sub(&m).is_none(), "reduced below the modulus");
+        assert_ne!(c1, c2, "squeezing advances the state");
+        assert!(t.challenge_scalar(&BigUint::zero()).is_zero());
+    }
+
+    #[test]
+    fn challenge_short_never_zero() {
+        let mut t = SplitMix64Transcript::new(b"short");
+        for _ in 0..64 {
+            assert!(!t.challenge_short().is_zero());
+        }
+    }
+}

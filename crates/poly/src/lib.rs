@@ -1,0 +1,23 @@
+//! # finesse-poly
+//!
+//! Polynomial commitments (KZG) over the Finesse pairing stack.
+//!
+//! The crate is the serving layer's commitment surface: a trusted-setup
+//! [`Srs`] (powers of tau, with a strict canonical wire format), dense
+//! [`Polynomial`] arithmetic over the scalar field, and the [`Kzg`]
+//! scheme — commit, single and batched openings, and verification that
+//! pushes fixed-G2-form checks onto the pairing layer's
+//! [`PairingAccumulator`](finesse_pairing::PairingAccumulator), so n
+//! openings settle with two cached Miller loops.
+//!
+//! Errors are defined in `finesse-core` (the workspace unification
+//! point) and re-exported here as [`PolyError`] and [`SrsError`].
+
+pub mod kzg;
+pub mod polynomial;
+pub mod srs;
+
+pub use finesse_core::{PolyError, SrsError};
+pub use kzg::{BatchOpening, Claim, Kzg, Opening};
+pub use polynomial::Polynomial;
+pub use srs::Srs;

@@ -1,0 +1,262 @@
+//! Dense univariate polynomials over a prime scalar field F_r.
+//!
+//! Coefficients are plain [`BigUint`]s in little-endian order (index i
+//! holds the Xⁱ coefficient), reduced into `[0, r)` at construction and
+//! kept trimmed of leading zeros — so two equal polynomials always
+//! compare equal coefficient-wise and the degree is `coeffs.len() − 1`.
+//! The modulus is not stored in the value: the KZG layer works over one
+//! group order at a time and threads `r` through each call, the same
+//! convention the group layers use for scalars.
+
+use finesse_core::PolyError;
+use finesse_ff::scalar::{batch_mod_inv, horner_eval, mod_add, mod_mul, mod_neg, mod_sub};
+use finesse_ff::BigUint;
+
+/// A dense polynomial `c₀ + c₁X + … + c_dX^d` over F_r.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Polynomial {
+    coeffs: Vec<BigUint>,
+}
+
+/// Drops leading (high-index) zero coefficients in place.
+fn trim(coeffs: &mut Vec<BigUint>) {
+    while coeffs.last().is_some_and(BigUint::is_zero) {
+        coeffs.pop();
+    }
+}
+
+impl Polynomial {
+    /// A polynomial from little-endian coefficients, reduced mod `r` and
+    /// trimmed. The empty vector (or all-zero input) is the zero
+    /// polynomial.
+    pub fn new(coeffs: Vec<BigUint>, r: &BigUint) -> Self {
+        let mut coeffs: Vec<BigUint> = coeffs.iter().map(|c| c.rem(r)).collect();
+        trim(&mut coeffs);
+        Polynomial { coeffs }
+    }
+
+    /// The unique polynomial of degree `< points.len()` through the
+    /// given `(z, y)` pairs (Lagrange interpolation; the one inversion
+    /// batch covers every denominator).
+    ///
+    /// # Errors
+    ///
+    /// [`PolyError::NoPoints`] for an empty input and
+    /// [`PolyError::DuplicatePoint`] when two evaluation points coincide
+    /// mod `r` (the denominators vanish).
+    pub fn interpolate(points: &[(BigUint, BigUint)], r: &BigUint) -> Result<Self, PolyError> {
+        if points.is_empty() {
+            return Err(PolyError::NoPoints);
+        }
+        // denoms[i] = Π_{j≠i} (zᵢ − zⱼ); a zero denominator is exactly a
+        // duplicated evaluation point.
+        let mut denoms = Vec::with_capacity(points.len());
+        for (i, (zi, _)) in points.iter().enumerate() {
+            let mut d = BigUint::one();
+            for (j, (zj, _)) in points.iter().enumerate() {
+                if i != j {
+                    d = mod_mul(&d, &mod_sub(zi, zj, r), r);
+                }
+            }
+            denoms.push(d);
+        }
+        if batch_mod_inv(&mut denoms, r).is_none() {
+            return Err(PolyError::DuplicatePoint);
+        }
+        // Σᵢ yᵢ · denomᵢ⁻¹ · Πⱼ≠ᵢ (X − zⱼ), accumulated coefficient-wise.
+        let mut acc = vec![BigUint::zero(); points.len()];
+        for (i, (_, yi)) in points.iter().enumerate() {
+            let mut basis = vec![BigUint::one()];
+            for (j, (zj, _)) in points.iter().enumerate() {
+                if i != j {
+                    basis = mul_linear(&basis, &mod_neg(zj, r), r);
+                }
+            }
+            let w = mod_mul(yi, &denoms[i], r);
+            for (a, b) in acc.iter_mut().zip(&basis) {
+                *a = mod_add(a, &mod_mul(&w, b, r), r);
+            }
+        }
+        trim(&mut acc);
+        Ok(Polynomial { coeffs: acc })
+    }
+
+    /// The vanishing polynomial `Z(X) = Π (X − zᵢ)` of the given points.
+    pub fn vanishing(zs: &[BigUint], r: &BigUint) -> Self {
+        let mut coeffs = vec![BigUint::one()];
+        for z in zs {
+            coeffs = mul_linear(&coeffs, &mod_neg(z, r), r);
+        }
+        Polynomial { coeffs }
+    }
+
+    /// Little-endian coefficients (trimmed; empty for the zero
+    /// polynomial).
+    pub fn coeffs(&self) -> &[BigUint] {
+        &self.coeffs
+    }
+
+    /// True iff this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Horner evaluation at `x`, mod `r`.
+    pub fn eval(&self, x: &BigUint, r: &BigUint) -> BigUint {
+        horner_eval(&self.coeffs, &x.rem(r), r)
+    }
+
+    /// `self − c` as polynomials (subtracts `c` from the constant term).
+    pub fn sub_constant(&self, c: &BigUint, r: &BigUint) -> Self {
+        let mut coeffs = self.coeffs.clone();
+        if coeffs.is_empty() {
+            coeffs.push(BigUint::zero());
+        }
+        coeffs[0] = mod_sub(&coeffs[0], c, r);
+        trim(&mut coeffs);
+        Polynomial { coeffs }
+    }
+
+    /// `self − s·other`, the combination the shifted batched-opening
+    /// witness needs.
+    pub fn sub_scaled(&self, other: &Self, s: &BigUint, r: &BigUint) -> Self {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = Vec::with_capacity(n);
+        let zero = BigUint::zero();
+        for i in 0..n {
+            let a = self.coeffs.get(i).unwrap_or(&zero);
+            let b = other.coeffs.get(i).unwrap_or(&zero);
+            coeffs.push(mod_sub(a, &mod_mul(s, b, r), r));
+        }
+        trim(&mut coeffs);
+        Polynomial { coeffs }
+    }
+
+    /// Synthetic division by `(X − z)`: returns `(q, rem)` with
+    /// `self = q·(X − z) + rem`. The remainder equals `self.eval(z)`
+    /// (the division is exact iff `z` is a root).
+    pub fn divide_by_linear(&self, z: &BigUint, r: &BigUint) -> (Self, BigUint) {
+        let Some(c0) = self.coeffs.first() else {
+            // Zero polynomial: quotient and remainder are both zero.
+            return (Polynomial { coeffs: Vec::new() }, BigUint::zero());
+        };
+        let z = z.rem(r);
+        // qᵢ₋₁ = cᵢ + z·qᵢ from the top coefficient down; the final
+        // carry folds into the remainder c₀ + z·q₀.
+        let mut quot = vec![BigUint::zero(); self.coeffs.len() - 1];
+        let mut carry = BigUint::zero();
+        for i in (1..self.coeffs.len()).rev() {
+            carry = mod_add(&self.coeffs[i], &mod_mul(&carry, &z, r), r);
+            quot[i - 1] = carry.clone();
+        }
+        let rem = mod_add(c0, &mod_mul(&carry, &z, r), r);
+        trim(&mut quot);
+        (Polynomial { coeffs: quot }, rem)
+    }
+}
+
+/// `p(X) · (X + c)`, the building block for vanishing/basis products.
+fn mul_linear(p: &[BigUint], c: &BigUint, r: &BigUint) -> Vec<BigUint> {
+    let mut out = vec![BigUint::zero(); p.len() + 1];
+    for (i, a) in p.iter().enumerate() {
+        // a·X^(i+1) + a·c·X^i
+        out[i + 1] = mod_add(&out[i + 1], a, r);
+        out[i] = mod_add(&out[i], &mod_mul(a, c, r), r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> BigUint {
+        BigUint::from_u64(1_000_003)
+    }
+
+    fn poly(cs: &[u64]) -> Polynomial {
+        Polynomial::new(cs.iter().map(|&c| BigUint::from_u64(c)).collect(), &m())
+    }
+
+    #[test]
+    fn construction_reduces_and_trims() {
+        let p = Polynomial::new(
+            vec![
+                BigUint::from_u64(1_000_003 + 7),
+                BigUint::zero(),
+                BigUint::from_u64(2_000_006),
+            ],
+            &m(),
+        );
+        assert_eq!(p.coeffs(), &[BigUint::from_u64(7)]);
+        assert_eq!(p.degree(), Some(0));
+        assert!(Polynomial::new(vec![], &m()).is_zero());
+    }
+
+    #[test]
+    fn division_by_root_is_exact() {
+        // (X − 3)(X² + 5) = X³ − 3X² + 5X − 15.
+        let p = poly(&[1_000_003 - 15, 5, 1_000_003 - 3, 1]);
+        let (q, rem) = p.divide_by_linear(&BigUint::from_u64(3), &m());
+        assert!(rem.is_zero());
+        assert_eq!(q, poly(&[5, 0, 1]));
+        // Non-root: remainder is the evaluation.
+        let (_, rem) = p.divide_by_linear(&BigUint::from_u64(4), &m());
+        assert_eq!(rem, p.eval(&BigUint::from_u64(4), &m()));
+    }
+
+    #[test]
+    fn interpolation_round_trips_evaluations() {
+        let p = poly(&[9, 0, 4, 17]);
+        let points: Vec<(BigUint, BigUint)> = (10u64..14)
+            .map(|z| {
+                let z = BigUint::from_u64(z);
+                let y = p.eval(&z, &m());
+                (z, y)
+            })
+            .collect();
+        assert_eq!(Polynomial::interpolate(&points, &m()).unwrap(), p);
+        assert!(matches!(
+            Polynomial::interpolate(&[], &m()),
+            Err(PolyError::NoPoints)
+        ));
+        let dup = vec![points[0].clone(), points[0].clone()];
+        assert!(matches!(
+            Polynomial::interpolate(&dup, &m()),
+            Err(PolyError::DuplicatePoint)
+        ));
+    }
+
+    #[test]
+    fn vanishing_has_exactly_the_given_roots() {
+        let zs: Vec<BigUint> = [2u64, 5, 11].map(BigUint::from_u64).to_vec();
+        let z = Polynomial::vanishing(&zs, &m());
+        assert_eq!(z.degree(), Some(3));
+        for root in &zs {
+            assert!(z.eval(root, &m()).is_zero());
+        }
+        assert!(!z.eval(&BigUint::from_u64(3), &m()).is_zero());
+    }
+
+    #[test]
+    fn sub_scaled_matches_pointwise() {
+        let f = poly(&[1, 2, 3]);
+        let g = poly(&[4, 0, 0, 6]);
+        let s = BigUint::from_u64(7);
+        let h = f.sub_scaled(&g, &s, &m());
+        for x in [0u64, 1, 2, 99] {
+            let x = BigUint::from_u64(x);
+            let want = mod_sub(
+                &f.eval(&x, &m()),
+                &mod_mul(&s, &g.eval(&x, &m()), &m()),
+                &m(),
+            );
+            assert_eq!(h.eval(&x, &m()), want);
+        }
+    }
+}

@@ -3,6 +3,13 @@
 //!
 //! Sign: sigma = [sk]H(m) in G1. Verify: e(sigma, G2) == e(H(m), pk).
 //!
+//! Signer public keys are held as [`G2Precomputed`] entries: registering
+//! a key once builds its fixed-base comb in the curve's shared
+//! precompute cache, so every later scalar multiplication on that key —
+//! key rotation, epoch-key derivation, proof-of-possession transcripts —
+//! runs at fixed-base speed and stays bit-identical to the variable-base
+//! path.
+//!
 //! Batch verify (the throughput path a pairing accelerator serves): push
 //! every `e(σᵢ, G2) =? e(H(mᵢ), pkᵢ)` check into a [`PairingAccumulator`]
 //! and settle once. The accumulator draws 128-bit Fiat–Shamir weights,
@@ -17,22 +24,35 @@
 //! cargo run --example bls_signature
 //! ```
 
-use finesse_curves::{Affine, Compression, Curve, CurveError};
-use finesse_ff::{BigUint, Fp, Fq};
-use finesse_pairing::{PairingAccumulator, PairingEngine};
+use finesse::curves::{Affine, Compression, Curve, CurveError, G2Precomputed};
+use finesse::ff::{BigUint, Fp, Fq};
+use finesse::pairing::{PairingAccumulator, PairingEngine};
+use finesse::FinesseError;
 use std::sync::Arc;
 use std::time::Instant;
 
 struct KeyPair {
     sk: BigUint,
-    pk: Affine<Fq>, // [sk] G2
+    /// `[sk]G2`, registered in the curve's precompute cache.
+    pk: Arc<G2Precomputed>,
+}
+
+impl KeyPair {
+    /// The public key as a plain group element (pairing input, wire
+    /// encoding).
+    fn pk_point(&self) -> &Affine<Fq> {
+        self.pk.base()
+    }
 }
 
 fn keygen(curve: &Arc<Curve>, seed: u64) -> KeyPair {
     // Deterministic toy key derivation (do not use for real keys).
     let sk = BigUint::from_u64(seed).modpow(&BigUint::from_u64(3), curve.r());
     let pk = curve.g2_mul(curve.g2_generator(), &sk);
-    KeyPair { sk, pk }
+    KeyPair {
+        sk,
+        pk: curve.precompute_g2(&pk),
+    }
 }
 
 fn sign(curve: &Arc<Curve>, kp: &KeyPair, msg: &[u8]) -> Result<Affine<Fp>, CurveError> {
@@ -96,24 +116,34 @@ fn batch_verify_isolating(
     acc.settle_isolating()
 }
 
-fn main() {
+fn main() -> Result<(), FinesseError> {
     let curve = Curve::by_name("BLS12-381");
     let engine = PairingEngine::new(curve.clone());
     let kp = keygen(&curve, 0xF00D_FACE);
 
-    let msg = b"agile pairing accelerators";
-    let sig = sign(&curve, &kp, msg).expect("hash-to-curve succeeds for real curves");
-    println!("message   : {:?}", std::str::from_utf8(msg).unwrap());
+    let msg: &[u8] = b"agile pairing accelerators";
+    let sig = sign(&curve, &kp, msg)?;
+    println!("message   : {}", String::from_utf8_lossy(msg));
     println!("signature : ({}, ...)", sig.x);
+
+    // The registered key multiplies at fixed-base speed — and the plain
+    // entry point now routes through the same comb on a cache hit,
+    // bit-identical to the precomputed call.
+    let epoch = BigUint::from_u64(20250808);
+    let epoch_pk = curve.g2_mul_precomputed(&kp.pk, &epoch);
+    assert_eq!(
+        epoch_pk,
+        curve.g2_mul(kp.pk_point(), &epoch),
+        "registered base: plain and precomputed muls agree"
+    );
+    println!("precompute: pk registered; epoch-key derivation rides its comb");
 
     // Public keys travel over the wire in compressed form; the strict
     // decoder re-validates canonical limbs, curve membership, and the G2
     // subgroup, so a verifier never operates on a malformed key.
-    let pk_bytes = curve.encode_g2(&kp.pk, Compression::Compressed);
-    let pk = curve
-        .decode_g2(&pk_bytes)
-        .expect("honest key survives the wire");
-    assert_eq!(pk, kp.pk, "wire round-trip is the identity");
+    let pk_bytes = curve.encode_g2(kp.pk_point(), Compression::Compressed);
+    let pk = curve.decode_g2(&pk_bytes)?;
+    assert_eq!(&pk, kp.pk_point(), "wire round-trip is the identity");
     println!(
         "wire pk   : {} bytes (compressed), round-trip ok",
         pk_bytes.len()
@@ -125,7 +155,11 @@ fn main() {
     tampered_pk[pk_bytes.len() / 2] ^= 0x01;
     match curve.decode_g2(&tampered_pk) {
         Err(e) => println!("bad pk    : rejected ({e})"),
-        Ok(p) => assert_eq!(p, kp.pk, "a decode may only succeed on the original key"),
+        Ok(p) => assert_eq!(
+            &p,
+            kp.pk_point(),
+            "a decode may only succeed on the original key"
+        ),
     }
 
     assert!(
@@ -134,11 +168,17 @@ fn main() {
     );
     println!("verify    : ok");
 
-    assert!(!verify(&curve, &engine, &kp.pk, b"tampered message", &sig));
+    assert!(!verify(
+        &curve,
+        &engine,
+        kp.pk_point(),
+        b"tampered message",
+        &sig
+    ));
     println!("tampered  : rejected");
 
     let other = keygen(&curve, 0xBAD_5EED);
-    assert!(!verify(&curve, &engine, &other.pk, msg, &sig));
+    assert!(!verify(&curve, &engine, other.pk_point(), msg, &sig));
     println!("wrong key : rejected");
 
     // --- batch verification: 3 signers, 8 signatures, one pairing product
@@ -153,18 +193,15 @@ fn main() {
         b"checkpoint x",
         b"checkpoint y",
     ];
-    let mut batch: Vec<BatchEntry> = messages
-        .iter()
-        .enumerate()
-        .map(|(i, msg)| {
-            let signer = &signers[i % signers.len()];
-            BatchEntry {
-                pk: signer.pk.clone(),
-                msg,
-                sig: sign(&curve, signer, msg).expect("hash-to-curve succeeds"),
-            }
-        })
-        .collect();
+    let mut batch = Vec::with_capacity(messages.len());
+    for (i, msg) in messages.iter().enumerate() {
+        let signer = &signers[i % signers.len()];
+        batch.push(BatchEntry {
+            pk: signer.pk_point().clone(),
+            msg,
+            sig: sign(&curve, signer, msg)?,
+        });
+    }
     // Sequential baseline: n independent verifications, 2n pairings.
     let t0 = Instant::now();
     let all_ok = batch
@@ -200,8 +237,12 @@ fn main() {
         !batch_verify(&curve, &engine, &batch),
         "tampered batch rejected"
     );
-    let bad =
-        batch_verify_isolating(&curve, &engine, &batch).expect_err("tampered batch cannot settle");
-    assert_eq!(bad, vec![5], "bisection isolates the tampered entry");
-    println!("bad batch : rejected, isolated to entries {bad:?}");
+    match batch_verify_isolating(&curve, &engine, &batch) {
+        Err(bad) => {
+            assert_eq!(bad, vec![5], "bisection isolates the tampered entry");
+            println!("bad batch : rejected, isolated to entries {bad:?}");
+        }
+        Ok(()) => println!("bad batch : unexpectedly settled"),
+    }
+    Ok(())
 }

@@ -1,9 +1,10 @@
-//! A miniature KZG polynomial commitment (Kate-Zaverucha-Goldberg) — the
-//! SNARK building block cited in the paper's introduction.
+//! KZG polynomial commitments on the `finesse-poly` crate.
 //!
-//! Trusted setup: powers [tau^i]G1 and [tau]G2. Commit C = [p(tau)]G1.
-//! Open at z with witness W = [(p(tau) - p(z))/(tau - z)]G1. Verify the
-//! equation in its *fixed-G2* rearrangement,
+//! The serving-layer flow end to end: generate an [`Srs`], round-trip it
+//! through the validated wire format (with a tamper rejection), commit
+//! to a polynomial, open it at single points and at a whole point set
+//! with one batched proof, and settle every claim through the pairing
+//! accumulator. Every verification equation is in *fixed-G2* form,
 //!
 //! ```text
 //! e(C - [y]G1 + [z]W, G2) == e(W, [tau]G2)
@@ -11,192 +12,124 @@
 //!
 //! so both G2 inputs — the generator and the SRS element [tau]G2 — are
 //! independent of the opening being checked. That is exactly the shape
-//! the engine's prepared-G2 cache serves: every opening in a batch rides
-//! the same two precomputed line schedules, and a [`PairingAccumulator`]
-//! settles any number of openings with two Miller loops and one final
-//! exponentiation.
+//! the engine's prepared-G2 cache serves: every claim in a batch rides
+//! the same two precomputed line schedules, and the batch settles with
+//! two Miller loops and one final exponentiation. A forged claim at the
+//! end exercises the isolating verifier, which names the offending
+//! claim instead of discarding the batch.
 //!
 //! ```text
 //! cargo run --example kzg_commitment
 //! ```
 
-use finesse_curves::point::affine_neg;
-use finesse_curves::{Affine, Compression, Curve, FpOps};
-use finesse_ff::{BigUint, Fp, Fq};
-use finesse_pairing::{PairingAccumulator, PairingEngine};
-use std::sync::Arc;
+use finesse::curves::Curve;
+use finesse::ff::BigUint;
+use finesse::pairing::{PairingAccumulator, PairingEngine};
+use finesse::poly::{Claim, Kzg, PolyError, Polynomial, Srs};
+use finesse::FinesseError;
+use std::time::Instant;
 
-/// Polynomial with coefficients mod r (little-endian).
-#[derive(Clone)]
-struct Poly(Vec<BigUint>);
-
-impl Poly {
-    fn eval(&self, x: &BigUint, r: &BigUint) -> BigUint {
-        let mut acc = BigUint::zero();
-        for c in self.0.iter().rev() {
-            acc = (&(&acc * x) + c).rem(r);
-        }
-        acc
-    }
-
-    /// Synthetic division by (X - z): returns the quotient of p(X) - p(z).
-    fn divide_by_linear(&self, z: &BigUint, r: &BigUint) -> Poly {
-        let mut q = vec![BigUint::zero(); self.0.len().saturating_sub(1)];
-        let mut carry = BigUint::zero();
-        for i in (1..self.0.len()).rev() {
-            carry = (&self.0[i] + &(&carry * z)).rem(r);
-            q[i - 1] = carry.clone();
-        }
-        Poly(q)
-    }
-}
-
-struct Setup {
-    g1_powers: Vec<Affine<Fp>>, // [tau^i] G1
-    g2_tau: Affine<Fq>,
-}
-
-fn trusted_setup(curve: &Arc<Curve>, degree: usize) -> Setup {
-    // Toy ceremony: tau is a fixed secret (a real setup discards it).
-    // Every [tau^i]G1 is a multiplication of the *generator*, so the whole
-    // powers-of-tau table rides the curve's cached fixed-base comb.
-    let tau = BigUint::from_u64(0x5EED_CAFE).rem(curve.r());
-    let mut g1_powers = Vec::with_capacity(degree + 1);
-    let mut t_pow = BigUint::one();
-    for _ in 0..=degree {
-        g1_powers.push(curve.g1_mul(curve.g1_generator(), &t_pow));
-        t_pow = (&t_pow * &tau).rem(curve.r());
-    }
-    let g2_tau = curve.g2_mul(curve.g2_generator(), &tau);
-    Setup { g1_powers, g2_tau }
-}
-
-/// `C = [p(tau)]G1 = Σ cᵢ·[tauⁱ]G1` — one multi-scalar multiplication
-/// over the setup powers instead of a loop of independent ladders.
-fn commit(curve: &Arc<Curve>, setup: &Setup, p: &Poly) -> Affine<Fp> {
-    curve
-        .g1_msm(&setup.g1_powers[..p.0.len()], &p.0)
-        .expect("one coefficient per setup power")
-}
-
-/// One claimed opening `p(z) = y` with its witness `W`.
-struct Opening {
-    commitment: Affine<Fp>,
-    z: BigUint,
-    y: BigUint,
-    witness: Affine<Fp>,
-}
-
-/// Opens `p` at `z`: evaluates and commits to the quotient polynomial.
-fn open(curve: &Arc<Curve>, setup: &Setup, p: &Poly, z: u64) -> Opening {
-    let z = BigUint::from_u64(z);
-    let y = p.eval(&z, curve.r());
-    let q = p.divide_by_linear(&z, curve.r());
-    Opening {
-        commitment: commit(curve, setup, p),
-        z,
-        y,
-        witness: commit(curve, setup, &q),
-    }
-}
-
-/// Pushes the fixed-G2 verification check of one opening,
-/// `e(C - [y]G1 + [z]W, G2) =? e(W, [tau]G2)`, onto the accumulator.
-/// Every opening references the same two G2 points, so the batch settles
-/// with exactly two (cached, prepared) Miller loops.
-fn push_opening(
-    curve: &Arc<Curve>,
-    setup: &Setup,
-    acc: &mut PairingAccumulator<'_>,
-    opening: &Opening,
-) {
-    let fp_ops = FpOps(curve.fp().clone());
-    let y_g1 = curve.g1_mul(curve.g1_generator(), &opening.y);
-    let z_w = curve.g1_mul(&opening.witness, &opening.z);
-    let lhs = curve.g1_add(
-        &curve.g1_add(&opening.commitment, &affine_neg(&fp_ops, &y_g1)),
-        &z_w,
-    );
-    acc.push_check(&lhs, curve.g2_generator(), &opening.witness, &setup.g2_tau);
-}
-
-fn main() {
+fn main() -> Result<(), FinesseError> {
     let curve = Curve::by_name("BN254N");
     let engine = PairingEngine::new(curve.clone());
-    let r = curve.r().clone();
+    let r = curve.r();
+    println!("=== KZG polynomial commitments ({}) ===\n", curve.name());
 
-    // p(X) = 7 + 3X + 5X^2 + X^3
-    let p = Poly(vec![
-        BigUint::from_u64(7),
-        BigUint::from_u64(3),
-        BigUint::from_u64(5),
-        BigUint::from_u64(1),
-    ]);
-    let setup = trusted_setup(&curve, 3);
-    println!("commitment C = [p(tau)]G1 computed");
-
-    // A commitment is what the prover *sends*: round-trip it through the
-    // validated wire format, as a verifier receiving untrusted bytes
-    // would. The strict decoder re-checks canonical limbs, curve
-    // membership, and (on curves with a cofactor) the subgroup.
-    let c = commit(&curve, &setup, &p);
-    let c_bytes = curve.encode_g1(&c, Compression::Compressed);
-    let c_rx = curve
-        .decode_g1(&c_bytes)
-        .expect("honest commitment survives the wire");
-    assert_eq!(c_rx, c, "wire round-trip is the identity");
+    // --- Trusted setup -------------------------------------------------
+    let t = Instant::now();
+    let srs = Srs::generate(&curve, 15, b"kzg-example-2025");
     println!(
-        "commitment travels as {} bytes (compressed), round-trip ok",
-        c_bytes.len()
+        "SRS       : {} G1 powers + [tau]G2   ({:.1} ms, riding the fixed-base comb)",
+        srs.powers_g1().len(),
+        t.elapsed().as_secs_f64() * 1e3
     );
 
-    // A tampered encoding must produce a typed rejection, never a
-    // silently different commitment.
-    let mut tampered = c_bytes.clone();
-    tampered[c_bytes.len() / 2] ^= 0x01;
-    match curve.decode_g1(&tampered) {
-        Err(e) => println!("tampered commitment rejected ({e})"),
-        Ok(p) => assert_eq!(p, c, "a decode may only succeed on the original point"),
+    // The SRS survives its canonical wire format; a flipped byte does
+    // not (strict decode: every point re-checked canonical + on-curve +
+    // subgroup).
+    let bytes = srs.to_bytes();
+    let restored = Srs::from_bytes(&curve, &bytes)?;
+    assert_eq!(restored.powers_g1(), srs.powers_g1());
+    let mut tampered = bytes.clone();
+    tampered[bytes.len() / 2] ^= 0x40;
+    match Srs::from_bytes(&curve, &tampered) {
+        Err(e) => println!(
+            "wire      : {} bytes round-trip; tampered byte -> {e}",
+            bytes.len()
+        ),
+        Ok(_) => println!("wire      : tampered encoding unexpectedly accepted!"),
     }
 
-    // Open the same commitment at several points and verify all openings
-    // in one settle: two Miller loops total, not two per opening.
-    let openings: Vec<Opening> = [11u64, 42, 1_000_003]
-        .iter()
-        .map(|z| open(&curve, &setup, &p, *z))
-        .collect();
-    for opening in &openings {
-        println!("claimed evaluation: p({}) = {}", opening.z, opening.y);
-    }
-    let mut acc = PairingAccumulator::with_label(&engine, b"finesse-kzg-batch-v1");
-    for opening in &openings {
-        push_opening(&curve, &setup, &mut acc, opening);
-    }
-    let n = acc.len();
-    assert!(acc.settle(), "KZG verification equation holds");
-    println!("{n} openings verified: e(C - [y]G1 + [z]W, G2) == e(W, [tau]G2)");
+    // --- Commit and open -----------------------------------------------
+    let kzg = Kzg::new(&engine, &srs)?;
+    let poly = Polynomial::new(
+        (1..=12u64).map(|i| BigUint::from_u64(i * i + 1)).collect(),
+        r,
+    );
+    let commitment = kzg.commit(&poly)?;
+    println!(
+        "commit    : C = [p(tau)]G1 for a degree-{} polynomial",
+        poly.coeffs().len() - 1
+    );
 
-    // A forged claimed value must sink the batch it rides in.
-    let mut forged = open(&curve, &setup, &p, 11);
-    forged.y = (&forged.y + &BigUint::one()).rem(&r);
-    let mut acc = PairingAccumulator::with_label(&engine, b"finesse-kzg-batch-v1");
-    for opening in &openings {
-        push_opening(&curve, &setup, &mut acc, opening);
-    }
-    push_opening(&curve, &setup, &mut acc, &forged);
-    assert!(!acc.settle(), "forged evaluation must be rejected");
-    println!("forged evaluation rejected");
+    let z = BigUint::from_u64(0x5EED);
+    let opening = kzg.open(&poly, &z)?;
+    kzg.verify(&commitment, &opening)?;
+    println!("open      : p(0x5EED) claimed and verified at one point");
 
-    // The isolating settle names the offending opening instead of only
-    // failing the batch: honest checks at 0..=2, the forgery at 3.
-    let mut acc = PairingAccumulator::with_label(&engine, b"finesse-kzg-batch-v1");
-    for opening in &openings {
-        push_opening(&curve, &setup, &mut acc, opening);
+    // --- One proof for many points ------------------------------------
+    let zs: Vec<BigUint> = (20..28u64).map(BigUint::from_u64).collect();
+    let batch = kzg.open_batch(&poly, &commitment, &zs)?;
+    println!(
+        "open_batch: {} points -> one (W, W') proof pair",
+        batch.points.len()
+    );
+
+    // --- Settle a whole batch in two Miller loops ----------------------
+    let mut claims = vec![Claim::Batch {
+        commitment: commitment.clone(),
+        opening: batch,
+    }];
+    for i in 0..6u64 {
+        let z = BigUint::from_u64(1000 + i);
+        claims.push(Claim::Single {
+            commitment: commitment.clone(),
+            opening: kzg.open(&poly, &z)?,
+        });
     }
-    push_opening(&curve, &setup, &mut acc, &forged);
-    let bad = acc
-        .settle_isolating()
-        .expect_err("forged batch cannot settle");
-    assert_eq!(bad, vec![3], "bisection isolates the forged opening");
-    println!("forgery isolated to batch index {:?}", bad);
+    let t = Instant::now();
+    kzg.verify_batch(&claims)?;
+    let (prepared, _) = engine.prepared_cache_stats();
+    println!(
+        "verify    : {} claims settled in one shot ({:.1} ms, {} Miller loops via prepared-G2 cache)",
+        claims.len(),
+        t.elapsed().as_secs_f64() * 1e3,
+        prepared
+    );
+
+    // --- Fault isolation -----------------------------------------------
+    // Forge one claim's evaluation; the isolating settle names it.
+    if let Claim::Single { opening, .. } = &mut claims[3] {
+        opening.y = BigUint::from_u64(0xBAD);
+    }
+    match kzg.verify_batch(&claims) {
+        Err(PolyError::BatchRejected { bad }) => {
+            println!("isolate   : forged claim detected at indices {bad:?}")
+        }
+        other => println!("isolate   : unexpected result {other:?}"),
+    }
+
+    // The same claims compose with arbitrary other checks on a shared
+    // accumulator — the public push_claim surface.
+    let mut acc = PairingAccumulator::with_label(&engine, b"kzg-example-mixed");
+    for claim in &claims {
+        kzg.push_claim(&mut acc, claim)?;
+    }
+    match acc.settle_isolating() {
+        Err(bad) => println!("accumulate: shared accumulator isolates checks {bad:?}"),
+        Ok(()) => println!("accumulate: unexpected pass"),
+    }
+
+    println!("\nAll KZG flows complete.");
+    Ok(())
 }

@@ -24,6 +24,7 @@ pub use finesse_ir as ir;
 pub use finesse_isa as isa;
 pub use finesse_pairing as pairing;
 pub use finesse_parallel as parallel;
+pub use finesse_poly as poly;
 pub use finesse_sim as sim;
 
 pub use finesse_core::FinesseError;

@@ -10,7 +10,9 @@
 
 use finesse_curves::{all_specs, Affine, Curve};
 use finesse_ff::{BigUint, Fp, Fq};
-use finesse_pairing::{G2Prepared, PairingAccumulator, PairingEngine, Transcript};
+use finesse_pairing::{
+    G2Prepared, PairingAccumulator, PairingEngine, SplitMix64Transcript, Transcript,
+};
 use finesse_parallel::with_threads;
 use std::sync::Arc;
 
@@ -221,26 +223,26 @@ fn transcript_is_deterministic_and_order_sensitive() {
     let p = c.g1_generator();
     let q = c.g2_generator();
 
-    let mut t1 = Transcript::new(b"test-domain");
+    let mut t1 = SplitMix64Transcript::new(b"test-domain");
     t1.absorb_g1(p);
     t1.absorb_g2(q);
-    let mut t2 = Transcript::new(b"test-domain");
+    let mut t2 = SplitMix64Transcript::new(b"test-domain");
     t2.absorb_g1(p);
     t2.absorb_g2(q);
     assert_eq!(t1.challenge_u64(), t2.challenge_u64());
     assert_eq!(t1.challenge_short(), t2.challenge_short());
 
     // Different label → different stream.
-    let mut t3 = Transcript::new(b"other-domain");
+    let mut t3 = SplitMix64Transcript::new(b"other-domain");
     t3.absorb_g1(p);
     t3.absorb_g2(q);
-    let mut t4 = Transcript::new(b"test-domain");
+    let mut t4 = SplitMix64Transcript::new(b"test-domain");
     t4.absorb_g1(p);
     t4.absorb_g2(q);
     assert_ne!(t3.challenge_u64(), t4.challenge_u64());
 
     // Short challenges are ~128-bit and never zero.
-    let mut t = Transcript::new(b"width");
+    let mut t = SplitMix64Transcript::new(b"width");
     for _ in 0..32 {
         let rho = t.challenge_short();
         assert!(!rho.is_zero());

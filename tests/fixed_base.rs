@@ -45,10 +45,18 @@ fn comb_fixed_base_matches_reference_on_all_curves() {
             let reference = to_affine(&fq_ops, &scalar_mul(&fq_ops, q, &reduced));
             assert_eq!(fast, reference, "{}: G2 comb, k = {k:?}", spec.name);
         }
-        // The generator multiplications above must have warmed the lazy
-        // per-generator caches.
-        assert!(c.g1_comb().is_some(), "{}: G1 comb cached", spec.name);
-        assert!(c.g2_comb().is_some(), "{}: G2 comb cached", spec.name);
+        // The generator multiplications above must have auto-registered
+        // the generators in the lazy precompute caches.
+        assert!(
+            c.g1_precomputed(g).is_some(),
+            "{}: G1 generator precompute cached",
+            spec.name
+        );
+        assert!(
+            c.g2_precomputed(q).is_some(),
+            "{}: G2 generator precompute cached",
+            spec.name
+        );
     }
 }
 
@@ -75,25 +83,41 @@ fn jsf_straus_matches_reference_on_non_generator_bases() {
 }
 
 #[test]
-fn comb_cache_never_used_for_non_generator_base() {
+fn precompute_cache_never_used_for_unregistered_base() {
     let c = Curve::by_name("BN254N");
     let k = edge_scalars(&c).pop().unwrap();
-    // Warm the generator comb, then check every non-generator base both
-    // fails the cache's base match and still multiplies correctly.
+    // Warm the generator's precompute, then check every *unregistered*
+    // base both fails the cache's base match and still multiplies
+    // correctly on the GLV path.
     let _ = c.g1_mul(c.g1_generator(), &k);
-    let comb = c.g1_comb().expect("generator mul warms the comb");
+    let pre = c
+        .g1_precomputed(c.g1_generator())
+        .expect("generator mul warms the precompute cache");
     let fp_ops = FpOps(Arc::clone(c.fp()));
     for i in [2u64, 3, 7, 1009] {
         let h = c.g1_mul(c.g1_generator(), &BigUint::from_u64(i));
-        assert!(!comb.matches_base(&h), "comb for G must not match [{i}]G");
+        assert!(
+            !pre.matches_base(&h),
+            "precompute for G must not match [{i}]G"
+        );
+        assert!(
+            c.g1_precomputed(&h).is_none(),
+            "plain mul must not register [{i}]G"
+        );
         let reference = to_affine(&fp_ops, &scalar_mul(&fp_ops, &h, &k.rem(c.r())));
         assert_eq!(c.g1_mul(&h, &k), reference, "[{i}]G stays on the GLV path");
     }
     // Hash-derived points (the signature path's variable bases) likewise.
     let h = c.hash_to_g1(b"not the generator").unwrap();
-    assert!(!comb.matches_base(&h));
+    assert!(!pre.matches_base(&h));
     let reference = to_affine(&fp_ops, &scalar_mul(&fp_ops, &h, &k.rem(c.r())));
     assert_eq!(c.g1_mul(&h, &k), reference);
+    // Registering the hash-derived base flips the route to the comb —
+    // with a bit-identical result.
+    let registered = c.precompute_g1(&h);
+    assert!(registered.matches_base(&h));
+    assert!(c.g1_precomputed(&h).is_some());
+    assert_eq!(c.g1_mul(&h, &k), reference, "registered base stays exact");
 }
 
 #[test]
